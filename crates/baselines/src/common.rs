@@ -1,0 +1,74 @@
+//! Shared building blocks for the baseline protocols.
+
+use brisa_simnet::SimTime;
+use std::collections::HashMap;
+
+/// Delivery bookkeeping shared by every baseline dissemination protocol,
+/// mirroring the subset of `brisa::BrisaStats` the comparison experiments
+/// need (delivered counts, duplicates, per-message first delivery time).
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryStats {
+    /// Stream messages delivered to the application (first receptions).
+    pub delivered: u64,
+    /// Receptions of already-delivered messages.
+    pub duplicates: u64,
+    /// Per-sequence-number first reception time.
+    pub first_delivery: HashMap<u64, SimTime>,
+}
+
+impl DeliveryStats {
+    /// Records a reception of `seq` at `now`; returns true if it was the
+    /// first one.
+    pub fn record(&mut self, seq: u64, now: SimTime) -> bool {
+        if self.first_delivery.contains_key(&seq) {
+            self.duplicates += 1;
+            false
+        } else {
+            self.first_delivery.insert(seq, now);
+            self.delivered += 1;
+            true
+        }
+    }
+
+    /// Time of the first and last delivery, if any.
+    pub fn delivery_span(&self) -> Option<(SimTime, SimTime)> {
+        let min = self.first_delivery.values().min()?;
+        let max = self.first_delivery.values().max()?;
+        Some((*min, *max))
+    }
+
+    /// Average duplicates per delivered message.
+    pub fn duplicates_per_message(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / self.delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_firsts_and_duplicates() {
+        let mut s = DeliveryStats::default();
+        assert!(s.record(1, SimTime::from_millis(10)));
+        assert!(!s.record(1, SimTime::from_millis(12)));
+        assert!(s.record(2, SimTime::from_millis(20)));
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.duplicates, 1);
+        assert!((s.duplicates_per_message() - 0.5).abs() < 1e-9);
+        let (a, b) = s.delivery_span().unwrap();
+        assert_eq!(a, SimTime::from_millis(10));
+        assert_eq!(b, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = DeliveryStats::default();
+        assert!(s.delivery_span().is_none());
+        assert_eq!(s.duplicates_per_message(), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of full simulated dissemination rounds: how long the
+//! harness takes (wall clock) to bootstrap an overlay and push a stream
+//! through it, for BRISA and for flooding. This measures the cost of the
+//! reproduction harness itself, not protocol quality.
+
+use brisa_workloads::{run_brisa, run_flood, BaselineScenario, BrisaScenario, StreamSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_dissemination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_dissemination");
+    group.sample_size(10);
+    group.bench_function("brisa_64_nodes_20_msgs", |b| {
+        b.iter(|| {
+            let sc = BrisaScenario {
+                nodes: 64,
+                stream: StreamSpec::short(20, 1024),
+                ..BrisaScenario::small_test(64)
+            };
+            let result = run_brisa(&sc);
+            assert!(result.completeness() > 0.99);
+            std::hint::black_box(result.nodes.len())
+        });
+    });
+    group.bench_function("flood_64_nodes_20_msgs", |b| {
+        b.iter(|| {
+            let sc = BaselineScenario {
+                nodes: 64,
+                stream: StreamSpec::short(20, 1024),
+                ..BaselineScenario::small_test(64)
+            };
+            let result = run_flood(&sc);
+            assert!(result.completeness() > 0.99);
+            std::hint::black_box(result.nodes.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dissemination);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the hot protocol paths: HyParView message
+//! handling and the BRISA data-path decision (duplicate detection + parent
+//! selection + relay fan-out).
+
+use brisa::{BrisaConfig, BrisaCore, BrisaMsg, CycleGuard, DataMsg, NoTelemetry};
+use brisa_membership::{HpvMsg, HyParView, HyParViewConfig};
+use brisa_simnet::{NodeId, SimTime};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_hyparview_shuffle(c: &mut Criterion) {
+    c.bench_function("hyparview_shuffle_round", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut node = HyParView::new(NodeId(0), HyParViewConfig::with_active_size(8));
+        let mut out = Vec::new();
+        for i in 1..=8u32 {
+            // Populate the views through the public message interface.
+            out.extend(node.handle(
+                SimTime::ZERO,
+                NodeId(i),
+                HpvMsg::Neighbor { high_priority: true },
+                &mut rng,
+            ));
+        }
+        for i in 100..160u32 {
+            let _ = node.handle(
+                SimTime::ZERO,
+                NodeId(1),
+                HpvMsg::ShuffleReply { nodes: vec![NodeId(i)] },
+                &mut rng,
+            );
+        }
+        b.iter(|| {
+            let outs = node.shuffle_tick(&mut rng);
+            std::hint::black_box(outs)
+        });
+    });
+}
+
+fn bench_brisa_data_path(c: &mut Criterion) {
+    let make_core = || {
+        let mut core = BrisaCore::new(NodeId(0), BrisaConfig::default());
+        core.note_started(SimTime::ZERO);
+        for i in 1..=8u32 {
+            core.on_neighbor_up(NodeId(i));
+        }
+        core
+    };
+    let data = |seq: u64, sender: u32| {
+        BrisaMsg::Data(DataMsg {
+            seq,
+            payload_bytes: 1024,
+            guard: CycleGuard::Path(vec![NodeId(100), NodeId(sender)]),
+            sender_uptime_secs: 10,
+            sender_load: 2,
+        })
+    };
+    c.bench_function("brisa_first_reception_and_relay", |b| {
+        b.iter_batched(
+            make_core,
+            |mut core| {
+                for seq in 0..64u64 {
+                    let actions =
+                        core.handle(SimTime::from_millis(seq), NodeId(1), data(seq, 1), &NoTelemetry);
+                    std::hint::black_box(actions);
+                }
+                core
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("brisa_duplicate_deactivation", |b| {
+        b.iter_batched(
+            || {
+                let mut core = make_core();
+                let _ = core.handle(SimTime::ZERO, NodeId(1), data(0, 1), &NoTelemetry);
+                core
+            },
+            |mut core| {
+                for sender in 2..=8u32 {
+                    let actions = core.handle(
+                        SimTime::from_millis(sender as u64),
+                        NodeId(sender),
+                        data(0, sender),
+                        &NoTelemetry,
+                    );
+                    std::hint::black_box(actions);
+                }
+                core
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hyparview_shuffle, bench_brisa_data_path
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: cycle-prevention metadata cost (Section II-D / II-G).
+//!
+//! Compares the three mechanisms the paper discusses — exact path embedding
+//! (trees), approximate depth labels (DAGs) and Bloom filters — on the
+//! metadata each stream message must carry, plus the exactness of the
+//! check. Reproduces the paper's headline numbers: for one million nodes
+//! with view size 8 a path is ~7 identifiers (336 bits) whereas a Bloom
+//! filter at 1e-6 false positives needs ~28.8 million bits.
+
+use brisa::{BloomMembership, CycleGuard};
+use brisa_bench::banner;
+use brisa_metrics::report::render_table;
+use brisa_simnet::NodeId;
+use brisa_workloads::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation", "cycle-prevention metadata size", scale);
+    let headers = [
+        "system size",
+        "view",
+        "tree height (hops)",
+        "path embedding (bits)",
+        "depth label (bits)",
+        "bloom 1e-6 (bits)",
+        "bloom false positives",
+    ];
+    let mut rows = Vec::new();
+    for &(n, view) in &[(1_000usize, 8usize), (100_000, 8), (1_000_000, 8), (1_000_000, 4)] {
+        let height = ((n as f64).ln() / (view as f64).ln()).ceil() as usize;
+        let path = CycleGuard::Path((0..height as u32).map(NodeId).collect());
+        let depth = CycleGuard::Depth(height as u32);
+        let mut bloom = BloomMembership::with_false_positive_rate(height, 1e-6);
+        for i in 0..height as u32 {
+            bloom.insert(NodeId(i));
+        }
+        // Measure the empirical false-positive rate over nodes not on the path.
+        let probes = 100_000u32;
+        let fps = (height as u32..height as u32 + probes)
+            .filter(|&i| bloom.contains(NodeId(i)))
+            .count();
+        rows.push(vec![
+            n.to_string(),
+            view.to_string(),
+            height.to_string(),
+            (path.wire_size() * 8).to_string(),
+            (depth.wire_size() * 8).to_string(),
+            BloomMembership::with_false_positive_rate(1_000_000, 1e-6)
+                .num_bits()
+                .to_string(),
+            format!("{fps}/{probes}"),
+        ]);
+    }
+    print!("{}", render_table(&headers, &rows));
+    println!();
+    println!("path embedding is exact (zero false positives/negatives); depth labels are");
+    println!("constant-size but approximate (false negatives only); Bloom filters trade");
+    println!("enormous metadata for a configurable false-positive rate.");
+}

@@ -1,0 +1,63 @@
+//! Ablation: number of DAG parents (Sections II-G and IV).
+//!
+//! Sweeps the target parent count from 1 (a tree) to 4 and measures the
+//! trade-off the paper describes: more parents mean more duplicate traffic
+//! but far fewer orphaning events under churn.
+
+use brisa::StructureMode;
+use brisa_bench::banner;
+use brisa_metrics::report::render_table;
+use brisa_workloads::{run_brisa, BrisaScenario, ChurnSpec, Scale, StreamSpec};
+use brisa_simnet::SimDuration;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation", "DAG parent count vs duplicates and robustness", scale);
+    let nodes = scale.pick(128, 64);
+    let churn = ChurnSpec {
+        rate_percent: 5.0,
+        interval: SimDuration::from_secs(scale.pick(60, 15)),
+        duration: SimDuration::from_secs(scale.pick(600, 60)),
+    };
+    let headers = [
+        "parents",
+        "mean dup/msg",
+        "mean parents found",
+        "parents lost/min",
+        "orphans/min",
+        "% soft repairs",
+        "completeness %",
+    ];
+    let mut rows = Vec::new();
+    for parents in 1..=4usize {
+        let mode = if parents == 1 {
+            StructureMode::Tree
+        } else {
+            StructureMode::Dag { parents }
+        };
+        let sc = BrisaScenario {
+            nodes,
+            view_size: 8,
+            mode,
+            stream: StreamSpec::short(scale.pick(500, 60), 1024),
+            churn: Some(churn),
+            ..Default::default()
+        };
+        let result = run_brisa(&sc);
+        let churn_report = result.churn.clone().expect("churn report");
+        let dup = result.non_source(|n| n.duplicates_per_message);
+        let mean_dup = dup.iter().sum::<f64>() / dup.len().max(1) as f64;
+        let found = result.non_source(|n| n.parents.len() as f64);
+        let mean_found = found.iter().sum::<f64>() / found.len().max(1) as f64;
+        rows.push(vec![
+            parents.to_string(),
+            format!("{mean_dup:.2}"),
+            format!("{mean_found:.2}"),
+            format!("{:.1}", churn_report.parents_lost_per_min),
+            format!("{:.1}", churn_report.orphans_per_min),
+            format!("{:.1}", churn_report.soft_pct),
+            format!("{:.1}", result.completeness() * 100.0),
+        ]);
+    }
+    print!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,58 @@
+//! Ablation: parent selection strategies (Sections II-E and IV).
+//!
+//! Compares first-come first-picked, delay-aware, gerontocratic and
+//! load-balancing on routing delay, structure depth, and the spread of the
+//! dissemination load (degree percentiles), on the PlanetLab latency model
+//! where strategy differences are visible.
+
+use brisa::ParentStrategy;
+use brisa_bench::banner;
+use brisa_metrics::report::render_table;
+use brisa_metrics::{Cdf, PercentileSummary};
+use brisa_workloads::{run_brisa, BrisaScenario, Scale, StreamSpec, Testbed};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation", "parent selection strategies", scale);
+    let nodes = scale.pick(150, 48);
+    let headers = [
+        "strategy",
+        "mean routing delay (ms)",
+        "p90 routing delay (ms)",
+        "max depth",
+        "p90 degree",
+        "completeness %",
+    ];
+    let mut rows = Vec::new();
+    for &(strategy, label) in &[
+        (ParentStrategy::FirstComeFirstPicked, "first-come"),
+        (ParentStrategy::DelayAware, "delay-aware"),
+        (ParentStrategy::Gerontocratic, "gerontocratic"),
+        (ParentStrategy::LoadBalancing, "load-balancing"),
+    ] {
+        let sc = BrisaScenario {
+            nodes,
+            view_size: 4,
+            strategy,
+            testbed: Testbed::PlanetLab,
+            stream: StreamSpec::short(scale.pick(200, 30), 1024),
+            ..Default::default()
+        };
+        let result = run_brisa(&sc);
+        let mut delays = Cdf::from_samples(
+            result.nodes.iter().filter(|n| !n.is_source).filter_map(|n| n.routing_delay_ms),
+        );
+        let depths = result.structure.depths();
+        let degrees =
+            PercentileSummary::from_samples(result.structure.degrees().values().map(|&d| d as f64));
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", delays.mean()),
+            format!("{:.1}", delays.quantile(0.9)),
+            format!("{}", depths.values().max().copied().unwrap_or(0)),
+            format!("{:.1}", degrees.p90),
+            format!("{:.1}", result.completeness() * 100.0),
+        ]);
+    }
+    print!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,48 @@
+//! Figure 2: CDF of duplicates per message per node under flooding over
+//! HyParView, for active view sizes 4, 6, 8 and 10.
+//!
+//! Paper shape: the number of duplicates grows sharply with the view size —
+//! with view 4 half of the nodes see more than one duplicate per message,
+//! with view 10 they see more than seven.
+
+use brisa_bench::{banner, print_cdf_series};
+use brisa_metrics::Cdf;
+use brisa_workloads::{run_flood, scenarios, BaselineScenario, Scale, StreamSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (nodes, messages, payload, views) = scenarios::fig2(scale);
+    banner(
+        "Figure 2",
+        "duplicates per message under flooding (HyParView)",
+        scale,
+    );
+    println!("nodes = {nodes}, messages = {messages}, payload = {payload} B");
+    println!();
+
+    let mut series = Vec::new();
+    for view in views {
+        let sc = BaselineScenario {
+            nodes,
+            view_size: view,
+            stream: StreamSpec { messages, rate_per_sec: 5.0, payload_bytes: payload },
+            ..BaselineScenario::default()
+        };
+        let result = run_flood(&sc);
+        let cdf = Cdf::from_samples(
+            result
+                .nodes
+                .iter()
+                .filter(|n| !n.is_source)
+                .map(|n| n.duplicates_per_message),
+        );
+        println!(
+            "view size {view}: completeness {:.1}%, mean duplicates/message {:.2}",
+            result.completeness() * 100.0,
+            cdf.mean()
+        );
+        series.push((format!("view={view}"), cdf));
+    }
+    println!();
+    print_cdf_series("duplicates per message", &mut series, 12);
+}

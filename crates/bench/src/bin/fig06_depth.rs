@@ -1,0 +1,36 @@
+//! Figure 6: depth distribution of the emerged structures (512 nodes,
+//! first-come first-picked) for tree and DAG(2 parents) with view sizes 4
+//! and 8.
+//!
+//! Paper shape: larger views give shallower structures; DAGs are deeper than
+//! trees because depth is the *longest* path from the source.
+
+use brisa_bench::{banner, print_cdf_series};
+use brisa_metrics::Cdf;
+use brisa_workloads::{run_brisa, scenarios, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 6", "depth distribution of the emerged structure", scale);
+    let mut series = Vec::new();
+    for sc in scenarios::fig6_7(scale) {
+        let label = format!(
+            "{}, view={}",
+            if sc.mode.is_tree() { "tree" } else { "DAG-2" },
+            sc.view_size
+        );
+        let result = run_brisa(&sc);
+        let depths = result.structure.depths();
+        let cdf = Cdf::from_samples(depths.values().map(|&d| d as f64));
+        println!(
+            "{label}: nodes={}, max depth={}, complete={}, acyclic={}",
+            sc.nodes,
+            depths.values().max().copied().unwrap_or(0),
+            result.structure.is_complete(),
+            result.structure.is_acyclic()
+        );
+        series.push((label, cdf));
+    }
+    println!();
+    print_cdf_series("depth", &mut series, 16);
+}

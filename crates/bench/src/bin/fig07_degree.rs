@@ -1,0 +1,39 @@
+//! Figure 7: degree (number of children) distribution of the emerged
+//! structures (512 nodes, first-come first-picked) for tree and DAG(2) with
+//! view sizes 4 and 8.
+//!
+//! Paper shape: DAGs have fewer zero-degree leaves (more nodes contribute to
+//! dissemination); larger views produce shallower trees with more leaves;
+//! despite the expansion factor of 2 few nodes exceed the configured view
+//! size in degree.
+
+use brisa_bench::{banner, print_cdf_series};
+use brisa_metrics::Cdf;
+use brisa_workloads::{run_brisa, scenarios, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 7", "degree distribution of the emerged structure", scale);
+    let mut series = Vec::new();
+    for sc in scenarios::fig6_7(scale) {
+        let label = format!(
+            "{}, view={}",
+            if sc.mode.is_tree() { "tree" } else { "DAG-2" },
+            sc.view_size
+        );
+        let result = run_brisa(&sc);
+        let degrees = result.structure.degrees();
+        let leaves = degrees.values().filter(|&&d| d == 0).count();
+        let cdf = Cdf::from_samples(degrees.values().map(|&d| d as f64));
+        println!(
+            "{label}: nodes={}, leaves={} ({:.0}%), max degree={}",
+            degrees.len(),
+            leaves,
+            leaves as f64 / degrees.len().max(1) as f64 * 100.0,
+            degrees.values().max().copied().unwrap_or(0)
+        );
+        series.push((label, cdf));
+    }
+    println!();
+    print_cdf_series("degree (children)", &mut series, 16);
+}

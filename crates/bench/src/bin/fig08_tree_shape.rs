@@ -1,0 +1,27 @@
+//! Figure 8: sample emerged tree shapes for a 100-node network with active
+//! view sizes 4 and 8 (expansion factor 1), rendered as Graphviz DOT.
+//!
+//! Paper shape: even with the naive first-come first-picked strategy the
+//! trees are fairly balanced; the view-8 tree is shallower and wider than
+//! the view-4 one.
+
+use brisa_bench::banner;
+use brisa_workloads::{run_brisa, scenarios, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 8", "sample emerged tree shapes (DOT output)", scale);
+    for sc in scenarios::fig8(scale) {
+        let result = run_brisa(&sc);
+        let depths = result.structure.depths();
+        let max_depth = depths.values().max().copied().unwrap_or(0);
+        println!(
+            "// view size {} — {} nodes, height {}, complete: {}",
+            sc.view_size,
+            depths.len(),
+            max_depth,
+            result.structure.is_complete()
+        );
+        println!("{}", result.structure.to_dot(&format!("brisa_view{}", sc.view_size)));
+    }
+}

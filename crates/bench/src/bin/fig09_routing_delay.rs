@@ -1,0 +1,81 @@
+//! Figure 9: routing delay distribution on PlanetLab (150 nodes, tree with
+//! view size 4, 200 × 1 KB messages) for four series: the point-to-point
+//! reference, the delay-aware strategy, first-come first-picked, and plain
+//! flooding.
+//!
+//! Paper shape: flooding is the worst; delay-aware clearly improves over
+//! first-pick (≈40% of the nodes halve their delay); all structured series
+//! sit above the point-to-point reference.
+
+use brisa_bench::{banner, print_cdf_series};
+use brisa_metrics::Cdf;
+use brisa_workloads::{
+    run_brisa, run_flood, scenarios, BaselineScenario, Scale, Testbed,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 9", "routing delays on PlanetLab", scale);
+    let brisa_scenarios = scenarios::fig9(scale);
+    let nodes = brisa_scenarios[0].nodes;
+    let stream = brisa_scenarios[0].stream;
+
+    let mut series = Vec::new();
+
+    // Point-to-point reference and the two BRISA strategies.
+    for sc in &brisa_scenarios {
+        let label = match sc.strategy {
+            brisa::ParentStrategy::DelayAware => "delay-aware",
+            _ => "first-pick",
+        };
+        let result = run_brisa(sc);
+        if series.is_empty() {
+            // The point-to-point series is strategy-independent; derive it
+            // from the first run.
+            let p2p = Cdf::from_samples(
+                result
+                    .nodes
+                    .iter()
+                    .filter(|n| !n.is_source)
+                    .map(|n| n.point_to_point_ms),
+            );
+            println!("point-to-point: mean {:.1} ms", p2p.mean());
+            series.push(("point-to-point".to_string(), p2p));
+        }
+        let cdf = Cdf::from_samples(
+            result
+                .nodes
+                .iter()
+                .filter(|n| !n.is_source)
+                .filter_map(|n| n.routing_delay_ms),
+        );
+        println!(
+            "{label}: mean routing delay {:.1} ms, completeness {:.1}%",
+            cdf.mean(),
+            result.completeness() * 100.0
+        );
+        series.push((label.to_string(), cdf));
+    }
+
+    // Flooding over the same overlay parameters.
+    let flood_sc = BaselineScenario {
+        nodes,
+        view_size: 4,
+        testbed: Testbed::PlanetLab,
+        stream,
+        ..BaselineScenario::default()
+    };
+    let flood = run_flood(&flood_sc);
+    let flood_cdf = Cdf::from_samples(
+        flood
+            .nodes
+            .iter()
+            .filter(|n| !n.is_source)
+            .filter_map(|n| n.routing_delay_ms),
+    );
+    println!("flood: mean routing delay {:.1} ms", flood_cdf.mean());
+    series.push(("flood".to_string(), flood_cdf));
+
+    println!();
+    print_cdf_series("routing delay (ms)", &mut series, 14);
+}

@@ -1,0 +1,44 @@
+//! Figure 10: download bandwidth percentiles (5/25/50/75/90th) during
+//! dissemination for a 512-node network, payload sizes 1/10/50/100 KB,
+//! tree and DAG(2) × view sizes 4 and 8.
+//!
+//! Paper shape: trees download exactly one copy per message; DAGs download
+//! roughly twice as much (one copy per parent); the PSS overhead difference
+//! between view sizes is negligible compared to the payload traffic.
+
+use brisa_bench::banner;
+use brisa_metrics::report::{percentile_headers, percentile_row, render_table};
+use brisa_metrics::PercentileSummary;
+use brisa_workloads::{run_brisa, scenarios, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 10", "download bandwidth during dissemination", scale);
+    let (payloads, base_scenarios) = scenarios::fig10_11(scale);
+    let headers = percentile_headers("configuration (KB/s down)");
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    for payload in payloads {
+        let mut rows = Vec::new();
+        for base in &base_scenarios {
+            let mut sc = base.clone();
+            sc.stream.payload_bytes = payload;
+            let result = run_brisa(&sc);
+            let summary = PercentileSummary::from_samples(
+                result
+                    .nodes
+                    .iter()
+                    .filter(|n| !n.is_source)
+                    .map(|n| n.bandwidth.diss_down_kbps),
+            );
+            let label = format!(
+                "{}, view={}",
+                if sc.mode.is_tree() { "tree" } else { "DAG-2" },
+                sc.view_size
+            );
+            rows.push(percentile_row(&label, &summary));
+        }
+        println!("message size = {} KB", payload / 1024);
+        print!("{}", render_table(&header_refs, &rows));
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 12: data transmitted per node (stabilisation + dissemination) for
+//! a 512-node network and payload sizes 0/1/10/20 KB, comparing SimpleTree,
+//! BRISA (tree, view 4), TAG (view 4) and SimpleGossip.
+//!
+//! Paper shape: BRISA and TAG are comparable and dominated by payload
+//! traffic; SimpleTree has the smallest management overhead (one exchange
+//! with the coordinator); SimpleGossip is competitive for tiny payloads but
+//! quickly becomes the most expensive as payloads grow, because of its
+//! duplicate factor.
+
+use brisa_bench::banner;
+use brisa_metrics::report::render_table;
+use brisa_workloads::{
+    run_brisa, run_simple_gossip, run_simple_tree, run_tag, scenarios, BaselineScenario,
+    BrisaScenario, Scale, StreamSpec,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 12", "data transmitted per node, by protocol and payload", scale);
+    let (nodes, payloads, stream) = scenarios::comparison(scale);
+    let headers = [
+        "payload (KB)",
+        "SimpleTree (MB)",
+        "BRISA tree v4 (MB)",
+        "TAG v4 (MB)",
+        "SimpleGossip (MB)",
+    ];
+    let mut rows = Vec::new();
+    for payload in payloads {
+        let stream = StreamSpec { payload_bytes: payload, ..stream };
+        let baseline_sc = BaselineScenario { nodes, view_size: 4, stream, ..Default::default() };
+        let brisa_sc = BrisaScenario { nodes, view_size: 4, stream, ..Default::default() };
+
+        let tree = run_simple_tree(&baseline_sc);
+        let brisa_run = run_brisa(&brisa_sc);
+        let tag = run_tag(&baseline_sc);
+        let gossip = run_simple_gossip(&baseline_sc);
+
+        let brisa_mb = brisa_run
+            .nodes
+            .iter()
+            .map(|n| n.bandwidth.total_uploaded_mb())
+            .sum::<f64>()
+            / brisa_run.nodes.len().max(1) as f64;
+        rows.push(vec![
+            format!("{}", payload / 1024),
+            format!("{:.2}", tree.mean_data_transmitted_mb()),
+            format!("{:.2}", brisa_mb),
+            format!("{:.2}", tag.mean_data_transmitted_mb()),
+            format!("{:.2}", gossip.mean_data_transmitted_mb()),
+        ]);
+    }
+    print!("{}", render_table(&headers, &rows));
+}

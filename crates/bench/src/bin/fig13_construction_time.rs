@@ -1,0 +1,51 @@
+//! Figure 13: CDF of the structure construction time for BRISA and TAG, on
+//! the cluster (512 nodes) and on PlanetLab (200 nodes).
+//!
+//! For BRISA the construction time of a node spans from its first
+//! deactivation message to the moment its inbound links reach the target
+//! parent count; for TAG it spans from the join request to the settled list
+//! position. Paper shape: the two are comparable on the cluster, but TAG is
+//! much slower on PlanetLab because its list traversal pays one WAN
+//! round-trip per hop.
+
+use brisa_bench::{banner, print_cdf_series};
+use brisa_metrics::Cdf;
+use brisa_workloads::{
+    run_brisa, run_tag, scenarios, BaselineScenario, BrisaScenario, Scale, StreamSpec, Testbed,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 13", "structure construction time, BRISA vs TAG", scale);
+    let mut series = Vec::new();
+    for (testbed, nodes) in scenarios::fig13(scale) {
+        let env = match testbed {
+            Testbed::Cluster => "cluster",
+            Testbed::PlanetLab => "PlanetLab",
+        };
+        let stream = StreamSpec::short(30, 1024);
+        let brisa_sc = BrisaScenario { nodes, view_size: 4, testbed, stream, ..Default::default() };
+        let brisa_run = run_brisa(&brisa_sc);
+        let brisa_cdf = Cdf::from_samples(
+            brisa_run.nodes.iter().filter_map(|n| n.construction_time_ms),
+        );
+        println!("BRISA, {env}: median construction {:.1} ms", {
+            let mut c = brisa_cdf.clone();
+            c.quantile(0.5)
+        });
+        series.push((format!("BRISA, {env}"), brisa_cdf));
+
+        let tag_sc = BaselineScenario { nodes, view_size: 4, testbed, stream, ..Default::default() };
+        let tag_run = run_tag(&tag_sc);
+        let tag_cdf = Cdf::from_samples(
+            tag_run.nodes.iter().filter_map(|n| n.construction_time_ms),
+        );
+        println!("TAG, {env}: median construction {:.1} ms", {
+            let mut c = tag_cdf.clone();
+            c.quantile(0.5)
+        });
+        series.push((format!("TAG, {env}"), tag_cdf));
+    }
+    println!();
+    print_cdf_series("construction time (ms)", &mut series, 14);
+}

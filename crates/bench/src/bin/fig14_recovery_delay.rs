@@ -1,0 +1,66 @@
+//! Figure 14: CDF of parent recovery delays for hard repairs in a 128-node
+//! network (view 4) under 3%/minute continuous churn, BRISA tree vs TAG.
+//!
+//! Paper shape: BRISA both needs hard repairs less often and recovers about
+//! twice as fast as TAG, whose recovery requires re-traversing the linked
+//! list (one round-trip per hop).
+
+use brisa_bench::{banner, print_cdf_series};
+use brisa_metrics::Cdf;
+use brisa_workloads::{
+    run_brisa, run_tag, scenarios, BaselineScenario, BrisaScenario, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 14", "parent recovery delay under churn, BRISA vs TAG", scale);
+    let (nodes, churn, stream) = scenarios::fig14(scale);
+
+    let brisa_sc = BrisaScenario {
+        nodes,
+        view_size: 4,
+        stream,
+        churn: Some(churn),
+        ..Default::default()
+    };
+    let brisa_run = run_brisa(&brisa_sc);
+    let brisa_report = brisa_run.churn.clone().expect("churn report");
+    // The paper's figure focuses on hard repairs; report both so the soft
+    // repair advantage is visible too.
+    println!(
+        "BRISA: {} soft repairs (median {:.1} ms), {} hard repairs (median {:.1} ms)",
+        brisa_report.soft_repairs,
+        Cdf::from_samples(brisa_report.soft_delays_ms.iter().copied()).quantile(0.5),
+        brisa_report.hard_repairs,
+        Cdf::from_samples(brisa_report.hard_delays_ms.iter().copied()).quantile(0.5),
+    );
+
+    let tag_sc = BaselineScenario {
+        nodes,
+        view_size: 4,
+        stream,
+        churn: Some(churn),
+        ..Default::default()
+    };
+    let tag_run = run_tag(&tag_sc);
+    println!(
+        "TAG:   {} soft repairs (median {:.1} ms), {} hard repairs (median {:.1} ms)",
+        tag_run.soft_repairs,
+        Cdf::from_samples(tag_run.soft_repair_delays_ms.iter().copied()).quantile(0.5),
+        tag_run.hard_repairs,
+        Cdf::from_samples(tag_run.hard_repair_delays_ms.iter().copied()).quantile(0.5),
+    );
+    println!();
+
+    let mut series = vec![
+        (
+            "BRISA tree (hard repairs)".to_string(),
+            Cdf::from_samples(brisa_report.hard_delays_ms.iter().copied()),
+        ),
+        (
+            "TAG (hard repairs)".to_string(),
+            Cdf::from_samples(tag_run.hard_repair_delays_ms.iter().copied()),
+        ),
+    ];
+    print_cdf_series("recovery delay (ms)", &mut series, 12);
+}

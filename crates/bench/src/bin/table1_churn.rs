@@ -1,0 +1,42 @@
+//! Table I: impact of churn on BRISA for 128- and 512-node networks with
+//! active view size 4, churn rates of 3% and 5% per minute over ten minutes,
+//! tree vs DAG with two parents.
+//!
+//! Paper shape: DAGs lose parents more often (they have more of them) but
+//! are orphaned far less often than trees; the vast majority of
+//! disconnections are repaired with the soft mechanism.
+
+use brisa_bench::banner;
+use brisa_metrics::report::render_table;
+use brisa_workloads::{run_brisa, scenarios, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table I", "impact of churn (parents lost, orphans, repairs)", scale);
+    let headers = [
+        "nodes",
+        "churn %/min",
+        "structure",
+        "parents lost/min",
+        "orphans/min",
+        "% soft repairs",
+        "% hard repairs",
+        "completeness %",
+    ];
+    let mut rows = Vec::new();
+    for (nodes, rate, mode, sc) in scenarios::table1(scale) {
+        let result = run_brisa(&sc);
+        let churn = result.churn.clone().expect("table 1 runs always have churn");
+        rows.push(vec![
+            nodes.to_string(),
+            format!("{rate:.0}"),
+            if mode.is_tree() { "Tree".to_string() } else { "DAG, 2 parents".to_string() },
+            format!("{:.1}", churn.parents_lost_per_min),
+            format!("{:.1}", churn.orphans_per_min),
+            format!("{:.1}", churn.soft_pct),
+            format!("{:.1}", churn.hard_pct),
+            format!("{:.1}", result.completeness() * 100.0),
+        ]);
+    }
+    print!("{}", render_table(&headers, &rows));
+}

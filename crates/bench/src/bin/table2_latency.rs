@@ -1,0 +1,66 @@
+//! Table II: dissemination latency for a 512-node network receiving 500
+//! messages of 1 KB at 5 messages per second, for SimpleTree, BRISA,
+//! SimpleGossip and TAG.
+//!
+//! The dissemination latency of a node is the time between its first and
+//! last delivery; the ideal value equals the injection window
+//! (messages / rate). Paper shape: SimpleTree ≈ BRISA ≈ ideal,
+//! SimpleGossip a bit slower (anti-entropy compensates omissions), TAG
+//! clearly slower because it pulls.
+
+use brisa_bench::banner;
+use brisa_metrics::report::render_table;
+use brisa_workloads::{
+    run_brisa, run_simple_gossip, run_simple_tree, run_tag, scenarios, BaselineScenario,
+    BrisaScenario, Scale,
+};
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table II", "dissemination latency per protocol", scale);
+    let (nodes, _payloads, stream) = scenarios::comparison(scale);
+    let ideal = stream.duration().as_secs_f64();
+    println!(
+        "nodes = {nodes}, messages = {} at {}/s (ideal latency {:.1} s)",
+        stream.messages, stream.rate_per_sec, ideal
+    );
+    println!();
+
+    let baseline_sc = BaselineScenario { nodes, view_size: 4, stream, ..Default::default() };
+    let brisa_sc = BrisaScenario { nodes, view_size: 4, stream, ..Default::default() };
+
+    let tree = run_simple_tree(&baseline_sc);
+    let brisa_run = run_brisa(&brisa_sc);
+    let gossip = run_simple_gossip(&baseline_sc);
+    let tag = run_tag(&baseline_sc);
+
+    let tree_lat = mean(tree.nodes.iter().filter_map(|n| n.dissemination_latency_secs));
+    let brisa_lat = mean(brisa_run.nodes.iter().filter_map(|n| n.dissemination_latency_secs));
+    let gossip_lat = mean(gossip.nodes.iter().filter_map(|n| n.dissemination_latency_secs));
+    let tag_lat = mean(tag.nodes.iter().filter_map(|n| n.dissemination_latency_secs));
+
+    let overhead = |lat: f64| {
+        if tree_lat > 0.0 {
+            format!("{:+.0}%", (lat / tree_lat - 1.0) * 100.0)
+        } else {
+            "-".to_string()
+        }
+    };
+    let headers = ["protocol", "latency (seconds)", "overhead vs SimpleTree"];
+    let rows = vec![
+        vec!["SimpleTree".to_string(), format!("{tree_lat:.3}"), "-".to_string()],
+        vec!["Brisa".to_string(), format!("{brisa_lat:.3}"), overhead(brisa_lat)],
+        vec!["SimpleGossip".to_string(), format!("{gossip_lat:.3}"), overhead(gossip_lat)],
+        vec!["TAG".to_string(), format!("{tag_lat:.3}"), overhead(tag_lat)],
+    ];
+    print!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,87 @@
+//! # brisa-bench — figure/table regeneration harness
+//!
+//! One binary per figure and table of the paper's evaluation (see
+//! `DESIGN.md` for the experiment index), plus Criterion micro-benchmarks of
+//! the hot protocol paths. The binaries print the same rows/series the paper
+//! reports as aligned plain-text tables.
+//!
+//! Every binary honours the `BRISA_SCALE` environment variable: the default
+//! `quick` scale runs in seconds and preserves the qualitative shape of the
+//! results; `BRISA_SCALE=full` reproduces the paper's sizes (512/200/150/128
+//! nodes, 500 messages).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use brisa_metrics::report::render_table;
+use brisa_metrics::Cdf;
+use brisa_workloads::Scale;
+
+/// Prints the standard experiment banner (experiment id, scale, seed).
+pub fn banner(experiment: &str, description: &str, scale: Scale) {
+    println!("=== {experiment} — {description}");
+    println!(
+        "    scale: {:?} (set BRISA_SCALE=full for the paper's sizes)",
+        scale
+    );
+    println!();
+}
+
+/// Prints a set of labelled CDF series side by side, sampled at the union of
+/// the series' value ranges. This is the textual equivalent of the paper's
+/// multi-line CDF plots.
+pub fn print_cdf_series(value_label: &str, series: &mut [(String, Cdf)], points: usize) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, cdf) in series.iter_mut() {
+        if let Some((a, b)) = cdf.range() {
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        println!("(no samples)");
+        return;
+    }
+    let points = points.max(2);
+    let mut headers: Vec<String> = vec![value_label.to_string()];
+    headers.extend(series.iter().map(|(l, _)| format!("% <= ({l})")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rows = Vec::new();
+    for i in 0..points {
+        let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+        let mut row = vec![format!("{x:.3}")];
+        for (_, cdf) in series.iter_mut() {
+            row.push(format!("{:.1}", cdf.percent_at(x)));
+        }
+        rows.push(row);
+    }
+    print!("{}", render_table(&header_refs, &rows));
+}
+
+/// Formats an `Option<f64>` with a dash for missing values.
+pub fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_formats_missing_values() {
+        assert_eq!(opt(None), "-");
+        assert_eq!(opt(Some(1.5)), "1.50");
+    }
+
+    #[test]
+    fn cdf_series_printing_does_not_panic() {
+        let mut series = vec![
+            ("a".to_string(), Cdf::from_samples([1.0, 2.0, 3.0])),
+            ("b".to_string(), Cdf::from_samples([2.0, 4.0])),
+        ];
+        print_cdf_series("value", &mut series, 5);
+        let mut empty: Vec<(String, Cdf)> = vec![("x".to_string(), Cdf::new())];
+        print_cdf_series("value", &mut empty, 5);
+    }
+}

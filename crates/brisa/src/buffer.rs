@@ -1,0 +1,138 @@
+//! Bounded buffer of recent stream messages.
+//!
+//! Parents keep a small window of recently relayed messages so that a child
+//! that just recovered from a parent failure can ask for the ones it missed
+//! (Section II-F: "nodes can compensate message loss during the parent
+//! recovery process by directly asking its new found parent to send the
+//! missing ones"). Recovery is fast, so the window stays small.
+
+use crate::message::DataMsg;
+use std::collections::VecDeque;
+
+/// A bounded FIFO buffer of stream messages indexed by sequence number.
+#[derive(Debug, Clone)]
+pub struct MessageBuffer {
+    capacity: usize,
+    messages: VecDeque<DataMsg>,
+}
+
+impl MessageBuffer {
+    /// Creates a buffer holding at most `capacity` messages.
+    pub fn new(capacity: usize) -> Self {
+        MessageBuffer {
+            capacity: capacity.max(1),
+            messages: VecDeque::new(),
+        }
+    }
+
+    /// Maximum number of messages retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True if the buffer holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Inserts a message, evicting the oldest one if the buffer is full.
+    /// Messages already present (same sequence number) are not duplicated.
+    pub fn insert(&mut self, msg: DataMsg) {
+        if self.messages.iter().any(|m| m.seq == msg.seq) {
+            return;
+        }
+        if self.messages.len() == self.capacity {
+            self.messages.pop_front();
+        }
+        self.messages.push_back(msg);
+    }
+
+    /// The buffered message with sequence number `seq`, if still retained.
+    pub fn get(&self, seq: u64) -> Option<&DataMsg> {
+        self.messages.iter().find(|m| m.seq == seq)
+    }
+
+    /// All buffered messages with sequence numbers in `[from, to]`
+    /// (inclusive), in ascending order.
+    pub fn range(&self, from: u64, to: u64) -> Vec<DataMsg> {
+        let mut found: Vec<DataMsg> = self
+            .messages
+            .iter()
+            .filter(|m| m.seq >= from && m.seq <= to)
+            .cloned()
+            .collect();
+        found.sort_by_key(|m| m.seq);
+        found
+    }
+
+    /// Highest buffered sequence number, if any.
+    pub fn highest_seq(&self) -> Option<u64> {
+        self.messages.iter().map(|m| m.seq).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::CycleGuard;
+
+    fn msg(seq: u64) -> DataMsg {
+        DataMsg {
+            seq,
+            payload_bytes: 100,
+            guard: CycleGuard::Depth(1),
+            sender_uptime_secs: 0,
+            sender_load: 0,
+        }
+    }
+
+    #[test]
+    fn insert_get_and_capacity_eviction() {
+        let mut b = MessageBuffer::new(3);
+        assert!(b.is_empty());
+        for s in 0..5 {
+            b.insert(msg(s));
+        }
+        assert_eq!(b.len(), 3);
+        assert!(b.get(0).is_none(), "oldest evicted");
+        assert!(b.get(1).is_none());
+        assert!(b.get(2).is_some());
+        assert_eq!(b.highest_seq(), Some(4));
+        assert_eq!(b.capacity(), 3);
+    }
+
+    #[test]
+    fn duplicate_sequence_numbers_are_ignored() {
+        let mut b = MessageBuffer::new(4);
+        b.insert(msg(1));
+        b.insert(msg(1));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn range_returns_sorted_window() {
+        let mut b = MessageBuffer::new(10);
+        for s in [5u64, 3, 9, 7, 4] {
+            b.insert(msg(s));
+        }
+        let r = b.range(4, 7);
+        let seqs: Vec<u64> = r.iter().map(|m| m.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 7]);
+        assert!(b.range(100, 200).is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut b = MessageBuffer::new(0);
+        b.insert(msg(0));
+        assert_eq!(b.len(), 1);
+        b.insert(msg(1));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.highest_seq(), Some(1));
+    }
+}

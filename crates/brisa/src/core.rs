@@ -1,0 +1,1197 @@
+//! The BRISA dissemination state machine.
+//!
+//! [`BrisaCore`] implements the protocol of Section II: the bootstrap flood
+//! of the first stream message, the emergence of a tree or DAG through link
+//! deactivation, cycle prevention, the parent selection strategies, and the
+//! soft/hard repair mechanisms used under churn. It is a sans-IO state
+//! machine; the `node` module composes it with HyParView into a runnable
+//! simulator protocol, and the unit tests below drive it directly.
+
+use crate::buffer::MessageBuffer;
+use crate::config::{BrisaConfig, ParentStrategy};
+use crate::cycle::{CycleGuard, CycleState};
+use crate::links::Links;
+use crate::message::{BrisaAction, BrisaMsg, DataMsg};
+use crate::parent::{CandidateSet, NeighborTelemetry};
+use crate::stats::BrisaStats;
+use brisa_simnet::{NodeId, SimDuration, SimTime};
+
+/// How long a node waits for a soft repair to produce a parent before
+/// escalating to the hard (flooding) repair.
+pub const SOFT_REPAIR_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+/// Minimum interval between successive hard-repair re-attempts while a node
+/// remains orphaned.
+pub const HARD_REPAIR_RETRY: SimDuration = SimDuration::from_secs(2);
+
+/// Classification of an ongoing parent-recovery procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairKind {
+    /// A replacement parent candidate existed in the active view; only its
+    /// inbound link had to be re-activated.
+    Soft,
+    /// No replacement existed: the node re-bootstrapped by flooding,
+    /// forgetting its position and propagating a re-activation order down
+    /// its sub-tree.
+    Hard,
+}
+
+/// The BRISA protocol state for one node.
+#[derive(Debug)]
+pub struct BrisaCore {
+    me: NodeId,
+    cfg: BrisaConfig,
+    cycle: CycleState,
+    links: Links,
+    candidates: CandidateSet,
+    buffer: MessageBuffer,
+    stats: BrisaStats,
+    is_source: bool,
+    next_seq: u64,
+    highest_seq_seen: Option<u64>,
+    started_at: Option<SimTime>,
+    pending_repair: Option<(SimTime, RepairKind)>,
+    last_repair_attempt: Option<SimTime>,
+}
+
+impl BrisaCore {
+    /// Creates the state machine for node `me`.
+    pub fn new(me: NodeId, cfg: BrisaConfig) -> Self {
+        let cycle = if cfg.mode.is_tree() { CycleState::tree() } else { CycleState::dag() };
+        let buffer = MessageBuffer::new(cfg.buffer_size);
+        BrisaCore {
+            me,
+            cfg,
+            cycle,
+            links: Links::new(),
+            candidates: CandidateSet::new(),
+            buffer,
+            stats: BrisaStats::default(),
+            is_source: false,
+            next_seq: 0,
+            highest_seq_seen: None,
+            started_at: None,
+            pending_repair: None,
+            last_repair_attempt: None,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BrisaConfig {
+        &self.cfg
+    }
+
+    /// Marks this node as the stream source (root of the structure).
+    pub fn mark_source(&mut self) {
+        self.is_source = true;
+        self.cycle.set_root(self.me);
+    }
+
+    /// True if this node is the stream source.
+    pub fn is_source(&self) -> bool {
+        self.is_source
+    }
+
+    /// Records the time the node started executing (used to advertise uptime
+    /// for the gerontocratic strategy).
+    pub fn note_started(&mut self, now: SimTime) {
+        self.started_at = Some(now);
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &BrisaStats {
+        &self.stats
+    }
+
+    /// Link state (parents, children, activation flags).
+    pub fn links(&self) -> &Links {
+        &self.links
+    }
+
+    /// Current parents.
+    pub fn parents(&self) -> Vec<NodeId> {
+        self.links.parents().collect()
+    }
+
+    /// Current children (the node's degree in the emerged structure).
+    pub fn children(&self) -> Vec<NodeId> {
+        self.links.children()
+    }
+
+    /// Depth of this node in the emerged structure (hops from the source),
+    /// if it has positioned itself.
+    pub fn depth(&self) -> Option<usize> {
+        self.cycle.position()
+    }
+
+    /// True if a repair (soft or hard) is currently in progress.
+    pub fn repair_pending(&self) -> bool {
+        self.pending_repair.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Membership events
+    // ------------------------------------------------------------------
+
+    /// A new overlay neighbor appeared (HyParView `NeighborUp`). Links to
+    /// new nodes start active in both directions.
+    pub fn on_neighbor_up(&mut self, peer: NodeId) {
+        if peer != self.me {
+            self.links.neighbor_up(peer);
+        }
+    }
+
+    /// An overlay neighbor disappeared (failure detected by the PSS). If the
+    /// neighbor was a parent, the repair procedure of Section II-F runs.
+    pub fn on_neighbor_down(&mut self, now: SimTime, peer: NodeId) -> Vec<BrisaAction> {
+        let mut actions = Vec::new();
+        self.candidates.remove(peer);
+        let was_parent = self.links.neighbor_down(peer);
+        if was_parent && !self.is_source {
+            self.stats.parents_lost.push(now);
+            if self.links.parent_count() == 0 {
+                self.stats.orphaned.push(now);
+                self.start_repair(now, &mut actions);
+            }
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Stream injection (source only)
+    // ------------------------------------------------------------------
+
+    /// Publishes the next stream message (source only). The first call
+    /// doubles as the bootstrap flood that seeds the structure.
+    pub fn publish(&mut self, now: SimTime, payload_bytes: usize) -> Vec<BrisaAction> {
+        assert!(self.is_source, "only the source publishes stream messages");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.record_delivery(seq, now);
+        self.highest_seq_seen = Some(self.highest_seq_seen.map_or(seq, |h| h.max(seq)));
+        let data = DataMsg {
+            seq,
+            payload_bytes,
+            guard: self.cycle.outgoing_guard(self.me),
+            sender_uptime_secs: self.uptime_secs(now),
+            sender_load: self.links.degree().min(u16::MAX as usize) as u16,
+        };
+        self.buffer.insert(data.clone());
+        let mut actions = vec![BrisaAction::Deliver { seq }];
+        for peer in self.links.outbound_active() {
+            actions.push(BrisaAction::Send { to: peer, msg: BrisaMsg::Data(data.clone()) });
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Handles a BRISA message from `from`. `telemetry` provides link
+    /// measurements (RTT from the PSS keep-alives) for the delay-aware
+    /// strategy.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: BrisaMsg,
+        telemetry: &dyn NeighborTelemetry,
+    ) -> Vec<BrisaAction> {
+        match msg {
+            BrisaMsg::Data(data) => self.handle_data(now, from, data, telemetry),
+            BrisaMsg::Deactivate => {
+                self.links.deactivate_outbound(from);
+                Vec::new()
+            }
+            BrisaMsg::Activate => {
+                self.links.reactivate_outbound(from);
+                // Answer with the most recent buffered message so a
+                // recovering orphan can adopt a parent (and then request the
+                // rest of the gap) without waiting for the next injection.
+                let mut actions = Vec::new();
+                if let Some(latest) = self.buffer.highest_seq().and_then(|s| self.buffer.get(s)) {
+                    let guard = self.cycle.outgoing_guard(self.me);
+                    actions.push(BrisaAction::Send {
+                        to: from,
+                        msg: BrisaMsg::Data(DataMsg {
+                            seq: latest.seq,
+                            payload_bytes: latest.payload_bytes,
+                            guard,
+                            sender_uptime_secs: self.uptime_secs(now),
+                            sender_load: self.links.degree().min(u16::MAX as usize) as u16,
+                        }),
+                    });
+                }
+                actions
+            }
+            BrisaMsg::ReactivationOrder => self.handle_reactivation_order(now, from),
+            BrisaMsg::DepthUpdate { depth } => self.handle_depth_update(from, depth),
+            BrisaMsg::Retransmit { from_seq, to_seq } => {
+                self.handle_retransmit(now, from, from_seq, to_seq)
+            }
+        }
+    }
+
+    fn handle_data(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        data: DataMsg,
+        telemetry: &dyn NeighborTelemetry,
+    ) -> Vec<BrisaAction> {
+        let mut actions = Vec::new();
+        // The sender is (re)observed as a parent candidate.
+        self.candidates.observe(
+            from,
+            now,
+            telemetry.rtt(from),
+            data.sender_uptime_secs,
+            data.sender_load,
+        );
+        self.highest_seq_seen =
+            Some(self.highest_seq_seen.map_or(data.seq, |h| h.max(data.seq)));
+        let first = self.stats.record_delivery(data.seq, now);
+        if first {
+            actions.push(BrisaAction::Deliver { seq: data.seq });
+            if self.pending_repair.is_some() {
+                self.stats.messages_recovered += 1;
+            }
+            self.buffer.insert(data.clone());
+        }
+
+        if self.is_source {
+            // The source never needs inbound stream traffic.
+            self.deactivate(now, from, &mut actions);
+            return actions;
+        }
+
+        // Parent machinery.
+        let adoptable = self.can_adopt(from, &data.guard);
+        if self.links.is_parent(from) {
+            // A message from a current parent whose path contains us reveals
+            // a cycle (Section II-D) and forces a re-selection. With depth
+            // labels a parent that moved deeper is not a cycle: the paper's
+            // rule is that the child simply moves one level further down.
+            let cycle_detected = matches!(
+                (&self.cycle, &data.guard),
+                (CycleState::Path(_), crate::cycle::CycleGuard::Path(p)) if p.contains(&self.me)
+            );
+            if !cycle_detected {
+                self.update_position(&data.guard, &mut actions);
+            } else {
+                self.deactivate(now, from, &mut actions);
+                if self.links.parent_count() == 0 {
+                    self.stats.orphaned.push(now);
+                    self.start_repair(now, &mut actions);
+                }
+            }
+        } else if adoptable && self.links.parent_count() < self.cfg.mode.target_parents() {
+            // A free parent slot: adopt this sender.
+            self.adopt(now, from, &mut actions);
+            self.update_position(&data.guard, &mut actions);
+        } else if !adoptable {
+            // The sender cannot be a parent; stop it from relaying to us.
+            self.deactivate(now, from, &mut actions);
+        } else if data.seq == 0 || self.pending_repair.is_some() {
+            // Duplicate of the bootstrap flood (or a reception while a repair
+            // is in progress): run the parent selection strategy over the
+            // current parents plus this candidate (Figure 3). Strategy-driven
+            // switches are confined to structure-formation time; switching an
+            // established tree on in-flight (possibly stale) path metadata
+            // can stitch a cycle out of two concurrent switches.
+            self.consider_replacement(now, from, &data.guard, &mut actions);
+        } else {
+            // Steady-state duplicate: keep the incumbent parents and silence
+            // the surplus sender.
+            self.deactivate(now, from, &mut actions);
+            if self.cfg.symmetric_deactivation
+                && self.cfg.strategy == ParentStrategy::FirstComeFirstPicked
+                && self.cfg.mode.is_tree()
+            {
+                self.links.deactivate_outbound(from);
+            }
+        }
+
+        // Relay the payload once, to every outbound-active neighbor except
+        // the sender, carrying our own position metadata.
+        if first && !self.cycle.is_unset() {
+            self.relay(now, &data, Some(from), &mut actions);
+        }
+        actions
+    }
+
+    fn handle_reactivation_order(&mut self, now: SimTime, from: NodeId) -> Vec<BrisaAction> {
+        let mut actions = Vec::new();
+        if self.is_source {
+            return actions;
+        }
+        let children = self.links.children();
+        let alternatives: Vec<NodeId> = self
+            .links
+            .neighbors()
+            .filter(|&n| n != from && !children.contains(&n))
+            .collect();
+        if !alternatives.is_empty() {
+            // We can replace the ordering parent locally: re-activate the
+            // inbound links of the alternatives and let the normal selection
+            // adopt whichever relays next. The previous parent may become a
+            // child (role exchange, Section II-F).
+            if self.links.is_parent(from) {
+                self.links.drop_parent(from);
+            }
+            if self.links.parent_count() == 0 {
+                self.pending_repair.get_or_insert((now, RepairKind::Soft));
+            }
+            for n in alternatives {
+                self.links.reactivate_inbound(n);
+                self.stats.activations_sent += 1;
+                actions.push(BrisaAction::Send { to: n, msg: BrisaMsg::Activate });
+            }
+        } else {
+            // Cascade: behave exactly like the orphan that sent the order.
+            // The re-activation order is forwarded only to the children we
+            // had *before* dropping the ordering parent, so two nodes never
+            // bounce orders back and forth.
+            if self.links.is_parent(from) {
+                self.links.drop_parent(from);
+            }
+            if self.links.parent_count() == 0 {
+                self.pending_repair.get_or_insert((now, RepairKind::Hard));
+                self.last_repair_attempt = Some(now);
+            }
+            self.cycle.reset();
+            self.links.reactivate_all_inbound();
+            for n in self.links.neighbors().collect::<Vec<_>>() {
+                self.stats.activations_sent += 1;
+                actions.push(BrisaAction::Send { to: n, msg: BrisaMsg::Activate });
+            }
+            for c in children {
+                self.stats.reactivation_orders_sent += 1;
+                actions.push(BrisaAction::Send { to: c, msg: BrisaMsg::ReactivationOrder });
+            }
+        }
+        actions
+    }
+
+    fn handle_depth_update(&mut self, from: NodeId, depth: u32) -> Vec<BrisaAction> {
+        let mut actions = Vec::new();
+        if self.cfg.mode.is_tree() || !self.links.is_parent(from) {
+            return actions;
+        }
+        let changed = self
+            .cycle
+            .position_after(self.me, &crate::cycle::CycleGuard::Depth(depth));
+        if changed {
+            self.push_depth_update(&mut actions);
+        }
+        actions
+    }
+
+    fn handle_retransmit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        from_seq: u64,
+        to_seq: u64,
+    ) -> Vec<BrisaAction> {
+        let mut actions = Vec::new();
+        let missing = self.buffer.range(from_seq, to_seq);
+        let guard = self.cycle.outgoing_guard(self.me);
+        let uptime = self.uptime_secs(now);
+        let load = self.links.degree().min(u16::MAX as usize) as u16;
+        for m in missing {
+            self.stats.retransmissions_served += 1;
+            actions.push(BrisaAction::Send {
+                to: from,
+                msg: BrisaMsg::Data(DataMsg {
+                    seq: m.seq,
+                    payload_bytes: m.payload_bytes,
+                    guard: guard.clone(),
+                    sender_uptime_secs: uptime,
+                    sender_load: load,
+                }),
+            });
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    /// Whether `from` may be adopted as a new parent right now.
+    ///
+    /// Tree mode: exactly the path-embedding check. DAG mode: the sender's
+    /// depth must be strictly smaller, or equal with a deterministic
+    /// identifier tie-break. The tie-break prevents two equal-depth nodes
+    /// from adopting each other based on in-flight (stale) depth labels,
+    /// which would create a two-node cycle the approximate scheme could not
+    /// detect.
+    fn can_adopt(&self, from: NodeId, guard: &CycleGuard) -> bool {
+        match (&self.cycle, guard) {
+            (CycleState::Depth(my_depth), CycleGuard::Depth(sender_depth)) => match my_depth {
+                None => true,
+                Some(d) => {
+                    // Equal-depth senders are adoptable with a deterministic
+                    // identifier tie-break, or unconditionally when the node
+                    // is orphaned: adopting then moves this node one level
+                    // deeper, so the new parent cannot simultaneously adopt
+                    // it back.
+                    sender_depth < d
+                        || (sender_depth == d
+                            && (from.0 < self.me.0 || self.links.parent_count() == 0))
+                }
+            },
+            _ => self.cycle.permits(self.me, guard),
+        }
+    }
+
+    fn uptime_secs(&self, now: SimTime) -> u32 {
+        self.started_at
+            .map(|s| now.saturating_since(s).as_secs_f64() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Updates our own position after delivering from (or switching to) an
+    /// accepted parent and propagates depth changes to children in DAG mode.
+    fn update_position(&mut self, guard: &CycleGuard, actions: &mut Vec<BrisaAction>) {
+        let changed = self.cycle.position_after(self.me, guard);
+        if changed && !self.cfg.mode.is_tree() {
+            self.push_depth_update(actions);
+        }
+    }
+
+    fn push_depth_update(&mut self, actions: &mut Vec<BrisaAction>) {
+        if let Some(depth) = self.cycle.position() {
+            for c in self.links.children() {
+                actions.push(BrisaAction::Send {
+                    to: c,
+                    msg: BrisaMsg::DepthUpdate { depth: depth as u32 },
+                });
+            }
+        }
+    }
+
+    /// Adopts `from` as a parent, completing any pending repair and asking
+    /// the new parent for messages missed in the meantime.
+    fn adopt(&mut self, now: SimTime, from: NodeId, actions: &mut Vec<BrisaAction>) {
+        self.links.adopt_parent(from);
+        if let Some((started, kind)) = self.pending_repair.take() {
+            let delay = now.saturating_since(started).as_micros();
+            match kind {
+                RepairKind::Soft => {
+                    self.stats.soft_repairs += 1;
+                    self.stats.soft_repair_delays_us.push(delay);
+                }
+                RepairKind::Hard => {
+                    self.stats.hard_repairs += 1;
+                    self.stats.hard_repair_delays_us.push(delay);
+                }
+            }
+            // Recover anything we missed while orphaned, starting from the
+            // first hole in the delivered sequence (the adoption itself may
+            // already have been triggered by a newer message).
+            let highest = self.stats.first_delivery.keys().copied().max();
+            let first_gap = match highest {
+                None => 0,
+                Some(h) => (0..=h)
+                    .find(|s| !self.stats.first_delivery.contains_key(s))
+                    .unwrap_or(h + 1),
+            };
+            actions.push(BrisaAction::Send {
+                to: from,
+                msg: BrisaMsg::Retransmit { from_seq: first_gap, to_seq: u64::MAX },
+            });
+        }
+        self.check_construction(now);
+    }
+
+    /// Sends a deactivation for the inbound link from `peer` and updates the
+    /// construction-time bookkeeping.
+    fn deactivate(&mut self, now: SimTime, peer: NodeId, actions: &mut Vec<BrisaAction>) {
+        let was_parent = self.links.is_parent(peer);
+        self.links.deactivate_inbound(peer);
+        self.stats.deactivations_sent += 1;
+        if self.stats.first_deactivation.is_none() {
+            self.stats.first_deactivation = Some(now);
+        }
+        actions.push(BrisaAction::Send { to: peer, msg: BrisaMsg::Deactivate });
+        let _ = was_parent;
+        self.check_construction(now);
+    }
+
+    /// Runs the parent selection strategy over the current parents plus the
+    /// duplicate sender `from`, deactivating whichever link loses
+    /// (Figure 3).
+    fn consider_replacement(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        guard: &CycleGuard,
+        actions: &mut Vec<BrisaAction>,
+    ) {
+        let target = self.cfg.mode.target_parents();
+        // Replacing an existing parent is only considered when the candidate
+        // sits strictly closer to the source than we do. Without this guard
+        // two neighbors that mutually prefer each other (low RTT, high
+        // uptime, ...) could re-parent onto one another concurrently — each
+        // decision individually passes the cycle check against the other's
+        // pre-switch metadata — and stitch a cycle that starves both
+        // sub-trees.
+        let sender_depth = match &guard {
+            CycleGuard::Path(p) => p.len().saturating_sub(1),
+            CycleGuard::Depth(d) => *d as usize,
+        };
+        let upward = match self.cycle.position() {
+            None => true,
+            Some(pos) => sender_depth < pos,
+        };
+        let mut pool: Vec<NodeId> = self.links.parents().collect();
+        if !pool.contains(&from) {
+            pool.push(from);
+        }
+        let selected = self.candidates.select(self.cfg.strategy, &pool, target);
+        if upward && selected.contains(&from) {
+            // `from` displaces the worst current parent(s).
+            let losers: Vec<NodeId> = self
+                .links
+                .parents()
+                .filter(|p| !selected.contains(p))
+                .collect();
+            for loser in losers {
+                self.deactivate(now, loser, actions);
+            }
+            self.adopt(now, from, actions);
+            // Our position now follows the new parent; children are updated
+            // through the guards of the messages we relay next (tree mode)
+            // or an explicit depth update (DAG mode).
+            self.update_position(guard, actions);
+        } else {
+            self.deactivate(now, from, actions);
+            // Symmetric deactivation (Section II-E): under first-come
+            // first-picked we know we cannot be `from`'s parent either, so we
+            // stop relaying to it without waiting for its deactivation.
+            if self.cfg.symmetric_deactivation
+                && self.cfg.strategy == ParentStrategy::FirstComeFirstPicked
+                && self.cfg.mode.is_tree()
+            {
+                self.links.deactivate_outbound(from);
+            }
+        }
+    }
+
+    /// Starts the repair procedure after losing every parent: soft repair if
+    /// any non-child neighbor can take over, hard repair (flood fallback plus
+    /// re-activation orders) otherwise.
+    fn start_repair(&mut self, now: SimTime, actions: &mut Vec<BrisaAction>) {
+        let children = self.links.children();
+        let non_children: Vec<NodeId> = self
+            .links
+            .neighbors()
+            .filter(|n| !children.contains(n))
+            .collect();
+        self.last_repair_attempt = Some(now);
+        if !non_children.is_empty() {
+            self.pending_repair = Some((now, RepairKind::Soft));
+            for n in non_children {
+                self.links.reactivate_inbound(n);
+                self.stats.activations_sent += 1;
+                actions.push(BrisaAction::Send { to: n, msg: BrisaMsg::Activate });
+            }
+        } else {
+            self.pending_repair = Some((now, RepairKind::Hard));
+            self.hard_repair_actions(actions);
+        }
+    }
+
+    /// Performs the hard-repair steps of Section II-F: forget the position,
+    /// re-activate every inbound link, and propagate a re-activation order to
+    /// the children so the sub-tree re-bootstraps over flooding.
+    fn hard_repair_actions(&mut self, actions: &mut Vec<BrisaAction>) {
+        self.cycle.reset();
+        self.links.reactivate_all_inbound();
+        for n in self.links.neighbors().collect::<Vec<_>>() {
+            self.stats.activations_sent += 1;
+            actions.push(BrisaAction::Send { to: n, msg: BrisaMsg::Activate });
+        }
+        for c in self.links.children() {
+            self.stats.reactivation_orders_sent += 1;
+            actions.push(BrisaAction::Send { to: c, msg: BrisaMsg::ReactivationOrder });
+        }
+    }
+
+    /// Periodic repair supervision, driven by the embedding stack's timer.
+    ///
+    /// Soft repairs that have not produced a parent within
+    /// [`SOFT_REPAIR_TIMEOUT`] escalate to a hard repair (this covers the
+    /// case where all the re-activated neighbors turn out to be descendants
+    /// of the orphan, so no upstream traffic can ever reach it). Hard repairs
+    /// are re-attempted every [`HARD_REPAIR_RETRY`] while the node remains
+    /// orphaned, e.g. when the overlay itself is still being repaired by the
+    /// PSS.
+    pub fn repair_tick(&mut self, now: SimTime) -> Vec<BrisaAction> {
+        let mut actions = Vec::new();
+        let Some((started, kind)) = self.pending_repair else {
+            return actions;
+        };
+        if self.links.parent_count() > 0 || self.is_source {
+            self.pending_repair = None;
+            return actions;
+        }
+        let since_last = self
+            .last_repair_attempt
+            .map(|t| now.saturating_since(t))
+            .unwrap_or(SimDuration::ZERO);
+        match kind {
+            RepairKind::Soft => {
+                if now.saturating_since(started) >= SOFT_REPAIR_TIMEOUT {
+                    self.pending_repair = Some((started, RepairKind::Hard));
+                    self.last_repair_attempt = Some(now);
+                    self.hard_repair_actions(&mut actions);
+                }
+            }
+            RepairKind::Hard => {
+                if since_last >= HARD_REPAIR_RETRY {
+                    self.last_repair_attempt = Some(now);
+                    self.hard_repair_actions(&mut actions);
+                }
+            }
+        }
+        actions
+    }
+
+    fn relay(
+        &mut self,
+        now: SimTime,
+        data: &DataMsg,
+        exclude: Option<NodeId>,
+        actions: &mut Vec<BrisaAction>,
+    ) {
+        let guard = self.cycle.outgoing_guard(self.me);
+        let uptime = self.uptime_secs(now);
+        let load = self.links.degree().min(u16::MAX as usize) as u16;
+        for peer in self.links.outbound_active() {
+            if Some(peer) == exclude {
+                continue;
+            }
+            actions.push(BrisaAction::Send {
+                to: peer,
+                msg: BrisaMsg::Data(DataMsg {
+                    seq: data.seq,
+                    payload_bytes: data.payload_bytes,
+                    guard: guard.clone(),
+                    sender_uptime_secs: uptime,
+                    sender_load: load,
+                }),
+            });
+        }
+    }
+
+    fn check_construction(&mut self, now: SimTime) {
+        if self.stats.first_deactivation.is_some()
+            && self.stats.construction_done.is_none()
+            && self.links.inbound_active_count() <= self.cfg.mode.target_parents()
+        {
+            self.stats.construction_done = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StructureMode;
+    use crate::cycle::CycleGuard;
+    use crate::parent::NoTelemetry;
+    use brisa_simnet::SimDuration;
+    use std::collections::{HashMap, VecDeque};
+
+    /// Instant-delivery harness driving a set of BrisaCore instances over a
+    /// fixed topology (no membership protocol involved).
+    struct Mesh {
+        nodes: HashMap<NodeId, BrisaCore>,
+        /// (from, to, msg) queue; FIFO order defines arrival order.
+        queue: VecDeque<(NodeId, NodeId, BrisaMsg)>,
+        now: SimTime,
+        /// Per-hop delay applied each time the queue is drained one step.
+        hop_delay: SimDuration,
+    }
+
+    impl Mesh {
+        fn new(cfg: &BrisaConfig, topology: &[(u32, u32)], n: u32) -> Self {
+            let mut nodes: HashMap<NodeId, BrisaCore> = (0..n)
+                .map(|i| (NodeId(i), BrisaCore::new(NodeId(i), cfg.clone())))
+                .collect();
+            for (a, b) in topology {
+                nodes.get_mut(&NodeId(*a)).unwrap().on_neighbor_up(NodeId(*b));
+                nodes.get_mut(&NodeId(*b)).unwrap().on_neighbor_up(NodeId(*a));
+            }
+            for (id, node) in nodes.iter_mut() {
+                node.note_started(SimTime::ZERO);
+                if *id == NodeId(0) {
+                    node.mark_source();
+                }
+            }
+            Mesh {
+                nodes,
+                queue: VecDeque::new(),
+                now: SimTime::ZERO,
+                hop_delay: SimDuration::from_millis(1),
+            }
+        }
+
+        fn publish(&mut self, payload: usize) {
+            self.now += self.hop_delay;
+            let actions = self.nodes.get_mut(&NodeId(0)).unwrap().publish(self.now, payload);
+            self.enqueue(NodeId(0), actions);
+            self.drain();
+        }
+
+        fn enqueue(&mut self, from: NodeId, actions: Vec<BrisaAction>) {
+            for a in actions {
+                if let BrisaAction::Send { to, msg } = a {
+                    self.queue.push_back((from, to, msg));
+                }
+            }
+        }
+
+        fn drain(&mut self) {
+            let mut steps = 0;
+            while let Some((from, to, msg)) = self.queue.pop_front() {
+                steps += 1;
+                assert!(steps < 1_000_000, "mesh did not quiesce");
+                self.now += self.hop_delay;
+                if !self.nodes.contains_key(&to) {
+                    continue; // crashed node
+                }
+                let actions = self
+                    .nodes
+                    .get_mut(&to)
+                    .unwrap()
+                    .handle(self.now, from, msg, &NoTelemetry);
+                self.enqueue(to, actions);
+            }
+        }
+
+        fn crash(&mut self, id: NodeId) {
+            self.nodes.remove(&id);
+            self.now += self.hop_delay;
+            let survivors: Vec<NodeId> = self.nodes.keys().copied().collect();
+            for s in survivors {
+                let node = self.nodes.get_mut(&s).unwrap();
+                if node.links().is_neighbor(id) {
+                    let actions = node.on_neighbor_down(self.now, id);
+                    self.enqueue(s, actions);
+                }
+            }
+            self.drain();
+        }
+
+        fn node(&self, id: u32) -> &BrisaCore {
+            &self.nodes[&NodeId(id)]
+        }
+
+        /// Checks that following parents from every node reaches the source
+        /// without revisiting a node (i.e. the structure is acyclic and
+        /// rooted).
+        fn assert_rooted(&self) {
+            for (id, node) in &self.nodes {
+                if node.is_source() {
+                    continue;
+                }
+                let mut cur = *id;
+                let mut hops = 0;
+                loop {
+                    let parents = self.nodes[&cur].parents();
+                    assert!(
+                        !parents.is_empty(),
+                        "{cur} has no parent while walking up from {id}"
+                    );
+                    cur = parents[0];
+                    hops += 1;
+                    assert!(hops <= self.nodes.len(), "cycle detected walking up from {id}");
+                    if self.nodes[&cur].is_source() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A clique over `n` nodes.
+    fn clique(n: u32) -> Vec<(u32, u32)> {
+        let mut t = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                t.push((i, j));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn tree_emerges_and_eliminates_duplicates() {
+        let cfg = BrisaConfig::default();
+        let mut mesh = Mesh::new(&cfg, &clique(6), 6);
+        mesh.publish(100); // bootstrap flood
+        let bootstrap_dups: u64 = (1..6).map(|i| mesh.node(i).stats().duplicates).sum();
+        assert!(bootstrap_dups > 0, "the flood necessarily causes duplicates");
+        mesh.assert_rooted();
+        for i in 1..6 {
+            assert_eq!(mesh.node(i).parents().len(), 1, "tree keeps exactly one parent");
+        }
+        // Subsequent messages travel the tree: no further duplicates.
+        for _ in 0..10 {
+            mesh.publish(100);
+        }
+        let later_dups: u64 = (1..6).map(|i| mesh.node(i).stats().duplicates).sum();
+        assert_eq!(later_dups, bootstrap_dups, "no duplicates after the tree stabilises");
+        for i in 1..6 {
+            assert_eq!(mesh.node(i).stats().delivered, 11, "every message delivered");
+        }
+    }
+
+    #[test]
+    fn construction_time_is_recorded() {
+        let cfg = BrisaConfig::default();
+        let mut mesh = Mesh::new(&cfg, &clique(5), 5);
+        mesh.publish(10);
+        for i in 1..5 {
+            let st = mesh.node(i).stats();
+            assert!(st.first_deactivation.is_some(), "node {i} sent deactivations");
+            assert!(st.construction_done.is_some(), "node {i} finished construction");
+            assert!(st.construction_time().unwrap() >= SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn dag_mode_collects_multiple_parents() {
+        let cfg = BrisaConfig::dag(2, ParentStrategy::FirstComeFirstPicked);
+        let mut mesh = Mesh::new(&cfg, &clique(8), 8);
+        for _ in 0..3 {
+            mesh.publish(50);
+        }
+        let multi = (1..8)
+            .filter(|&i| mesh.node(i).parents().len() == 2)
+            .count();
+        assert!(multi >= 5, "most nodes should find two parents, got {multi}");
+        for i in 1..8 {
+            let p = mesh.node(i).parents().len();
+            assert!(p >= 1 && p <= 2, "parent count within bounds, got {p}");
+            assert!(mesh.node(i).depth().is_some());
+        }
+        // Once the DAG has stabilised, duplicates per message are bounded by
+        // the extra parent: at most one duplicate per message per node.
+        let before: Vec<u64> = (1..8).map(|i| mesh.node(i).stats().duplicates).collect();
+        let extra_msgs = 10u64;
+        for _ in 0..extra_msgs {
+            mesh.publish(50);
+        }
+        for (idx, i) in (1..8).enumerate() {
+            let added = mesh.node(i).stats().duplicates - before[idx];
+            assert!(
+                added <= extra_msgs,
+                "node {i} saw {added} duplicates over {extra_msgs} stabilised messages"
+            );
+        }
+    }
+
+    #[test]
+    fn source_deactivates_inbound_traffic() {
+        // A source that receives stream data (e.g. from a neighbor whose
+        // parent is elsewhere in the overlay) tells the sender to stop: the
+        // root needs no inbound links.
+        let cfg = BrisaConfig::default();
+        let mut source = BrisaCore::new(NodeId(0), cfg);
+        source.mark_source();
+        source.note_started(SimTime::ZERO);
+        source.on_neighbor_up(NodeId(1));
+        let _ = source.publish(SimTime::from_millis(1), 10);
+        let actions = source.handle(
+            SimTime::from_millis(5),
+            NodeId(1),
+            BrisaMsg::Data(DataMsg {
+                seq: 0,
+                payload_bytes: 10,
+                guard: CycleGuard::Path(vec![NodeId(0), NodeId(1)]),
+                sender_uptime_secs: 0,
+                sender_load: 0,
+            }),
+            &NoTelemetry,
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Deactivate })));
+        assert_eq!(source.links().inbound_active_count(), 0);
+        assert_eq!(source.parents().len(), 0);
+        assert_eq!(source.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn ineligible_sender_is_deactivated_not_adopted() {
+        let cfg = BrisaConfig::default();
+        let mut core = BrisaCore::new(NodeId(5), cfg);
+        core.note_started(SimTime::ZERO);
+        core.on_neighbor_up(NodeId(1));
+        // The sender's path already contains us: adopting it would create a
+        // cycle.
+        let msg = BrisaMsg::Data(DataMsg {
+            seq: 0,
+            payload_bytes: 10,
+            guard: CycleGuard::Path(vec![NodeId(0), NodeId(5), NodeId(1)]),
+            sender_uptime_secs: 0,
+            sender_load: 0,
+        });
+        let actions = core.handle(SimTime::from_millis(1), NodeId(1), msg, &NoTelemetry);
+        assert!(core.parents().is_empty());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Deactivate })));
+        // Still delivered to the application exactly once.
+        assert_eq!(core.stats().delivered, 1);
+    }
+
+    #[test]
+    fn duplicate_triggers_deactivation_and_symmetric_optimisation() {
+        let cfg = BrisaConfig::default();
+        let mut core = BrisaCore::new(NodeId(9), cfg);
+        core.note_started(SimTime::ZERO);
+        core.on_neighbor_up(NodeId(1));
+        core.on_neighbor_up(NodeId(2));
+        let data = |from_path: Vec<NodeId>| {
+            BrisaMsg::Data(DataMsg {
+                seq: 0,
+                payload_bytes: 10,
+                guard: CycleGuard::Path(from_path),
+                sender_uptime_secs: 0,
+                sender_load: 0,
+            })
+        };
+        let a1 = core.handle(SimTime::from_millis(1), NodeId(1), data(vec![NodeId(0), NodeId(1)]), &NoTelemetry);
+        assert_eq!(core.parents(), vec![NodeId(1)]);
+        assert!(a1.iter().any(|a| matches!(a, BrisaAction::Deliver { seq: 0 })));
+        let a2 = core.handle(SimTime::from_millis(2), NodeId(2), data(vec![NodeId(0), NodeId(2)]), &NoTelemetry);
+        // First-come keeps node 1; node 2 is deactivated, and thanks to the
+        // symmetric optimisation we also stop relaying to node 2.
+        assert_eq!(core.parents(), vec![NodeId(1)]);
+        assert!(a2.iter().any(|a| matches!(a, BrisaAction::Send { to: NodeId(2), msg: BrisaMsg::Deactivate })));
+        assert!(!core.links().is_outbound_active(NodeId(2)));
+        assert_eq!(core.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn delay_aware_strategy_switches_to_faster_parent() {
+        struct Rtt;
+        impl NeighborTelemetry for Rtt {
+            fn rtt(&self, peer: NodeId) -> Option<SimDuration> {
+                match peer.0 {
+                    1 => Some(SimDuration::from_millis(80)),
+                    2 => Some(SimDuration::from_millis(5)),
+                    _ => None,
+                }
+            }
+        }
+        let cfg = BrisaConfig::tree(ParentStrategy::DelayAware);
+        let mut core = BrisaCore::new(NodeId(9), cfg);
+        core.note_started(SimTime::ZERO);
+        core.on_neighbor_up(NodeId(1));
+        core.on_neighbor_up(NodeId(2));
+        let data = |path: Vec<NodeId>| {
+            BrisaMsg::Data(DataMsg {
+                seq: 0,
+                payload_bytes: 10,
+                guard: CycleGuard::Path(path),
+                sender_uptime_secs: 0,
+                sender_load: 0,
+            })
+        };
+        core.handle(SimTime::from_millis(1), NodeId(1), data(vec![NodeId(0), NodeId(1)]), &Rtt);
+        assert_eq!(core.parents(), vec![NodeId(1)]);
+        let actions =
+            core.handle(SimTime::from_millis(2), NodeId(2), data(vec![NodeId(0), NodeId(2)]), &Rtt);
+        // The slower first parent is displaced by the faster duplicate sender.
+        assert_eq!(core.parents(), vec![NodeId(2)]);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Deactivate })));
+    }
+
+    #[test]
+    fn parent_failure_with_alternative_neighbor_uses_soft_repair() {
+        let cfg = BrisaConfig::default();
+        let mut mesh = Mesh::new(&cfg, &clique(6), 6);
+        for _ in 0..3 {
+            mesh.publish(10);
+        }
+        mesh.assert_rooted();
+        // Fail the parent of some non-source node that has other neighbors.
+        let victim = mesh.node(3).parents()[0];
+        if victim == NodeId(0) {
+            // Failing the source would stop the stream; pick a different test
+            // subject in that case.
+            return;
+        }
+        mesh.crash(victim);
+        // Keep the stream alive so selection can complete.
+        for _ in 0..3 {
+            mesh.publish(10);
+        }
+        mesh.assert_rooted();
+        let total_soft: u64 = mesh.nodes.values().map(|n| n.stats().soft_repairs).sum();
+        let total_orphans: usize = mesh.nodes.values().map(|n| n.stats().orphaned.len()).sum();
+        assert!(total_orphans > 0, "the crash orphaned someone");
+        assert!(total_soft > 0, "in a clique every orphan repairs softly");
+        // All messages are eventually delivered everywhere despite the crash.
+        for (_, node) in mesh.nodes.iter().filter(|(_, n)| !n.is_source()) {
+            assert_eq!(node.stats().delivered, 6, "no message lost across the repair");
+        }
+    }
+
+    #[test]
+    fn isolated_pair_falls_back_to_hard_repair_path() {
+        // Topology: 0 (source) - 1 - 2 - 3 in a line; node 3's only neighbor
+        // is node 2, and node 2's parent is node 1. When node 1 fails, node 2
+        // has only its child (3) left -> hard repair with a re-activation
+        // order propagated to 3.
+        let cfg = BrisaConfig::default();
+        let mut mesh = Mesh::new(&cfg, &[(0, 1), (1, 2), (2, 3)], 4);
+        for _ in 0..2 {
+            mesh.publish(10);
+        }
+        assert_eq!(mesh.node(2).parents(), vec![NodeId(1)]);
+        assert_eq!(mesh.node(3).parents(), vec![NodeId(2)]);
+        mesh.crash(NodeId(1));
+        let st2 = mesh.node(2).stats();
+        assert_eq!(st2.orphaned.len(), 1);
+        assert!(st2.reactivation_orders_sent >= 1, "hard repair orders the child to re-activate");
+        assert!(mesh.node(2).repair_pending(), "no replacement parent exists in this topology");
+    }
+
+    #[test]
+    fn retransmission_recovers_missed_messages() {
+        let cfg = BrisaConfig::default();
+        // Parent (node 0, source) and child (node 1), plus node 2 connected
+        // to both: 2's parent will be 0 or 1.
+        let mut mesh = Mesh::new(&cfg, &clique(3), 3);
+        for _ in 0..5 {
+            mesh.publish(10);
+        }
+        mesh.assert_rooted();
+        // Detach node 2 from its parent by failing it, but only if the parent
+        // is node 1 (so the source keeps publishing).
+        if mesh.node(2).parents() == vec![NodeId(1)] {
+            mesh.crash(NodeId(1));
+            // Publish more; node 2 repairs onto the source and must recover
+            // anything missed plus receive the new messages.
+            for _ in 0..5 {
+                mesh.publish(10);
+            }
+            assert_eq!(mesh.node(2).stats().delivered, 10);
+            assert!(mesh.node(2).stats().soft_repairs + mesh.node(2).stats().hard_repairs >= 1);
+        }
+    }
+
+    #[test]
+    fn retransmit_request_is_served_from_buffer() {
+        let cfg = BrisaConfig::default();
+        let mut source = BrisaCore::new(NodeId(0), cfg);
+        source.mark_source();
+        source.note_started(SimTime::ZERO);
+        source.on_neighbor_up(NodeId(1));
+        for i in 0..4 {
+            let _ = source.publish(SimTime::from_millis(i), 10);
+        }
+        let served = source.handle(
+            SimTime::from_secs(1),
+            NodeId(1),
+            BrisaMsg::Retransmit { from_seq: 1, to_seq: 2 },
+            &NoTelemetry,
+        );
+        let seqs: Vec<u64> = served
+            .iter()
+            .filter_map(|a| match a {
+                BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Data(d) } => Some(d.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(source.stats().retransmissions_served, 2);
+    }
+
+    #[test]
+    fn gerontocratic_prefers_older_sender() {
+        let cfg = BrisaConfig::tree(ParentStrategy::Gerontocratic);
+        let mut core = BrisaCore::new(NodeId(9), cfg);
+        core.note_started(SimTime::ZERO);
+        core.on_neighbor_up(NodeId(1));
+        core.on_neighbor_up(NodeId(2));
+        let data = |path: Vec<NodeId>, uptime: u32| {
+            BrisaMsg::Data(DataMsg {
+                seq: 0,
+                payload_bytes: 10,
+                guard: CycleGuard::Path(path),
+                sender_uptime_secs: uptime,
+                sender_load: 0,
+            })
+        };
+        core.handle(SimTime::from_millis(1), NodeId(1), data(vec![NodeId(0), NodeId(1)], 10), &NoTelemetry);
+        core.handle(SimTime::from_millis(2), NodeId(2), data(vec![NodeId(0), NodeId(2)], 500), &NoTelemetry);
+        assert_eq!(core.parents(), vec![NodeId(2)], "older sender wins");
+    }
+
+    #[test]
+    fn dag_depth_update_propagates_to_children() {
+        let cfg = BrisaConfig::dag(2, ParentStrategy::FirstComeFirstPicked);
+        let mut core = BrisaCore::new(NodeId(5), cfg);
+        core.note_started(SimTime::ZERO);
+        core.on_neighbor_up(NodeId(1));
+        core.on_neighbor_up(NodeId(7)); // will remain a child
+        let d = BrisaMsg::Data(DataMsg {
+            seq: 0,
+            payload_bytes: 10,
+            guard: CycleGuard::Depth(1),
+            sender_uptime_secs: 0,
+            sender_load: 0,
+        });
+        let _ = core.handle(SimTime::from_millis(1), NodeId(1), d, &NoTelemetry);
+        assert_eq!(core.depth(), Some(2));
+        // The parent moves deeper and tells us.
+        let actions = core.handle(
+            SimTime::from_millis(3),
+            NodeId(1),
+            BrisaMsg::DepthUpdate { depth: 4 },
+            &NoTelemetry,
+        );
+        assert_eq!(core.depth(), Some(5));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            BrisaAction::Send { to: NodeId(7), msg: BrisaMsg::DepthUpdate { depth: 5 } }
+        )));
+    }
+
+    #[test]
+    fn activate_reenables_outbound_relay() {
+        let cfg = BrisaConfig::default();
+        let mut core = BrisaCore::new(NodeId(5), cfg);
+        core.note_started(SimTime::ZERO);
+        core.on_neighbor_up(NodeId(1));
+        core.on_neighbor_up(NodeId(2));
+        let _ = core.handle(SimTime::from_millis(1), NodeId(2), BrisaMsg::Deactivate, &NoTelemetry);
+        assert!(!core.links().is_outbound_active(NodeId(2)));
+        let _ = core.handle(SimTime::from_millis(2), NodeId(2), BrisaMsg::Activate, &NoTelemetry);
+        assert!(core.links().is_outbound_active(NodeId(2)));
+    }
+
+    #[test]
+    fn target_parents_reflected_in_mode() {
+        let t = BrisaCore::new(NodeId(0), BrisaConfig::default());
+        assert_eq!(t.config().mode, StructureMode::Tree);
+        let d = BrisaCore::new(NodeId(0), BrisaConfig::dag(3, ParentStrategy::DelayAware));
+        assert_eq!(d.config().mode.target_parents(), 3);
+    }
+}

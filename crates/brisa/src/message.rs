@@ -1,0 +1,172 @@
+//! BRISA wire messages.
+
+use crate::cycle::CycleGuard;
+use brisa_simnet::{NodeId, WireSize};
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-message overhead (type tag, stream id, framing) charged for
+/// every BRISA message.
+pub const BRISA_HEADER_BYTES: usize = 16;
+
+/// A stream data message as relayed between nodes.
+///
+/// The payload itself is an opaque bit string in the paper's evaluation, so
+/// only its size is carried here; the simulator charges
+/// `BRISA_HEADER_BYTES + metadata + payload_bytes` per transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataMsg {
+    /// Sequence number of the message within the stream (0-based).
+    pub seq: u64,
+    /// Application payload size in bytes.
+    pub payload_bytes: usize,
+    /// Cycle-prevention metadata: the sender's path from the source (tree
+    /// mode) or the sender's depth (DAG mode).
+    pub guard: CycleGuard,
+    /// Uptime of the sender in simulated seconds, used by the gerontocratic
+    /// parent selection strategy.
+    pub sender_uptime_secs: u32,
+    /// Number of children the sender currently serves, used by the
+    /// load-balancing parent selection strategy.
+    pub sender_load: u16,
+}
+
+/// Messages exchanged by the BRISA dissemination layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BrisaMsg {
+    /// A stream message (possibly the bootstrap flood of the first one).
+    Data(DataMsg),
+    /// "Stop relaying stream data to me": the receiver marks its outgoing
+    /// link towards the sender as inactive.
+    Deactivate,
+    /// "Resume relaying stream data to me": the receiver marks its outgoing
+    /// link towards the sender as active again (used by the repair
+    /// mechanisms).
+    Activate,
+    /// Hard-repair propagation: the sender (a parent that became an orphan
+    /// and re-bootstrapped) asks the receiver (one of its children) to
+    /// re-activate its own inbound links, and to propagate further down if
+    /// it cannot find a replacement parent in its active view.
+    ReactivationOrder,
+    /// The sender's depth changed (DAG mode); children update their own
+    /// depth accordingly.
+    DepthUpdate {
+        /// The sender's new depth.
+        depth: u32,
+    },
+    /// Request retransmission of buffered messages with sequence numbers in
+    /// `[from_seq, to_seq]` (inclusive), sent to a newly adopted parent
+    /// after a repair.
+    Retransmit {
+        /// First missing sequence number.
+        from_seq: u64,
+        /// Last sequence number known to exist.
+        to_seq: u64,
+    },
+}
+
+impl WireSize for BrisaMsg {
+    fn wire_size(&self) -> usize {
+        let body = match self {
+            BrisaMsg::Data(d) => 8 + 4 + 4 + 2 + d.guard.wire_size() + d.payload_bytes,
+            BrisaMsg::Deactivate | BrisaMsg::Activate | BrisaMsg::ReactivationOrder => 0,
+            BrisaMsg::DepthUpdate { .. } => 4,
+            BrisaMsg::Retransmit { .. } => 16,
+        };
+        BRISA_HEADER_BYTES + body
+    }
+}
+
+impl BrisaMsg {
+    /// Convenience accessor for the data payload.
+    pub fn as_data(&self) -> Option<&DataMsg> {
+        match self {
+            BrisaMsg::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// An action produced by the BRISA state machine, to be executed by the
+/// embedding stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrisaAction {
+    /// Send `msg` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Message.
+        msg: BrisaMsg,
+    },
+    /// The stream message with this sequence number was delivered to the
+    /// application for the first time.
+    Deliver {
+        /// Sequence number delivered.
+        seq: u64,
+    },
+}
+
+/// Convenience filter: the destinations and messages of all `Send` actions.
+pub fn sends(actions: &[BrisaAction]) -> Vec<(NodeId, &BrisaMsg)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            BrisaAction::Send { to, msg } => Some((*to, msg)),
+            BrisaAction::Deliver { .. } => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(seq: u64, payload: usize, guard: CycleGuard) -> DataMsg {
+        DataMsg {
+            seq,
+            payload_bytes: payload,
+            guard,
+            sender_uptime_secs: 0,
+            sender_load: 0,
+        }
+    }
+
+    #[test]
+    fn data_wire_size_includes_payload_and_guard() {
+        let small = BrisaMsg::Data(data(0, 1024, CycleGuard::Depth(3)));
+        let big = BrisaMsg::Data(data(0, 10 * 1024, CycleGuard::Depth(3)));
+        assert_eq!(big.wire_size() - small.wire_size(), 9 * 1024);
+        let path_guard = BrisaMsg::Data(data(
+            0,
+            1024,
+            CycleGuard::Path(vec![NodeId(0), NodeId(1), NodeId(2)]),
+        ));
+        assert_eq!(path_guard.wire_size() - small.wire_size(), 3 * NodeId::WIRE_SIZE - 4);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert!(BrisaMsg::Deactivate.wire_size() <= 2 * BRISA_HEADER_BYTES);
+        assert!(BrisaMsg::Activate.wire_size() <= 2 * BRISA_HEADER_BYTES);
+        assert!(BrisaMsg::ReactivationOrder.wire_size() <= 2 * BRISA_HEADER_BYTES);
+        assert_eq!(
+            BrisaMsg::Retransmit { from_seq: 1, to_seq: 5 }.wire_size(),
+            BRISA_HEADER_BYTES + 16
+        );
+    }
+
+    #[test]
+    fn as_data_and_sends_helpers() {
+        let d = BrisaMsg::Data(data(7, 10, CycleGuard::Depth(0)));
+        assert_eq!(d.as_data().unwrap().seq, 7);
+        assert!(BrisaMsg::Activate.as_data().is_none());
+        let actions = vec![
+            BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Deactivate },
+            BrisaAction::Deliver { seq: 3 },
+            BrisaAction::Send { to: NodeId(2), msg: BrisaMsg::Activate },
+        ];
+        let s = sends(&actions);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, NodeId(1));
+        assert_eq!(s[1].0, NodeId(2));
+    }
+}

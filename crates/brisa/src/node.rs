@@ -1,0 +1,323 @@
+//! The full BRISA protocol stack, runnable on the simulator.
+//!
+//! [`BrisaNode`] composes the HyParView membership state machine with the
+//! BRISA dissemination core into a single [`Protocol`] implementation:
+//! HyParView neighbor events feed the BRISA link table, BRISA uses the
+//! keep-alive RTT measurements for its delay-aware strategy, and both
+//! protocols share the node's monitored connections for failure detection.
+
+use crate::config::BrisaConfig;
+use crate::core::BrisaCore;
+use crate::message::{BrisaAction, BrisaMsg};
+use brisa_membership::{HpvMsg, HpvOut, HyParView, HyParViewConfig};
+use brisa_simnet::{Context, NodeId, Protocol, SimDuration, TimerTag, WireSize};
+use rand::Rng;
+
+/// Timer family used for the periodic HyParView passive-view shuffle.
+pub const TIMER_SHUFFLE: u16 = 1;
+/// Timer family used for the periodic keep-alive probes.
+pub const TIMER_KEEPALIVE: u16 = 2;
+/// Timer family used for repair supervision (soft-repair timeout escalation
+/// and hard-repair retries).
+pub const TIMER_REPAIR: u16 = 3;
+
+/// Period of the repair-supervision timer.
+const REPAIR_TICK_PERIOD: SimDuration = SimDuration::from_millis(500);
+
+/// Wire messages of the combined HyParView + BRISA stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StackMsg {
+    /// Membership traffic.
+    Hpv(HpvMsg),
+    /// Dissemination traffic.
+    Brisa(BrisaMsg),
+}
+
+impl WireSize for StackMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            StackMsg::Hpv(m) => m.wire_size(),
+            StackMsg::Brisa(m) => m.wire_size(),
+        }
+    }
+}
+
+/// One simulated node running HyParView + BRISA.
+pub struct BrisaNode {
+    hpv: HyParView,
+    core: BrisaCore,
+    contact: Option<NodeId>,
+}
+
+impl BrisaNode {
+    /// Creates a node. `contact` is the existing node used to join the
+    /// overlay (`None` for the very first node).
+    pub fn new(
+        id: NodeId,
+        hpv_cfg: HyParViewConfig,
+        brisa_cfg: BrisaConfig,
+        contact: Option<NodeId>,
+    ) -> Self {
+        BrisaNode {
+            hpv: HyParView::new(id, hpv_cfg),
+            core: BrisaCore::new(id, brisa_cfg),
+            contact,
+        }
+    }
+
+    /// Marks this node as the stream source.
+    pub fn mark_source(&mut self) {
+        self.core.mark_source();
+    }
+
+    /// Read access to the membership layer.
+    pub fn hyparview(&self) -> &HyParView {
+        &self.hpv
+    }
+
+    /// Read access to the dissemination layer (parents, children, stats).
+    pub fn brisa(&self) -> &BrisaCore {
+        &self.core
+    }
+
+    /// Publishes the next stream message with `payload_bytes` of payload
+    /// (source only). Call through [`brisa_simnet::Network::invoke`] so the
+    /// resulting sends are routed through the simulator.
+    pub fn publish(&mut self, ctx: &mut Context<'_, StackMsg>, payload_bytes: usize) {
+        let actions = self.core.publish(ctx.now(), payload_bytes);
+        self.apply_brisa_actions(ctx, actions);
+    }
+
+    fn apply_hpv_outs(&mut self, ctx: &mut Context<'_, StackMsg>, outs: Vec<HpvOut>) {
+        let now = ctx.now();
+        for out in outs {
+            match out {
+                HpvOut::Send { to, msg } => ctx.send(to, StackMsg::Hpv(msg)),
+                HpvOut::OpenConnection(peer) => ctx.open_connection(peer),
+                HpvOut::CloseConnection(peer) => ctx.close_connection(peer),
+                HpvOut::NeighborUp(peer) => self.core.on_neighbor_up(peer),
+                HpvOut::NeighborDown(peer) => {
+                    let actions = self.core.on_neighbor_down(now, peer);
+                    self.apply_brisa_actions(ctx, actions);
+                }
+            }
+        }
+    }
+
+    fn apply_brisa_actions(&mut self, ctx: &mut Context<'_, StackMsg>, actions: Vec<BrisaAction>) {
+        for action in actions {
+            match action {
+                BrisaAction::Send { to, msg } => ctx.send(to, StackMsg::Brisa(msg)),
+                BrisaAction::Deliver { .. } => {
+                    // Delivery bookkeeping lives in the core's statistics;
+                    // nothing to do at the stack level.
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for BrisaNode {
+    type Message = StackMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, StackMsg>) {
+        self.core.note_started(ctx.now());
+        if let Some(contact) = self.contact {
+            let outs = self.hpv.join(ctx.now(), contact);
+            self.apply_hpv_outs(ctx, outs);
+        }
+        // Periodic maintenance timers, de-synchronised across nodes.
+        let shuffle_period = self.hpv.config().shuffle_period;
+        let keepalive_period = self.hpv.config().keepalive_period;
+        let shuffle_offset = SimDuration::from_micros(
+            ctx.rng().gen_range(0..shuffle_period.as_micros().max(1)),
+        );
+        let keepalive_offset = SimDuration::from_micros(
+            ctx.rng().gen_range(0..keepalive_period.as_micros().max(1)),
+        );
+        ctx.set_timer(shuffle_offset, TimerTag::of_kind(TIMER_SHUFFLE));
+        ctx.set_timer(keepalive_offset, TimerTag::of_kind(TIMER_KEEPALIVE));
+        ctx.set_timer(REPAIR_TICK_PERIOD, TimerTag::of_kind(TIMER_REPAIR));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, StackMsg>, from: NodeId, msg: StackMsg) {
+        match msg {
+            StackMsg::Hpv(m) => {
+                let now = ctx.now();
+                let outs = self.hpv.handle(now, from, m, ctx.rng());
+                self.apply_hpv_outs(ctx, outs);
+            }
+            StackMsg::Brisa(m) => {
+                let actions = self.core.handle(ctx.now(), from, m, &&self.hpv);
+                self.apply_brisa_actions(ctx, actions);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, StackMsg>, tag: TimerTag) {
+        match tag.kind {
+            TIMER_SHUFFLE => {
+                let outs = self.hpv.shuffle_tick(ctx.rng());
+                self.apply_hpv_outs(ctx, outs);
+                let period = self.hpv.config().shuffle_period;
+                ctx.set_timer(period, TimerTag::of_kind(TIMER_SHUFFLE));
+            }
+            TIMER_KEEPALIVE => {
+                let outs = self.hpv.keepalive_tick(ctx.now());
+                self.apply_hpv_outs(ctx, outs);
+                let period = self.hpv.config().keepalive_period;
+                ctx.set_timer(period, TimerTag::of_kind(TIMER_KEEPALIVE));
+            }
+            TIMER_REPAIR => {
+                let actions = self.core.repair_tick(ctx.now());
+                self.apply_brisa_actions(ctx, actions);
+                ctx.set_timer(REPAIR_TICK_PERIOD, TimerTag::of_kind(TIMER_REPAIR));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_link_down(&mut self, ctx: &mut Context<'_, StackMsg>, peer: NodeId) {
+        let now = ctx.now();
+        let outs = self.hpv.link_down(now, peer, ctx.rng());
+        self.apply_hpv_outs(ctx, outs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ParentStrategy, StructureMode};
+    use brisa_simnet::latency::ClusterLatency;
+    use brisa_simnet::{Network, NetworkConfig, SimTime};
+
+    /// Builds a network of `n` BrisaNodes, bootstraps the overlay (node 0 is
+    /// the contact and the source), and lets it stabilise.
+    fn build(n: u32, hpv_cfg: HyParViewConfig, brisa_cfg: BrisaConfig) -> (Network<BrisaNode>, Vec<NodeId>) {
+        let mut net: Network<BrisaNode> = Network::new(
+            NetworkConfig { seed: 42, ..Default::default() },
+            Box::new(ClusterLatency::default()),
+        );
+        let mut ids = Vec::new();
+        let first = net.add_node(|id| {
+            let mut node = BrisaNode::new(id, hpv_cfg.clone(), brisa_cfg.clone(), None);
+            node.mark_source();
+            node
+        });
+        ids.push(first);
+        for i in 1..n {
+            // Stagger joins slightly, as a deployment script would.
+            let at = SimTime::from_millis(10 * i as u64);
+            let id = net.add_node_at(at, {
+                let hpv_cfg = hpv_cfg.clone();
+                let brisa_cfg = brisa_cfg.clone();
+                move |id| BrisaNode::new(id, hpv_cfg, brisa_cfg, Some(first))
+            });
+            ids.push(id);
+        }
+        net.run_until(SimTime::from_secs(30));
+        (net, ids)
+    }
+
+    #[test]
+    fn full_stack_disseminates_to_every_node() {
+        let (mut net, ids) = build(32, HyParViewConfig::with_active_size(4), BrisaConfig::default());
+        let source = ids[0];
+        for i in 0..5 {
+            let t = net.now() + brisa_simnet::SimDuration::from_millis(200 * (i + 1));
+            net.run_until(t);
+            net.invoke(source, |node, ctx| node.publish(ctx, 1024));
+        }
+        net.run_for(brisa_simnet::SimDuration::from_secs(10));
+        for &id in &ids {
+            let delivered = net.node(id).unwrap().brisa().stats().delivered;
+            assert_eq!(delivered, 5, "node {id} must deliver every stream message");
+        }
+        // After stabilisation every non-source node has exactly one parent.
+        for &id in ids.iter().skip(1) {
+            assert_eq!(net.node(id).unwrap().brisa().parents().len(), 1);
+        }
+    }
+
+    #[test]
+    fn dag_stack_keeps_two_parents_where_possible() {
+        let (mut net, ids) = build(
+            32,
+            HyParViewConfig::with_active_size(8),
+            BrisaConfig::dag(2, ParentStrategy::FirstComeFirstPicked),
+        );
+        let source = ids[0];
+        for i in 0..5 {
+            let t = net.now() + brisa_simnet::SimDuration::from_millis(200 * (i + 1));
+            net.run_until(t);
+            net.invoke(source, |node, ctx| node.publish(ctx, 512));
+        }
+        net.run_for(brisa_simnet::SimDuration::from_secs(10));
+        let with_two = ids
+            .iter()
+            .skip(1)
+            .filter(|&&id| net.node(id).unwrap().brisa().parents().len() == 2)
+            .count();
+        assert!(
+            with_two > ids.len() / 2,
+            "most nodes should obtain the desired number of parents, got {with_two}"
+        );
+        assert_eq!(
+            net.node(ids[0]).unwrap().brisa().config().mode,
+            StructureMode::Dag { parents: 2 }
+        );
+    }
+
+    #[test]
+    fn crash_of_a_parent_is_repaired_and_stream_continues() {
+        let (mut net, ids) = build(24, HyParViewConfig::with_active_size(4), BrisaConfig::default());
+        let source = ids[0];
+        for i in 0..3 {
+            let t = net.now() + brisa_simnet::SimDuration::from_millis(200 * (i + 1));
+            net.run_until(t);
+            net.invoke(source, |node, ctx| node.publish(ctx, 256));
+        }
+        net.run_for(brisa_simnet::SimDuration::from_secs(5));
+        // Crash a node that is someone's parent (and not the source).
+        let victim = ids
+            .iter()
+            .skip(1)
+            .copied()
+            .find(|&id| !net.node(id).unwrap().brisa().children().is_empty())
+            .expect("some non-source node has children");
+        net.crash(victim);
+        net.run_for(brisa_simnet::SimDuration::from_secs(5));
+        // Keep streaming.
+        for i in 0..3 {
+            let t = net.now() + brisa_simnet::SimDuration::from_millis(200 * (i + 1));
+            net.run_until(t);
+            net.invoke(source, |node, ctx| node.publish(ctx, 256));
+        }
+        net.run_for(brisa_simnet::SimDuration::from_secs(10));
+        for &id in ids.iter().filter(|&&id| id != victim) {
+            let stats = net.node(id).unwrap().brisa().stats();
+            assert_eq!(stats.delivered, 6, "node {id} missed messages after the crash");
+        }
+        let repairs: u64 = ids
+            .iter()
+            .filter(|&&id| id != victim)
+            .map(|&id| {
+                let s = net.node(id).unwrap().brisa().stats();
+                s.soft_repairs + s.hard_repairs
+            })
+            .sum();
+        assert!(repairs >= 1, "at least one orphan repaired its connectivity");
+    }
+
+    #[test]
+    fn stack_wire_sizes_delegate() {
+        assert_eq!(
+            StackMsg::Hpv(HpvMsg::Join).wire_size(),
+            HpvMsg::Join.wire_size()
+        );
+        assert_eq!(
+            StackMsg::Brisa(BrisaMsg::Deactivate).wire_size(),
+            BrisaMsg::Deactivate.wire_size()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-node protocol statistics.
+//!
+//! Every metric the paper's evaluation reports is derived from these
+//! counters: duplicate receptions (Figure 2), structure shape (Figures 6–8,
+//! read from the link state), delivery times (Figure 9, Table II), repair
+//! behaviour under churn (Table I, Figure 14) and construction time
+//! (Figure 13).
+
+use brisa_simnet::SimTime;
+use std::collections::HashMap;
+
+/// Counters and timelines recorded by one BRISA node.
+#[derive(Debug, Clone, Default)]
+pub struct BrisaStats {
+    /// Number of stream messages delivered to the application (first
+    /// receptions).
+    pub delivered: u64,
+    /// Number of duplicate receptions (any reception after the first of the
+    /// same sequence number).
+    pub duplicates: u64,
+    /// Per-sequence-number time of first reception.
+    pub first_delivery: HashMap<u64, SimTime>,
+    /// Times at which this node lost a parent (failure of a node it was
+    /// receiving the stream from).
+    pub parents_lost: Vec<SimTime>,
+    /// Times at which this node lost *all* parents (became an orphan).
+    pub orphaned: Vec<SimTime>,
+    /// Completed soft repairs (a replacement parent was available in the
+    /// active view).
+    pub soft_repairs: u64,
+    /// Completed hard repairs (flood fallback with re-activation orders).
+    pub hard_repairs: u64,
+    /// Durations (in microseconds) between orphaning and the adoption of a
+    /// new parent, for hard repairs.
+    pub hard_repair_delays_us: Vec<u64>,
+    /// Durations (in microseconds) between orphaning and the adoption of a
+    /// new parent, for soft repairs.
+    pub soft_repair_delays_us: Vec<u64>,
+    /// Time the first deactivation message was sent (start of structure
+    /// construction as defined for Figure 13).
+    pub first_deactivation: Option<SimTime>,
+    /// Time at which the number of active inbound links first reached the
+    /// target parent count (end of structure construction).
+    pub construction_done: Option<SimTime>,
+    /// Number of retransmissions served to recovering children.
+    pub retransmissions_served: u64,
+    /// Number of messages recovered from a new parent after a repair.
+    pub messages_recovered: u64,
+    /// Number of deactivation messages sent.
+    pub deactivations_sent: u64,
+    /// Number of reactivation (Activate) messages sent.
+    pub activations_sent: u64,
+    /// Number of re-activation orders propagated to children.
+    pub reactivation_orders_sent: u64,
+}
+
+impl BrisaStats {
+    /// Records the first delivery of `seq` at `now`; returns `true` if this
+    /// was indeed the first reception.
+    pub fn record_delivery(&mut self, seq: u64, now: SimTime) -> bool {
+        if self.first_delivery.contains_key(&seq) {
+            self.duplicates += 1;
+            false
+        } else {
+            self.first_delivery.insert(seq, now);
+            self.delivered += 1;
+            true
+        }
+    }
+
+    /// Average number of duplicates received per delivered message.
+    pub fn duplicates_per_message(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / self.delivered as f64
+        }
+    }
+
+    /// Construction time as defined for Figure 13: from the first
+    /// deactivation sent to the moment the inbound links stabilised on the
+    /// target parent count.
+    pub fn construction_time(&self) -> Option<brisa_simnet::SimDuration> {
+        match (self.first_deactivation, self.construction_done) {
+            (Some(start), Some(end)) if end >= start => Some(end - start),
+            _ => None,
+        }
+    }
+
+    /// Time of the first and last delivery, if any messages were delivered.
+    /// The span between them is the per-node dissemination latency used in
+    /// Table II.
+    pub fn delivery_span(&self) -> Option<(SimTime, SimTime)> {
+        let min = self.first_delivery.values().min()?;
+        let max = self.first_delivery.values().max()?;
+        Some((*min, *max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisa_simnet::SimDuration;
+
+    #[test]
+    fn deliveries_and_duplicates() {
+        let mut s = BrisaStats::default();
+        assert!(s.record_delivery(0, SimTime::from_millis(5)));
+        assert!(!s.record_delivery(0, SimTime::from_millis(9)));
+        assert!(s.record_delivery(1, SimTime::from_millis(12)));
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.duplicates, 1);
+        assert!((s.duplicates_per_message() - 0.5).abs() < 1e-9);
+        let (first, last) = s.delivery_span().unwrap();
+        assert_eq!(first, SimTime::from_millis(5));
+        assert_eq!(last, SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn empty_stats_edge_cases() {
+        let s = BrisaStats::default();
+        assert_eq!(s.duplicates_per_message(), 0.0);
+        assert!(s.delivery_span().is_none());
+        assert!(s.construction_time().is_none());
+    }
+
+    #[test]
+    fn construction_time_requires_both_endpoints() {
+        let mut s = BrisaStats::default();
+        s.first_deactivation = Some(SimTime::from_millis(100));
+        assert!(s.construction_time().is_none());
+        s.construction_done = Some(SimTime::from_millis(180));
+        assert_eq!(s.construction_time(), Some(SimDuration::from_millis(80)));
+    }
+}

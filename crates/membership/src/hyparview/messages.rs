@@ -1,0 +1,127 @@
+//! HyParView wire messages.
+
+use brisa_simnet::{NodeId, WireSize};
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-message overhead (type tag + framing) charged for every
+/// HyParView control message.
+pub const HPV_HEADER_BYTES: usize = 8;
+
+/// Messages exchanged by the HyParView membership protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HpvMsg {
+    /// A new node announces itself to its contact node.
+    Join,
+    /// The contact node propagates the join through the overlay as a random
+    /// walk of length `ttl`.
+    ForwardJoin {
+        /// The joining node.
+        new_node: NodeId,
+        /// Remaining hops of the random walk.
+        ttl: u8,
+    },
+    /// Request to establish a (bidirectional) neighbor link.
+    Neighbor {
+        /// High-priority requests (sent by nodes whose active view is empty)
+        /// must be accepted.
+        high_priority: bool,
+    },
+    /// Answer to a [`HpvMsg::Neighbor`] request.
+    NeighborReply {
+        /// Whether the requester was added to the replier's active view.
+        accepted: bool,
+    },
+    /// The sender removed the receiver from its active view.
+    Disconnect,
+    /// Passive-view shuffle random walk.
+    Shuffle {
+        /// Node that initiated the shuffle (replies go directly to it).
+        origin: NodeId,
+        /// Sample of the origin's views (plus the origin itself).
+        nodes: Vec<NodeId>,
+        /// Remaining hops of the random walk.
+        ttl: u8,
+    },
+    /// Direct answer to a shuffle, carrying a sample of the replier's
+    /// passive view.
+    ShuffleReply {
+        /// The sample.
+        nodes: Vec<NodeId>,
+    },
+    /// Keep-alive probe; also used to measure round-trip times, which BRISA's
+    /// delay-aware parent selection consumes.
+    KeepAlive {
+        /// Correlates the probe with its acknowledgement.
+        nonce: u64,
+    },
+    /// Keep-alive acknowledgement.
+    KeepAliveAck {
+        /// Echoed nonce.
+        nonce: u64,
+    },
+}
+
+impl WireSize for HpvMsg {
+    fn wire_size(&self) -> usize {
+        let body = match self {
+            HpvMsg::Join => 0,
+            HpvMsg::ForwardJoin { .. } => NodeId::WIRE_SIZE + 1,
+            HpvMsg::Neighbor { .. } => 1,
+            HpvMsg::NeighborReply { .. } => 1,
+            HpvMsg::Disconnect => 0,
+            HpvMsg::Shuffle { nodes, .. } => NodeId::WIRE_SIZE + nodes.len() * NodeId::WIRE_SIZE + 1,
+            HpvMsg::ShuffleReply { nodes } => nodes.len() * NodeId::WIRE_SIZE,
+            HpvMsg::KeepAlive { .. } | HpvMsg::KeepAliveAck { .. } => 8,
+        };
+        HPV_HEADER_BYTES + body
+    }
+}
+
+/// Effects produced by the HyParView state machine.
+///
+/// The state machine is sans-IO: handling an input returns a list of these
+/// effects, which the embedding protocol stack translates into simulator
+/// commands (or, in a real deployment, into socket operations).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HpvOut {
+    /// Send `msg` to `to`.
+    Send {
+        /// Destination.
+        to: NodeId,
+        /// Message to send.
+        msg: HpvMsg,
+    },
+    /// Open a monitored connection to `peer` (failure detection).
+    OpenConnection(NodeId),
+    /// Close the monitored connection to `peer`.
+    CloseConnection(NodeId),
+    /// `peer` entered the active view.
+    NeighborUp(NodeId),
+    /// `peer` left the active view.
+    NeighborDown(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        assert_eq!(HpvMsg::Join.wire_size(), HPV_HEADER_BYTES);
+        assert_eq!(
+            HpvMsg::ForwardJoin { new_node: NodeId(1), ttl: 3 }.wire_size(),
+            HPV_HEADER_BYTES + 7
+        );
+        let small = HpvMsg::Shuffle { origin: NodeId(0), nodes: vec![NodeId(1)], ttl: 2 };
+        let big = HpvMsg::Shuffle {
+            origin: NodeId(0),
+            nodes: vec![NodeId(1), NodeId(2), NodeId(3)],
+            ttl: 2,
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(
+            HpvMsg::KeepAlive { nonce: 1 }.wire_size(),
+            HpvMsg::KeepAliveAck { nonce: 1 }.wire_size()
+        );
+    }
+}

@@ -1,0 +1,825 @@
+//! HyParView: a reactive peer sampling service.
+//!
+//! HyParView (Leitão, Pereira, Rodrigues, DSN 2007) maintains two views at
+//! each node: a small *active view* of neighbors, connected through
+//! monitored (TCP) connections and kept symmetric, and a larger *passive
+//! view* refreshed by periodic shuffles and used as a reservoir of
+//! replacement nodes. The active view only changes reactively — upon
+//! failures or joins — which is the stability property BRISA builds on.
+//!
+//! This implementation is a sans-IO state machine: every input returns a
+//! list of [`HpvOut`] effects that the embedding protocol stack executes.
+//! It includes the *expansion factor* extension described in Section II-A of
+//! the BRISA paper: the active view may grow up to
+//! `active_size * expansion_factor` before additions force evictions, and
+//! evictions in that band do not trigger replacements, which avoids the
+//! chain reactions otherwise caused by bootstrap join storms.
+
+mod config;
+mod messages;
+
+pub use config::HyParViewConfig;
+pub use messages::{HpvMsg, HpvOut, HPV_HEADER_BYTES};
+
+use crate::view::BoundedView;
+use brisa_simnet::{NodeId, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use std::collections::{HashMap, HashSet};
+
+/// Counters describing membership activity, used by the evaluation harness.
+#[derive(Debug, Clone, Default)]
+pub struct HpvStats {
+    /// Joins this node served as contact or forwarded.
+    pub joins_seen: u64,
+    /// Active-view entries evicted to make room for new ones.
+    pub evictions: u64,
+    /// Passive-view entries promoted into the active view.
+    pub promotions: u64,
+    /// Shuffles initiated.
+    pub shuffles_started: u64,
+    /// Neighbor requests rejected by this node.
+    pub neighbor_rejections: u64,
+}
+
+/// The HyParView membership state machine for one node.
+#[derive(Debug)]
+pub struct HyParView {
+    me: NodeId,
+    cfg: HyParViewConfig,
+    active: BoundedView,
+    passive: BoundedView,
+    /// Round-trip times measured through keep-alive probes.
+    rtt: HashMap<NodeId, SimDuration>,
+    /// When each current neighbor entered the active view.
+    neighbor_since: HashMap<NodeId, SimTime>,
+    /// Outstanding keep-alive probes: nonce -> (peer, send time).
+    pending_probes: HashMap<u64, (NodeId, SimTime)>,
+    /// Passive nodes we have asked to become neighbors and are waiting on.
+    pending_neighbor: HashSet<NodeId>,
+    next_nonce: u64,
+    last_shuffle_sample: Vec<NodeId>,
+    stats: HpvStats,
+}
+
+impl HyParView {
+    /// Creates the state machine for node `me`.
+    pub fn new(me: NodeId, cfg: HyParViewConfig) -> Self {
+        let active = BoundedView::new(cfg.max_active());
+        let passive = BoundedView::new(cfg.passive_size);
+        HyParView {
+            me,
+            cfg,
+            active,
+            passive,
+            rtt: HashMap::new(),
+            neighbor_since: HashMap::new(),
+            pending_probes: HashMap::new(),
+            pending_neighbor: HashSet::new(),
+            next_nonce: 0,
+            last_shuffle_sample: Vec::new(),
+            stats: HpvStats::default(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &HyParViewConfig {
+        &self.cfg
+    }
+
+    /// The current active view (this node's neighbors).
+    pub fn active_view(&self) -> &[NodeId] {
+        self.active.as_slice()
+    }
+
+    /// The current passive view.
+    pub fn passive_view(&self) -> &[NodeId] {
+        self.passive.as_slice()
+    }
+
+    /// True if `peer` is in the active view.
+    pub fn is_neighbor(&self, peer: NodeId) -> bool {
+        self.active.contains(peer)
+    }
+
+    /// Last measured round-trip time to `peer`, if a keep-alive probe has
+    /// completed.
+    pub fn rtt_to(&self, peer: NodeId) -> Option<SimDuration> {
+        self.rtt.get(&peer).copied()
+    }
+
+    /// Time at which `peer` became a neighbor, if it currently is one.
+    pub fn neighbor_since(&self, peer: NodeId) -> Option<SimTime> {
+        self.neighbor_since.get(&peer).copied()
+    }
+
+    /// Membership activity counters.
+    pub fn stats(&self) -> &HpvStats {
+        &self.stats
+    }
+
+    /// Joins the overlay through `contact`. The contact is optimistically
+    /// added to the active view; the `Join` message triggers `ForwardJoin`
+    /// random walks that advertise this node across the overlay.
+    pub fn join(&mut self, now: SimTime, contact: NodeId) -> Vec<HpvOut> {
+        let mut out = Vec::new();
+        self.add_active(contact, now, &mut out);
+        out.push(HpvOut::Send { to: contact, msg: HpvMsg::Join });
+        out
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: HpvMsg,
+        rng: &mut SmallRng,
+    ) -> Vec<HpvOut> {
+        let mut out = Vec::new();
+        match msg {
+            HpvMsg::Join => self.on_join(now, from, &mut out),
+            HpvMsg::ForwardJoin { new_node, ttl } => {
+                self.on_forward_join(now, from, new_node, ttl, rng, &mut out)
+            }
+            HpvMsg::Neighbor { high_priority } => {
+                self.on_neighbor(now, from, high_priority, &mut out)
+            }
+            HpvMsg::NeighborReply { accepted } => {
+                self.on_neighbor_reply(now, from, accepted, rng, &mut out)
+            }
+            HpvMsg::Disconnect => self.on_disconnect(now, from, rng, &mut out),
+            HpvMsg::Shuffle { origin, nodes, ttl } => {
+                self.on_shuffle(from, origin, nodes, ttl, rng, &mut out)
+            }
+            HpvMsg::ShuffleReply { nodes } => {
+                let sent = std::mem::take(&mut self.last_shuffle_sample);
+                self.integrate_passive(&nodes, &sent, rng);
+            }
+            HpvMsg::KeepAlive { nonce } => {
+                out.push(HpvOut::Send { to: from, msg: HpvMsg::KeepAliveAck { nonce } });
+            }
+            HpvMsg::KeepAliveAck { nonce } => {
+                if let Some((peer, sent_at)) = self.pending_probes.remove(&nonce) {
+                    if peer == from {
+                        self.rtt.insert(peer, now.saturating_since(sent_at));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reacts to connection-level failure detection for `peer`: the peer is
+    /// dropped from both views and, if the active view fell below its target
+    /// size, a passive node is promoted (reactive repair).
+    pub fn link_down(&mut self, now: SimTime, peer: NodeId, rng: &mut SmallRng) -> Vec<HpvOut> {
+        let mut out = Vec::new();
+        self.passive.remove(peer);
+        self.pending_neighbor.remove(&peer);
+        if self.active.contains(peer) {
+            self.remove_active(peer, false, &mut out);
+            self.maybe_promote(now, rng, &mut out);
+        }
+        out
+    }
+
+    /// Periodic keep-alive tick: probes every active-view member. The
+    /// resulting acknowledgements update [`HyParView::rtt_to`].
+    pub fn keepalive_tick(&mut self, now: SimTime) -> Vec<HpvOut> {
+        let mut out = Vec::new();
+        let members: Vec<NodeId> = self.active.iter().collect();
+        for peer in members {
+            let nonce = self.next_nonce;
+            self.next_nonce += 1;
+            self.pending_probes.insert(nonce, (peer, now));
+            out.push(HpvOut::Send { to: peer, msg: HpvMsg::KeepAlive { nonce } });
+        }
+        out
+    }
+
+    /// Periodic passive-view shuffle tick.
+    pub fn shuffle_tick(&mut self, rng: &mut SmallRng) -> Vec<HpvOut> {
+        let mut out = Vec::new();
+        let Some(target) = self.active.random(rng) else {
+            return out;
+        };
+        let mut sample = vec![self.me];
+        sample.extend(self.active.sample(rng, self.cfg.shuffle_active));
+        sample.extend(self.passive.sample(rng, self.cfg.shuffle_passive));
+        sample.dedup();
+        self.last_shuffle_sample = sample.clone();
+        self.stats.shuffles_started += 1;
+        out.push(HpvOut::Send {
+            to: target,
+            msg: HpvMsg::Shuffle { origin: self.me, nodes: sample, ttl: self.cfg.shuffle_ttl },
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Message handlers
+    // ------------------------------------------------------------------
+
+    fn on_join(&mut self, now: SimTime, new_node: NodeId, out: &mut Vec<HpvOut>) {
+        self.stats.joins_seen += 1;
+        self.add_active(new_node, now, out);
+        let others: Vec<NodeId> = self.active.iter().filter(|&n| n != new_node).collect();
+        for n in others {
+            out.push(HpvOut::Send {
+                to: n,
+                msg: HpvMsg::ForwardJoin { new_node, ttl: self.cfg.arwl },
+            });
+        }
+    }
+
+    fn on_forward_join(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        new_node: NodeId,
+        ttl: u8,
+        rng: &mut SmallRng,
+        out: &mut Vec<HpvOut>,
+    ) {
+        self.stats.joins_seen += 1;
+        if new_node == self.me {
+            return;
+        }
+        if ttl == 0 || self.active.len() <= 1 {
+            if !self.active.contains(new_node) {
+                self.add_active(new_node, now, out);
+                out.push(HpvOut::Send {
+                    to: new_node,
+                    msg: HpvMsg::Neighbor { high_priority: true },
+                });
+            }
+            return;
+        }
+        if ttl == self.cfg.prwl {
+            self.add_passive(new_node, rng);
+        }
+        let exclude = [sender, new_node, self.me];
+        match self.active.random_excluding(rng, &exclude) {
+            Some(next) => out.push(HpvOut::Send {
+                to: next,
+                msg: HpvMsg::ForwardJoin { new_node, ttl: ttl - 1 },
+            }),
+            None => {
+                if !self.active.contains(new_node) {
+                    self.add_active(new_node, now, out);
+                    out.push(HpvOut::Send {
+                        to: new_node,
+                        msg: HpvMsg::Neighbor { high_priority: true },
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_neighbor(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        high_priority: bool,
+        out: &mut Vec<HpvOut>,
+    ) {
+        if high_priority || self.active.len() < self.cfg.max_active() {
+            self.add_active(from, now, out);
+            out.push(HpvOut::Send { to: from, msg: HpvMsg::NeighborReply { accepted: true } });
+        } else {
+            self.stats.neighbor_rejections += 1;
+            out.push(HpvOut::Send { to: from, msg: HpvMsg::NeighborReply { accepted: false } });
+        }
+    }
+
+    fn on_neighbor_reply(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        accepted: bool,
+        rng: &mut SmallRng,
+        out: &mut Vec<HpvOut>,
+    ) {
+        self.pending_neighbor.remove(&from);
+        if accepted {
+            self.add_active(from, now, out);
+        } else {
+            // The candidate refused: put it back in the passive view and try
+            // another one (not the same candidate again) if we are still
+            // short of neighbors.
+            self.add_passive(from, rng);
+            self.maybe_promote_excluding(now, rng, &[from], out);
+        }
+    }
+
+    fn on_disconnect(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        rng: &mut SmallRng,
+        out: &mut Vec<HpvOut>,
+    ) {
+        if self.active.contains(from) {
+            self.remove_active(from, true, out);
+            // Only replace if we fell below the target size: evictions in the
+            // expansion band do not cause replacements (BRISA §II-A).
+            self.maybe_promote(now, rng, out);
+        }
+    }
+
+    fn on_shuffle(
+        &mut self,
+        sender: NodeId,
+        origin: NodeId,
+        nodes: Vec<NodeId>,
+        ttl: u8,
+        rng: &mut SmallRng,
+        out: &mut Vec<HpvOut>,
+    ) {
+        let ttl = ttl.saturating_sub(1);
+        if ttl > 0 && self.active.len() > 1 {
+            let exclude = [sender, origin, self.me];
+            if let Some(next) = self.active.random_excluding(rng, &exclude) {
+                out.push(HpvOut::Send {
+                    to: next,
+                    msg: HpvMsg::Shuffle { origin, nodes, ttl },
+                });
+                return;
+            }
+        }
+        // End of the walk: answer the origin with a sample of our passive
+        // view and integrate the received sample.
+        if origin != self.me {
+            let reply = self.passive.sample(rng, nodes.len().max(1));
+            out.push(HpvOut::Send { to: origin, msg: HpvMsg::ShuffleReply { nodes: reply } });
+        }
+        self.integrate_passive(&nodes, &[], rng);
+    }
+
+    // ------------------------------------------------------------------
+    // View maintenance
+    // ------------------------------------------------------------------
+
+    fn add_active(&mut self, peer: NodeId, now: SimTime, out: &mut Vec<HpvOut>) -> bool {
+        if peer == self.me || self.active.contains(peer) {
+            return false;
+        }
+        if self.active.len() >= self.cfg.max_active() {
+            // Drop a member to make room (it is moved to the passive view and
+            // informed through a Disconnect). The position is derived from
+            // the eviction counter, which spreads evictions across the view
+            // deterministically without needing an RNG here.
+            let idx = (self.stats.evictions as usize) % self.active.len();
+            let victim = self.active.as_slice()[idx];
+            self.stats.evictions += 1;
+            out.push(HpvOut::Send { to: victim, msg: HpvMsg::Disconnect });
+            self.remove_active(victim, true, out);
+        }
+        self.passive.remove(peer);
+        self.active.push_unbounded(peer);
+        self.neighbor_since.insert(peer, now);
+        out.push(HpvOut::OpenConnection(peer));
+        out.push(HpvOut::NeighborUp(peer));
+        true
+    }
+
+    fn remove_active(&mut self, peer: NodeId, to_passive: bool, out: &mut Vec<HpvOut>) {
+        if self.active.remove(peer) {
+            self.neighbor_since.remove(&peer);
+            self.rtt.remove(&peer);
+            out.push(HpvOut::CloseConnection(peer));
+            out.push(HpvOut::NeighborDown(peer));
+            if to_passive {
+                self.passive.push_unique(peer);
+            }
+        }
+    }
+
+    fn add_passive(&mut self, peer: NodeId, rng: &mut SmallRng) {
+        if peer == self.me || self.active.contains(peer) || self.passive.contains(peer) {
+            return;
+        }
+        if self.passive.is_full() {
+            self.passive.drop_random(rng);
+        }
+        self.passive.push_unique(peer);
+    }
+
+    fn integrate_passive(&mut self, nodes: &[NodeId], sent: &[NodeId], rng: &mut SmallRng) {
+        for &n in nodes {
+            if n == self.me || self.active.contains(n) || self.passive.contains(n) {
+                continue;
+            }
+            if self.passive.is_full() {
+                // Prefer discarding entries we just sent to the peer.
+                let dropped = sent
+                    .iter()
+                    .copied()
+                    .find(|s| self.passive.contains(*s))
+                    .map(|s| self.passive.remove(s))
+                    .unwrap_or(false);
+                if !dropped {
+                    self.passive.drop_random(rng);
+                }
+            }
+            self.passive.push_unique(n);
+        }
+    }
+
+    /// Promotes a passive node if the active view is below its target size.
+    fn maybe_promote(&mut self, now: SimTime, rng: &mut SmallRng, out: &mut Vec<HpvOut>) {
+        self.maybe_promote_excluding(now, rng, &[], out);
+    }
+
+    /// As [`Self::maybe_promote`] but additionally excluding `extra`
+    /// candidates (used to avoid immediately retrying a node that just
+    /// rejected a neighbor request).
+    fn maybe_promote_excluding(
+        &mut self,
+        _now: SimTime,
+        rng: &mut SmallRng,
+        extra: &[NodeId],
+        out: &mut Vec<HpvOut>,
+    ) {
+        if self.active.len() >= self.cfg.active_size {
+            return;
+        }
+        let mut pending: Vec<NodeId> = self.pending_neighbor.iter().copied().collect();
+        pending.extend_from_slice(extra);
+        let candidate = self.passive.random_excluding(rng, &pending);
+        if let Some(candidate) = candidate {
+            self.passive.remove(candidate);
+            self.pending_neighbor.insert(candidate);
+            self.stats.promotions += 1;
+            let high_priority = self.active.is_empty();
+            out.push(HpvOut::OpenConnection(candidate));
+            out.push(HpvOut::Send { to: candidate, msg: HpvMsg::Neighbor { high_priority } });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::{HashMap, VecDeque};
+
+    /// A tiny in-memory harness that runs a set of HyParView instances to
+    /// quiescence by delivering messages instantly. Connection-level events
+    /// are ignored (no failures are injected unless a test does so by hand).
+    struct Harness {
+        nodes: HashMap<NodeId, HyParView>,
+        rng: SmallRng,
+        queue: VecDeque<(NodeId, NodeId, HpvMsg)>,
+        now: SimTime,
+    }
+
+    impl Harness {
+        fn new(n: u32, cfg: HyParViewConfig) -> Self {
+            let mut nodes = HashMap::new();
+            for i in 0..n {
+                nodes.insert(NodeId(i), HyParView::new(NodeId(i), cfg.clone()));
+            }
+            Harness {
+                nodes,
+                rng: SmallRng::seed_from_u64(99),
+                queue: VecDeque::new(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn enqueue(&mut self, from: NodeId, outs: Vec<HpvOut>) {
+            for o in outs {
+                if let HpvOut::Send { to, msg } = o {
+                    self.queue.push_back((from, to, msg));
+                }
+            }
+        }
+
+        fn join_all(&mut self) {
+            // Node 0 is the seed; everyone else joins through it, mirroring
+            // the bootstrap of the paper's experiments.
+            let ids: Vec<NodeId> = (0..self.nodes.len() as u32).map(NodeId).collect();
+            for &id in ids.iter().skip(1) {
+                let outs = self.nodes.get_mut(&id).unwrap().join(self.now, NodeId(0));
+                self.enqueue(id, outs);
+                self.drain();
+            }
+        }
+
+        fn drain(&mut self) {
+            let mut steps = 0;
+            while let Some((from, to, msg)) = self.queue.pop_front() {
+                steps += 1;
+                assert!(steps < 1_000_000, "harness did not quiesce");
+                let outs = {
+                    let node = self.nodes.get_mut(&to).unwrap();
+                    node.handle(self.now, from, msg, &mut self.rng)
+                };
+                self.enqueue(to, outs);
+            }
+        }
+    }
+
+    #[test]
+    fn two_node_join_is_symmetric() {
+        let mut h = Harness::new(2, HyParViewConfig::default());
+        h.join_all();
+        assert_eq!(h.nodes[&NodeId(1)].active_view(), &[NodeId(0)]);
+        assert_eq!(h.nodes[&NodeId(0)].active_view(), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn views_are_symmetric_and_bounded_after_bootstrap() {
+        let cfg = HyParViewConfig::with_active_size(4);
+        let n = 64;
+        let mut h = Harness::new(n, cfg.clone());
+        h.join_all();
+        for (id, node) in &h.nodes {
+            assert!(
+                node.active_view().len() <= cfg.max_active(),
+                "{id} active view exceeds the expansion bound"
+            );
+            assert!(!node.active_view().contains(id), "no self-loops");
+            for peer in node.active_view() {
+                assert!(
+                    h.nodes[peer].is_neighbor(*id),
+                    "link {id}<->{peer} is not symmetric"
+                );
+            }
+        }
+        // Every node (except possibly the seed) should have at least one neighbor.
+        for (id, node) in &h.nodes {
+            assert!(!node.active_view().is_empty(), "{id} has an empty active view");
+        }
+    }
+
+    #[test]
+    fn overlay_is_connected_after_bootstrap() {
+        let cfg = HyParViewConfig::with_active_size(4);
+        let n = 128u32;
+        let mut h = Harness::new(n, cfg);
+        h.join_all();
+        // BFS over the union of active views.
+        let mut visited = vec![false; n as usize];
+        let mut stack = vec![NodeId(0)];
+        visited[0] = true;
+        while let Some(cur) = stack.pop() {
+            for &peer in h.nodes[&cur].active_view() {
+                if !visited[peer.index()] {
+                    visited[peer.index()] = true;
+                    stack.push(peer);
+                }
+            }
+        }
+        assert!(visited.iter().all(|&v| v), "overlay must be connected");
+    }
+
+    #[test]
+    fn passive_views_fill_up() {
+        let cfg = HyParViewConfig::with_active_size(4);
+        let mut h = Harness::new(64, cfg);
+        h.join_all();
+        // Run a few shuffle rounds.
+        for _ in 0..5 {
+            let ids: Vec<NodeId> = h.nodes.keys().copied().collect();
+            for id in ids {
+                let outs = {
+                    let mut rng = SmallRng::seed_from_u64(id.0 as u64);
+                    h.nodes.get_mut(&id).unwrap().shuffle_tick(&mut rng)
+                };
+                h.enqueue(id, outs);
+                h.drain();
+            }
+        }
+        let with_passive = h
+            .nodes
+            .values()
+            .filter(|n| !n.passive_view().is_empty())
+            .count();
+        assert!(
+            with_passive > 56,
+            "most nodes should have non-empty passive views, got {with_passive}"
+        );
+        // Passive views never contain the node itself or active neighbors.
+        for (id, node) in &h.nodes {
+            for p in node.passive_view() {
+                assert_ne!(p, id);
+                assert!(!node.is_neighbor(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn link_down_promotes_replacement_from_passive() {
+        let cfg = HyParViewConfig::with_active_size(2);
+        let mut h = Harness::new(16, cfg);
+        h.join_all();
+        // Pick a node with a non-empty passive view and fail one neighbor.
+        let id = h
+            .nodes
+            .values()
+            .find(|n| !n.passive_view().is_empty() && !n.active_view().is_empty())
+            .map(|n| n.id())
+            .expect("some node has both views non-empty");
+        let failed = h.nodes[&id].active_view()[0];
+        let before = h.nodes[&id].active_view().len();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let outs = h.nodes.get_mut(&id).unwrap().link_down(SimTime::from_secs(1), failed, &mut rng);
+        assert!(!h.nodes[&id].is_neighbor(failed));
+        // A Neighbor request to a passive candidate must have been issued
+        // when the view dropped below target.
+        let issued_neighbor = outs.iter().any(|o| {
+            matches!(o, HpvOut::Send { msg: HpvMsg::Neighbor { .. }, .. })
+        });
+        if before <= h.nodes[&id].config().active_size {
+            assert!(issued_neighbor, "expected a promotion attempt");
+        }
+        h.enqueue(id, outs);
+        h.drain();
+        assert!(
+            !h.nodes[&id].active_view().is_empty(),
+            "node should regain neighbors after repair"
+        );
+    }
+
+    #[test]
+    fn keepalive_measures_rtt() {
+        let mut h = Harness::new(2, HyParViewConfig::default());
+        h.join_all();
+        let outs = h.nodes.get_mut(&NodeId(0)).unwrap().keepalive_tick(SimTime::from_secs(1));
+        // Manually deliver with a later "now" to simulate network delay.
+        let mut replies = Vec::new();
+        for o in outs {
+            if let HpvOut::Send { to, msg } = o {
+                let mut rng = SmallRng::seed_from_u64(1);
+                let r = h
+                    .nodes
+                    .get_mut(&to)
+                    .unwrap()
+                    .handle(SimTime::from_millis(1005), NodeId(0), msg, &mut rng);
+                replies.extend(r.into_iter().map(|o| (to, o)));
+            }
+        }
+        for (from, o) in replies {
+            if let HpvOut::Send { to, msg } = o {
+                assert_eq!(to, NodeId(0));
+                let mut rng = SmallRng::seed_from_u64(2);
+                h.nodes
+                    .get_mut(&NodeId(0))
+                    .unwrap()
+                    .handle(SimTime::from_millis(1010), from, msg, &mut rng);
+            }
+        }
+        let rtt = h.nodes[&NodeId(0)].rtt_to(NodeId(1)).expect("rtt measured");
+        assert_eq!(rtt, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn neighbor_rejection_triggers_retry() {
+        let cfg = HyParViewConfig::with_active_size(1).expansion_factor(1);
+        let mut a = HyParView::new(NodeId(0), cfg.clone());
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Give A two passive candidates and no neighbors.
+        a.add_passive(NodeId(1), &mut rng);
+        a.add_passive(NodeId(2), &mut rng);
+        let mut out = Vec::new();
+        a.maybe_promote(SimTime::ZERO, &mut rng, &mut out);
+        let first = out
+            .iter()
+            .find_map(|o| match o {
+                HpvOut::Send { to, msg: HpvMsg::Neighbor { .. } } => Some(*to),
+                _ => None,
+            })
+            .expect("promotion attempt");
+        // The candidate rejects; A must try the other one.
+        let retry = a.handle(
+            SimTime::from_secs(1),
+            first,
+            HpvMsg::NeighborReply { accepted: false },
+            &mut rng,
+        );
+        let second = retry
+            .iter()
+            .find_map(|o| match o {
+                HpvOut::Send { to, msg: HpvMsg::Neighbor { .. } } => Some(*to),
+                _ => None,
+            })
+            .expect("retry after rejection");
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn eviction_keeps_view_within_expansion_bound() {
+        let cfg = HyParViewConfig::with_active_size(2).expansion_factor(2);
+        let mut node = HyParView::new(NodeId(0), cfg.clone());
+        let mut out = Vec::new();
+        for i in 1..=10u32 {
+            node.add_active(NodeId(i), SimTime::ZERO, &mut out);
+        }
+        assert!(node.active_view().len() <= cfg.max_active());
+        // Evictions emitted Disconnect messages.
+        let disconnects = out
+            .iter()
+            .filter(|o| matches!(o, HpvOut::Send { msg: HpvMsg::Disconnect, .. }))
+            .count();
+        assert!(disconnects >= 10 - cfg.max_active());
+        assert!(node.stats().evictions as usize >= 10 - cfg.max_active());
+    }
+
+    #[test]
+    fn disconnect_below_target_promotes_but_expansion_band_does_not() {
+        let cfg = HyParViewConfig::with_active_size(2).expansion_factor(2);
+        let mut node = HyParView::new(NodeId(0), cfg);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        for i in 1..=4u32 {
+            node.add_active(NodeId(i), SimTime::ZERO, &mut out);
+        }
+        node.add_passive(NodeId(99), &mut rng);
+        // Dropping from 4 (expansion band) to 3: no promotion.
+        let outs = node.handle(SimTime::ZERO, NodeId(1), HpvMsg::Disconnect, &mut rng);
+        assert!(
+            !outs.iter().any(|o| matches!(o, HpvOut::Send { msg: HpvMsg::Neighbor { .. }, .. })),
+            "no replacement while in the expansion band"
+        );
+        // Drop to 2 then to 1 (< target 2): promotion must fire.
+        let _ = node.handle(SimTime::ZERO, NodeId(2), HpvMsg::Disconnect, &mut rng);
+        let outs = node.handle(SimTime::ZERO, NodeId(3), HpvMsg::Disconnect, &mut rng);
+        assert!(
+            outs.iter().any(|o| matches!(o, HpvOut::Send { msg: HpvMsg::Neighbor { .. }, .. })),
+            "replacement expected below the target size"
+        );
+    }
+
+    #[test]
+    fn forward_join_at_ttl_zero_adds_new_node() {
+        let cfg = HyParViewConfig::with_active_size(4);
+        let mut node = HyParView::new(NodeId(5), cfg);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        node.add_active(NodeId(1), SimTime::ZERO, &mut out);
+        node.add_active(NodeId(2), SimTime::ZERO, &mut out);
+        let outs = node.handle(
+            SimTime::ZERO,
+            NodeId(1),
+            HpvMsg::ForwardJoin { new_node: NodeId(9), ttl: 0 },
+            &mut rng,
+        );
+        assert!(node.is_neighbor(NodeId(9)));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HpvOut::Send { to: NodeId(9), msg: HpvMsg::Neighbor { high_priority: true } }
+        )));
+    }
+
+    #[test]
+    fn forward_join_with_ttl_forwards_and_fills_passive() {
+        let cfg = HyParViewConfig::default(); // prwl = 3
+        let mut node = HyParView::new(NodeId(5), cfg);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        node.add_active(NodeId(1), SimTime::ZERO, &mut out);
+        node.add_active(NodeId(2), SimTime::ZERO, &mut out);
+        node.add_active(NodeId(3), SimTime::ZERO, &mut out);
+        let outs = node.handle(
+            SimTime::ZERO,
+            NodeId(1),
+            HpvMsg::ForwardJoin { new_node: NodeId(9), ttl: 3 },
+            &mut rng,
+        );
+        assert!(node.passive_view().contains(&NodeId(9)), "ttl == prwl adds to passive");
+        assert!(!node.is_neighbor(NodeId(9)));
+        let forwarded = outs.iter().any(|o| matches!(
+            o,
+            HpvOut::Send { msg: HpvMsg::ForwardJoin { new_node: NodeId(9), ttl: 2 }, .. }
+        ));
+        assert!(forwarded, "walk must continue with decremented ttl");
+    }
+
+    #[test]
+    fn shuffle_reply_integrates_new_nodes() {
+        let cfg = HyParViewConfig::default();
+        let mut node = HyParView::new(NodeId(0), cfg);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        node.add_active(NodeId(1), SimTime::ZERO, &mut out);
+        let _ = node.shuffle_tick(&mut rng);
+        let outs = node.handle(
+            SimTime::ZERO,
+            NodeId(1),
+            HpvMsg::ShuffleReply { nodes: vec![NodeId(7), NodeId(8), NodeId(1), NodeId(0)] },
+            &mut rng,
+        );
+        assert!(outs.is_empty());
+        assert!(node.passive_view().contains(&NodeId(7)));
+        assert!(node.passive_view().contains(&NodeId(8)));
+        assert!(!node.passive_view().contains(&NodeId(0)), "self never enters passive");
+        assert!(!node.passive_view().contains(&NodeId(1)), "neighbors never enter passive");
+    }
+}

@@ -1,0 +1,215 @@
+//! A bounded partial view of the system.
+//!
+//! Both HyParView views (active and passive) and the Cyclon cache are small,
+//! bounded sets of node identifiers with random sampling operations. This
+//! module provides the shared container.
+
+use brisa_simnet::NodeId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A bounded, duplicate-free set of node identifiers with uniform random
+/// sampling helpers.
+#[derive(Debug, Clone)]
+pub struct BoundedView {
+    capacity: usize,
+    nodes: Vec<NodeId>,
+}
+
+impl BoundedView {
+    /// Creates an empty view with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        BoundedView {
+            capacity,
+            nodes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of entries the view may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the view has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True if the view holds `capacity` or more entries.
+    pub fn is_full(&self) -> bool {
+        self.nodes.len() >= self.capacity
+    }
+
+    /// True if `node` is in the view.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Adds `node` if not already present and if the view is not full.
+    /// Returns true if the node was added.
+    pub fn push_unique(&mut self, node: NodeId) -> bool {
+        if self.contains(node) || self.is_full() {
+            return false;
+        }
+        self.nodes.push(node);
+        true
+    }
+
+    /// Adds `node` unconditionally (unless already present), growing past
+    /// the capacity. Used by HyParView's expansion-factor mechanism where
+    /// the active view may temporarily exceed its target size.
+    pub fn push_unbounded(&mut self, node: NodeId) -> bool {
+        if self.contains(node) {
+            return false;
+        }
+        self.nodes.push(node);
+        true
+    }
+
+    /// Removes `node`, returning true if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        if let Some(pos) = self.nodes.iter().position(|&n| n == node) {
+            self.nodes.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns a uniformly random entry.
+    pub fn drop_random(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.nodes.len());
+        Some(self.nodes.swap_remove(idx))
+    }
+
+    /// A uniformly random entry, if any.
+    pub fn random(&self, rng: &mut SmallRng) -> Option<NodeId> {
+        self.nodes.choose(rng).copied()
+    }
+
+    /// A uniformly random entry different from every element of `exclude`.
+    pub fn random_excluding(&self, rng: &mut SmallRng, exclude: &[NodeId]) -> Option<NodeId> {
+        let candidates: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !exclude.contains(n))
+            .collect();
+        candidates.choose(rng).copied()
+    }
+
+    /// A uniformly random sample of up to `n` distinct entries.
+    pub fn sample(&self, rng: &mut SmallRng, n: usize) -> Vec<NodeId> {
+        let mut shuffled = self.nodes.clone();
+        shuffled.shuffle(rng);
+        shuffled.truncate(n);
+        shuffled
+    }
+
+    /// All entries, in unspecified order.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn push_respects_capacity_and_uniqueness() {
+        let mut v = BoundedView::new(2);
+        assert!(v.push_unique(NodeId(1)));
+        assert!(!v.push_unique(NodeId(1)), "duplicates rejected");
+        assert!(v.push_unique(NodeId(2)));
+        assert!(v.is_full());
+        assert!(!v.push_unique(NodeId(3)), "full view rejects");
+        assert!(v.push_unbounded(NodeId(3)), "unbounded push grows past capacity");
+        assert_eq!(v.len(), 3);
+        assert!(!v.push_unbounded(NodeId(3)), "unbounded push still rejects duplicates");
+    }
+
+    #[test]
+    fn remove_and_drop_random() {
+        let mut v = BoundedView::new(4);
+        for i in 0..4 {
+            v.push_unique(NodeId(i));
+        }
+        assert!(v.remove(NodeId(2)));
+        assert!(!v.remove(NodeId(2)));
+        assert!(!v.contains(NodeId(2)));
+        let mut r = rng();
+        let dropped = v.drop_random(&mut r).unwrap();
+        assert!(!v.contains(dropped));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn drop_random_on_empty_is_none() {
+        let mut v = BoundedView::new(2);
+        assert_eq!(v.drop_random(&mut rng()), None);
+        assert_eq!(v.random(&mut rng()), None);
+    }
+
+    #[test]
+    fn sampling_is_distinct_and_bounded() {
+        let mut v = BoundedView::new(10);
+        for i in 0..10 {
+            v.push_unique(NodeId(i));
+        }
+        let mut r = rng();
+        let s = v.sample(&mut r, 4);
+        assert_eq!(s.len(), 4);
+        let mut dedup = s.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+        // Sampling more than available returns everything.
+        assert_eq!(v.sample(&mut r, 100).len(), 10);
+    }
+
+    #[test]
+    fn random_excluding_avoids_excluded() {
+        let mut v = BoundedView::new(3);
+        v.push_unique(NodeId(1));
+        v.push_unique(NodeId(2));
+        let mut r = rng();
+        for _ in 0..20 {
+            let pick = v.random_excluding(&mut r, &[NodeId(1)]).unwrap();
+            assert_eq!(pick, NodeId(2));
+        }
+        assert_eq!(v.random_excluding(&mut r, &[NodeId(1), NodeId(2)]), None);
+    }
+
+    #[test]
+    fn clear_empties_view() {
+        let mut v = BoundedView::new(3);
+        v.push_unique(NodeId(1));
+        v.clear();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper reports most of its results as CDFs over nodes (Figures 2, 6,
+//! 7, 9, 13, 14). [`Cdf`] collects samples and produces the `(value, %)`
+//! series those plots show.
+
+/// An empirical CDF built from a set of samples.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a CDF from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut c = Cdf::new();
+        for s in iter {
+            c.add(s);
+        }
+        c
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: f64) {
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples that are `<= x`, in `[0, 1]`.
+    pub fn fraction_at(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let count = self.samples.partition_point(|&s| s <= x);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Percentage (0–100) of samples that are `<= x`.
+    pub fn percent_at(&mut self, x: f64) -> f64 {
+        self.fraction_at(x) * 100.0
+    }
+
+    /// The value below which `q` (0–1) of the samples fall.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Smallest and largest samples.
+    pub fn range(&mut self) -> Option<(f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        Some((self.samples[0], *self.samples.last().unwrap()))
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Produces the `(value, cumulative %)` series for plotting, evaluated at
+    /// every distinct sample value.
+    pub fn series(&mut self) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.samples.iter().enumerate() {
+            let pct = (i + 1) as f64 / n * 100.0;
+            match out.last_mut() {
+                Some(last) if (last.0 - v).abs() < f64::EPSILON => last.1 = pct,
+                _ => out.push((v, pct)),
+            }
+        }
+        out
+    }
+
+    /// Produces the `(value, cumulative %)` series sampled at `points`
+    /// equally spaced values across the sample range. Convenient for
+    /// printing fixed-width tables.
+    pub fn series_at(&mut self, points: usize) -> Vec<(f64, f64)> {
+        let Some((lo, hi)) = self.range() else {
+            return Vec::new();
+        };
+        let points = points.max(2);
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                let pct = self.percent_at(x);
+                (x, pct)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let mut c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert!((c.fraction_at(2.0) - 0.5).abs() < 1e-9);
+        assert!((c.fraction_at(0.5) - 0.0).abs() < 1e-9);
+        assert!((c.fraction_at(10.0) - 1.0).abs() < 1e-9);
+        assert!((c.percent_at(3.0) - 75.0).abs() < 1e-9);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.5), 3.0);
+        assert_eq!(c.range(), Some((1.0, 4.0)));
+        assert!((c.mean() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), 0.0);
+        assert_eq!(c.range(), None);
+        assert_eq!(c.mean(), 0.0);
+        assert!(c.series().is_empty());
+        assert!(c.series_at(5).is_empty());
+    }
+
+    #[test]
+    fn series_collapses_duplicates() {
+        let mut c = Cdf::from_samples([1.0, 1.0, 2.0, 2.0, 2.0]);
+        let s = c.series();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - 40.0).abs() < 1e-9);
+        assert!((s[1].1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_at_covers_range() {
+        let mut c = Cdf::from_samples((0..=10).map(|i| i as f64));
+        let s = c.series_at(11);
+        assert_eq!(s.len(), 11);
+        assert!((s[0].0 - 0.0).abs() < 1e-9);
+        assert!((s[10].0 - 10.0).abs() < 1e-9);
+        assert!((s[10].1 - 100.0).abs() < 1e-9);
+        // Monotone non-decreasing.
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Percentile summaries.
+//!
+//! Figures 10 and 11 of the paper show bandwidth usage as stacked percentile
+//! bars (5th, 25th, 50th, 75th, 90th). [`PercentileSummary`] computes those
+//! values from a set of per-node samples.
+
+use serde::{Deserialize, Serialize};
+
+/// The percentile levels used by the paper's bandwidth figures.
+pub const PAPER_PERCENTILES: [f64; 5] = [5.0, 25.0, 50.0, 75.0, 90.0];
+
+/// A five-point percentile summary of a sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PercentileSummary {
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Arithmetic mean (reported alongside the bars in Figure 12).
+    pub mean: f64,
+    /// Number of samples summarised.
+    pub count: usize,
+}
+
+/// Computes the `p`-th percentile (0–100) of `sorted` samples using nearest
+/// rank interpolation. `sorted` must be sorted ascending.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = (p / 100.0) * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+impl PercentileSummary {
+    /// Summarises a set of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut v: Vec<f64> = iter.into_iter().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        PercentileSummary {
+            p5: percentile_of_sorted(&v, 5.0),
+            p25: percentile_of_sorted(&v, 25.0),
+            p50: percentile_of_sorted(&v, 50.0),
+            p75: percentile_of_sorted(&v, 75.0),
+            p90: percentile_of_sorted(&v, 90.0),
+            mean,
+            count: v.len(),
+        }
+    }
+
+    /// The five paper percentiles as `(level, value)` pairs, low to high.
+    pub fn levels(&self) -> [(f64, f64); 5] {
+        [
+            (5.0, self.p5),
+            (25.0, self.p25),
+            (50.0, self.p50),
+            (75.0, self.p75),
+            (90.0, self.p90),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let s = PercentileSummary::from_samples((0..=100).map(|i| i as f64));
+        assert!((s.p5 - 5.0).abs() < 1e-9);
+        assert!((s.p50 - 50.0).abs() < 1e-9);
+        assert!((s.p90 - 90.0).abs() < 1e-9);
+        assert!((s.mean - 50.0).abs() < 1e-9);
+        assert_eq!(s.count, 101);
+        let levels = s.levels();
+        assert_eq!(levels[0].0, 5.0);
+        assert!(levels.windows(2).all(|w| w[1].1 >= w[0].1));
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let e = PercentileSummary::from_samples(std::iter::empty());
+        assert_eq!(e.count, 0);
+        assert_eq!(e.p50, 0.0);
+        let one = PercentileSummary::from_samples([7.5]);
+        assert_eq!(one.p5, 7.5);
+        assert_eq!(one.p90, 7.5);
+        assert_eq!(one.mean, 7.5);
+    }
+
+    #[test]
+    fn interpolation_between_ranks() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_of_sorted(&sorted, 50.0) - 5.0).abs() < 1e-9);
+        assert!((percentile_of_sorted(&sorted, 25.0) - 2.5).abs() < 1e-9);
+        assert_eq!(percentile_of_sorted(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = PercentileSummary::from_samples([9.0, 1.0, 5.0, 3.0, 7.0]);
+        assert_eq!(s.p50, 5.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The discrete-event queue.
+//!
+//! Events are totally ordered by `(time, sequence)`. The sequence number is
+//! assigned monotonically at insertion so that events scheduled for the same
+//! instant are processed in insertion order, which keeps runs fully
+//! deterministic for a given seed.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A tag identifying a timer set by a protocol.
+///
+/// Protocols multiplex all their periodic and one-shot timers through a
+/// single `on_timer` callback; `kind` distinguishes timer families (e.g.
+/// "shuffle tick" vs "pull tick") and `data` carries an optional payload
+/// (e.g. a message sequence number the timer refers to). The simulator never
+/// interprets the contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerTag {
+    /// Protocol-defined timer family.
+    pub kind: u16,
+    /// Protocol-defined payload.
+    pub data: u64,
+}
+
+impl TimerTag {
+    /// Convenience constructor.
+    pub const fn new(kind: u16, data: u64) -> Self {
+        TimerTag { kind, data }
+    }
+
+    /// A tag with no payload.
+    pub const fn of_kind(kind: u16) -> Self {
+        TimerTag { kind, data: 0 }
+    }
+}
+
+/// Kinds of event processed by the simulation loop.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind<M> {
+    /// A message reaches its destination.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        size: usize,
+    },
+    /// A timer set by `node` fires.
+    Timer { node: NodeId, tag: TimerTag },
+    /// `node` learns (through connection-level failure detection) that the
+    /// connection to `peer` is broken.
+    LinkDown { node: NodeId, peer: NodeId },
+    /// A node previously added with a start delay begins executing.
+    Start { node: NodeId },
+    /// A node crashes (fail-stop).
+    Crash { node: NodeId },
+}
+
+/// An event with its scheduled time and tie-breaking sequence number.
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of simulation events.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32) -> EventKind<()> {
+        EventKind::Timer {
+            node: NodeId(node),
+            tag: TimerTag::of_kind(0),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(SimTime::from_millis(30), timer(3));
+        q.push(SimTime::from_millis(10), timer(1));
+        q.push(SimTime::from_millis(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
+        assert_eq!(order, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn same_time_pops_in_insertion_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10u32 {
+            q.push(t, timer(i));
+        }
+        let nodes: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { node, .. } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(1), timer(0));
+        q.push(SimTime::from_secs(2), timer(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn timer_tag_constructors() {
+        assert_eq!(TimerTag::new(3, 9), TimerTag { kind: 3, data: 9 });
+        assert_eq!(TimerTag::of_kind(5), TimerTag { kind: 5, data: 0 });
+    }
+}

@@ -1,0 +1,577 @@
+//! The simulation driver.
+//!
+//! A [`Network`] owns every node (an instance of a type implementing
+//! [`Protocol`]), the event queue, the latency model and the bandwidth
+//! meter, and advances simulated time by processing events in order.
+//!
+//! Runs are fully deterministic: the same seed, latency model and sequence
+//! of `add_node` / `schedule_crash` calls produce bit-identical executions.
+
+use crate::bandwidth::{BandwidthMeter, Direction};
+use crate::event::{EventKind, EventQueue};
+use crate::latency::LatencyModel;
+use crate::node::NodeId;
+use crate::protocol::{Command, Context, Protocol, WireSize};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Static configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Master seed; every per-node RNG is derived from it.
+    pub seed: u64,
+    /// Delay between a peer crashing and connected nodes receiving the
+    /// corresponding `on_link_down` callback. Models the keep-alive /
+    /// TCP-level failure detection period of the prototype.
+    pub failure_detection_delay: SimDuration,
+    /// Enforce FIFO ordering on each directed link (messages between the
+    /// same pair never overtake each other), as TCP connections do.
+    pub fifo_links: bool,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            seed: 0xB215A,
+            failure_detection_delay: SimDuration::from_millis(200),
+            fifo_links: true,
+        }
+    }
+}
+
+/// Counters describing what the simulator itself observed.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Messages handed to the network layer.
+    pub messages_sent: u64,
+    /// Messages delivered to a live destination.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination was dead at delivery time.
+    pub messages_dropped: u64,
+    /// Events processed so far.
+    pub events_processed: u64,
+}
+
+struct NodeSlot<P> {
+    proto: P,
+    rng: SmallRng,
+    alive: bool,
+    started: bool,
+}
+
+/// The discrete-event network simulator.
+pub struct Network<P: Protocol> {
+    config: NetworkConfig,
+    latency: Box<dyn LatencyModel>,
+    now: SimTime,
+    queue: EventQueue<P::Message>,
+    nodes: Vec<NodeSlot<P>>,
+    master_rng: SmallRng,
+    bandwidth: BandwidthMeter,
+    /// Open connections, keyed by the owning node: `(owner, peer)`.
+    connections: HashSet<(NodeId, NodeId)>,
+    /// Per directed pair, the time the last message is scheduled to arrive
+    /// (used to enforce FIFO ordering).
+    link_clock: HashMap<(NodeId, NodeId), SimTime>,
+    stats: NetStats,
+    command_buf: Vec<Command<P::Message>>,
+}
+
+impl<P: Protocol> Network<P> {
+    /// Creates a network with the given configuration and latency model.
+    pub fn new(config: NetworkConfig, latency: Box<dyn LatencyModel>) -> Self {
+        let master_rng = SmallRng::seed_from_u64(config.seed);
+        Network {
+            config,
+            latency,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            master_rng,
+            bandwidth: BandwidthMeter::new(),
+            connections: HashSet::new(),
+            link_clock: HashMap::new(),
+            stats: NetStats::default(),
+            command_buf: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulator-level statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The bandwidth meter.
+    pub fn bandwidth(&self) -> &BandwidthMeter {
+        &self.bandwidth
+    }
+
+    /// Number of nodes ever added (dead or alive).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if `id` exists and has not crashed.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).map(|n| n.alive).unwrap_or(false)
+    }
+
+    /// Identifiers of all live nodes.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Immutable access to the protocol state of `id`.
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.nodes.get(id.index()).map(|n| &n.proto)
+    }
+
+    /// Mutable access to the protocol state of `id`. Intended for experiment
+    /// harnesses (e.g. to inject an application-level publish); protocol
+    /// logic itself should only run through simulator callbacks.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        self.nodes.get_mut(id.index()).map(|n| &mut n.proto)
+    }
+
+    /// Adds a node immediately. The builder receives the identifier the node
+    /// will use; the node's `on_start` runs at the current simulation time.
+    pub fn add_node(&mut self, build: impl FnOnce(NodeId) -> P) -> NodeId {
+        self.add_node_at(self.now, build)
+    }
+
+    /// Adds a node whose `on_start` runs at `start` (which must not be in
+    /// the past).
+    pub fn add_node_at(&mut self, start: SimTime, build: impl FnOnce(NodeId) -> P) -> NodeId {
+        assert!(start >= self.now, "cannot start a node in the past");
+        let id = NodeId(self.nodes.len() as u32);
+        let seed: u64 = self.master_rng.gen();
+        self.nodes.push(NodeSlot {
+            proto: build(id),
+            rng: SmallRng::seed_from_u64(seed),
+            alive: true,
+            started: false,
+        });
+        self.bandwidth.ensure(id);
+        self.queue.push(start, EventKind::Start { node: id });
+        id
+    }
+
+    /// Crashes `id` immediately (fail-stop). Connected peers learn about it
+    /// after the configured failure-detection delay.
+    pub fn crash(&mut self, id: NodeId) {
+        let at = self.now;
+        self.queue.push(at, EventKind::Crash { node: id });
+    }
+
+    /// Schedules a crash of `id` at time `at`.
+    pub fn schedule_crash(&mut self, id: NodeId, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule a crash in the past");
+        self.queue.push(at, EventKind::Crash { node: id });
+    }
+
+    /// Runs an application-level closure against a node *through the
+    /// simulator*, so that any commands it issues (sends, timers) are
+    /// processed normally. This is how experiment harnesses inject stream
+    /// messages at the source node.
+    pub fn invoke(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
+        if !self.is_alive(id) {
+            return;
+        }
+        let slot = &mut self.nodes[id.index()];
+        let mut commands = std::mem::take(&mut self.command_buf);
+        {
+            let mut ctx = Context {
+                now: self.now,
+                id,
+                rng: &mut slot.rng,
+                commands: &mut commands,
+            };
+            f(&mut slot.proto, &mut ctx);
+        }
+        self.command_buf = commands;
+        self.apply_commands(id);
+    }
+
+    /// Processes events until the queue is empty or `deadline` is reached.
+    /// Returns the time of the last processed event.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must exist");
+            self.now = ev.time;
+            self.stats.events_processed += 1;
+            self.process(ev.kind);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) -> SimTime {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+
+    /// Runs until no events remain or `max` is reached. Useful for letting a
+    /// dissemination quiesce.
+    pub fn run_to_quiescence(&mut self, max: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > max {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must exist");
+            self.now = ev.time;
+            self.stats.events_processed += 1;
+            self.process(ev.kind);
+        }
+        self.now
+    }
+
+    /// Number of pending events (mostly useful in tests).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn process(&mut self, kind: EventKind<P::Message>) {
+        match kind {
+            EventKind::Start { node } => {
+                if !self.is_alive(node) {
+                    return;
+                }
+                self.nodes[node.index()].started = true;
+                self.dispatch(node, |proto, ctx| proto.on_start(ctx));
+            }
+            EventKind::Deliver { from, to, msg, size } => {
+                if !self.is_alive(to) || !self.nodes[to.index()].started {
+                    self.stats.messages_dropped += 1;
+                    return;
+                }
+                self.bandwidth.record(to, Direction::Download, size, self.now);
+                self.stats.messages_delivered += 1;
+                self.dispatch(to, |proto, ctx| proto.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, tag } => {
+                if !self.is_alive(node) {
+                    return;
+                }
+                self.dispatch(node, |proto, ctx| proto.on_timer(ctx, tag));
+            }
+            EventKind::LinkDown { node, peer } => {
+                // Only notify if the connection is still considered open.
+                if !self.is_alive(node) || !self.connections.contains(&(node, peer)) {
+                    return;
+                }
+                self.connections.remove(&(node, peer));
+                self.dispatch(node, |proto, ctx| proto.on_link_down(ctx, peer));
+            }
+            EventKind::Crash { node } => self.process_crash(node),
+        }
+    }
+
+    fn process_crash(&mut self, node: NodeId) {
+        if !self.is_alive(node) {
+            return;
+        }
+        self.nodes[node.index()].alive = false;
+        // Peers with an open connection to the crashed node detect the
+        // failure after the detection delay.
+        let detect_at = self.now + self.config.failure_detection_delay;
+        let peers: Vec<NodeId> = self
+            .connections
+            .iter()
+            .filter(|(_, peer)| *peer == node)
+            .map(|(owner, _)| *owner)
+            .collect();
+        for owner in peers {
+            self.queue.push(detect_at, EventKind::LinkDown { node: owner, peer: node });
+        }
+        // Drop the crashed node's own connections.
+        self.connections.retain(|(owner, _)| *owner != node);
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
+        let slot = &mut self.nodes[id.index()];
+        let mut commands = std::mem::take(&mut self.command_buf);
+        commands.clear();
+        {
+            let mut ctx = Context {
+                now: self.now,
+                id,
+                rng: &mut slot.rng,
+                commands: &mut commands,
+            };
+            f(&mut slot.proto, &mut ctx);
+        }
+        self.command_buf = commands;
+        self.apply_commands(id);
+    }
+
+    fn apply_commands(&mut self, origin: NodeId) {
+        let commands = std::mem::take(&mut self.command_buf);
+        for cmd in &commands {
+            match cmd {
+                Command::Send { to, msg } => {
+                    let size = msg.wire_size();
+                    self.stats.messages_sent += 1;
+                    self.bandwidth.record(origin, Direction::Upload, size, self.now);
+                    let latency = {
+                        let rng = &mut self.nodes[origin.index()].rng;
+                        self.latency.sample(origin, *to, rng)
+                    };
+                    let mut deliver_at = self.now + latency;
+                    if self.config.fifo_links {
+                        let clock = self.link_clock.entry((origin, *to)).or_insert(SimTime::ZERO);
+                        if deliver_at < *clock {
+                            deliver_at = *clock + SimDuration::from_micros(1);
+                        }
+                        *clock = deliver_at;
+                    }
+                    self.queue.push(
+                        deliver_at,
+                        EventKind::Deliver {
+                            from: origin,
+                            to: *to,
+                            msg: msg.clone(),
+                            size,
+                        },
+                    );
+                }
+                Command::SetTimer { delay, tag } => {
+                    self.queue
+                        .push(self.now + *delay, EventKind::Timer { node: origin, tag: *tag });
+                }
+                Command::OpenConnection { peer } => {
+                    self.connections.insert((origin, *peer));
+                    // Connecting to a node that is already dead fails after
+                    // the detection delay, like a TCP connect timeout.
+                    if !self.is_alive(*peer) {
+                        self.queue.push(
+                            self.now + self.config.failure_detection_delay,
+                            EventKind::LinkDown { node: origin, peer: *peer },
+                        );
+                    }
+                }
+                Command::CloseConnection { peer } => {
+                    self.connections.remove(&(origin, *peer));
+                }
+            }
+        }
+        self.command_buf = commands;
+        self.command_buf.clear();
+    }
+
+    /// One-way "typical" latency between a pair according to the latency
+    /// model, used as the point-to-point reference series in Figure 9.
+    pub fn typical_latency(&mut self, src: NodeId, dst: NodeId) -> SimDuration {
+        let rng = &mut self.master_rng;
+        self.latency.typical(src, dst, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TimerTag;
+    use crate::latency::FixedLatency;
+
+    /// A tiny ping protocol used to exercise the simulator.
+    #[derive(Debug)]
+    struct Pinger {
+        peer: Option<NodeId>,
+        received: Vec<(NodeId, u8, SimTime)>,
+        timer_fired: u32,
+        link_down: Vec<NodeId>,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Ping(u8);
+    impl WireSize for Ping {
+        fn wire_size(&self) -> usize {
+            100
+        }
+    }
+
+    impl Pinger {
+        fn new(peer: Option<NodeId>) -> Self {
+            Pinger {
+                peer,
+                received: Vec::new(),
+                timer_fired: 0,
+                link_down: Vec::new(),
+            }
+        }
+    }
+
+    impl Protocol for Pinger {
+        type Message = Ping;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            if let Some(peer) = self.peer {
+                ctx.open_connection(peer);
+                ctx.send(peer, Ping(1));
+                ctx.set_timer(SimDuration::from_millis(50), TimerTag::of_kind(1));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+            self.received.push((from, msg.0, ctx.now()));
+            if msg.0 == 1 {
+                ctx.send(from, Ping(2));
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Ping>, _tag: TimerTag) {
+            self.timer_fired += 1;
+        }
+
+        fn on_link_down(&mut self, _ctx: &mut Context<'_, Ping>, peer: NodeId) {
+            self.link_down.push(peer);
+        }
+    }
+
+    fn fixed_net(ms: u64) -> Network<Pinger> {
+        Network::new(
+            NetworkConfig::default(),
+            Box::new(FixedLatency::new(SimDuration::from_millis(ms))),
+        )
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut net = fixed_net(10);
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(move |_| Pinger::new(Some(a)));
+        net.run_until(SimTime::from_secs(1));
+        // a received the ping at t=10ms, b received the pong at t=20ms.
+        let a_state = net.node(a).unwrap();
+        let b_state = net.node(b).unwrap();
+        assert_eq!(a_state.received.len(), 1);
+        assert_eq!(a_state.received[0].1, 1);
+        assert_eq!(a_state.received[0].2, SimTime::from_millis(10));
+        assert_eq!(b_state.received.len(), 1);
+        assert_eq!(b_state.received[0].1, 2);
+        assert_eq!(b_state.received[0].2, SimTime::from_millis(20));
+        assert_eq!(b_state.timer_fired, 1);
+        assert_eq!(net.stats().messages_sent, 2);
+        assert_eq!(net.stats().messages_delivered, 2);
+    }
+
+    #[test]
+    fn bandwidth_is_accounted_both_ways() {
+        let mut net = fixed_net(5);
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(move |_| Pinger::new(Some(a)));
+        net.run_until(SimTime::from_secs(1));
+        let bw = net.bandwidth();
+        assert_eq!(bw.node(b).unwrap().upload_total, 100);
+        assert_eq!(bw.node(b).unwrap().download_total, 100);
+        assert_eq!(bw.node(a).unwrap().upload_total, 100);
+        assert_eq!(bw.node(a).unwrap().download_total, 100);
+    }
+
+    #[test]
+    fn crash_drops_messages_and_notifies_connected_peer() {
+        let mut net = fixed_net(10);
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(move |_| Pinger::new(Some(a)));
+        // Crash `a` immediately: b's ping (in flight) is dropped and b is
+        // notified of the broken link after the detection delay.
+        net.crash(a);
+        net.run_until(SimTime::from_secs(2));
+        assert!(!net.is_alive(a));
+        assert!(net.is_alive(b));
+        assert_eq!(net.node(a).unwrap().received.len(), 0);
+        assert_eq!(net.node(b).unwrap().link_down, vec![a]);
+        assert_eq!(net.stats().messages_dropped, 1);
+        assert_eq!(net.alive_ids(), vec![b]);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run = || {
+            let mut net = fixed_net(3);
+            let a = net.add_node(|_| Pinger::new(None));
+            let _b = net.add_node(move |_| Pinger::new(Some(a)));
+            net.run_until(SimTime::from_secs(1));
+            net.stats().clone()
+        };
+        let s1 = run();
+        let s2 = run();
+        assert_eq!(s1.messages_sent, s2.messages_sent);
+        assert_eq!(s1.events_processed, s2.events_processed);
+    }
+
+    #[test]
+    fn invoke_routes_commands_through_simulator() {
+        let mut net = fixed_net(1);
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(|_| Pinger::new(None));
+        net.run_until(SimTime::from_millis(1));
+        net.invoke(b, |_proto, ctx| {
+            ctx.send(a, Ping(7));
+        });
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(net.node(a).unwrap().received.len(), 1);
+        assert_eq!(net.node(a).unwrap().received[0].1, 7);
+    }
+
+    #[test]
+    fn fifo_ordering_is_preserved_per_link() {
+        // With FIFO links, a burst of messages sent back-to-back arrives in
+        // order even though individual latency samples could reorder them.
+        let mut net: Network<Pinger> = Network::new(
+            NetworkConfig::default(),
+            Box::new(crate::latency::ClusterLatency::default()),
+        );
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(|_| Pinger::new(None));
+        net.run_until(SimTime::from_millis(1));
+        net.invoke(b, |_p, ctx| {
+            for i in 0..20u8 {
+                ctx.send(a, Ping(i));
+            }
+        });
+        net.run_until(SimTime::from_secs(1));
+        let seq: Vec<u8> = net.node(a).unwrap().received.iter().map(|r| r.1).collect();
+        assert_eq!(seq, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delayed_start_defers_on_start() {
+        let mut net = fixed_net(1);
+        let a = net.add_node(|_| Pinger::new(None));
+        let _b = net.add_node_at(SimTime::from_secs(5), move |_| Pinger::new(Some(a)));
+        net.run_until(SimTime::from_secs(4));
+        assert_eq!(net.node(a).unwrap().received.len(), 0);
+        net.run_until(SimTime::from_secs(6));
+        assert_eq!(net.node(a).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn connecting_to_dead_peer_reports_link_down() {
+        let mut net = fixed_net(1);
+        let a = net.add_node(|_| Pinger::new(None));
+        net.run_until(SimTime::from_millis(1));
+        net.crash(a);
+        net.run_until(SimTime::from_millis(2));
+        let b = net.add_node(move |_| Pinger::new(Some(a)));
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(net.node(b).unwrap().link_down, vec![a]);
+    }
+}

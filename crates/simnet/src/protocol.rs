@@ -1,0 +1,153 @@
+//! The protocol/simulator interface.
+//!
+//! Protocols are written in a *sans-IO* style: the simulator calls into the
+//! protocol with events (start, message, timer, link-down) and the protocol
+//! reacts by issuing commands through the [`Context`] (send a message, set a
+//! timer, open or close a connection). No I/O, threads or global state is
+//! involved, which keeps protocol implementations deterministic and unit
+//! testable.
+
+use crate::event::TimerTag;
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+
+/// Types that know their size on the wire.
+///
+/// The simulator charges this many bytes of upload to the sender and of
+/// download to the receiver of each message. Protocol crates compute the
+/// size from header fields plus payload, mirroring the accounting of the
+/// paper's prototype.
+pub trait WireSize {
+    /// Size of the encoded message in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+/// A protocol stack run by one simulated node.
+pub trait Protocol: Sized {
+    /// The single message type exchanged between nodes running this stack.
+    type Message: Clone + WireSize;
+
+    /// Called once when the node starts executing (joins the system).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Message>, from: NodeId, msg: Self::Message);
+
+    /// Called when a timer previously set through [`Context::set_timer`]
+    /// fires. Timers cannot be cancelled; a protocol that no longer cares
+    /// about a timer simply ignores the callback.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Message>, tag: TimerTag);
+
+    /// Called when connection-level failure detection reports that the
+    /// connection to `peer` is broken (the peer crashed, or a connection
+    /// attempt to a dead peer timed out).
+    fn on_link_down(&mut self, ctx: &mut Context<'_, Self::Message>, peer: NodeId) {
+        let _ = (ctx, peer);
+    }
+}
+
+/// Commands emitted by a protocol while handling an event.
+#[derive(Debug)]
+pub(crate) enum Command<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { delay: SimDuration, tag: TimerTag },
+    OpenConnection { peer: NodeId },
+    CloseConnection { peer: NodeId },
+}
+
+/// Execution context handed to a protocol callback.
+///
+/// All interaction with the outside world goes through this handle: the
+/// current simulated time, the node's own identifier, a per-node
+/// deterministic random number generator, and the command sink.
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) id: NodeId,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) commands: &'a mut Vec<Command<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Identifier of the node executing the callback.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Delivery is reliable and FIFO per destination
+    /// (unless the peer crashes before the message arrives, in which case it
+    /// is silently dropped — exactly what a broken TCP connection does).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.commands.push(Command::Send { to, msg });
+    }
+
+    /// Arms a one-shot timer that fires after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
+        self.commands.push(Command::SetTimer { delay, tag });
+    }
+
+    /// Declares an open connection to `peer` for the purpose of failure
+    /// detection: if `peer` crashes (or is already dead), this node receives
+    /// an `on_link_down(peer)` callback after the configured detection
+    /// delay. HyParView opens a connection per active-view entry.
+    pub fn open_connection(&mut self, peer: NodeId) {
+        self.commands.push(Command::OpenConnection { peer });
+    }
+
+    /// Closes a previously opened connection; no further link-down
+    /// notifications will be delivered for `peer`.
+    pub fn close_connection(&mut self, peer: NodeId) {
+        self.commands.push(Command::CloseConnection { peer });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_records_commands() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut commands: Vec<Command<u32>> = Vec::new();
+        let mut ctx = Context {
+            now: SimTime::from_secs(5),
+            id: NodeId(3),
+            rng: &mut rng,
+            commands: &mut commands,
+        };
+        assert_eq!(ctx.now(), SimTime::from_secs(5));
+        assert_eq!(ctx.id(), NodeId(3));
+        ctx.send(NodeId(1), 99);
+        ctx.set_timer(SimDuration::from_millis(10), TimerTag::of_kind(7));
+        ctx.open_connection(NodeId(2));
+        ctx.close_connection(NodeId(2));
+        let _ = ctx.rng();
+        assert_eq!(commands.len(), 4);
+        assert!(matches!(commands[0], Command::Send { to: NodeId(1), msg: 99 }));
+        assert!(matches!(commands[1], Command::SetTimer { .. }));
+        assert!(matches!(commands[2], Command::OpenConnection { peer: NodeId(2) }));
+        assert!(matches!(commands[3], Command::CloseConnection { peer: NodeId(2) }));
+    }
+
+    #[test]
+    fn unit_has_zero_wire_size() {
+        assert_eq!(().wire_size(), 0);
+    }
+}

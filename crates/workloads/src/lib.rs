@@ -1,0 +1,32 @@
+//! # brisa-workloads — experiment harness for the BRISA reproduction
+//!
+//! Turns the protocol crates into the experiments of the paper's evaluation:
+//!
+//! * [`spec`] — scenario descriptions: stream shape, testbed, churn phase
+//!   (the Splay churn script of Listing 1), HyParView/BRISA parameters;
+//! * [`scenarios`] — one canonical parameter set per figure/table, at the
+//!   paper's full scale or a reduced quick scale;
+//! * [`brisa_run`] — the BRISA runner: bootstrap → (churn) → stream →
+//!   metric collection;
+//! * [`baseline_runs`] — the same loop for flooding, SimpleGossip,
+//!   SimpleTree and TAG;
+//! * [`result`] — the collected metrics (per-node summaries, phase
+//!   bandwidth, churn reports).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline_runs;
+pub mod brisa_run;
+pub mod result;
+pub mod scenarios;
+pub mod spec;
+
+pub use baseline_runs::{
+    run_flood, run_simple_gossip, run_simple_tree, run_tag, BaselineNodeSummary,
+    BaselineRunResult, BaselineScenario,
+};
+pub use brisa_run::{run_brisa, BrisaRunResult};
+pub use result::{split_bandwidth, ChurnReport, NodeSummary, PhaseBandwidth};
+pub use scenarios::Scale;
+pub use spec::{BrisaScenario, ChurnEvent, ChurnSpec, StreamSpec, Testbed};

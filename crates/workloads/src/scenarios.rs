@@ -1,0 +1,255 @@
+//! Canonical scenario definitions, one per figure/table of the paper.
+//!
+//! Every regeneration binary in `brisa-bench` pulls its parameters from
+//! here, so the mapping between an experiment and its configuration is
+//! recorded in exactly one place. Each scenario can be instantiated at the
+//! paper's full scale or at a reduced `Quick` scale for smoke runs and CI.
+
+use crate::spec::{BrisaScenario, ChurnSpec, StreamSpec, Testbed};
+use brisa::{ParentStrategy, StructureMode};
+use brisa_simnet::SimDuration;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The sizes used in the paper (512/200/150/128 nodes, 500 messages).
+    Full,
+    /// A reduced size that preserves the qualitative shape but runs in
+    /// seconds; used by tests and the default `cargo bench` invocation.
+    Quick,
+}
+
+impl Scale {
+    /// Reads the scale from the `BRISA_SCALE` environment variable
+    /// (`full`/`quick`), defaulting to `Quick`.
+    pub fn from_env() -> Self {
+        match std::env::var("BRISA_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") | Ok("paper") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks `full` or `quick` depending on the scale.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Figure 2: duplicate distribution under flooding for view sizes 4–10 over
+/// a 512-node HyParView network, 500 messages. Returns `(nodes, messages,
+/// payload, view_sizes)`.
+pub fn fig2(scale: Scale) -> (u32, u64, usize, Vec<usize>) {
+    let nodes = scale.pick(512, 64);
+    let messages = scale.pick(500, 30);
+    (nodes, messages, 1024, vec![4, 6, 8, 10])
+}
+
+/// Figures 6 and 7: depth and degree distributions for 512 nodes,
+/// first-come first-picked, tree and DAG(2) × view 4 and 8.
+pub fn fig6_7(scale: Scale) -> Vec<BrisaScenario> {
+    let nodes = scale.pick(512, 96);
+    let messages = scale.pick(100, 20);
+    let mut out = Vec::new();
+    for &(mode, view) in &[
+        (StructureMode::Tree, 4),
+        (StructureMode::Tree, 8),
+        (StructureMode::Dag { parents: 2 }, 4),
+        (StructureMode::Dag { parents: 2 }, 8),
+    ] {
+        out.push(BrisaScenario {
+            nodes,
+            view_size: view,
+            mode,
+            stream: StreamSpec::short(messages, 1024),
+            ..Default::default()
+        });
+    }
+    out
+}
+
+/// Figure 8: sample tree shapes for 100 nodes, view sizes 4 and 8,
+/// expansion factor 1.
+pub fn fig8(scale: Scale) -> Vec<BrisaScenario> {
+    let nodes = scale.pick(100, 40);
+    [4usize, 8]
+        .iter()
+        .map(|&view| BrisaScenario {
+            nodes,
+            view_size: view,
+            expansion_factor: 1,
+            stream: StreamSpec::short(20, 256),
+            ..Default::default()
+        })
+        .collect()
+}
+
+/// Figure 9: routing delays on PlanetLab, 150 nodes, tree with view 4,
+/// 200 × 1 KB messages; strategies first-pick and delay-aware (plus the
+/// flood and point-to-point reference series produced by the bench binary).
+pub fn fig9(scale: Scale) -> Vec<BrisaScenario> {
+    let nodes = scale.pick(150, 48);
+    let messages = scale.pick(200, 25);
+    [ParentStrategy::FirstComeFirstPicked, ParentStrategy::DelayAware]
+        .iter()
+        .map(|&strategy| BrisaScenario {
+            nodes,
+            view_size: 4,
+            strategy,
+            testbed: Testbed::PlanetLab,
+            stream: StreamSpec { messages, rate_per_sec: 5.0, payload_bytes: 1024 },
+            bootstrap: SimDuration::from_secs(60),
+            ..Default::default()
+        })
+        .collect()
+}
+
+/// Figures 10 and 11: bandwidth usage for 512 nodes, payloads 1/10/50/100 KB,
+/// tree & DAG(2) × view 4/8. Returns `(payload sizes, scenarios per
+/// structure/view)`.
+pub fn fig10_11(scale: Scale) -> (Vec<usize>, Vec<BrisaScenario>) {
+    let nodes = scale.pick(512, 64);
+    let messages = scale.pick(200, 25);
+    let payloads = scale.pick(
+        vec![1024, 10 * 1024, 50 * 1024, 100 * 1024],
+        vec![1024, 10 * 1024],
+    );
+    let scenarios = [
+        (StructureMode::Tree, 4),
+        (StructureMode::Tree, 8),
+        (StructureMode::Dag { parents: 2 }, 4),
+        (StructureMode::Dag { parents: 2 }, 8),
+    ]
+    .iter()
+    .map(|&(mode, view)| BrisaScenario {
+        nodes,
+        view_size: view,
+        mode,
+        stream: StreamSpec { messages, rate_per_sec: 5.0, payload_bytes: 1024 },
+        ..Default::default()
+    })
+    .collect();
+    (payloads, scenarios)
+}
+
+/// Table I: churn impact for 128 and 512 nodes, view 4, churn 3% and 5% per
+/// minute over 10 minutes, tree vs DAG(2). Returns the cartesian product.
+pub fn table1(scale: Scale) -> Vec<(u32, f64, StructureMode, BrisaScenario)> {
+    let sizes: Vec<u32> = scale.pick(vec![128, 512], vec![48, 96]);
+    let churn_minutes = scale.pick(10u64, 2);
+    let mut out = Vec::new();
+    for &nodes in &sizes {
+        for &rate in &[3.0f64, 5.0] {
+            for &mode in &[StructureMode::Tree, StructureMode::Dag { parents: 2 }] {
+                let sc = BrisaScenario {
+                    nodes,
+                    view_size: 4,
+                    mode,
+                    stream: StreamSpec {
+                        messages: scale.pick(500, 50),
+                        rate_per_sec: 5.0,
+                        payload_bytes: 1024,
+                    },
+                    churn: Some(ChurnSpec {
+                        rate_percent: rate,
+                        interval: SimDuration::from_secs(60),
+                        duration: SimDuration::from_secs(60 * churn_minutes),
+                    }),
+                    bootstrap: SimDuration::from_secs(60),
+                    drain: SimDuration::from_secs(30),
+                    ..Default::default()
+                };
+                out.push((nodes, rate, mode, sc));
+            }
+        }
+    }
+    out
+}
+
+/// Figure 12 / Table II: the cross-protocol comparison at 512 nodes (view 4
+/// for BRISA and TAG). Returns `(nodes, payload sizes for Fig 12, stream for
+/// Table II)`.
+pub fn comparison(scale: Scale) -> (u32, Vec<usize>, StreamSpec) {
+    let nodes = scale.pick(512, 64);
+    let payloads = scale.pick(vec![0, 1024, 10 * 1024, 20 * 1024], vec![0, 1024, 10 * 1024]);
+    let stream = StreamSpec {
+        messages: scale.pick(500, 40),
+        rate_per_sec: 5.0,
+        payload_bytes: 1024,
+    };
+    (nodes, payloads, stream)
+}
+
+/// Figure 13: construction time, BRISA vs TAG, on the cluster (512 nodes)
+/// and PlanetLab (200 nodes).
+pub fn fig13(scale: Scale) -> Vec<(Testbed, u32)> {
+    vec![
+        (Testbed::Cluster, scale.pick(512, 64)),
+        (Testbed::PlanetLab, scale.pick(200, 48)),
+    ]
+}
+
+/// Figure 14: parent recovery delays under 3%/min churn for a 128-node
+/// network with view 4, BRISA tree vs TAG.
+pub fn fig14(scale: Scale) -> (u32, ChurnSpec, StreamSpec) {
+    let nodes = scale.pick(128, 48);
+    let churn = ChurnSpec {
+        rate_percent: 3.0,
+        interval: SimDuration::from_secs(60),
+        duration: SimDuration::from_secs(scale.pick(600, 120)),
+    };
+    let stream = StreamSpec {
+        messages: scale.pick(500, 60),
+        rate_per_sec: 5.0,
+        payload_bytes: 1024,
+    };
+    (nodes, churn, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_parameters() {
+        let (nodes, messages, payload, views) = fig2(Scale::Full);
+        assert_eq!((nodes, messages, payload), (512, 500, 1024));
+        assert_eq!(views, vec![4, 6, 8, 10]);
+        assert_eq!(fig6_7(Scale::Full).len(), 4);
+        assert_eq!(fig6_7(Scale::Full)[0].nodes, 512);
+        assert_eq!(fig8(Scale::Full)[0].nodes, 100);
+        assert_eq!(fig8(Scale::Full)[0].expansion_factor, 1);
+        assert_eq!(fig9(Scale::Full)[0].nodes, 150);
+        assert_eq!(fig9(Scale::Full)[0].testbed, Testbed::PlanetLab);
+        let (payloads, scenarios) = fig10_11(Scale::Full);
+        assert_eq!(payloads.len(), 4);
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(table1(Scale::Full).len(), 8);
+        let (n, p, s) = comparison(Scale::Full);
+        assert_eq!(n, 512);
+        assert_eq!(p, vec![0, 1024, 10240, 20480]);
+        assert_eq!(s.messages, 500);
+        assert_eq!(fig13(Scale::Full)[1], (Testbed::PlanetLab, 200));
+        let (n14, churn, _) = fig14(Scale::Full);
+        assert_eq!(n14, 128);
+        assert!((churn.rate_percent - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        let (nodes_full, ..) = fig2(Scale::Full);
+        let (nodes_quick, ..) = fig2(Scale::Quick);
+        assert!(nodes_quick < nodes_full);
+        assert!(table1(Scale::Quick)[0].3.nodes < table1(Scale::Full)[0].3.nodes);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        // The variable is not set in the test environment.
+        assert_eq!(Scale::from_env(), Scale::Quick);
+        assert_eq!(Scale::Quick.pick(1, 2), 2);
+        assert_eq!(Scale::Full.pick(1, 2), 1);
+    }
+}

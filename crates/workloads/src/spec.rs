@@ -1,0 +1,272 @@
+//! Experiment specifications.
+//!
+//! Every figure and table of the paper is an instance of a small set of
+//! parameters: system size, active view size, structure mode, parent
+//! selection strategy, testbed (cluster or PlanetLab), stream shape, and an
+//! optional churn phase. These types capture those parameters; the runner
+//! modules execute them.
+
+use brisa::{BrisaConfig, ParentStrategy, StructureMode};
+use brisa_membership::HyParViewConfig;
+use brisa_simnet::latency::{ClusterLatency, LatencyModel, PlanetLabLatency};
+use brisa_simnet::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which testbed the experiment models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Testbed {
+    /// The 15-machine 1 Gbps switched cluster (up to 512 logical nodes).
+    Cluster,
+    /// The PlanetLab slice (heavy-tailed, asymmetric WAN latencies).
+    PlanetLab,
+}
+
+impl Testbed {
+    /// Builds the latency model for this testbed.
+    pub fn latency_model(self, seed: u64) -> Box<dyn LatencyModel> {
+        match self {
+            Testbed::Cluster => Box::new(ClusterLatency::default()),
+            Testbed::PlanetLab => Box::new(PlanetLabLatency::new(seed, 40.0, 0.7, 0.2)),
+        }
+    }
+}
+
+/// Shape of the injected message stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Number of messages injected by the source.
+    pub messages: u64,
+    /// Injection rate in messages per second (the paper uses 5/s).
+    pub rate_per_sec: f64,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        StreamSpec { messages: 500, rate_per_sec: 5.0, payload_bytes: 1024 }
+    }
+}
+
+impl StreamSpec {
+    /// A shorter stream, convenient for tests and examples.
+    pub fn short(messages: u64, payload_bytes: usize) -> Self {
+        StreamSpec { messages, rate_per_sec: 5.0, payload_bytes }
+    }
+
+    /// Interval between two injections.
+    pub fn interval(&self) -> SimDuration {
+        SimDuration::from_millis_f64(1000.0 / self.rate_per_sec.max(0.001))
+    }
+
+    /// Total injection duration.
+    pub fn duration(&self) -> SimDuration {
+        self.interval() * self.messages
+    }
+}
+
+/// A constant-churn phase, reproducing the Splay churn script of Listing 1:
+/// every `interval`, `rate_percent` of the nodes fail and the same number of
+/// fresh nodes join.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Percentage of the population replaced per interval (the paper uses 3%
+    /// and 5% per minute).
+    pub rate_percent: f64,
+    /// Churn interval (60 s in the paper).
+    pub interval: SimDuration,
+    /// Total duration of the churn phase (600 s in the paper).
+    pub duration: SimDuration,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        ChurnSpec {
+            rate_percent: 3.0,
+            interval: SimDuration::from_secs(60),
+            duration: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// One churn event of the generated schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Fail one randomly chosen live node.
+    Fail,
+    /// Add one fresh node.
+    Join,
+}
+
+impl ChurnSpec {
+    /// Expands the spec into a per-event schedule starting at `start`:
+    /// `(time, event)` pairs, with fails and joins spread evenly across each
+    /// interval. `population` is the nominal system size used to compute the
+    /// per-interval event count.
+    pub fn schedule(&self, start: SimTime, population: usize) -> Vec<(SimTime, ChurnEvent)> {
+        let per_interval = ((population as f64) * self.rate_percent / 100.0).round() as usize;
+        let mut events = Vec::new();
+        if per_interval == 0 || self.interval.is_zero() {
+            return events;
+        }
+        let intervals = (self.duration.as_micros() / self.interval.as_micros()).max(1);
+        for i in 0..intervals {
+            let interval_start = start + self.interval * i;
+            let step = self.interval / (per_interval as u64 * 2).max(1) as u64;
+            for k in 0..per_interval {
+                let fail_at = interval_start + step * (2 * k as u64);
+                let join_at = interval_start + step * (2 * k as u64 + 1);
+                events.push((fail_at, ChurnEvent::Fail));
+                events.push((join_at, ChurnEvent::Join));
+            }
+        }
+        events.sort_by_key(|(t, _)| *t);
+        events
+    }
+
+    /// Total expected fail events over the whole phase for `population`.
+    pub fn total_failures(&self, population: usize) -> usize {
+        let per_interval = ((population as f64) * self.rate_percent / 100.0).round() as usize;
+        let intervals = (self.duration.as_micros() / self.interval.as_micros().max(1)).max(1);
+        per_interval * intervals as usize
+    }
+}
+
+/// Full specification of a BRISA experiment run.
+#[derive(Debug, Clone)]
+pub struct BrisaScenario {
+    /// Number of nodes bootstrapped before the stream starts.
+    pub nodes: u32,
+    /// HyParView active view size.
+    pub view_size: usize,
+    /// HyParView expansion factor (2 in the evaluation, 1 for Figure 8).
+    pub expansion_factor: usize,
+    /// Structure mode (tree or DAG).
+    pub mode: StructureMode,
+    /// Parent selection strategy.
+    pub strategy: ParentStrategy,
+    /// Testbed latency model.
+    pub testbed: Testbed,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Stream shape.
+    pub stream: StreamSpec,
+    /// Optional churn phase running concurrently with the stream.
+    pub churn: Option<ChurnSpec>,
+    /// Time allotted for the join phase and overlay stabilisation before the
+    /// stream starts.
+    pub bootstrap: SimDuration,
+    /// Time to keep simulating after the last injection so in-flight
+    /// messages and repairs drain.
+    pub drain: SimDuration,
+}
+
+impl Default for BrisaScenario {
+    fn default() -> Self {
+        BrisaScenario {
+            nodes: 128,
+            view_size: 4,
+            expansion_factor: 2,
+            mode: StructureMode::Tree,
+            strategy: ParentStrategy::FirstComeFirstPicked,
+            testbed: Testbed::Cluster,
+            seed: 0xB215A,
+            stream: StreamSpec::default(),
+            churn: None,
+            bootstrap: SimDuration::from_secs(30),
+            drain: SimDuration::from_secs(20),
+        }
+    }
+}
+
+impl BrisaScenario {
+    /// The HyParView configuration implied by this scenario.
+    pub fn hyparview_config(&self) -> HyParViewConfig {
+        HyParViewConfig::with_active_size(self.view_size).expansion_factor(self.expansion_factor)
+    }
+
+    /// The BRISA configuration implied by this scenario.
+    pub fn brisa_config(&self) -> BrisaConfig {
+        BrisaConfig {
+            mode: self.mode,
+            strategy: self.strategy,
+            ..BrisaConfig::default()
+        }
+    }
+
+    /// A small scenario suitable for unit/integration tests.
+    pub fn small_test(nodes: u32) -> Self {
+        BrisaScenario {
+            nodes,
+            stream: StreamSpec::short(10, 256),
+            bootstrap: SimDuration::from_secs(20),
+            drain: SimDuration::from_secs(10),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_timing() {
+        let s = StreamSpec::default();
+        assert_eq!(s.interval(), SimDuration::from_millis(200));
+        assert_eq!(s.duration(), SimDuration::from_secs(100));
+        let short = StreamSpec::short(10, 64);
+        assert_eq!(short.messages, 10);
+        assert_eq!(short.payload_bytes, 64);
+    }
+
+    #[test]
+    fn churn_schedule_has_balanced_events() {
+        let spec = ChurnSpec {
+            rate_percent: 5.0,
+            interval: SimDuration::from_secs(60),
+            duration: SimDuration::from_secs(600),
+        };
+        let sched = spec.schedule(SimTime::from_secs(100), 128);
+        let fails = sched.iter().filter(|(_, e)| *e == ChurnEvent::Fail).count();
+        let joins = sched.iter().filter(|(_, e)| *e == ChurnEvent::Join).count();
+        // 5% of 128 = 6.4 -> 6 per minute, 10 minutes -> 60 each.
+        assert_eq!(fails, 60);
+        assert_eq!(joins, 60);
+        assert_eq!(spec.total_failures(128), 60);
+        // Sorted by time, all within the phase.
+        assert!(sched.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(sched.first().unwrap().0 >= SimTime::from_secs(100));
+        assert!(sched.last().unwrap().0 <= SimTime::from_secs(700));
+    }
+
+    #[test]
+    fn zero_rate_churn_is_empty() {
+        let spec = ChurnSpec { rate_percent: 0.0, ..Default::default() };
+        assert!(spec.schedule(SimTime::ZERO, 100).is_empty());
+    }
+
+    #[test]
+    fn scenario_configs_reflect_parameters() {
+        let sc = BrisaScenario {
+            view_size: 8,
+            expansion_factor: 1,
+            mode: StructureMode::Dag { parents: 2 },
+            strategy: ParentStrategy::DelayAware,
+            ..Default::default()
+        };
+        assert_eq!(sc.hyparview_config().active_size, 8);
+        assert_eq!(sc.hyparview_config().max_active(), 8);
+        assert_eq!(sc.brisa_config().mode.target_parents(), 2);
+        assert_eq!(sc.brisa_config().strategy, ParentStrategy::DelayAware);
+        let small = BrisaScenario::small_test(16);
+        assert_eq!(small.nodes, 16);
+        assert_eq!(small.stream.messages, 10);
+    }
+
+    #[test]
+    fn testbed_models_build() {
+        let _c = Testbed::Cluster.latency_model(1);
+        let _p = Testbed::PlanetLab.latency_model(1);
+    }
+}
