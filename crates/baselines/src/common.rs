@@ -20,13 +20,13 @@ impl DeliveryStats {
     /// Records a reception of `seq` at `now`; returns true if it was the
     /// first one.
     pub fn record(&mut self, seq: u64, now: SimTime) -> bool {
-        if self.first_delivery.contains_key(&seq) {
-            self.duplicates += 1;
-            false
-        } else {
-            self.first_delivery.insert(seq, now);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.first_delivery.entry(seq) {
+            e.insert(now);
             self.delivered += 1;
             true
+        } else {
+            self.duplicates += 1;
+            false
         }
     }
 

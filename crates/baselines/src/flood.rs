@@ -170,18 +170,24 @@ mod tests {
 
     fn build(n: u32, view: usize) -> (Network<FloodNode>, Vec<NodeId>) {
         let mut net: Network<FloodNode> = Network::new(
-            NetworkConfig { seed: 7, ..Default::default() },
+            NetworkConfig {
+                seed: 7,
+                ..Default::default()
+            },
             Box::new(ClusterLatency::default()),
         );
         let cfg = HyParViewConfig::with_active_size(view);
         let mut ids = Vec::new();
-        let first = net.add_node(|id| FloodNode::new(id, HyParViewConfig::with_active_size(view), None));
+        let first =
+            net.add_node(|id| FloodNode::new(id, HyParViewConfig::with_active_size(view), None));
         ids.push(first);
         for i in 1..n {
             let cfg = cfg.clone();
-            ids.push(net.add_node_at(SimTime::from_millis(5 * i as u64), move |id| {
-                FloodNode::new(id, cfg, Some(first))
-            }));
+            ids.push(
+                net.add_node_at(SimTime::from_millis(5 * i as u64), move |id| {
+                    FloodNode::new(id, cfg, Some(first))
+                }),
+            );
         }
         net.run_until(SimTime::from_secs(20));
         (net, ids)

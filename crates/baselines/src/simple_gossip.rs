@@ -167,10 +167,12 @@ impl Protocol for SimpleGossipNode {
         let seeds = self.seeds.clone();
         self.cyclon.bootstrap(&seeds);
         let off1 = SimDuration::from_micros(
-            ctx.rng().gen_range(0..self.cfg.shuffle_period.as_micros().max(1)),
+            ctx.rng()
+                .gen_range(0..self.cfg.shuffle_period.as_micros().max(1)),
         );
         let off2 = SimDuration::from_micros(
-            ctx.rng().gen_range(0..self.cfg.anti_entropy_period.as_micros().max(1)),
+            ctx.rng()
+                .gen_range(0..self.cfg.anti_entropy_period.as_micros().max(1)),
         );
         ctx.set_timer(off1, TimerTag::of_kind(TIMER_SHUFFLE));
         ctx.set_timer(off2, TimerTag::of_kind(TIMER_ANTI_ENTROPY));

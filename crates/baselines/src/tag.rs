@@ -98,7 +98,11 @@ pub enum TagMsg {
 impl WireSize for TagMsg {
     fn wire_size(&self) -> usize {
         match self {
-            TagMsg::JoinReq | TagMsg::Probe | TagMsg::Attach | TagMsg::AttachAck | TagMsg::PeerLink => 8,
+            TagMsg::JoinReq
+            | TagMsg::Probe
+            | TagMsg::Attach
+            | TagMsg::AttachAck
+            | TagMsg::PeerLink => 8,
             TagMsg::JoinAck { .. } => 8 + 2 * NodeId::WIRE_SIZE,
             TagMsg::UpdateNext2 { .. } => 8 + NodeId::WIRE_SIZE,
             TagMsg::ProbeReply { .. } => 8 + NodeId::WIRE_SIZE + 4,
@@ -280,7 +284,13 @@ impl Protocol for TagNode {
                 if let Some(prev) = self.prev1 {
                     ctx.send(prev, TagMsg::UpdateNext2 { next2: from });
                 }
-                ctx.send(from, TagMsg::JoinAck { prev1: ctx.id(), prev2: self.prev1 });
+                ctx.send(
+                    from,
+                    TagMsg::JoinAck {
+                        prev1: ctx.id(),
+                        prev2: self.prev1,
+                    },
+                );
             }
             TagMsg::JoinAck { prev1, prev2 } => {
                 self.prev1 = Some(prev1);
@@ -293,7 +303,10 @@ impl Protocol for TagNode {
                 self.next2 = Some(next2);
             }
             TagMsg::Probe => {
-                let reply = TagMsg::ProbeReply { prev: self.prev1, children: self.children.len() };
+                let reply = TagMsg::ProbeReply {
+                    prev: self.prev1,
+                    children: self.children.len(),
+                };
                 ctx.send(from, reply);
             }
             TagMsg::ProbeReply { prev, children } => {
@@ -302,8 +315,14 @@ impl Protocol for TagNode {
                 };
                 met.push(from);
                 let suitable = children < self.cfg.max_children;
-                let next_hop = prev.filter(|&p| p != ctx.id());
-                if suitable || hops_left == 0 || next_hop.is_none() {
+                let next_hop = prev
+                    .filter(|&p| p != ctx.id())
+                    .filter(|_| !suitable && hops_left > 0);
+                if let Some(next) = next_hop {
+                    self.stats.probes_sent += 1;
+                    self.traversal = Some((hops_left - 1, met, goal));
+                    ctx.send(next, TagMsg::Probe);
+                } else {
                     // Settle here: attach to the best node met (the current
                     // one if suitable, otherwise the least loaded we saw —
                     // we only have the last one's counter, so take it).
@@ -318,11 +337,6 @@ impl Protocol for TagNode {
                         ctx.send(p, TagMsg::PeerLink);
                     }
                     self.traversal = Some((0, Vec::new(), goal));
-                } else {
-                    let next = next_hop.expect("checked above");
-                    self.stats.probes_sent += 1;
-                    self.traversal = Some((hops_left - 1, met, goal));
-                    ctx.send(next, TagMsg::Probe);
                 }
             }
             TagMsg::Attach => {
@@ -354,7 +368,12 @@ impl Protocol for TagNode {
                     }
                 }
                 // Catch up immediately rather than waiting for the next pull.
-                ctx.send(from, TagMsg::Pull { have_max: self.highest_contiguous() });
+                ctx.send(
+                    from,
+                    TagMsg::Pull {
+                        have_max: self.highest_contiguous(),
+                    },
+                );
             }
             TagMsg::PeerLink => {
                 self.gossip.insert(from);
@@ -430,7 +449,10 @@ impl Protocol for TagNode {
             .or_else(|| self.gossip.iter().next().copied())
             .or_else(|| self.children.iter().next().copied());
         if let Some(entry) = entry {
-            let goal = TraversalGoal::Repair { hard, started: ctx.now() };
+            let goal = TraversalGoal::Repair {
+                hard,
+                started: ctx.now(),
+            };
             self.start_traversal(ctx, entry, goal);
         }
     }
@@ -476,7 +498,11 @@ mod tests {
         // Pull-based dissemination needs several pull periods to drain.
         net.run_for(SimDuration::from_secs(30));
         for (i, &id) in ids.iter().enumerate() {
-            assert_eq!(net.node(id).unwrap().stats().delivered, 5, "node {i} delivered all");
+            assert_eq!(
+                net.node(id).unwrap().stats().delivered,
+                5,
+                "node {i} delivered all"
+            );
         }
     }
 
@@ -506,7 +532,10 @@ mod tests {
                 s.soft_repairs + s.hard_repairs
             })
             .sum();
-        assert!(repaired >= 1, "orphaned children re-attach after the failure");
+        assert!(
+            repaired >= 1,
+            "orphaned children re-attach after the failure"
+        );
         // The stream keeps flowing afterwards.
         for _ in 0..2 {
             net.invoke(source, |n, ctx| n.publish(ctx, 128));

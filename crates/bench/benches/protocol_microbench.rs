@@ -19,7 +19,9 @@ fn bench_hyparview_shuffle(c: &mut Criterion) {
             out.extend(node.handle(
                 SimTime::ZERO,
                 NodeId(i),
-                HpvMsg::Neighbor { high_priority: true },
+                HpvMsg::Neighbor {
+                    high_priority: true,
+                },
                 &mut rng,
             ));
         }
@@ -27,7 +29,9 @@ fn bench_hyparview_shuffle(c: &mut Criterion) {
             let _ = node.handle(
                 SimTime::ZERO,
                 NodeId(1),
-                HpvMsg::ShuffleReply { nodes: vec![NodeId(i)] },
+                HpvMsg::ShuffleReply {
+                    nodes: vec![NodeId(i)],
+                },
                 &mut rng,
             );
         }
@@ -48,7 +52,7 @@ fn bench_brisa_data_path(c: &mut Criterion) {
         core
     };
     let data = |seq: u64, sender: u32| {
-        BrisaMsg::Data(DataMsg {
+        BrisaMsg::data(DataMsg {
             seq,
             payload_bytes: 1024,
             guard: CycleGuard::Path(vec![NodeId(100), NodeId(sender)]),
@@ -61,8 +65,12 @@ fn bench_brisa_data_path(c: &mut Criterion) {
             make_core,
             |mut core| {
                 for seq in 0..64u64 {
-                    let actions =
-                        core.handle(SimTime::from_millis(seq), NodeId(1), data(seq, 1), &NoTelemetry);
+                    let actions = core.handle(
+                        SimTime::from_millis(seq),
+                        NodeId(1),
+                        data(seq, 1),
+                        &NoTelemetry,
+                    );
                     std::hint::black_box(actions);
                 }
                 core

@@ -26,7 +26,12 @@ fn main() {
         "bloom false positives",
     ];
     let mut rows = Vec::new();
-    for &(n, view) in &[(1_000usize, 8usize), (100_000, 8), (1_000_000, 8), (1_000_000, 4)] {
+    for &(n, view) in &[
+        (1_000usize, 8usize),
+        (100_000, 8),
+        (1_000_000, 8),
+        (1_000_000, 4),
+    ] {
         let height = ((n as f64).ln() / (view as f64).ln()).ceil() as usize;
         let path = CycleGuard::Path((0..height as u32).map(NodeId).collect());
         let depth = CycleGuard::Depth(height as u32);

@@ -3,16 +3,22 @@
 //! Sweeps the target parent count from 1 (a tree) to 4 and measures the
 //! trade-off the paper describes: more parents mean more duplicate traffic
 //! but far fewer orphaning events under churn.
+//!
+//! The four parent-count cells run in parallel through `run_matrix`.
 
 use brisa::StructureMode;
-use brisa_bench::banner;
+use brisa_bench::{banner, run_brisa, run_matrix, BrisaScenario, Scale};
 use brisa_metrics::report::render_table;
-use brisa_workloads::{run_brisa, BrisaScenario, ChurnSpec, Scale, StreamSpec};
 use brisa_simnet::SimDuration;
+use brisa_workloads::{ChurnSpec, StreamSpec};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation", "DAG parent count vs duplicates and robustness", scale);
+    banner(
+        "Ablation",
+        "DAG parent count vs duplicates and robustness",
+        scale,
+    );
     let nodes = scale.pick(128, 64);
     let churn = ChurnSpec {
         rate_percent: 5.0,
@@ -28,22 +34,29 @@ fn main() {
         "% soft repairs",
         "completeness %",
     ];
+    let parent_counts: Vec<usize> = (1..=4).collect();
+    let cells: Vec<BrisaScenario> = parent_counts
+        .iter()
+        .map(|&parents| {
+            let mode = if parents == 1 {
+                StructureMode::Tree
+            } else {
+                StructureMode::Dag { parents }
+            };
+            BrisaScenario {
+                nodes,
+                view_size: 8,
+                mode,
+                stream: StreamSpec::short(scale.pick(500, 60), 1024),
+                churn: Some(churn),
+                ..Default::default()
+            }
+        })
+        .collect();
+    let results = run_matrix(&cells, |_, sc| run_brisa(sc));
+
     let mut rows = Vec::new();
-    for parents in 1..=4usize {
-        let mode = if parents == 1 {
-            StructureMode::Tree
-        } else {
-            StructureMode::Dag { parents }
-        };
-        let sc = BrisaScenario {
-            nodes,
-            view_size: 8,
-            mode,
-            stream: StreamSpec::short(scale.pick(500, 60), 1024),
-            churn: Some(churn),
-            ..Default::default()
-        };
-        let result = run_brisa(&sc);
+    for (parents, result) in parent_counts.iter().zip(&results) {
         let churn_report = result.churn.clone().expect("churn report");
         let dup = result.non_source(|n| n.duplicates_per_message);
         let mean_dup = dup.iter().sum::<f64>() / dup.len().max(1) as f64;

@@ -4,11 +4,13 @@
 //! during join storms, avoiding eviction chain reactions. This ablation
 //! compares expansion factor 1 vs 2 on the degree distribution of the
 //! emerged tree and on the completeness of the dissemination.
+//!
+//! The four (view × factor) cells run in parallel through `run_matrix`.
 
-use brisa_bench::banner;
+use brisa_bench::{banner, run_brisa, run_matrix, BrisaScenario, Scale};
 use brisa_metrics::report::render_table;
 use brisa_metrics::PercentileSummary;
-use brisa_workloads::{run_brisa, BrisaScenario, Scale, StreamSpec};
+use brisa_workloads::StreamSpec;
 
 fn main() {
     let scale = Scale::from_env();
@@ -23,31 +25,38 @@ fn main() {
         "% leaves",
         "completeness %",
     ];
-    let mut rows = Vec::new();
+    let mut grid = Vec::new();
     for &view in &[4usize, 8] {
         for &factor in &[1usize, 2] {
-            let sc = BrisaScenario {
-                nodes,
-                view_size: view,
-                expansion_factor: factor,
-                stream: StreamSpec::short(scale.pick(100, 20), 1024),
-                ..Default::default()
-            };
-            let result = run_brisa(&sc);
-            let degrees = result.structure.degrees();
-            let summary =
-                PercentileSummary::from_samples(degrees.values().map(|&d| d as f64));
-            let leaves = degrees.values().filter(|&&d| d == 0).count();
-            rows.push(vec![
-                factor.to_string(),
-                view.to_string(),
-                format!("{:.1}", summary.p50),
-                format!("{:.1}", summary.p90),
-                format!("{:.0}", degrees.values().max().copied().unwrap_or(0)),
-                format!("{:.0}", leaves as f64 / degrees.len().max(1) as f64 * 100.0),
-                format!("{:.1}", result.completeness() * 100.0),
-            ]);
+            grid.push((view, factor));
         }
+    }
+    let cells: Vec<BrisaScenario> = grid
+        .iter()
+        .map(|&(view, factor)| BrisaScenario {
+            nodes,
+            view_size: view,
+            expansion_factor: factor,
+            stream: StreamSpec::short(scale.pick(100, 20), 1024),
+            ..Default::default()
+        })
+        .collect();
+    let results = run_matrix(&cells, |_, sc| run_brisa(sc));
+
+    let mut rows = Vec::new();
+    for (&(view, factor), result) in grid.iter().zip(&results) {
+        let degrees = result.structure.degrees();
+        let summary = PercentileSummary::from_samples(degrees.values().map(|&d| d as f64));
+        let leaves = degrees.values().filter(|&&d| d == 0).count();
+        rows.push(vec![
+            factor.to_string(),
+            view.to_string(),
+            format!("{:.1}", summary.p50),
+            format!("{:.1}", summary.p90),
+            format!("{:.0}", degrees.values().max().copied().unwrap_or(0)),
+            format!("{:.0}", leaves as f64 / degrees.len().max(1) as f64 * 100.0),
+            format!("{:.1}", result.completeness() * 100.0),
+        ]);
     }
     print!("{}", render_table(&headers, &rows));
 }

@@ -4,12 +4,14 @@
 //! load-balancing on routing delay, structure depth, and the spread of the
 //! dissemination load (degree percentiles), on the PlanetLab latency model
 //! where strategy differences are visible.
+//!
+//! The four strategy cells run in parallel through `run_matrix`.
 
 use brisa::ParentStrategy;
-use brisa_bench::banner;
+use brisa_bench::{banner, run_brisa, run_matrix, BrisaScenario, Scale};
 use brisa_metrics::report::render_table;
 use brisa_metrics::{Cdf, PercentileSummary};
-use brisa_workloads::{run_brisa, BrisaScenario, Scale, StreamSpec, Testbed};
+use brisa_workloads::{StreamSpec, Testbed};
 
 fn main() {
     let scale = Scale::from_env();
@@ -23,24 +25,33 @@ fn main() {
         "p90 degree",
         "completeness %",
     ];
-    let mut rows = Vec::new();
-    for &(strategy, label) in &[
+    let strategies = [
         (ParentStrategy::FirstComeFirstPicked, "first-come"),
         (ParentStrategy::DelayAware, "delay-aware"),
         (ParentStrategy::Gerontocratic, "gerontocratic"),
         (ParentStrategy::LoadBalancing, "load-balancing"),
-    ] {
-        let sc = BrisaScenario {
+    ];
+    let cells: Vec<BrisaScenario> = strategies
+        .iter()
+        .map(|&(strategy, _)| BrisaScenario {
             nodes,
             view_size: 4,
             strategy,
             testbed: Testbed::PlanetLab,
             stream: StreamSpec::short(scale.pick(200, 30), 1024),
             ..Default::default()
-        };
-        let result = run_brisa(&sc);
+        })
+        .collect();
+    let results = run_matrix(&cells, |_, sc| run_brisa(sc));
+
+    let mut rows = Vec::new();
+    for ((_, label), result) in strategies.iter().zip(&results) {
         let mut delays = Cdf::from_samples(
-            result.nodes.iter().filter(|n| !n.is_source).filter_map(|n| n.routing_delay_ms),
+            result
+                .nodes
+                .iter()
+                .filter(|n| !n.is_source)
+                .filter_map(|n| n.routing_delay_ms),
         );
         let depths = result.structure.depths();
         let degrees =

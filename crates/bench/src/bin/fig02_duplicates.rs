@@ -4,10 +4,14 @@
 //! Paper shape: the number of duplicates grows sharply with the view size —
 //! with view 4 half of the nodes see more than one duplicate per message,
 //! with view 10 they see more than seven.
+//!
+//! The four view-size cells are independent simulations; they fan out
+//! across threads through `run_matrix` (set `BRISA_THREADS=1` to force a
+//! sequential run — the numbers do not change).
 
-use brisa_bench::{banner, print_cdf_series};
+use brisa_bench::{banner, print_cdf_series, run_flood, run_matrix, BaselineScenario, Scale};
 use brisa_metrics::Cdf;
-use brisa_workloads::{run_flood, scenarios, BaselineScenario, Scale, StreamSpec};
+use brisa_workloads::{scenarios, StreamSpec};
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,15 +24,23 @@ fn main() {
     println!("nodes = {nodes}, messages = {messages}, payload = {payload} B");
     println!();
 
-    let mut series = Vec::new();
-    for view in views {
-        let sc = BaselineScenario {
+    let cells: Vec<BaselineScenario> = views
+        .iter()
+        .map(|&view| BaselineScenario {
             nodes,
             view_size: view,
-            stream: StreamSpec { messages, rate_per_sec: 5.0, payload_bytes: payload },
+            stream: StreamSpec {
+                messages,
+                rate_per_sec: 5.0,
+                payload_bytes: payload,
+            },
             ..BaselineScenario::default()
-        };
-        let result = run_flood(&sc);
+        })
+        .collect();
+    let results = run_matrix(&cells, |_, sc| run_flood(sc));
+
+    let mut series = Vec::new();
+    for (view, result) in views.iter().zip(&results) {
         let cdf = Cdf::from_samples(
             result
                 .nodes

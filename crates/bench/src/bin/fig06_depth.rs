@@ -11,7 +11,11 @@ use brisa_workloads::{run_brisa, scenarios, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 6", "depth distribution of the emerged structure", scale);
+    banner(
+        "Figure 6",
+        "depth distribution of the emerged structure",
+        scale,
+    );
     let mut series = Vec::new();
     for sc in scenarios::fig6_7(scale) {
         let label = format!(

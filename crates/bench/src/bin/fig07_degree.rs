@@ -13,7 +13,11 @@ use brisa_workloads::{run_brisa, scenarios, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 7", "degree distribution of the emerged structure", scale);
+    banner(
+        "Figure 7",
+        "degree distribution of the emerged structure",
+        scale,
+    );
     let mut series = Vec::new();
     for sc in scenarios::fig6_7(scale) {
         let label = format!(

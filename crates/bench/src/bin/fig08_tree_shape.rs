@@ -22,6 +22,11 @@ fn main() {
             max_depth,
             result.structure.is_complete()
         );
-        println!("{}", result.structure.to_dot(&format!("brisa_view{}", sc.view_size)));
+        println!(
+            "{}",
+            result
+                .structure
+                .to_dot(&format!("brisa_view{}", sc.view_size))
+        );
     }
 }

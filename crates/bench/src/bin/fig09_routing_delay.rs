@@ -9,9 +9,7 @@
 
 use brisa_bench::{banner, print_cdf_series};
 use brisa_metrics::Cdf;
-use brisa_workloads::{
-    run_brisa, run_flood, scenarios, BaselineScenario, Scale, Testbed,
-};
+use brisa_workloads::{run_brisa, run_flood, scenarios, BaselineScenario, Scale, Testbed};
 
 fn main() {
     let scale = Scale::from_env();

@@ -13,7 +13,11 @@ use brisa_workloads::{run_brisa, scenarios, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 10", "download bandwidth during dissemination", scale);
+    banner(
+        "Figure 10",
+        "download bandwidth during dissemination",
+        scale,
+    );
     let (payloads, base_scenarios) = scenarios::fig10_11(scale);
     let headers = percentile_headers("configuration (KB/s down)");
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

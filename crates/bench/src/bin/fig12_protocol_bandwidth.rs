@@ -17,7 +17,11 @@ use brisa_workloads::{
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 12", "data transmitted per node, by protocol and payload", scale);
+    banner(
+        "Figure 12",
+        "data transmitted per node, by protocol and payload",
+        scale,
+    );
     let (nodes, payloads, stream) = scenarios::comparison(scale);
     let headers = [
         "payload (KB)",
@@ -28,9 +32,22 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for payload in payloads {
-        let stream = StreamSpec { payload_bytes: payload, ..stream };
-        let baseline_sc = BaselineScenario { nodes, view_size: 4, stream, ..Default::default() };
-        let brisa_sc = BrisaScenario { nodes, view_size: 4, stream, ..Default::default() };
+        let stream = StreamSpec {
+            payload_bytes: payload,
+            ..stream
+        };
+        let baseline_sc = BaselineScenario {
+            nodes,
+            view_size: 4,
+            stream,
+            ..Default::default()
+        };
+        let brisa_sc = BrisaScenario {
+            nodes,
+            view_size: 4,
+            stream,
+            ..Default::default()
+        };
 
         let tree = run_simple_tree(&baseline_sc);
         let brisa_run = run_brisa(&brisa_sc);

@@ -16,7 +16,11 @@ use brisa_workloads::{
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 13", "structure construction time, BRISA vs TAG", scale);
+    banner(
+        "Figure 13",
+        "structure construction time, BRISA vs TAG",
+        scale,
+    );
     let mut series = Vec::new();
     for (testbed, nodes) in scenarios::fig13(scale) {
         let env = match testbed {
@@ -24,10 +28,19 @@ fn main() {
             Testbed::PlanetLab => "PlanetLab",
         };
         let stream = StreamSpec::short(30, 1024);
-        let brisa_sc = BrisaScenario { nodes, view_size: 4, testbed, stream, ..Default::default() };
+        let brisa_sc = BrisaScenario {
+            nodes,
+            view_size: 4,
+            testbed,
+            stream,
+            ..Default::default()
+        };
         let brisa_run = run_brisa(&brisa_sc);
         let brisa_cdf = Cdf::from_samples(
-            brisa_run.nodes.iter().filter_map(|n| n.construction_time_ms),
+            brisa_run
+                .nodes
+                .iter()
+                .filter_map(|n| n.construction_time_ms),
         );
         println!("BRISA, {env}: median construction {:.1} ms", {
             let mut c = brisa_cdf.clone();
@@ -35,11 +48,16 @@ fn main() {
         });
         series.push((format!("BRISA, {env}"), brisa_cdf));
 
-        let tag_sc = BaselineScenario { nodes, view_size: 4, testbed, stream, ..Default::default() };
+        let tag_sc = BaselineScenario {
+            nodes,
+            view_size: 4,
+            testbed,
+            stream,
+            ..Default::default()
+        };
         let tag_run = run_tag(&tag_sc);
-        let tag_cdf = Cdf::from_samples(
-            tag_run.nodes.iter().filter_map(|n| n.construction_time_ms),
-        );
+        let tag_cdf =
+            Cdf::from_samples(tag_run.nodes.iter().filter_map(|n| n.construction_time_ms));
         println!("TAG, {env}: median construction {:.1} ms", {
             let mut c = tag_cdf.clone();
             c.quantile(0.5)

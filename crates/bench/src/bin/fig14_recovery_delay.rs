@@ -7,13 +7,15 @@
 
 use brisa_bench::{banner, print_cdf_series};
 use brisa_metrics::Cdf;
-use brisa_workloads::{
-    run_brisa, run_tag, scenarios, BaselineScenario, BrisaScenario, Scale,
-};
+use brisa_workloads::{run_brisa, run_tag, scenarios, BaselineScenario, BrisaScenario, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 14", "parent recovery delay under churn, BRISA vs TAG", scale);
+    banner(
+        "Figure 14",
+        "parent recovery delay under churn, BRISA vs TAG",
+        scale,
+    );
     let (nodes, churn, stream) = scenarios::fig14(scale);
 
     let brisa_sc = BrisaScenario {

@@ -5,14 +5,21 @@
 //! Paper shape: DAGs lose parents more often (they have more of them) but
 //! are orphaned far less often than trees; the vast majority of
 //! disconnections are repaired with the soft mechanism.
+//!
+//! The eight (size × rate × structure) cells are independent simulations and
+//! fan out across threads through `run_matrix`.
 
-use brisa_bench::banner;
+use brisa_bench::{banner, run_brisa, run_matrix};
 use brisa_metrics::report::render_table;
-use brisa_workloads::{run_brisa, scenarios, Scale};
+use brisa_workloads::{scenarios, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Table I", "impact of churn (parents lost, orphans, repairs)", scale);
+    banner(
+        "Table I",
+        "impact of churn (parents lost, orphans, repairs)",
+        scale,
+    );
     let headers = [
         "nodes",
         "churn %/min",
@@ -23,14 +30,22 @@ fn main() {
         "% hard repairs",
         "completeness %",
     ];
+    let cells = scenarios::table1(scale);
+    let results = run_matrix(&cells, |_, (_, _, _, sc)| run_brisa(sc));
     let mut rows = Vec::new();
-    for (nodes, rate, mode, sc) in scenarios::table1(scale) {
-        let result = run_brisa(&sc);
-        let churn = result.churn.clone().expect("table 1 runs always have churn");
+    for ((nodes, rate, mode, _), result) in cells.iter().zip(&results) {
+        let churn = result
+            .churn
+            .clone()
+            .expect("table 1 runs always have churn");
         rows.push(vec![
             nodes.to_string(),
             format!("{rate:.0}"),
-            if mode.is_tree() { "Tree".to_string() } else { "DAG, 2 parents".to_string() },
+            if mode.is_tree() {
+                "Tree".to_string()
+            } else {
+                "DAG, 2 parents".to_string()
+            },
             format!("{:.1}", churn.parents_lost_per_min),
             format!("{:.1}", churn.orphans_per_min),
             format!("{:.1}", churn.soft_pct),

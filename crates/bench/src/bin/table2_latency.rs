@@ -7,13 +7,25 @@
 //! (messages / rate). Paper shape: SimpleTree ≈ BRISA ≈ ideal,
 //! SimpleGossip a bit slower (anti-entropy compensates omissions), TAG
 //! clearly slower because it pulls.
+//!
+//! The four protocol runs are independent simulations; they fan out across
+//! threads through `run_matrix`.
 
-use brisa_bench::banner;
-use brisa_metrics::report::render_table;
-use brisa_workloads::{
-    run_brisa, run_simple_gossip, run_simple_tree, run_tag, scenarios, BaselineScenario,
+use brisa_bench::{
+    banner, run_brisa, run_matrix, run_simple_gossip, run_simple_tree, run_tag, BaselineScenario,
     BrisaScenario, Scale,
 };
+use brisa_metrics::report::render_table;
+use brisa_workloads::scenarios;
+
+/// One cell of the protocol comparison.
+#[derive(Clone, Copy)]
+enum Cell {
+    SimpleTree,
+    Brisa,
+    SimpleGossip,
+    Tag,
+}
 
 fn mean(values: impl Iterator<Item = f64>) -> f64 {
     let v: Vec<f64> = values.collect();
@@ -35,18 +47,40 @@ fn main() {
     );
     println!();
 
-    let baseline_sc = BaselineScenario { nodes, view_size: 4, stream, ..Default::default() };
-    let brisa_sc = BrisaScenario { nodes, view_size: 4, stream, ..Default::default() };
+    let baseline_sc = BaselineScenario {
+        nodes,
+        view_size: 4,
+        stream,
+        ..Default::default()
+    };
+    let brisa_sc = BrisaScenario {
+        nodes,
+        view_size: 4,
+        stream,
+        ..Default::default()
+    };
 
-    let tree = run_simple_tree(&baseline_sc);
-    let brisa_run = run_brisa(&brisa_sc);
-    let gossip = run_simple_gossip(&baseline_sc);
-    let tag = run_tag(&baseline_sc);
-
-    let tree_lat = mean(tree.nodes.iter().filter_map(|n| n.dissemination_latency_secs));
-    let brisa_lat = mean(brisa_run.nodes.iter().filter_map(|n| n.dissemination_latency_secs));
-    let gossip_lat = mean(gossip.nodes.iter().filter_map(|n| n.dissemination_latency_secs));
-    let tag_lat = mean(tag.nodes.iter().filter_map(|n| n.dissemination_latency_secs));
+    let cells = [Cell::SimpleTree, Cell::Brisa, Cell::SimpleGossip, Cell::Tag];
+    let latencies = run_matrix(&cells, |_, cell| match cell {
+        Cell::SimpleTree => {
+            let r = run_simple_tree(&baseline_sc);
+            mean(r.nodes.iter().filter_map(|n| n.dissemination_latency_secs))
+        }
+        Cell::Brisa => {
+            let r = run_brisa(&brisa_sc);
+            mean(r.nodes.iter().filter_map(|n| n.dissemination_latency_secs))
+        }
+        Cell::SimpleGossip => {
+            let r = run_simple_gossip(&baseline_sc);
+            mean(r.nodes.iter().filter_map(|n| n.dissemination_latency_secs))
+        }
+        Cell::Tag => {
+            let r = run_tag(&baseline_sc);
+            mean(r.nodes.iter().filter_map(|n| n.dissemination_latency_secs))
+        }
+    });
+    let (tree_lat, brisa_lat, gossip_lat, tag_lat) =
+        (latencies[0], latencies[1], latencies[2], latencies[3]);
 
     let overhead = |lat: f64| {
         if tree_lat > 0.0 {
@@ -57,10 +91,26 @@ fn main() {
     };
     let headers = ["protocol", "latency (seconds)", "overhead vs SimpleTree"];
     let rows = vec![
-        vec!["SimpleTree".to_string(), format!("{tree_lat:.3}"), "-".to_string()],
-        vec!["Brisa".to_string(), format!("{brisa_lat:.3}"), overhead(brisa_lat)],
-        vec!["SimpleGossip".to_string(), format!("{gossip_lat:.3}"), overhead(gossip_lat)],
-        vec!["TAG".to_string(), format!("{tag_lat:.3}"), overhead(tag_lat)],
+        vec![
+            "SimpleTree".to_string(),
+            format!("{tree_lat:.3}"),
+            "-".to_string(),
+        ],
+        vec![
+            "Brisa".to_string(),
+            format!("{brisa_lat:.3}"),
+            overhead(brisa_lat),
+        ],
+        vec![
+            "SimpleGossip".to_string(),
+            format!("{gossip_lat:.3}"),
+            overhead(gossip_lat),
+        ],
+        vec![
+            "TAG".to_string(),
+            format!("{tag_lat:.3}"),
+            overhead(tag_lat),
+        ],
     ];
     print!("{}", render_table(&headers, &rows));
 }

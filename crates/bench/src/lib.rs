@@ -8,14 +8,26 @@
 //! Every binary honours the `BRISA_SCALE` environment variable: the default
 //! `quick` scale runs in seconds and preserves the qualitative shape of the
 //! results; `BRISA_SCALE=full` reproduces the paper's sizes (512/200/150/128
-//! nodes, 500 messages).
+//! nodes, 500 messages). Sweep binaries additionally honour `BRISA_THREADS`:
+//! independent cells fan out across threads through
+//! [`run_matrix`], with results bit-identical to a sequential run.
+//!
+//! The experiment engine is re-exported here so every binary — and any
+//! downstream experiment — shares one entry point: [`run_experiment`] for a
+//! single cell, [`run_matrix`] for a sweep, [`run_brisa`]/`run_*` for the
+//! protocol-flavoured result types.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use brisa_metrics::report::render_table;
 use brisa_metrics::Cdf;
-use brisa_workloads::Scale;
+
+pub use brisa_workloads::{
+    derive_seed, matrix_threads, run_brisa, run_experiment, run_flood, run_matrix,
+    run_matrix_sequential, run_simple_gossip, run_simple_tree, run_tag, BaselineScenario,
+    BrisaScenario, BrisaStackConfig, DisseminationProtocol, EngineResult, RunSpec, Scale,
+};
 
 /// Prints the standard experiment banner (experiment id, scale, seed).
 pub fn banner(experiment: &str, description: &str, scale: Scale) {
@@ -61,7 +73,8 @@ pub fn print_cdf_series(value_label: &str, series: &mut [(String, Cdf)], points:
 
 /// Formats an `Option<f64>` with a dash for missing values.
 pub fn opt(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".to_string())
+    v.map(|x| format!("{x:.2}"))
+        .unwrap_or_else(|| "-".to_string())
 }
 
 #[cfg(test)]

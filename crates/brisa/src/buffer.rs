@@ -8,12 +8,17 @@
 
 use crate::message::DataMsg;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A bounded FIFO buffer of stream messages indexed by sequence number.
+///
+/// Messages are stored behind `Arc` so buffering a relayed message shares
+/// the allocation with the in-flight copies instead of cloning the payload
+/// metadata (notably the tree-mode path vector).
 #[derive(Debug, Clone)]
 pub struct MessageBuffer {
     capacity: usize,
-    messages: VecDeque<DataMsg>,
+    messages: VecDeque<Arc<DataMsg>>,
 }
 
 impl MessageBuffer {
@@ -42,7 +47,7 @@ impl MessageBuffer {
 
     /// Inserts a message, evicting the oldest one if the buffer is full.
     /// Messages already present (same sequence number) are not duplicated.
-    pub fn insert(&mut self, msg: DataMsg) {
+    pub fn insert(&mut self, msg: Arc<DataMsg>) {
         if self.messages.iter().any(|m| m.seq == msg.seq) {
             return;
         }
@@ -53,14 +58,14 @@ impl MessageBuffer {
     }
 
     /// The buffered message with sequence number `seq`, if still retained.
-    pub fn get(&self, seq: u64) -> Option<&DataMsg> {
+    pub fn get(&self, seq: u64) -> Option<&Arc<DataMsg>> {
         self.messages.iter().find(|m| m.seq == seq)
     }
 
     /// All buffered messages with sequence numbers in `[from, to]`
     /// (inclusive), in ascending order.
-    pub fn range(&self, from: u64, to: u64) -> Vec<DataMsg> {
-        let mut found: Vec<DataMsg> = self
+    pub fn range(&self, from: u64, to: u64) -> Vec<Arc<DataMsg>> {
+        let mut found: Vec<Arc<DataMsg>> = self
             .messages
             .iter()
             .filter(|m| m.seq >= from && m.seq <= to)
@@ -81,14 +86,14 @@ mod tests {
     use super::*;
     use crate::cycle::CycleGuard;
 
-    fn msg(seq: u64) -> DataMsg {
-        DataMsg {
+    fn msg(seq: u64) -> Arc<DataMsg> {
+        Arc::new(DataMsg {
             seq,
             payload_bytes: 100,
             guard: CycleGuard::Depth(1),
             sender_uptime_secs: 0,
             sender_load: 0,
-        }
+        })
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl Default for BrisaConfig {
 impl BrisaConfig {
     /// A tree configuration with the given strategy.
     pub fn tree(strategy: ParentStrategy) -> Self {
-        BrisaConfig { mode: StructureMode::Tree, strategy, ..Default::default() }
+        BrisaConfig {
+            mode: StructureMode::Tree,
+            strategy,
+            ..Default::default()
+        }
     }
 
     /// A DAG configuration with `parents` parents and the given strategy.

@@ -15,6 +15,7 @@ use crate::message::{BrisaAction, BrisaMsg, DataMsg};
 use crate::parent::{CandidateSet, NeighborTelemetry};
 use crate::stats::BrisaStats;
 use brisa_simnet::{NodeId, SimDuration, SimTime};
+use std::sync::Arc;
 
 /// How long a node waits for a soft repair to produce a parent before
 /// escalating to the hard (flooding) repair.
@@ -56,7 +57,11 @@ pub struct BrisaCore {
 impl BrisaCore {
     /// Creates the state machine for node `me`.
     pub fn new(me: NodeId, cfg: BrisaConfig) -> Self {
-        let cycle = if cfg.mode.is_tree() { CycleState::tree() } else { CycleState::dag() };
+        let cycle = if cfg.mode.is_tree() {
+            CycleState::tree()
+        } else {
+            CycleState::dag()
+        };
         let buffer = MessageBuffer::new(cfg.buffer_size);
         BrisaCore {
             me,
@@ -173,17 +178,21 @@ impl BrisaCore {
         self.next_seq += 1;
         self.stats.record_delivery(seq, now);
         self.highest_seq_seen = Some(self.highest_seq_seen.map_or(seq, |h| h.max(seq)));
-        let data = DataMsg {
+        // One allocation for the message; every recipient shares it.
+        let data = Arc::new(DataMsg {
             seq,
             payload_bytes,
             guard: self.cycle.outgoing_guard(self.me),
             sender_uptime_secs: self.uptime_secs(now),
             sender_load: self.links.degree().min(u16::MAX as usize) as u16,
-        };
+        });
         self.buffer.insert(data.clone());
         let mut actions = vec![BrisaAction::Deliver { seq }];
         for peer in self.links.outbound_active() {
-            actions.push(BrisaAction::Send { to: peer, msg: BrisaMsg::Data(data.clone()) });
+            actions.push(BrisaAction::Send {
+                to: peer,
+                msg: BrisaMsg::Data(data.clone()),
+            });
         }
         actions
     }
@@ -214,13 +223,18 @@ impl BrisaCore {
                 // recovering orphan can adopt a parent (and then request the
                 // rest of the gap) without waiting for the next injection.
                 let mut actions = Vec::new();
-                if let Some(latest) = self.buffer.highest_seq().and_then(|s| self.buffer.get(s)) {
+                let latest = self
+                    .buffer
+                    .highest_seq()
+                    .and_then(|s| self.buffer.get(s))
+                    .map(|m| (m.seq, m.payload_bytes));
+                if let Some((seq, payload_bytes)) = latest {
                     let guard = self.cycle.outgoing_guard(self.me);
                     actions.push(BrisaAction::Send {
                         to: from,
-                        msg: BrisaMsg::Data(DataMsg {
-                            seq: latest.seq,
-                            payload_bytes: latest.payload_bytes,
+                        msg: BrisaMsg::data(DataMsg {
+                            seq,
+                            payload_bytes,
                             guard,
                             sender_uptime_secs: self.uptime_secs(now),
                             sender_load: self.links.degree().min(u16::MAX as usize) as u16,
@@ -241,7 +255,7 @@ impl BrisaCore {
         &mut self,
         now: SimTime,
         from: NodeId,
-        data: DataMsg,
+        data: Arc<DataMsg>,
         telemetry: &dyn NeighborTelemetry,
     ) -> Vec<BrisaAction> {
         let mut actions = Vec::new();
@@ -253,8 +267,7 @@ impl BrisaCore {
             data.sender_uptime_secs,
             data.sender_load,
         );
-        self.highest_seq_seen =
-            Some(self.highest_seq_seen.map_or(data.seq, |h| h.max(data.seq)));
+        self.highest_seq_seen = Some(self.highest_seq_seen.map_or(data.seq, |h| h.max(data.seq)));
         let first = self.stats.record_delivery(data.seq, now);
         if first {
             actions.push(BrisaAction::Deliver { seq: data.seq });
@@ -350,7 +363,10 @@ impl BrisaCore {
             for n in alternatives {
                 self.links.reactivate_inbound(n);
                 self.stats.activations_sent += 1;
-                actions.push(BrisaAction::Send { to: n, msg: BrisaMsg::Activate });
+                actions.push(BrisaAction::Send {
+                    to: n,
+                    msg: BrisaMsg::Activate,
+                });
             }
         } else {
             // Cascade: behave exactly like the orphan that sent the order.
@@ -368,11 +384,17 @@ impl BrisaCore {
             self.links.reactivate_all_inbound();
             for n in self.links.neighbors().collect::<Vec<_>>() {
                 self.stats.activations_sent += 1;
-                actions.push(BrisaAction::Send { to: n, msg: BrisaMsg::Activate });
+                actions.push(BrisaAction::Send {
+                    to: n,
+                    msg: BrisaMsg::Activate,
+                });
             }
             for c in children {
                 self.stats.reactivation_orders_sent += 1;
-                actions.push(BrisaAction::Send { to: c, msg: BrisaMsg::ReactivationOrder });
+                actions.push(BrisaAction::Send {
+                    to: c,
+                    msg: BrisaMsg::ReactivationOrder,
+                });
             }
         }
         actions
@@ -408,7 +430,7 @@ impl BrisaCore {
             self.stats.retransmissions_served += 1;
             actions.push(BrisaAction::Send {
                 to: from,
-                msg: BrisaMsg::Data(DataMsg {
+                msg: BrisaMsg::data(DataMsg {
                     seq: m.seq,
                     payload_bytes: m.payload_bytes,
                     guard: guard.clone(),
@@ -418,6 +440,19 @@ impl BrisaCore {
             });
         }
         actions
+    }
+
+    /// Builds the shared message this node relays for `data`: same sequence
+    /// and payload, but carrying *this* node's position metadata. Allocated
+    /// once and `Arc`-cloned per recipient.
+    fn relayed_copy(&self, now: SimTime, data: &DataMsg) -> Arc<DataMsg> {
+        Arc::new(DataMsg {
+            seq: data.seq,
+            payload_bytes: data.payload_bytes,
+            guard: self.cycle.outgoing_guard(self.me),
+            sender_uptime_secs: self.uptime_secs(now),
+            sender_load: self.links.degree().min(u16::MAX as usize) as u16,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -471,7 +506,9 @@ impl BrisaCore {
             for c in self.links.children() {
                 actions.push(BrisaAction::Send {
                     to: c,
-                    msg: BrisaMsg::DepthUpdate { depth: depth as u32 },
+                    msg: BrisaMsg::DepthUpdate {
+                        depth: depth as u32,
+                    },
                 });
             }
         }
@@ -505,7 +542,10 @@ impl BrisaCore {
             };
             actions.push(BrisaAction::Send {
                 to: from,
-                msg: BrisaMsg::Retransmit { from_seq: first_gap, to_seq: u64::MAX },
+                msg: BrisaMsg::Retransmit {
+                    from_seq: first_gap,
+                    to_seq: u64::MAX,
+                },
             });
         }
         self.check_construction(now);
@@ -520,7 +560,10 @@ impl BrisaCore {
         if self.stats.first_deactivation.is_none() {
             self.stats.first_deactivation = Some(now);
         }
-        actions.push(BrisaAction::Send { to: peer, msg: BrisaMsg::Deactivate });
+        actions.push(BrisaAction::Send {
+            to: peer,
+            msg: BrisaMsg::Deactivate,
+        });
         let _ = was_parent;
         self.check_construction(now);
     }
@@ -601,7 +644,10 @@ impl BrisaCore {
             for n in non_children {
                 self.links.reactivate_inbound(n);
                 self.stats.activations_sent += 1;
-                actions.push(BrisaAction::Send { to: n, msg: BrisaMsg::Activate });
+                actions.push(BrisaAction::Send {
+                    to: n,
+                    msg: BrisaMsg::Activate,
+                });
             }
         } else {
             self.pending_repair = Some((now, RepairKind::Hard));
@@ -617,11 +663,17 @@ impl BrisaCore {
         self.links.reactivate_all_inbound();
         for n in self.links.neighbors().collect::<Vec<_>>() {
             self.stats.activations_sent += 1;
-            actions.push(BrisaAction::Send { to: n, msg: BrisaMsg::Activate });
+            actions.push(BrisaAction::Send {
+                to: n,
+                msg: BrisaMsg::Activate,
+            });
         }
         for c in self.links.children() {
             self.stats.reactivation_orders_sent += 1;
-            actions.push(BrisaAction::Send { to: c, msg: BrisaMsg::ReactivationOrder });
+            actions.push(BrisaAction::Send {
+                to: c,
+                msg: BrisaMsg::ReactivationOrder,
+            });
         }
     }
 
@@ -672,22 +724,14 @@ impl BrisaCore {
         exclude: Option<NodeId>,
         actions: &mut Vec<BrisaAction>,
     ) {
-        let guard = self.cycle.outgoing_guard(self.me);
-        let uptime = self.uptime_secs(now);
-        let load = self.links.degree().min(u16::MAX as usize) as u16;
+        let copy = self.relayed_copy(now, data);
         for peer in self.links.outbound_active() {
             if Some(peer) == exclude {
                 continue;
             }
             actions.push(BrisaAction::Send {
                 to: peer,
-                msg: BrisaMsg::Data(DataMsg {
-                    seq: data.seq,
-                    payload_bytes: data.payload_bytes,
-                    guard: guard.clone(),
-                    sender_uptime_secs: uptime,
-                    sender_load: load,
-                }),
+                msg: BrisaMsg::Data(copy.clone()),
             });
         }
     }
@@ -728,8 +772,14 @@ mod tests {
                 .map(|i| (NodeId(i), BrisaCore::new(NodeId(i), cfg.clone())))
                 .collect();
             for (a, b) in topology {
-                nodes.get_mut(&NodeId(*a)).unwrap().on_neighbor_up(NodeId(*b));
-                nodes.get_mut(&NodeId(*b)).unwrap().on_neighbor_up(NodeId(*a));
+                nodes
+                    .get_mut(&NodeId(*a))
+                    .unwrap()
+                    .on_neighbor_up(NodeId(*b));
+                nodes
+                    .get_mut(&NodeId(*b))
+                    .unwrap()
+                    .on_neighbor_up(NodeId(*a));
             }
             for (id, node) in nodes.iter_mut() {
                 node.note_started(SimTime::ZERO);
@@ -747,7 +797,11 @@ mod tests {
 
         fn publish(&mut self, payload: usize) {
             self.now += self.hop_delay;
-            let actions = self.nodes.get_mut(&NodeId(0)).unwrap().publish(self.now, payload);
+            let actions = self
+                .nodes
+                .get_mut(&NodeId(0))
+                .unwrap()
+                .publish(self.now, payload);
             self.enqueue(NodeId(0), actions);
             self.drain();
         }
@@ -769,11 +823,11 @@ mod tests {
                 if !self.nodes.contains_key(&to) {
                     continue; // crashed node
                 }
-                let actions = self
-                    .nodes
-                    .get_mut(&to)
-                    .unwrap()
-                    .handle(self.now, from, msg, &NoTelemetry);
+                let actions =
+                    self.nodes
+                        .get_mut(&to)
+                        .unwrap()
+                        .handle(self.now, from, msg, &NoTelemetry);
                 self.enqueue(to, actions);
             }
         }
@@ -814,7 +868,10 @@ mod tests {
                     );
                     cur = parents[0];
                     hops += 1;
-                    assert!(hops <= self.nodes.len(), "cycle detected walking up from {id}");
+                    assert!(
+                        hops <= self.nodes.len(),
+                        "cycle detected walking up from {id}"
+                    );
                     if self.nodes[&cur].is_source() {
                         break;
                     }
@@ -840,19 +897,33 @@ mod tests {
         let mut mesh = Mesh::new(&cfg, &clique(6), 6);
         mesh.publish(100); // bootstrap flood
         let bootstrap_dups: u64 = (1..6).map(|i| mesh.node(i).stats().duplicates).sum();
-        assert!(bootstrap_dups > 0, "the flood necessarily causes duplicates");
+        assert!(
+            bootstrap_dups > 0,
+            "the flood necessarily causes duplicates"
+        );
         mesh.assert_rooted();
         for i in 1..6 {
-            assert_eq!(mesh.node(i).parents().len(), 1, "tree keeps exactly one parent");
+            assert_eq!(
+                mesh.node(i).parents().len(),
+                1,
+                "tree keeps exactly one parent"
+            );
         }
         // Subsequent messages travel the tree: no further duplicates.
         for _ in 0..10 {
             mesh.publish(100);
         }
         let later_dups: u64 = (1..6).map(|i| mesh.node(i).stats().duplicates).sum();
-        assert_eq!(later_dups, bootstrap_dups, "no duplicates after the tree stabilises");
+        assert_eq!(
+            later_dups, bootstrap_dups,
+            "no duplicates after the tree stabilises"
+        );
         for i in 1..6 {
-            assert_eq!(mesh.node(i).stats().delivered, 11, "every message delivered");
+            assert_eq!(
+                mesh.node(i).stats().delivered,
+                11,
+                "every message delivered"
+            );
         }
     }
 
@@ -863,8 +934,14 @@ mod tests {
         mesh.publish(10);
         for i in 1..5 {
             let st = mesh.node(i).stats();
-            assert!(st.first_deactivation.is_some(), "node {i} sent deactivations");
-            assert!(st.construction_done.is_some(), "node {i} finished construction");
+            assert!(
+                st.first_deactivation.is_some(),
+                "node {i} sent deactivations"
+            );
+            assert!(
+                st.construction_done.is_some(),
+                "node {i} finished construction"
+            );
             assert!(st.construction_time().unwrap() >= SimDuration::ZERO);
         }
     }
@@ -879,10 +956,13 @@ mod tests {
         let multi = (1..8)
             .filter(|&i| mesh.node(i).parents().len() == 2)
             .count();
-        assert!(multi >= 5, "most nodes should find two parents, got {multi}");
+        assert!(
+            multi >= 5,
+            "most nodes should find two parents, got {multi}"
+        );
         for i in 1..8 {
             let p = mesh.node(i).parents().len();
-            assert!(p >= 1 && p <= 2, "parent count within bounds, got {p}");
+            assert!((1..=2).contains(&p), "parent count within bounds, got {p}");
             assert!(mesh.node(i).depth().is_some());
         }
         // Once the DAG has stabilised, duplicates per message are bounded by
@@ -915,7 +995,7 @@ mod tests {
         let actions = source.handle(
             SimTime::from_millis(5),
             NodeId(1),
-            BrisaMsg::Data(DataMsg {
+            BrisaMsg::data(DataMsg {
                 seq: 0,
                 payload_bytes: 10,
                 guard: CycleGuard::Path(vec![NodeId(0), NodeId(1)]),
@@ -924,9 +1004,13 @@ mod tests {
             }),
             &NoTelemetry,
         );
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Deactivate })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            BrisaAction::Send {
+                to: NodeId(1),
+                msg: BrisaMsg::Deactivate
+            }
+        )));
         assert_eq!(source.links().inbound_active_count(), 0);
         assert_eq!(source.parents().len(), 0);
         assert_eq!(source.stats().duplicates, 1);
@@ -940,7 +1024,7 @@ mod tests {
         core.on_neighbor_up(NodeId(1));
         // The sender's path already contains us: adopting it would create a
         // cycle.
-        let msg = BrisaMsg::Data(DataMsg {
+        let msg = BrisaMsg::data(DataMsg {
             seq: 0,
             payload_bytes: 10,
             guard: CycleGuard::Path(vec![NodeId(0), NodeId(5), NodeId(1)]),
@@ -949,9 +1033,13 @@ mod tests {
         });
         let actions = core.handle(SimTime::from_millis(1), NodeId(1), msg, &NoTelemetry);
         assert!(core.parents().is_empty());
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Deactivate })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            BrisaAction::Send {
+                to: NodeId(1),
+                msg: BrisaMsg::Deactivate
+            }
+        )));
         // Still delivered to the application exactly once.
         assert_eq!(core.stats().delivered, 1);
     }
@@ -964,7 +1052,7 @@ mod tests {
         core.on_neighbor_up(NodeId(1));
         core.on_neighbor_up(NodeId(2));
         let data = |from_path: Vec<NodeId>| {
-            BrisaMsg::Data(DataMsg {
+            BrisaMsg::data(DataMsg {
                 seq: 0,
                 payload_bytes: 10,
                 guard: CycleGuard::Path(from_path),
@@ -972,14 +1060,32 @@ mod tests {
                 sender_load: 0,
             })
         };
-        let a1 = core.handle(SimTime::from_millis(1), NodeId(1), data(vec![NodeId(0), NodeId(1)]), &NoTelemetry);
+        let a1 = core.handle(
+            SimTime::from_millis(1),
+            NodeId(1),
+            data(vec![NodeId(0), NodeId(1)]),
+            &NoTelemetry,
+        );
         assert_eq!(core.parents(), vec![NodeId(1)]);
-        assert!(a1.iter().any(|a| matches!(a, BrisaAction::Deliver { seq: 0 })));
-        let a2 = core.handle(SimTime::from_millis(2), NodeId(2), data(vec![NodeId(0), NodeId(2)]), &NoTelemetry);
+        assert!(a1
+            .iter()
+            .any(|a| matches!(a, BrisaAction::Deliver { seq: 0 })));
+        let a2 = core.handle(
+            SimTime::from_millis(2),
+            NodeId(2),
+            data(vec![NodeId(0), NodeId(2)]),
+            &NoTelemetry,
+        );
         // First-come keeps node 1; node 2 is deactivated, and thanks to the
         // symmetric optimisation we also stop relaying to node 2.
         assert_eq!(core.parents(), vec![NodeId(1)]);
-        assert!(a2.iter().any(|a| matches!(a, BrisaAction::Send { to: NodeId(2), msg: BrisaMsg::Deactivate })));
+        assert!(a2.iter().any(|a| matches!(
+            a,
+            BrisaAction::Send {
+                to: NodeId(2),
+                msg: BrisaMsg::Deactivate
+            }
+        )));
         assert!(!core.links().is_outbound_active(NodeId(2)));
         assert_eq!(core.stats().duplicates, 1);
     }
@@ -1002,7 +1108,7 @@ mod tests {
         core.on_neighbor_up(NodeId(1));
         core.on_neighbor_up(NodeId(2));
         let data = |path: Vec<NodeId>| {
-            BrisaMsg::Data(DataMsg {
+            BrisaMsg::data(DataMsg {
                 seq: 0,
                 payload_bytes: 10,
                 guard: CycleGuard::Path(path),
@@ -1010,15 +1116,28 @@ mod tests {
                 sender_load: 0,
             })
         };
-        core.handle(SimTime::from_millis(1), NodeId(1), data(vec![NodeId(0), NodeId(1)]), &Rtt);
+        core.handle(
+            SimTime::from_millis(1),
+            NodeId(1),
+            data(vec![NodeId(0), NodeId(1)]),
+            &Rtt,
+        );
         assert_eq!(core.parents(), vec![NodeId(1)]);
-        let actions =
-            core.handle(SimTime::from_millis(2), NodeId(2), data(vec![NodeId(0), NodeId(2)]), &Rtt);
+        let actions = core.handle(
+            SimTime::from_millis(2),
+            NodeId(2),
+            data(vec![NodeId(0), NodeId(2)]),
+            &Rtt,
+        );
         // The slower first parent is displaced by the faster duplicate sender.
         assert_eq!(core.parents(), vec![NodeId(2)]);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Deactivate })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            BrisaAction::Send {
+                to: NodeId(1),
+                msg: BrisaMsg::Deactivate
+            }
+        )));
     }
 
     #[test]
@@ -1048,7 +1167,11 @@ mod tests {
         assert!(total_soft > 0, "in a clique every orphan repairs softly");
         // All messages are eventually delivered everywhere despite the crash.
         for (_, node) in mesh.nodes.iter().filter(|(_, n)| !n.is_source()) {
-            assert_eq!(node.stats().delivered, 6, "no message lost across the repair");
+            assert_eq!(
+                node.stats().delivered,
+                6,
+                "no message lost across the repair"
+            );
         }
     }
 
@@ -1068,8 +1191,14 @@ mod tests {
         mesh.crash(NodeId(1));
         let st2 = mesh.node(2).stats();
         assert_eq!(st2.orphaned.len(), 1);
-        assert!(st2.reactivation_orders_sent >= 1, "hard repair orders the child to re-activate");
-        assert!(mesh.node(2).repair_pending(), "no replacement parent exists in this topology");
+        assert!(
+            st2.reactivation_orders_sent >= 1,
+            "hard repair orders the child to re-activate"
+        );
+        assert!(
+            mesh.node(2).repair_pending(),
+            "no replacement parent exists in this topology"
+        );
     }
 
     #[test]
@@ -1109,13 +1238,19 @@ mod tests {
         let served = source.handle(
             SimTime::from_secs(1),
             NodeId(1),
-            BrisaMsg::Retransmit { from_seq: 1, to_seq: 2 },
+            BrisaMsg::Retransmit {
+                from_seq: 1,
+                to_seq: 2,
+            },
             &NoTelemetry,
         );
         let seqs: Vec<u64> = served
             .iter()
             .filter_map(|a| match a {
-                BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Data(d) } => Some(d.seq),
+                BrisaAction::Send {
+                    to: NodeId(1),
+                    msg: BrisaMsg::Data(d),
+                } => Some(d.seq),
                 _ => None,
             })
             .collect();
@@ -1131,7 +1266,7 @@ mod tests {
         core.on_neighbor_up(NodeId(1));
         core.on_neighbor_up(NodeId(2));
         let data = |path: Vec<NodeId>, uptime: u32| {
-            BrisaMsg::Data(DataMsg {
+            BrisaMsg::data(DataMsg {
                 seq: 0,
                 payload_bytes: 10,
                 guard: CycleGuard::Path(path),
@@ -1139,8 +1274,18 @@ mod tests {
                 sender_load: 0,
             })
         };
-        core.handle(SimTime::from_millis(1), NodeId(1), data(vec![NodeId(0), NodeId(1)], 10), &NoTelemetry);
-        core.handle(SimTime::from_millis(2), NodeId(2), data(vec![NodeId(0), NodeId(2)], 500), &NoTelemetry);
+        core.handle(
+            SimTime::from_millis(1),
+            NodeId(1),
+            data(vec![NodeId(0), NodeId(1)], 10),
+            &NoTelemetry,
+        );
+        core.handle(
+            SimTime::from_millis(2),
+            NodeId(2),
+            data(vec![NodeId(0), NodeId(2)], 500),
+            &NoTelemetry,
+        );
         assert_eq!(core.parents(), vec![NodeId(2)], "older sender wins");
     }
 
@@ -1151,7 +1296,7 @@ mod tests {
         core.note_started(SimTime::ZERO);
         core.on_neighbor_up(NodeId(1));
         core.on_neighbor_up(NodeId(7)); // will remain a child
-        let d = BrisaMsg::Data(DataMsg {
+        let d = BrisaMsg::data(DataMsg {
             seq: 0,
             payload_bytes: 10,
             guard: CycleGuard::Depth(1),
@@ -1170,7 +1315,10 @@ mod tests {
         assert_eq!(core.depth(), Some(5));
         assert!(actions.iter().any(|a| matches!(
             a,
-            BrisaAction::Send { to: NodeId(7), msg: BrisaMsg::DepthUpdate { depth: 5 } }
+            BrisaAction::Send {
+                to: NodeId(7),
+                msg: BrisaMsg::DepthUpdate { depth: 5 }
+            }
         )));
     }
 
@@ -1181,9 +1329,19 @@ mod tests {
         core.note_started(SimTime::ZERO);
         core.on_neighbor_up(NodeId(1));
         core.on_neighbor_up(NodeId(2));
-        let _ = core.handle(SimTime::from_millis(1), NodeId(2), BrisaMsg::Deactivate, &NoTelemetry);
+        let _ = core.handle(
+            SimTime::from_millis(1),
+            NodeId(2),
+            BrisaMsg::Deactivate,
+            &NoTelemetry,
+        );
         assert!(!core.links().is_outbound_active(NodeId(2)));
-        let _ = core.handle(SimTime::from_millis(2), NodeId(2), BrisaMsg::Activate, &NoTelemetry);
+        let _ = core.handle(
+            SimTime::from_millis(2),
+            NodeId(2),
+            BrisaMsg::Activate,
+            &NoTelemetry,
+        );
         assert!(core.links().is_outbound_active(NodeId(2)));
     }
 

@@ -221,7 +221,8 @@ impl BloomMembership {
             .wrapping_add(0x2545_F491_4F6C_DD1D);
         let h2 = (x ^ 0xDEAD_BEEF_CAFE_BABE).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) | 1;
         let num_bits = self.num_bits as u64;
-        (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % num_bits) as usize)
+        (0..self.num_hashes as u64)
+            .map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % num_bits) as usize)
     }
 
     /// Inserts `node` into the filter.
@@ -235,7 +236,8 @@ impl BloomMembership {
     /// True if `node` may be in the set (false positives possible, false
     /// negatives impossible).
     pub fn contains(&self, node: NodeId) -> bool {
-        self.indexes(node).all(|i| self.bits[i / 64] & (1u64 << (i % 64)) != 0)
+        self.indexes(node)
+            .all(|i| self.bits[i / 64] & (1u64 << (i % 64)) != 0)
     }
 }
 
@@ -247,8 +249,14 @@ mod tests {
     fn path_guard_rejects_nodes_on_the_path() {
         let st = CycleState::tree();
         let guard = CycleGuard::Path(vec![NodeId(0), NodeId(3), NodeId(7)]);
-        assert!(!st.permits(NodeId(3), &guard), "node on the path is rejected");
-        assert!(st.permits(NodeId(5), &guard), "node off the path is accepted");
+        assert!(
+            !st.permits(NodeId(3), &guard),
+            "node on the path is rejected"
+        );
+        assert!(
+            st.permits(NodeId(5), &guard),
+            "node off the path is accepted"
+        );
     }
 
     #[test]
@@ -270,7 +278,10 @@ mod tests {
     #[test]
     fn depth_guard_rejects_deeper_senders() {
         let mut st = CycleState::dag();
-        assert!(st.permits(NodeId(1), &CycleGuard::Depth(5)), "unset depth accepts anything");
+        assert!(
+            st.permits(NodeId(1), &CycleGuard::Depth(5)),
+            "unset depth accepts anything"
+        );
         st.position_after(NodeId(1), &CycleGuard::Depth(2)); // we are now at depth 3
         assert!(st.permits(NodeId(1), &CycleGuard::Depth(2)));
         assert!(st.permits(NodeId(1), &CycleGuard::Depth(0)));
@@ -278,8 +289,14 @@ mod tests {
             st.permits(NodeId(1), &CycleGuard::Depth(3)),
             "same depth accepted (the node then moves one level deeper)"
         );
-        assert!(!st.permits(NodeId(1), &CycleGuard::Depth(4)), "deeper node rejected");
-        assert!(!st.permits(NodeId(1), &CycleGuard::Depth(9)), "deeper node rejected");
+        assert!(
+            !st.permits(NodeId(1), &CycleGuard::Depth(4)),
+            "deeper node rejected"
+        );
+        assert!(
+            !st.permits(NodeId(1), &CycleGuard::Depth(9)),
+            "deeper node rejected"
+        );
     }
 
     #[test]
@@ -305,7 +322,7 @@ mod tests {
         assert!(st.is_unset());
         assert_eq!(st.position(), None);
         // After a reset any candidate is acceptable again (hard repair).
-        assert!(st.permits(NodeId(4), &CycleGuard::Path(vec![NodeId(0), NodeId(4)])) == false);
+        assert!(!st.permits(NodeId(4), &CycleGuard::Path(vec![NodeId(0), NodeId(4)])));
         // Path mode stays exact even after reset: the check is on the
         // incoming path, which still contains us.
         let mut dag = CycleState::dag();
@@ -327,7 +344,10 @@ mod tests {
     #[test]
     fn unset_outgoing_guards() {
         let t = CycleState::tree();
-        assert_eq!(t.outgoing_guard(NodeId(5)), CycleGuard::Path(vec![NodeId(5)]));
+        assert_eq!(
+            t.outgoing_guard(NodeId(5)),
+            CycleGuard::Path(vec![NodeId(5)])
+        );
         let d = CycleState::dag();
         assert_eq!(d.outgoing_guard(NodeId(5)), CycleGuard::Depth(0));
     }
@@ -342,7 +362,9 @@ mod tests {
             assert!(bloom.contains(NodeId(i)), "no false negatives");
         }
         // False positive rate should be in the right ballpark (allow 10x).
-        let fps = (10_000..20_000u32).filter(|&i| bloom.contains(NodeId(i))).count();
+        let fps = (10_000..20_000u32)
+            .filter(|&i| bloom.contains(NodeId(i)))
+            .count();
         assert!(fps < 100, "false positives way above target: {fps}");
         // The paper's point: the filter is orders of magnitude larger than a
         // short path (7 hops * 6 bytes = 42 bytes).
@@ -356,7 +378,10 @@ mod tests {
         // percent of that.
         let bloom = BloomMembership::with_false_positive_rate(1_000_000, 1e-6);
         let bits = bloom.num_bits() as f64;
-        assert!((bits - 28_755_176.0).abs() / 28_755_176.0 < 0.05, "bits = {bits}");
+        assert!(
+            (bits - 28_755_176.0).abs() / 28_755_176.0 < 0.05,
+            "bits = {bits}"
+        );
     }
 
     #[test]

@@ -188,7 +188,11 @@ mod tests {
         l.neighbor_up(NodeId(1));
         l.adopt_parent(NodeId(1));
         assert!(l.is_parent(NodeId(1)));
-        assert_eq!(l.children(), Vec::<NodeId>::new(), "parents are not children");
+        assert_eq!(
+            l.children(),
+            Vec::<NodeId>::new(),
+            "parents are not children"
+        );
         assert!(l.drop_parent(NodeId(1)));
         assert!(!l.drop_parent(NodeId(1)));
         assert_eq!(l.degree(), 1);

@@ -3,6 +3,7 @@
 use crate::cycle::CycleGuard;
 use brisa_simnet::{NodeId, WireSize};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Fixed per-message overhead (type tag, stream id, framing) charged for
 /// every BRISA message.
@@ -31,10 +32,16 @@ pub struct DataMsg {
 }
 
 /// Messages exchanged by the BRISA dissemination layer.
+///
+/// The data variant is reference-counted: relaying a stream message to `k`
+/// children builds the [`DataMsg`] (guard, metadata, payload accounting)
+/// once and fans it out with `k` cheap `Arc` clones, instead of cloning the
+/// whole message — including the path-embedding vector — per child. The
+/// simulator still charges the full [`WireSize`] per transmission.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum BrisaMsg {
     /// A stream message (possibly the bootstrap flood of the first one).
-    Data(DataMsg),
+    Data(Arc<DataMsg>),
     /// "Stop relaying stream data to me": the receiver marks its outgoing
     /// link towards the sender as inactive.
     Deactivate,
@@ -77,6 +84,11 @@ impl WireSize for BrisaMsg {
 }
 
 impl BrisaMsg {
+    /// Wraps a freshly built [`DataMsg`] into the shared-payload variant.
+    pub fn data(msg: DataMsg) -> Self {
+        BrisaMsg::Data(Arc::new(msg))
+    }
+
     /// Convenience accessor for the data payload.
     pub fn as_data(&self) -> Option<&DataMsg> {
         match self {
@@ -132,15 +144,18 @@ mod tests {
 
     #[test]
     fn data_wire_size_includes_payload_and_guard() {
-        let small = BrisaMsg::Data(data(0, 1024, CycleGuard::Depth(3)));
-        let big = BrisaMsg::Data(data(0, 10 * 1024, CycleGuard::Depth(3)));
+        let small = BrisaMsg::data(data(0, 1024, CycleGuard::Depth(3)));
+        let big = BrisaMsg::data(data(0, 10 * 1024, CycleGuard::Depth(3)));
         assert_eq!(big.wire_size() - small.wire_size(), 9 * 1024);
-        let path_guard = BrisaMsg::Data(data(
+        let path_guard = BrisaMsg::data(data(
             0,
             1024,
             CycleGuard::Path(vec![NodeId(0), NodeId(1), NodeId(2)]),
         ));
-        assert_eq!(path_guard.wire_size() - small.wire_size(), 3 * NodeId::WIRE_SIZE - 4);
+        assert_eq!(
+            path_guard.wire_size() - small.wire_size(),
+            3 * NodeId::WIRE_SIZE - 4
+        );
     }
 
     #[test]
@@ -149,20 +164,30 @@ mod tests {
         assert!(BrisaMsg::Activate.wire_size() <= 2 * BRISA_HEADER_BYTES);
         assert!(BrisaMsg::ReactivationOrder.wire_size() <= 2 * BRISA_HEADER_BYTES);
         assert_eq!(
-            BrisaMsg::Retransmit { from_seq: 1, to_seq: 5 }.wire_size(),
+            BrisaMsg::Retransmit {
+                from_seq: 1,
+                to_seq: 5
+            }
+            .wire_size(),
             BRISA_HEADER_BYTES + 16
         );
     }
 
     #[test]
     fn as_data_and_sends_helpers() {
-        let d = BrisaMsg::Data(data(7, 10, CycleGuard::Depth(0)));
+        let d = BrisaMsg::data(data(7, 10, CycleGuard::Depth(0)));
         assert_eq!(d.as_data().unwrap().seq, 7);
         assert!(BrisaMsg::Activate.as_data().is_none());
         let actions = vec![
-            BrisaAction::Send { to: NodeId(1), msg: BrisaMsg::Deactivate },
+            BrisaAction::Send {
+                to: NodeId(1),
+                msg: BrisaMsg::Deactivate,
+            },
             BrisaAction::Deliver { seq: 3 },
-            BrisaAction::Send { to: NodeId(2), msg: BrisaMsg::Activate },
+            BrisaAction::Send {
+                to: NodeId(2),
+                msg: BrisaMsg::Activate,
+            },
         ];
         let s = sends(&actions);
         assert_eq!(s.len(), 2);

@@ -129,12 +129,10 @@ impl Protocol for BrisaNode {
         // Periodic maintenance timers, de-synchronised across nodes.
         let shuffle_period = self.hpv.config().shuffle_period;
         let keepalive_period = self.hpv.config().keepalive_period;
-        let shuffle_offset = SimDuration::from_micros(
-            ctx.rng().gen_range(0..shuffle_period.as_micros().max(1)),
-        );
-        let keepalive_offset = SimDuration::from_micros(
-            ctx.rng().gen_range(0..keepalive_period.as_micros().max(1)),
-        );
+        let shuffle_offset =
+            SimDuration::from_micros(ctx.rng().gen_range(0..shuffle_period.as_micros().max(1)));
+        let keepalive_offset =
+            SimDuration::from_micros(ctx.rng().gen_range(0..keepalive_period.as_micros().max(1)));
         ctx.set_timer(shuffle_offset, TimerTag::of_kind(TIMER_SHUFFLE));
         ctx.set_timer(keepalive_offset, TimerTag::of_kind(TIMER_KEEPALIVE));
         ctx.set_timer(REPAIR_TICK_PERIOD, TimerTag::of_kind(TIMER_REPAIR));
@@ -193,9 +191,16 @@ mod tests {
 
     /// Builds a network of `n` BrisaNodes, bootstraps the overlay (node 0 is
     /// the contact and the source), and lets it stabilise.
-    fn build(n: u32, hpv_cfg: HyParViewConfig, brisa_cfg: BrisaConfig) -> (Network<BrisaNode>, Vec<NodeId>) {
+    fn build(
+        n: u32,
+        hpv_cfg: HyParViewConfig,
+        brisa_cfg: BrisaConfig,
+    ) -> (Network<BrisaNode>, Vec<NodeId>) {
         let mut net: Network<BrisaNode> = Network::new(
-            NetworkConfig { seed: 42, ..Default::default() },
+            NetworkConfig {
+                seed: 42,
+                ..Default::default()
+            },
             Box::new(ClusterLatency::default()),
         );
         let mut ids = Vec::new();
@@ -221,7 +226,11 @@ mod tests {
 
     #[test]
     fn full_stack_disseminates_to_every_node() {
-        let (mut net, ids) = build(32, HyParViewConfig::with_active_size(4), BrisaConfig::default());
+        let (mut net, ids) = build(
+            32,
+            HyParViewConfig::with_active_size(4),
+            BrisaConfig::default(),
+        );
         let source = ids[0];
         for i in 0..5 {
             let t = net.now() + brisa_simnet::SimDuration::from_millis(200 * (i + 1));
@@ -270,7 +279,11 @@ mod tests {
 
     #[test]
     fn crash_of_a_parent_is_repaired_and_stream_continues() {
-        let (mut net, ids) = build(24, HyParViewConfig::with_active_size(4), BrisaConfig::default());
+        let (mut net, ids) = build(
+            24,
+            HyParViewConfig::with_active_size(4),
+            BrisaConfig::default(),
+        );
         let source = ids[0];
         for i in 0..3 {
             let t = net.now() + brisa_simnet::SimDuration::from_millis(200 * (i + 1));
@@ -296,7 +309,10 @@ mod tests {
         net.run_for(brisa_simnet::SimDuration::from_secs(10));
         for &id in ids.iter().filter(|&&id| id != victim) {
             let stats = net.node(id).unwrap().brisa().stats();
-            assert_eq!(stats.delivered, 6, "node {id} missed messages after the crash");
+            assert_eq!(
+                stats.delivered, 6,
+                "node {id} missed messages after the crash"
+            );
         }
         let repairs: u64 = ids
             .iter()
@@ -306,7 +322,10 @@ mod tests {
                 s.soft_repairs + s.hard_repairs
             })
             .sum();
-        assert!(repairs >= 1, "at least one orphan repaired its connectivity");
+        assert!(
+            repairs >= 1,
+            "at least one orphan repaired its connectivity"
+        );
     }
 
     #[test]

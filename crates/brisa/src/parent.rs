@@ -77,7 +77,13 @@ impl CandidateSet {
                 c.uptime_secs = uptime_secs;
                 c.load = load;
             })
-            .or_insert(ParentCandidate { node, first_heard: now, rtt, uptime_secs, load });
+            .or_insert(ParentCandidate {
+                node,
+                first_heard: now,
+                rtt,
+                uptime_secs,
+                load,
+            });
     }
 
     /// Removes a candidate (e.g. because the neighbor failed).
@@ -157,8 +163,20 @@ mod tests {
 
     fn set() -> CandidateSet {
         let mut s = CandidateSet::new();
-        s.observe(NodeId(1), SimTime::from_millis(10), Some(SimDuration::from_millis(40)), 100, 5);
-        s.observe(NodeId(2), SimTime::from_millis(20), Some(SimDuration::from_millis(5)), 300, 1);
+        s.observe(
+            NodeId(1),
+            SimTime::from_millis(10),
+            Some(SimDuration::from_millis(40)),
+            100,
+            5,
+        );
+        s.observe(
+            NodeId(2),
+            SimTime::from_millis(20),
+            Some(SimDuration::from_millis(5)),
+            300,
+            1,
+        );
         s.observe(NodeId(3), SimTime::from_millis(30), None, 50, 0);
         s
     }
@@ -171,7 +189,10 @@ mod tests {
             s.select(ParentStrategy::FirstComeFirstPicked, &all, 3),
             vec![NodeId(1), NodeId(2), NodeId(3)]
         );
-        assert_eq!(s.select(ParentStrategy::FirstComeFirstPicked, &all, 1), vec![NodeId(1)]);
+        assert_eq!(
+            s.select(ParentStrategy::FirstComeFirstPicked, &all, 1),
+            vec![NodeId(1)]
+        );
     }
 
     #[test]
@@ -207,7 +228,10 @@ mod tests {
             vec![NodeId(1), NodeId(3)]
         );
         // Unknown nodes are ignored.
-        assert_eq!(s.select(ParentStrategy::DelayAware, &[NodeId(99)], 2), Vec::<NodeId>::new());
+        assert_eq!(
+            s.select(ParentStrategy::DelayAware, &[NodeId(99)], 2),
+            Vec::<NodeId>::new()
+        );
     }
 
     #[test]
@@ -215,10 +239,18 @@ mod tests {
         let mut s = set();
         s.observe(NodeId(1), SimTime::from_secs(10), None, 120, 9);
         let c = s.get(NodeId(1)).unwrap();
-        assert_eq!(c.first_heard, SimTime::from_millis(10), "first_heard is sticky");
+        assert_eq!(
+            c.first_heard,
+            SimTime::from_millis(10),
+            "first_heard is sticky"
+        );
         assert_eq!(c.uptime_secs, 120);
         assert_eq!(c.load, 9);
-        assert_eq!(c.rtt, Some(SimDuration::from_millis(40)), "known RTT not erased by None");
+        assert_eq!(
+            c.rtt,
+            Some(SimDuration::from_millis(40)),
+            "known RTT not erased by None"
+        );
         assert_eq!(s.len(), 3);
         s.remove(NodeId(1));
         assert!(s.get(NodeId(1)).is_none());

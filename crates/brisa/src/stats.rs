@@ -58,13 +58,13 @@ impl BrisaStats {
     /// Records the first delivery of `seq` at `now`; returns `true` if this
     /// was indeed the first reception.
     pub fn record_delivery(&mut self, seq: u64, now: SimTime) -> bool {
-        if self.first_delivery.contains_key(&seq) {
-            self.duplicates += 1;
-            false
-        } else {
-            self.first_delivery.insert(seq, now);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.first_delivery.entry(seq) {
+            e.insert(now);
             self.delivered += 1;
             true
+        } else {
+            self.duplicates += 1;
+            false
         }
     }
 
@@ -126,8 +126,10 @@ mod tests {
 
     #[test]
     fn construction_time_requires_both_endpoints() {
-        let mut s = BrisaStats::default();
-        s.first_deactivation = Some(SimTime::from_millis(100));
+        let mut s = BrisaStats {
+            first_deactivation: Some(SimTime::from_millis(100)),
+            ..Default::default()
+        };
         assert!(s.construction_time().is_none());
         s.construction_done = Some(SimTime::from_millis(180));
         assert_eq!(s.construction_time(), Some(SimDuration::from_millis(80)));

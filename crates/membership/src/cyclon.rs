@@ -180,7 +180,10 @@ impl Cyclon {
         others.shuffle(rng);
         others.truncate(self.cfg.shuffle_length.saturating_sub(1));
         let mut sent = others;
-        sent.push(Descriptor { node: self.me, age: 0 });
+        sent.push(Descriptor {
+            node: self.me,
+            age: 0,
+        });
         self.last_sent = sent.clone();
         vec![CyclonOut::Send {
             to: partner.node,
@@ -279,7 +282,9 @@ mod tests {
         assert!([NodeId(1), NodeId(2), NodeId(3)].contains(to));
         match msg {
             CyclonMsg::ShuffleRequest { descriptors } => {
-                assert!(descriptors.iter().any(|d| d.node == NodeId(0) && d.age == 0));
+                assert!(descriptors
+                    .iter()
+                    .any(|d| d.node == NodeId(0) && d.age == 0));
             }
             _ => panic!("expected a shuffle request"),
         }
@@ -308,12 +313,19 @@ mod tests {
         // B learned about A (descriptor with age 0) and possibly node 2.
         assert!(b.neighbors().contains(&NodeId(0)));
         // A learned something from B's cache.
-        assert!(a.neighbors().iter().any(|n| [NodeId(3), NodeId(4)].contains(n)));
+        assert!(a
+            .neighbors()
+            .iter()
+            .any(|n| [NodeId(3), NodeId(4)].contains(n)));
     }
 
     #[test]
     fn cache_never_exceeds_view_size_nor_contains_self() {
-        let cfg = CyclonConfig { view_size: 5, shuffle_length: 3, shuffle_period_secs: 1 };
+        let cfg = CyclonConfig {
+            view_size: 5,
+            shuffle_length: 3,
+            shuffle_period_secs: 1,
+        };
         let n = 20u32;
         let mut nodes: HashMap<NodeId, Cyclon> = (0..n)
             .map(|i| (NodeId(i), Cyclon::new(NodeId(i), cfg.clone())))
@@ -374,13 +386,25 @@ mod tests {
     #[test]
     fn wire_size_scales_with_descriptor_count() {
         let one = CyclonMsg::ShuffleRequest {
-            descriptors: vec![Descriptor { node: NodeId(1), age: 0 }],
+            descriptors: vec![Descriptor {
+                node: NodeId(1),
+                age: 0,
+            }],
         };
         let three = CyclonMsg::ShuffleRequest {
             descriptors: vec![
-                Descriptor { node: NodeId(1), age: 0 },
-                Descriptor { node: NodeId(2), age: 1 },
-                Descriptor { node: NodeId(3), age: 2 },
+                Descriptor {
+                    node: NodeId(1),
+                    age: 0,
+                },
+                Descriptor {
+                    node: NodeId(2),
+                    age: 1,
+                },
+                Descriptor {
+                    node: NodeId(3),
+                    age: 2,
+                },
             ],
         };
         assert_eq!(three.wire_size() - one.wire_size(), 2 * DESCRIPTOR_BYTES);

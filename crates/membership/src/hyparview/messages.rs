@@ -69,7 +69,9 @@ impl WireSize for HpvMsg {
             HpvMsg::Neighbor { .. } => 1,
             HpvMsg::NeighborReply { .. } => 1,
             HpvMsg::Disconnect => 0,
-            HpvMsg::Shuffle { nodes, .. } => NodeId::WIRE_SIZE + nodes.len() * NodeId::WIRE_SIZE + 1,
+            HpvMsg::Shuffle { nodes, .. } => {
+                NodeId::WIRE_SIZE + nodes.len() * NodeId::WIRE_SIZE + 1
+            }
             HpvMsg::ShuffleReply { nodes } => nodes.len() * NodeId::WIRE_SIZE,
             HpvMsg::KeepAlive { .. } | HpvMsg::KeepAliveAck { .. } => 8,
         };
@@ -109,10 +111,18 @@ mod tests {
     fn wire_sizes_scale_with_content() {
         assert_eq!(HpvMsg::Join.wire_size(), HPV_HEADER_BYTES);
         assert_eq!(
-            HpvMsg::ForwardJoin { new_node: NodeId(1), ttl: 3 }.wire_size(),
+            HpvMsg::ForwardJoin {
+                new_node: NodeId(1),
+                ttl: 3
+            }
+            .wire_size(),
             HPV_HEADER_BYTES + 7
         );
-        let small = HpvMsg::Shuffle { origin: NodeId(0), nodes: vec![NodeId(1)], ttl: 2 };
+        let small = HpvMsg::Shuffle {
+            origin: NodeId(0),
+            nodes: vec![NodeId(1)],
+            ttl: 2,
+        };
         let big = HpvMsg::Shuffle {
             origin: NodeId(0),
             nodes: vec![NodeId(1), NodeId(2), NodeId(3)],

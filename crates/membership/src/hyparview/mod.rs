@@ -128,7 +128,10 @@ impl HyParView {
     pub fn join(&mut self, now: SimTime, contact: NodeId) -> Vec<HpvOut> {
         let mut out = Vec::new();
         self.add_active(contact, now, &mut out);
-        out.push(HpvOut::Send { to: contact, msg: HpvMsg::Join });
+        out.push(HpvOut::Send {
+            to: contact,
+            msg: HpvMsg::Join,
+        });
         out
     }
 
@@ -161,7 +164,10 @@ impl HyParView {
                 self.integrate_passive(&nodes, &sent, rng);
             }
             HpvMsg::KeepAlive { nonce } => {
-                out.push(HpvOut::Send { to: from, msg: HpvMsg::KeepAliveAck { nonce } });
+                out.push(HpvOut::Send {
+                    to: from,
+                    msg: HpvMsg::KeepAliveAck { nonce },
+                });
             }
             HpvMsg::KeepAliveAck { nonce } => {
                 if let Some((peer, sent_at)) = self.pending_probes.remove(&nonce) {
@@ -197,7 +203,10 @@ impl HyParView {
             let nonce = self.next_nonce;
             self.next_nonce += 1;
             self.pending_probes.insert(nonce, (peer, now));
-            out.push(HpvOut::Send { to: peer, msg: HpvMsg::KeepAlive { nonce } });
+            out.push(HpvOut::Send {
+                to: peer,
+                msg: HpvMsg::KeepAlive { nonce },
+            });
         }
         out
     }
@@ -216,7 +225,11 @@ impl HyParView {
         self.stats.shuffles_started += 1;
         out.push(HpvOut::Send {
             to: target,
-            msg: HpvMsg::Shuffle { origin: self.me, nodes: sample, ttl: self.cfg.shuffle_ttl },
+            msg: HpvMsg::Shuffle {
+                origin: self.me,
+                nodes: sample,
+                ttl: self.cfg.shuffle_ttl,
+            },
         });
         out
     }
@@ -232,7 +245,10 @@ impl HyParView {
         for n in others {
             out.push(HpvOut::Send {
                 to: n,
-                msg: HpvMsg::ForwardJoin { new_node, ttl: self.cfg.arwl },
+                msg: HpvMsg::ForwardJoin {
+                    new_node,
+                    ttl: self.cfg.arwl,
+                },
             });
         }
     }
@@ -255,7 +271,9 @@ impl HyParView {
                 self.add_active(new_node, now, out);
                 out.push(HpvOut::Send {
                     to: new_node,
-                    msg: HpvMsg::Neighbor { high_priority: true },
+                    msg: HpvMsg::Neighbor {
+                        high_priority: true,
+                    },
                 });
             }
             return;
@@ -267,14 +285,19 @@ impl HyParView {
         match self.active.random_excluding(rng, &exclude) {
             Some(next) => out.push(HpvOut::Send {
                 to: next,
-                msg: HpvMsg::ForwardJoin { new_node, ttl: ttl - 1 },
+                msg: HpvMsg::ForwardJoin {
+                    new_node,
+                    ttl: ttl - 1,
+                },
             }),
             None => {
                 if !self.active.contains(new_node) {
                     self.add_active(new_node, now, out);
                     out.push(HpvOut::Send {
                         to: new_node,
-                        msg: HpvMsg::Neighbor { high_priority: true },
+                        msg: HpvMsg::Neighbor {
+                            high_priority: true,
+                        },
                     });
                 }
             }
@@ -290,10 +313,16 @@ impl HyParView {
     ) {
         if high_priority || self.active.len() < self.cfg.max_active() {
             self.add_active(from, now, out);
-            out.push(HpvOut::Send { to: from, msg: HpvMsg::NeighborReply { accepted: true } });
+            out.push(HpvOut::Send {
+                to: from,
+                msg: HpvMsg::NeighborReply { accepted: true },
+            });
         } else {
             self.stats.neighbor_rejections += 1;
-            out.push(HpvOut::Send { to: from, msg: HpvMsg::NeighborReply { accepted: false } });
+            out.push(HpvOut::Send {
+                to: from,
+                msg: HpvMsg::NeighborReply { accepted: false },
+            });
         }
     }
 
@@ -356,7 +385,10 @@ impl HyParView {
         // view and integrate the received sample.
         if origin != self.me {
             let reply = self.passive.sample(rng, nodes.len().max(1));
-            out.push(HpvOut::Send { to: origin, msg: HpvMsg::ShuffleReply { nodes: reply } });
+            out.push(HpvOut::Send {
+                to: origin,
+                msg: HpvMsg::ShuffleReply { nodes: reply },
+            });
         }
         self.integrate_passive(&nodes, &[], rng);
     }
@@ -377,7 +409,10 @@ impl HyParView {
             let idx = (self.stats.evictions as usize) % self.active.len();
             let victim = self.active.as_slice()[idx];
             self.stats.evictions += 1;
-            out.push(HpvOut::Send { to: victim, msg: HpvMsg::Disconnect });
+            out.push(HpvOut::Send {
+                to: victim,
+                msg: HpvMsg::Disconnect,
+            });
             self.remove_active(victim, true, out);
         }
         self.passive.remove(peer);
@@ -458,7 +493,10 @@ impl HyParView {
             self.stats.promotions += 1;
             let high_priority = self.active.is_empty();
             out.push(HpvOut::OpenConnection(candidate));
-            out.push(HpvOut::Send { to: candidate, msg: HpvMsg::Neighbor { high_priority } });
+            out.push(HpvOut::Send {
+                to: candidate,
+                msg: HpvMsg::Neighbor { high_priority },
+            });
         }
     }
 }
@@ -555,7 +593,10 @@ mod tests {
         }
         // Every node (except possibly the seed) should have at least one neighbor.
         for (id, node) in &h.nodes {
-            assert!(!node.active_view().is_empty(), "{id} has an empty active view");
+            assert!(
+                !node.active_view().is_empty(),
+                "{id} has an empty active view"
+            );
         }
     }
 
@@ -630,12 +671,22 @@ mod tests {
         let failed = h.nodes[&id].active_view()[0];
         let before = h.nodes[&id].active_view().len();
         let mut rng = SmallRng::seed_from_u64(3);
-        let outs = h.nodes.get_mut(&id).unwrap().link_down(SimTime::from_secs(1), failed, &mut rng);
+        let outs = h
+            .nodes
+            .get_mut(&id)
+            .unwrap()
+            .link_down(SimTime::from_secs(1), failed, &mut rng);
         assert!(!h.nodes[&id].is_neighbor(failed));
         // A Neighbor request to a passive candidate must have been issued
         // when the view dropped below target.
         let issued_neighbor = outs.iter().any(|o| {
-            matches!(o, HpvOut::Send { msg: HpvMsg::Neighbor { .. }, .. })
+            matches!(
+                o,
+                HpvOut::Send {
+                    msg: HpvMsg::Neighbor { .. },
+                    ..
+                }
+            )
         });
         if before <= h.nodes[&id].config().active_size {
             assert!(issued_neighbor, "expected a promotion attempt");
@@ -652,17 +703,22 @@ mod tests {
     fn keepalive_measures_rtt() {
         let mut h = Harness::new(2, HyParViewConfig::default());
         h.join_all();
-        let outs = h.nodes.get_mut(&NodeId(0)).unwrap().keepalive_tick(SimTime::from_secs(1));
+        let outs = h
+            .nodes
+            .get_mut(&NodeId(0))
+            .unwrap()
+            .keepalive_tick(SimTime::from_secs(1));
         // Manually deliver with a later "now" to simulate network delay.
         let mut replies = Vec::new();
         for o in outs {
             if let HpvOut::Send { to, msg } = o {
                 let mut rng = SmallRng::seed_from_u64(1);
-                let r = h
-                    .nodes
-                    .get_mut(&to)
-                    .unwrap()
-                    .handle(SimTime::from_millis(1005), NodeId(0), msg, &mut rng);
+                let r = h.nodes.get_mut(&to).unwrap().handle(
+                    SimTime::from_millis(1005),
+                    NodeId(0),
+                    msg,
+                    &mut rng,
+                );
                 replies.extend(r.into_iter().map(|o| (to, o)));
             }
         }
@@ -670,10 +726,12 @@ mod tests {
             if let HpvOut::Send { to, msg } = o {
                 assert_eq!(to, NodeId(0));
                 let mut rng = SmallRng::seed_from_u64(2);
-                h.nodes
-                    .get_mut(&NodeId(0))
-                    .unwrap()
-                    .handle(SimTime::from_millis(1010), from, msg, &mut rng);
+                h.nodes.get_mut(&NodeId(0)).unwrap().handle(
+                    SimTime::from_millis(1010),
+                    from,
+                    msg,
+                    &mut rng,
+                );
             }
         }
         let rtt = h.nodes[&NodeId(0)].rtt_to(NodeId(1)).expect("rtt measured");
@@ -693,7 +751,10 @@ mod tests {
         let first = out
             .iter()
             .find_map(|o| match o {
-                HpvOut::Send { to, msg: HpvMsg::Neighbor { .. } } => Some(*to),
+                HpvOut::Send {
+                    to,
+                    msg: HpvMsg::Neighbor { .. },
+                } => Some(*to),
                 _ => None,
             })
             .expect("promotion attempt");
@@ -707,7 +768,10 @@ mod tests {
         let second = retry
             .iter()
             .find_map(|o| match o {
-                HpvOut::Send { to, msg: HpvMsg::Neighbor { .. } } => Some(*to),
+                HpvOut::Send {
+                    to,
+                    msg: HpvMsg::Neighbor { .. },
+                } => Some(*to),
                 _ => None,
             })
             .expect("retry after rejection");
@@ -726,7 +790,15 @@ mod tests {
         // Evictions emitted Disconnect messages.
         let disconnects = out
             .iter()
-            .filter(|o| matches!(o, HpvOut::Send { msg: HpvMsg::Disconnect, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    HpvOut::Send {
+                        msg: HpvMsg::Disconnect,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(disconnects >= 10 - cfg.max_active());
         assert!(node.stats().evictions as usize >= 10 - cfg.max_active());
@@ -745,14 +817,26 @@ mod tests {
         // Dropping from 4 (expansion band) to 3: no promotion.
         let outs = node.handle(SimTime::ZERO, NodeId(1), HpvMsg::Disconnect, &mut rng);
         assert!(
-            !outs.iter().any(|o| matches!(o, HpvOut::Send { msg: HpvMsg::Neighbor { .. }, .. })),
+            !outs.iter().any(|o| matches!(
+                o,
+                HpvOut::Send {
+                    msg: HpvMsg::Neighbor { .. },
+                    ..
+                }
+            )),
             "no replacement while in the expansion band"
         );
         // Drop to 2 then to 1 (< target 2): promotion must fire.
         let _ = node.handle(SimTime::ZERO, NodeId(2), HpvMsg::Disconnect, &mut rng);
         let outs = node.handle(SimTime::ZERO, NodeId(3), HpvMsg::Disconnect, &mut rng);
         assert!(
-            outs.iter().any(|o| matches!(o, HpvOut::Send { msg: HpvMsg::Neighbor { .. }, .. })),
+            outs.iter().any(|o| matches!(
+                o,
+                HpvOut::Send {
+                    msg: HpvMsg::Neighbor { .. },
+                    ..
+                }
+            )),
             "replacement expected below the target size"
         );
     }
@@ -768,13 +852,21 @@ mod tests {
         let outs = node.handle(
             SimTime::ZERO,
             NodeId(1),
-            HpvMsg::ForwardJoin { new_node: NodeId(9), ttl: 0 },
+            HpvMsg::ForwardJoin {
+                new_node: NodeId(9),
+                ttl: 0,
+            },
             &mut rng,
         );
         assert!(node.is_neighbor(NodeId(9)));
         assert!(outs.iter().any(|o| matches!(
             o,
-            HpvOut::Send { to: NodeId(9), msg: HpvMsg::Neighbor { high_priority: true } }
+            HpvOut::Send {
+                to: NodeId(9),
+                msg: HpvMsg::Neighbor {
+                    high_priority: true
+                }
+            }
         )));
     }
 
@@ -790,15 +882,29 @@ mod tests {
         let outs = node.handle(
             SimTime::ZERO,
             NodeId(1),
-            HpvMsg::ForwardJoin { new_node: NodeId(9), ttl: 3 },
+            HpvMsg::ForwardJoin {
+                new_node: NodeId(9),
+                ttl: 3,
+            },
             &mut rng,
         );
-        assert!(node.passive_view().contains(&NodeId(9)), "ttl == prwl adds to passive");
+        assert!(
+            node.passive_view().contains(&NodeId(9)),
+            "ttl == prwl adds to passive"
+        );
         assert!(!node.is_neighbor(NodeId(9)));
-        let forwarded = outs.iter().any(|o| matches!(
-            o,
-            HpvOut::Send { msg: HpvMsg::ForwardJoin { new_node: NodeId(9), ttl: 2 }, .. }
-        ));
+        let forwarded = outs.iter().any(|o| {
+            matches!(
+                o,
+                HpvOut::Send {
+                    msg: HpvMsg::ForwardJoin {
+                        new_node: NodeId(9),
+                        ttl: 2
+                    },
+                    ..
+                }
+            )
+        });
         assert!(forwarded, "walk must continue with decremented ttl");
     }
 
@@ -813,13 +919,21 @@ mod tests {
         let outs = node.handle(
             SimTime::ZERO,
             NodeId(1),
-            HpvMsg::ShuffleReply { nodes: vec![NodeId(7), NodeId(8), NodeId(1), NodeId(0)] },
+            HpvMsg::ShuffleReply {
+                nodes: vec![NodeId(7), NodeId(8), NodeId(1), NodeId(0)],
+            },
             &mut rng,
         );
         assert!(outs.is_empty());
         assert!(node.passive_view().contains(&NodeId(7)));
         assert!(node.passive_view().contains(&NodeId(8)));
-        assert!(!node.passive_view().contains(&NodeId(0)), "self never enters passive");
-        assert!(!node.passive_view().contains(&NodeId(1)), "neighbors never enter passive");
+        assert!(
+            !node.passive_view().contains(&NodeId(0)),
+            "self never enters passive"
+        );
+        assert!(
+            !node.passive_view().contains(&NodeId(1)),
+            "neighbors never enter passive"
+        );
     }
 }

@@ -148,9 +148,15 @@ mod tests {
         assert!(v.push_unique(NodeId(2)));
         assert!(v.is_full());
         assert!(!v.push_unique(NodeId(3)), "full view rejects");
-        assert!(v.push_unbounded(NodeId(3)), "unbounded push grows past capacity");
+        assert!(
+            v.push_unbounded(NodeId(3)),
+            "unbounded push grows past capacity"
+        );
         assert_eq!(v.len(), 3);
-        assert!(!v.push_unbounded(NodeId(3)), "unbounded push still rejects duplicates");
+        assert!(
+            !v.push_unbounded(NodeId(3)),
+            "unbounded push still rejects duplicates"
+        );
     }
 
     #[test]

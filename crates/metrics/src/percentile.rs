@@ -51,7 +51,11 @@ impl PercentileSummary {
     pub fn from_samples<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         let mut v: Vec<f64> = iter.into_iter().collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let mean = if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let mean = if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        };
         PercentileSummary {
             p5: percentile_of_sorted(&v, 5.0),
             p25: percentile_of_sorted(&v, 25.0),

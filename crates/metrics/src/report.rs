@@ -49,7 +49,12 @@ pub fn render_cdf(label: &str, cdf: &mut Cdf, max_points: usize) -> String {
     let rows: Vec<Vec<String>> = series
         .iter()
         .step_by(step)
-        .chain(series.last().into_iter().filter(|_| series.len() > 1 && step > 1))
+        .chain(
+            series
+                .last()
+                .into_iter()
+                .filter(|_| series.len() > 1 && step > 1),
+        )
         .map(|(v, p)| vec![format!("{v:.3}"), format!("{p:.1}")])
         .collect();
     out.push_str(&render_table(&["value", "% <= value"], &rows));

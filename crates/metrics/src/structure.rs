@@ -24,7 +24,10 @@ pub struct StructureSnapshot {
 impl StructureSnapshot {
     /// Creates a snapshot rooted at `source`.
     pub fn new(source: u32) -> Self {
-        StructureSnapshot { parents: HashMap::new(), source }
+        StructureSnapshot {
+            parents: HashMap::new(),
+            source,
+        }
     }
 
     /// Records the parent set of `node`.
@@ -82,7 +85,11 @@ impl StructureSnapshot {
         // against pathological snapshots.
         let mut queue: VecDeque<u32> = VecDeque::new();
         queue.push_back(self.source);
-        let bound = self.nodes().len().saturating_mul(self.nodes().len()).max(16);
+        let bound = self
+            .nodes()
+            .len()
+            .saturating_mul(self.nodes().len())
+            .max(16);
         let mut visits = 0usize;
         while let Some(cur) = queue.pop_front() {
             visits += 1;
@@ -147,7 +154,10 @@ impl StructureSnapshot {
         let mut out = String::new();
         out.push_str(&format!("digraph {name} {{\n"));
         out.push_str("  rankdir=TB;\n  node [shape=circle, fontsize=10];\n");
-        out.push_str(&format!("  n{} [style=filled, fillcolor=lightblue];\n", self.source));
+        out.push_str(&format!(
+            "  n{} [style=filled, fillcolor=lightblue];\n",
+            self.source
+        ));
         let mut edges: Vec<(u32, u32)> = Vec::new();
         for (&node, parents) in &self.parents {
             for &p in parents {

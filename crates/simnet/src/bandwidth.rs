@@ -89,7 +89,8 @@ impl BandwidthMeter {
     /// Ensures the meter covers `id`.
     pub(crate) fn ensure(&mut self, id: NodeId) {
         if self.nodes.len() <= id.index() {
-            self.nodes.resize_with(id.index() + 1, NodeBandwidth::default);
+            self.nodes
+                .resize_with(id.index() + 1, NodeBandwidth::default);
         }
     }
 
@@ -131,9 +132,24 @@ mod tests {
     #[test]
     fn records_totals_and_buckets() {
         let mut m = BandwidthMeter::new();
-        m.record(NodeId(2), Direction::Upload, 1000, SimTime::from_millis(500));
-        m.record(NodeId(2), Direction::Upload, 500, SimTime::from_millis(1500));
-        m.record(NodeId(2), Direction::Download, 200, SimTime::from_millis(2500));
+        m.record(
+            NodeId(2),
+            Direction::Upload,
+            1000,
+            SimTime::from_millis(500),
+        );
+        m.record(
+            NodeId(2),
+            Direction::Upload,
+            500,
+            SimTime::from_millis(1500),
+        );
+        m.record(
+            NodeId(2),
+            Direction::Download,
+            200,
+            SimTime::from_millis(2500),
+        );
         let n = m.node(NodeId(2)).unwrap();
         assert_eq!(n.upload_total, 1500);
         assert_eq!(n.download_total, 200);

@@ -17,8 +17,8 @@
 
 use crate::node::NodeId;
 use crate::time::SimDuration;
-use rand::Rng;
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 /// A model producing the one-way latency of a message from `src` to `dst`.
 pub trait LatencyModel: Send {
@@ -186,7 +186,10 @@ mod tests {
         let m = FixedLatency::new(SimDuration::from_millis(3));
         let mut r = rng();
         for _ in 0..10 {
-            assert_eq!(m.sample(NodeId(0), NodeId(1), &mut r), SimDuration::from_millis(3));
+            assert_eq!(
+                m.sample(NodeId(0), NodeId(1), &mut r),
+                SimDuration::from_millis(3)
+            );
         }
     }
 
@@ -238,7 +241,10 @@ mod tests {
         let median = samples[samples.len() / 2];
         let p99 = samples[(samples.len() as f64 * 0.99) as usize];
         assert!(median > 10.0 && median < 120.0, "median {median}");
-        assert!(p99 > 2.0 * median, "tail should be heavy: p99={p99} median={median}");
+        assert!(
+            p99 > 2.0 * median,
+            "tail should be heavy: p99={p99} median={median}"
+        );
         assert!(samples.iter().all(|&s| s >= 0.5), "floor of 0.5ms enforced");
     }
 }

@@ -15,7 +15,56 @@ use crate::protocol::{Command, Context, Protocol, WireSize};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-sender FIFO clocks towards every destination the sender has messaged.
+///
+/// Semantically a map `(sender, dest) -> last scheduled arrival`, stored as
+/// one small map per sender so that all state belonging to a node can be
+/// dropped in O(degree) when it crashes. The old flat
+/// `HashMap<(NodeId, NodeId), SimTime>` grew without bound under churn:
+/// every node pair that ever exchanged a message stayed in the table for the
+/// rest of the run.
+#[derive(Debug, Default)]
+struct LinkClocks {
+    by_sender: Vec<HashMap<NodeId, SimTime>>,
+}
+
+impl LinkClocks {
+    /// Makes sure a slot exists for `sender`.
+    fn ensure(&mut self, sender: NodeId) {
+        if self.by_sender.len() <= sender.index() {
+            self.by_sender.resize_with(sender.index() + 1, HashMap::new);
+        }
+    }
+
+    /// Mutable access to the clock of the directed link `sender -> dest`,
+    /// initialised to [`SimTime::ZERO`].
+    fn entry(&mut self, sender: NodeId, dest: NodeId) -> &mut SimTime {
+        self.ensure(sender);
+        self.by_sender[sender.index()]
+            .entry(dest)
+            .or_insert(SimTime::ZERO)
+    }
+
+    /// Drops every clock involving `node`, in either direction. Called when
+    /// `node` crashes: it will never send again, and in-flight FIFO ordering
+    /// towards a dead destination no longer matters (deliveries to it are
+    /// dropped).
+    fn prune(&mut self, node: NodeId) {
+        if let Some(own) = self.by_sender.get_mut(node.index()) {
+            *own = HashMap::new();
+        }
+        for clocks in &mut self.by_sender {
+            clocks.remove(&node);
+        }
+    }
+
+    /// Number of directed links currently tracked (test/diagnostic hook).
+    fn tracked_links(&self) -> usize {
+        self.by_sender.iter().map(|m| m.len()).sum()
+    }
+}
 
 /// Static configuration of a simulation run.
 #[derive(Debug, Clone)]
@@ -71,10 +120,15 @@ pub struct Network<P: Protocol> {
     master_rng: SmallRng,
     bandwidth: BandwidthMeter,
     /// Open connections, keyed by the owning node: `(owner, peer)`.
-    connections: HashSet<(NodeId, NodeId)>,
+    ///
+    /// A `BTreeSet` rather than a hash set so that iterating it (to notify
+    /// peers of a crash) visits connections in a fixed order: the simulation
+    /// must be bit-identical no matter which thread runs it, and std's
+    /// hash-map ordering is seeded per thread.
+    connections: BTreeSet<(NodeId, NodeId)>,
     /// Per directed pair, the time the last message is scheduled to arrive
-    /// (used to enforce FIFO ordering).
-    link_clock: HashMap<(NodeId, NodeId), SimTime>,
+    /// (used to enforce FIFO ordering); pruned when a node crashes.
+    link_clock: LinkClocks,
     stats: NetStats,
     command_buf: Vec<Command<P::Message>>,
 }
@@ -91,8 +145,8 @@ impl<P: Protocol> Network<P> {
             nodes: Vec::new(),
             master_rng,
             bandwidth: BandwidthMeter::new(),
-            connections: HashSet::new(),
-            link_clock: HashMap::new(),
+            connections: BTreeSet::new(),
+            link_clock: LinkClocks::default(),
             stats: NetStats::default(),
             command_buf: Vec::new(),
         }
@@ -189,19 +243,7 @@ impl<P: Protocol> Network<P> {
         if !self.is_alive(id) {
             return;
         }
-        let slot = &mut self.nodes[id.index()];
-        let mut commands = std::mem::take(&mut self.command_buf);
-        {
-            let mut ctx = Context {
-                now: self.now,
-                id,
-                rng: &mut slot.rng,
-                commands: &mut commands,
-            };
-            f(&mut slot.proto, &mut ctx);
-        }
-        self.command_buf = commands;
-        self.apply_commands(id);
+        self.dispatch(id, f);
     }
 
     /// Processes events until the queue is empty or `deadline` is reached.
@@ -257,12 +299,18 @@ impl<P: Protocol> Network<P> {
                 self.nodes[node.index()].started = true;
                 self.dispatch(node, |proto, ctx| proto.on_start(ctx));
             }
-            EventKind::Deliver { from, to, msg, size } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                size,
+            } => {
                 if !self.is_alive(to) || !self.nodes[to.index()].started {
                     self.stats.messages_dropped += 1;
                     return;
                 }
-                self.bandwidth.record(to, Direction::Download, size, self.now);
+                self.bandwidth
+                    .record(to, Direction::Download, size, self.now);
                 self.stats.messages_delivered += 1;
                 self.dispatch(to, |proto, ctx| proto.on_message(ctx, from, msg));
             }
@@ -299,10 +347,24 @@ impl<P: Protocol> Network<P> {
             .map(|(owner, _)| *owner)
             .collect();
         for owner in peers {
-            self.queue.push(detect_at, EventKind::LinkDown { node: owner, peer: node });
+            self.queue.push(
+                detect_at,
+                EventKind::LinkDown {
+                    node: owner,
+                    peer: node,
+                },
+            );
         }
-        // Drop the crashed node's own connections.
+        // Drop the crashed node's own connections and FIFO link clocks so
+        // long churn runs do not accumulate state for dead nodes.
         self.connections.retain(|(owner, _)| *owner != node);
+        self.link_clock.prune(node);
+    }
+
+    /// Number of directed FIFO link clocks currently tracked. Exposed so
+    /// tests can assert that crash pruning keeps the table bounded.
+    pub fn tracked_link_clocks(&self) -> usize {
+        self.link_clock.tracked_links()
     }
 
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
@@ -318,25 +380,41 @@ impl<P: Protocol> Network<P> {
             };
             f(&mut slot.proto, &mut ctx);
         }
-        self.command_buf = commands;
-        self.apply_commands(id);
+        let drained = self.apply_commands(id, commands);
+        self.command_buf = drained;
     }
 
-    fn apply_commands(&mut self, origin: NodeId) {
-        let commands = std::mem::take(&mut self.command_buf);
-        for cmd in &commands {
+    /// Applies the commands a callback issued. Commands are consumed by
+    /// value: a `Send` moves its message straight into the event queue, so
+    /// fanning a payload out to many peers costs whatever the protocol paid
+    /// to build each message (an `Arc` clone for BRISA data) and nothing
+    /// more. Returns the emptied vector for reuse.
+    fn apply_commands(
+        &mut self,
+        origin: NodeId,
+        mut commands: Vec<Command<P::Message>>,
+    ) -> Vec<Command<P::Message>> {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::Send { to, msg } => {
                     let size = msg.wire_size();
                     self.stats.messages_sent += 1;
-                    self.bandwidth.record(origin, Direction::Upload, size, self.now);
+                    self.bandwidth
+                        .record(origin, Direction::Upload, size, self.now);
                     let latency = {
                         let rng = &mut self.nodes[origin.index()].rng;
-                        self.latency.sample(origin, *to, rng)
+                        self.latency.sample(origin, to, rng)
                     };
                     let mut deliver_at = self.now + latency;
-                    if self.config.fifo_links {
-                        let clock = self.link_clock.entry((origin, *to)).or_insert(SimTime::ZERO);
+                    // FIFO clocks are only tracked towards live destinations:
+                    // a delivery to a dead node is dropped on arrival, so its
+                    // ordering is irrelevant — and re-inserting a clock that
+                    // `process_crash` just pruned would leak one entry per
+                    // (sender, dead peer) pair for the rest of the run. The
+                    // failure-detection window, where senders still relay to
+                    // a crashed peer, hits exactly this path.
+                    if self.config.fifo_links && self.is_alive(to) {
+                        let clock = self.link_clock.entry(origin, to);
                         if deliver_at < *clock {
                             deliver_at = *clock + SimDuration::from_micros(1);
                         }
@@ -346,34 +424,33 @@ impl<P: Protocol> Network<P> {
                         deliver_at,
                         EventKind::Deliver {
                             from: origin,
-                            to: *to,
-                            msg: msg.clone(),
+                            to,
+                            msg,
                             size,
                         },
                     );
                 }
                 Command::SetTimer { delay, tag } => {
                     self.queue
-                        .push(self.now + *delay, EventKind::Timer { node: origin, tag: *tag });
+                        .push(self.now + delay, EventKind::Timer { node: origin, tag });
                 }
                 Command::OpenConnection { peer } => {
-                    self.connections.insert((origin, *peer));
+                    self.connections.insert((origin, peer));
                     // Connecting to a node that is already dead fails after
                     // the detection delay, like a TCP connect timeout.
-                    if !self.is_alive(*peer) {
+                    if !self.is_alive(peer) {
                         self.queue.push(
                             self.now + self.config.failure_detection_delay,
-                            EventKind::LinkDown { node: origin, peer: *peer },
+                            EventKind::LinkDown { node: origin, peer },
                         );
                     }
                 }
                 Command::CloseConnection { peer } => {
-                    self.connections.remove(&(origin, *peer));
+                    self.connections.remove(&(origin, peer));
                 }
             }
         }
-        self.command_buf = commands;
-        self.command_buf.clear();
+        commands
     }
 
     /// One-way "typical" latency between a pair according to the latency
@@ -561,6 +638,34 @@ mod tests {
         assert_eq!(net.node(a).unwrap().received.len(), 0);
         net.run_until(SimTime::from_secs(6));
         assert_eq!(net.node(a).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn crash_prunes_link_clocks() {
+        let mut net = fixed_net(1);
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(move |_| Pinger::new(Some(a)));
+        let c = net.add_node(move |_| Pinger::new(Some(a)));
+        net.run_until(SimTime::from_secs(1));
+        // a<->b and a<->c exchanged messages: 4 directed clocks tracked.
+        assert_eq!(net.tracked_link_clocks(), 4);
+        net.crash(b);
+        net.run_until(SimTime::from_secs(2));
+        // Everything involving b is gone; a<->c remains.
+        assert_eq!(net.tracked_link_clocks(), 2);
+        // Senders that have not yet detected the failure keep relaying to
+        // the dead peer; those sends must not resurrect the pruned clocks.
+        net.invoke(a, |_p, ctx| ctx.send(b, Ping(9)));
+        net.run_until(SimTime::from_secs(3));
+        assert_eq!(
+            net.tracked_link_clocks(),
+            2,
+            "sends to a dead peer leave no clock behind"
+        );
+        net.crash(a);
+        net.crash(c);
+        net.run_until(SimTime::from_secs(4));
+        assert_eq!(net.tracked_link_clocks(), 0);
     }
 
     #[test]

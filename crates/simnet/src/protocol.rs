@@ -38,7 +38,12 @@ pub trait Protocol: Sized {
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
 
     /// Called when a message from `from` is delivered to this node.
-    fn on_message(&mut self, ctx: &mut Context<'_, Self::Message>, from: NodeId, msg: Self::Message);
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Message>,
+        from: NodeId,
+        msg: Self::Message,
+    );
 
     /// Called when a timer previously set through [`Context::set_timer`]
     /// fires. Timers cannot be cancelled; a protocol that no longer cares
@@ -140,10 +145,22 @@ mod tests {
         ctx.close_connection(NodeId(2));
         let _ = ctx.rng();
         assert_eq!(commands.len(), 4);
-        assert!(matches!(commands[0], Command::Send { to: NodeId(1), msg: 99 }));
+        assert!(matches!(
+            commands[0],
+            Command::Send {
+                to: NodeId(1),
+                msg: 99
+            }
+        ));
         assert!(matches!(commands[1], Command::SetTimer { .. }));
-        assert!(matches!(commands[2], Command::OpenConnection { peer: NodeId(2) }));
-        assert!(matches!(commands[3], Command::CloseConnection { peer: NodeId(2) }));
+        assert!(matches!(
+            commands[2],
+            Command::OpenConnection { peer: NodeId(2) }
+        ));
+        assert!(matches!(
+            commands[3],
+            Command::CloseConnection { peer: NodeId(2) }
+        ));
     }
 
     #[test]

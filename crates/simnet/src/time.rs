@@ -17,11 +17,15 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// An absolute instant of simulated time, in microseconds since the start of
 /// the simulation (time zero).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -233,7 +237,10 @@ mod tests {
         let d = SimDuration::from_millis(10);
         assert_eq!((d * 3).as_micros(), 30_000);
         assert_eq!((d / 2).as_micros(), 5_000);
-        assert_eq!(d.saturating_sub(SimDuration::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

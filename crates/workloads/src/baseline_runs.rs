@@ -1,20 +1,20 @@
 //! Experiment runners for the baseline protocols.
 //!
-//! Each runner mirrors [`crate::brisa_run::run_brisa`]: bootstrap, optional
-//! churn, stream injection, metric collection. The collected fields are the
-//! ones the comparison experiments need (Figures 9, 12, 13, 14 and
-//! Tables I–II).
+//! Each runner is a two-line adapter over [`crate::engine::run_experiment`]:
+//! it builds the protocol's run-wide configuration from the
+//! [`BaselineScenario`] and translates the generic [`EngineResult`] into the
+//! comparison-friendly [`BaselineRunResult`]. The bootstrap, churn, stream
+//! and collection phases all live in the engine, shared with the BRISA
+//! runner — there is exactly one experiment loop in the workspace.
 
-use crate::result::{split_bandwidth, PhaseBandwidth};
-use crate::spec::{ChurnEvent, ChurnSpec, StreamSpec, Testbed};
+use crate::engine::{run_experiment, EngineResult, RunSpec};
+use crate::result::PhaseBandwidth;
+use crate::spec::BaselineScenario;
 use brisa_baselines::{
     FloodNode, GossipConfig, SimpleGossipNode, SimpleTreeNode, TagConfig, TagNode,
 };
 use brisa_membership::HyParViewConfig;
-use brisa_simnet::{Network, NetworkConfig, NodeId, Protocol, SimDuration, SimTime};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use brisa_simnet::NodeId;
 use std::collections::HashMap;
 
 /// Common per-node metrics for a baseline run.
@@ -45,6 +45,9 @@ pub struct BaselineRunResult {
     pub protocol: &'static str,
     /// The stream source.
     pub source: NodeId,
+    /// Nodes bootstrapped before the stream started (churn joiners have
+    /// identifiers `>= original_nodes`).
+    pub original_nodes: u32,
     /// Messages injected.
     pub messages_published: u64,
     /// Per-node summaries (live nodes only).
@@ -60,18 +63,24 @@ pub struct BaselineRunResult {
 }
 
 impl BaselineRunResult {
-    /// Fraction of live non-source nodes that delivered every message.
+    /// Fraction of live, non-source nodes *present before the stream
+    /// started* that delivered every message — the same eligibility rule as
+    /// [`crate::engine::EngineResult::completeness`]: nodes joined by churn
+    /// legitimately miss the messages published before they existed.
     pub fn completeness(&self) -> f64 {
-        let non_source: Vec<&BaselineNodeSummary> =
-            self.nodes.iter().filter(|n| !n.is_source).collect();
-        if non_source.is_empty() {
+        let eligible: Vec<&BaselineNodeSummary> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.is_source && n.id.0 < self.original_nodes)
+            .collect();
+        if eligible.is_empty() {
             return 1.0;
         }
-        non_source
+        eligible
             .iter()
             .filter(|n| n.delivered >= self.messages_published)
             .count() as f64
-            / non_source.len() as f64
+            / eligible.len() as f64
     }
 
     /// Mean upload MB transmitted per node (stabilisation + dissemination),
@@ -80,178 +89,47 @@ impl BaselineRunResult {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(|n| n.bandwidth.total_uploaded_mb()).sum::<f64>()
+        self.nodes
+            .iter()
+            .map(|n| n.bandwidth.total_uploaded_mb())
+            .sum::<f64>()
             / self.nodes.len() as f64
     }
 }
 
-/// Parameters shared by every baseline run.
-#[derive(Debug, Clone)]
-pub struct BaselineScenario {
-    /// System size.
-    pub nodes: u32,
-    /// HyParView view size (flooding) / list-tree fanout knobs use defaults.
-    pub view_size: usize,
-    /// Testbed latency model.
-    pub testbed: Testbed,
-    /// Deterministic seed.
-    pub seed: u64,
-    /// Stream shape.
-    pub stream: StreamSpec,
-    /// Optional churn phase (only TAG reacts meaningfully; SimpleTree and
-    /// SimpleGossip tolerate it passively).
-    pub churn: Option<ChurnSpec>,
-    /// Bootstrap duration.
-    pub bootstrap: SimDuration,
-    /// Drain duration after the last injection.
-    pub drain: SimDuration,
-}
-
-impl Default for BaselineScenario {
-    fn default() -> Self {
-        BaselineScenario {
-            nodes: 128,
-            view_size: 4,
-            testbed: Testbed::Cluster,
-            seed: 0xB215A,
-            stream: StreamSpec::default(),
-            churn: None,
-            bootstrap: SimDuration::from_secs(30),
-            drain: SimDuration::from_secs(30),
-        }
-    }
-}
-
-impl BaselineScenario {
-    /// A small scenario suitable for tests.
-    pub fn small_test(nodes: u32) -> Self {
-        BaselineScenario {
-            nodes,
-            stream: StreamSpec::short(10, 256),
-            bootstrap: SimDuration::from_secs(20),
-            drain: SimDuration::from_secs(20),
-            ..Default::default()
-        }
-    }
-}
-
-/// Everything the generic driver needs to know about a protocol.
-struct Driver<P: Protocol> {
-    protocol: &'static str,
-    publish: fn(&mut P, &mut brisa_simnet::Context<'_, P::Message>, usize),
-}
-
-/// Generic bootstrap + churn + stream + collect loop.
-#[allow(clippy::too_many_arguments)]
-fn drive<P, FBuild, FCollect>(
-    sc: &BaselineScenario,
-    driver: Driver<P>,
-    mut build: FBuild,
-    collect: FCollect,
-) -> BaselineRunResult
-where
-    P: Protocol,
-    FBuild: FnMut(&mut Network<P>, u32, Option<NodeId>, SimTime) -> NodeId,
-    FCollect: Fn(&P, &[SimTime]) -> (BaselineNodeSummaryPartial, TagExtras),
-{
-    let mut net: Network<P> = Network::new(
-        NetworkConfig { seed: sc.seed, ..Default::default() },
-        sc.testbed.latency_model(sc.seed),
-    );
-    let mut harness_rng = SmallRng::seed_from_u64(sc.seed ^ 0x5EED);
-    let source = build(&mut net, 0, None, SimTime::ZERO);
-    let join_window = sc.bootstrap / 2;
-    let mut last = source;
-    for i in 1..sc.nodes {
-        let at = SimTime::ZERO + join_window * i as u64 / sc.nodes.max(1) as u64;
-        last = build(&mut net, i, Some(last), at);
-    }
-    net.run_until(SimTime::ZERO + sc.bootstrap);
-    let stab_end_sec = net.now().second_bucket() + 1;
-
-    let stream_start = net.now() + SimDuration::from_millis(100);
-    let interval = sc.stream.interval();
-    let churn_events: Vec<(SimTime, ChurnEvent)> = sc
-        .churn
-        .map(|c| c.schedule(stream_start, sc.nodes as usize))
-        .unwrap_or_default();
-    let stream_duration = match sc.churn {
-        Some(c) if c.duration > sc.stream.duration() => c.duration,
-        _ => sc.stream.duration(),
-    };
-    let total_messages = (stream_duration.as_micros() / interval.as_micros().max(1)).max(1);
-
-    enum Step {
-        Publish,
-        Churn(ChurnEvent),
-    }
-    let mut schedule: Vec<(SimTime, Step)> = (0..total_messages)
-        .map(|seq| (stream_start + interval * seq, Step::Publish))
-        .collect();
-    schedule.extend(churn_events.into_iter().map(|(t, e)| (t, Step::Churn(e))));
-    schedule.sort_by_key(|(t, _)| *t);
-
-    let mut publish_times = Vec::with_capacity(total_messages as usize);
-    let mut next_join_index = sc.nodes;
-    for (at, step) in schedule {
-        net.run_until(at);
-        match step {
-            Step::Publish => {
-                publish_times.push(net.now());
-                net.invoke(source, |node, ctx| {
-                    (driver.publish)(node, ctx, sc.stream.payload_bytes)
-                });
-            }
-            Step::Churn(ChurnEvent::Fail) => {
-                let mut alive: Vec<NodeId> = net
-                    .alive_ids()
-                    .into_iter()
-                    .filter(|&id| id != source)
-                    .collect();
-                alive.shuffle(&mut harness_rng);
-                if let Some(victim) = alive.first().copied() {
-                    net.crash(victim);
-                }
-            }
-            Step::Churn(ChurnEvent::Join) => {
-                let now = net.now();
-                let joined = build(&mut net, next_join_index, Some(last), now);
-                last = joined;
-                next_join_index += 1;
-            }
-        }
-    }
-    net.run_for(sc.drain);
-    let end_sec = net.now().second_bucket() + 1;
-    let bw = split_bandwidth(net.bandwidth(), stab_end_sec, end_sec);
-
-    let mut nodes = Vec::new();
+/// Translates an [`EngineResult`] into the baseline result type,
+/// aggregating TAG's repair telemetry.
+fn adapt(r: EngineResult) -> BaselineRunResult {
     let mut soft_repairs = 0;
     let mut hard_repairs = 0;
     let mut soft_delays = Vec::new();
     let mut hard_delays = Vec::new();
-    for id in net.alive_ids() {
-        let p = net.node(id).expect("alive");
-        let (partial, extras) = collect(p, &publish_times);
-        soft_repairs += extras.soft_repairs;
-        hard_repairs += extras.hard_repairs;
-        soft_delays.extend(extras.soft_delays_ms);
-        hard_delays.extend(extras.hard_delays_ms);
-        nodes.push(BaselineNodeSummary {
-            id,
-            is_source: id == source,
-            delivered: partial.delivered,
-            duplicates_per_message: partial.duplicates_per_message,
-            routing_delay_ms: if id == source { None } else { partial.routing_delay_ms },
-            dissemination_latency_secs: partial.dissemination_latency_secs,
-            construction_time_ms: partial.construction_time_ms,
-            bandwidth: bw.get(&id).cloned().unwrap_or_default(),
-        });
-    }
+    let nodes = r
+        .nodes
+        .iter()
+        .map(|o| {
+            let repairs = &o.report.repairs;
+            soft_repairs += repairs.soft_repairs;
+            hard_repairs += repairs.hard_repairs;
+            soft_delays.extend(repairs.soft_delays_us.iter().map(|&us| us as f64 / 1000.0));
+            hard_delays.extend(repairs.hard_delays_us.iter().map(|&us| us as f64 / 1000.0));
+            BaselineNodeSummary {
+                id: o.id,
+                is_source: o.is_source,
+                delivered: o.report.delivered,
+                duplicates_per_message: o.report.duplicates_per_message,
+                routing_delay_ms: o.routing_delay_ms,
+                dissemination_latency_secs: o.dissemination_latency_secs,
+                construction_time_ms: o.report.construction_time.map(|d| d.as_millis_f64()),
+                bandwidth: o.bandwidth.clone(),
+            }
+        })
+        .collect();
     BaselineRunResult {
-        protocol: driver.protocol,
-        source,
-        messages_published: total_messages,
+        protocol: r.protocol,
+        source: r.source,
+        original_nodes: r.original_nodes,
+        messages_published: r.messages_published,
         nodes,
         soft_repairs,
         hard_repairs,
@@ -260,182 +138,29 @@ where
     }
 }
 
-/// Protocol-agnostic per-node fields produced by the collector closures.
-struct BaselineNodeSummaryPartial {
-    delivered: u64,
-    duplicates_per_message: f64,
-    routing_delay_ms: Option<f64>,
-    dissemination_latency_secs: Option<f64>,
-    construction_time_ms: Option<f64>,
-}
-
-/// TAG-only aggregates.
-#[derive(Default)]
-struct TagExtras {
-    soft_repairs: u64,
-    hard_repairs: u64,
-    soft_delays_ms: Vec<f64>,
-    hard_delays_ms: Vec<f64>,
-}
-
-fn delivery_metrics(
-    stats: &brisa_baselines::DeliveryStats,
-    publish_times: &[SimTime],
-) -> (u64, f64, Option<f64>, Option<f64>) {
-    let mut delays = Vec::new();
-    for (seq, &t) in &stats.first_delivery {
-        if let Some(&pub_t) = publish_times.get(*seq as usize) {
-            delays.push(t.saturating_since(pub_t).as_millis_f64());
-        }
-    }
-    let routing = if delays.is_empty() {
-        None
-    } else {
-        Some(delays.iter().sum::<f64>() / delays.len() as f64)
-    };
-    let span = stats
-        .delivery_span()
-        .map(|(a, b)| b.saturating_since(a).as_secs_f64());
-    (stats.delivered, stats.duplicates_per_message(), routing, span)
-}
-
 /// Runs plain flooding over HyParView.
 pub fn run_flood(sc: &BaselineScenario) -> BaselineRunResult {
-    let view = sc.view_size;
-    let source_cell = std::cell::Cell::new(None::<NodeId>);
-    drive(
-        sc,
-        Driver { protocol: "flood", publish: |n: &mut FloodNode, ctx, p| n.publish(ctx, p) },
-        move |net, _idx, contact, at| {
-            let cfg = HyParViewConfig::with_active_size(view);
-            // Everyone joins through the first node (the source/contact
-            // point), as in the BRISA bootstrap.
-            let join_target = source_cell.get().or(contact);
-            let id = net.add_node_at(at, move |id| FloodNode::new(id, cfg, join_target));
-            if source_cell.get().is_none() {
-                source_cell.set(Some(id));
-            }
-            id
-        },
-        |node, publish_times| {
-            let (delivered, dups, routing, span) = delivery_metrics(node.stats(), publish_times);
-            (
-                BaselineNodeSummaryPartial {
-                    delivered,
-                    duplicates_per_message: dups,
-                    routing_delay_ms: routing,
-                    dissemination_latency_secs: span,
-                    construction_time_ms: None,
-                },
-                TagExtras::default(),
-            )
-        },
-    )
+    let cfg = HyParViewConfig::with_active_size(sc.view_size);
+    adapt(run_experiment::<FloodNode>(&cfg, &RunSpec::from(sc)))
 }
 
 /// Runs the SimpleTree baseline (centralized random tree, push).
 pub fn run_simple_tree(sc: &BaselineScenario) -> BaselineRunResult {
-    let coordinator_cell = std::cell::Cell::new(None::<NodeId>);
-    drive(
-        sc,
-        Driver {
-            protocol: "SimpleTree",
-            publish: |n: &mut SimpleTreeNode, ctx, p| n.publish(ctx, p),
-        },
-        move |net, _idx, _contact, at| {
-            let coord = coordinator_cell.get();
-            let id = net.add_node_at(at, move |_| SimpleTreeNode::new(coord));
-            if coordinator_cell.get().is_none() {
-                coordinator_cell.set(Some(id));
-            }
-            id
-        },
-        |node, publish_times| {
-            let (delivered, dups, routing, span) = delivery_metrics(node.stats(), publish_times);
-            (
-                BaselineNodeSummaryPartial {
-                    delivered,
-                    duplicates_per_message: dups,
-                    routing_delay_ms: routing,
-                    dissemination_latency_secs: span,
-                    construction_time_ms: None,
-                },
-                TagExtras::default(),
-            )
-        },
-    )
+    adapt(run_experiment::<SimpleTreeNode>(&(), &RunSpec::from(sc)))
 }
 
 /// Runs the SimpleGossip baseline (Cyclon + rumor mongering + anti-entropy).
 pub fn run_simple_gossip(sc: &BaselineScenario) -> BaselineRunResult {
-    let n = sc.nodes;
-    drive(
-        sc,
-        Driver {
-            protocol: "SimpleGossip",
-            publish: |node: &mut SimpleGossipNode, ctx, p| node.publish(ctx, p),
-        },
-        move |net, idx, _contact, at| {
-            let cfg = GossipConfig::default().for_system_size(n as usize);
-            // Ring-ish bootstrap seeds over the initial population; late
-            // joiners seed from random early nodes.
-            let seeds: Vec<NodeId> = (1..=4u32)
-                .map(|k| NodeId((idx.wrapping_add(k * 7)) % n.max(1)))
-                .collect();
-            net.add_node_at(at, move |id| SimpleGossipNode::new(id, cfg, seeds))
-        },
-        |node, publish_times| {
-            let (delivered, dups, routing, span) = delivery_metrics(node.stats(), publish_times);
-            (
-                BaselineNodeSummaryPartial {
-                    delivered,
-                    duplicates_per_message: dups,
-                    routing_delay_ms: routing,
-                    dissemination_latency_secs: span,
-                    construction_time_ms: None,
-                },
-                TagExtras::default(),
-            )
-        },
-    )
+    let cfg = GossipConfig::default().for_system_size(sc.nodes as usize);
+    adapt(run_experiment::<SimpleGossipNode>(&cfg, &RunSpec::from(sc)))
 }
 
 /// Runs the TAG baseline (linked list + tree + gossip, pull dissemination).
 pub fn run_tag(sc: &BaselineScenario) -> BaselineRunResult {
-    drive(
-        sc,
-        Driver { protocol: "TAG", publish: |n: &mut TagNode, ctx, p| n.publish(ctx, p) },
-        move |net, _idx, contact, at| {
-            net.add_node_at(at, move |_| TagNode::new(TagConfig::default(), contact))
-        },
-        |node, publish_times| {
-            let (delivered, dups, routing, span) = delivery_metrics(node.stats(), publish_times);
-            let ts = node.tag_stats();
-            (
-                BaselineNodeSummaryPartial {
-                    delivered,
-                    duplicates_per_message: dups,
-                    routing_delay_ms: routing,
-                    dissemination_latency_secs: span,
-                    construction_time_ms: ts.construction_time().map(|d| d.as_millis_f64()),
-                },
-                TagExtras {
-                    soft_repairs: ts.soft_repairs,
-                    hard_repairs: ts.hard_repairs,
-                    soft_delays_ms: ts
-                        .soft_repair_delays_us
-                        .iter()
-                        .map(|&us| us as f64 / 1000.0)
-                        .collect(),
-                    hard_delays_ms: ts
-                        .hard_repair_delays_us
-                        .iter()
-                        .map(|&us| us as f64 / 1000.0)
-                        .collect(),
-                },
-            )
-        },
-    )
+    adapt(run_experiment::<TagNode>(
+        &TagConfig::default(),
+        &RunSpec::from(sc),
+    ))
 }
 
 /// Helper: map of node -> delivered for quick assertions in tests.
@@ -446,6 +171,7 @@ pub fn delivered_map(result: &BaselineRunResult) -> HashMap<NodeId, u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use brisa_simnet::SimDuration;
 
     #[test]
     fn flood_run_is_complete_with_duplicates() {
@@ -469,7 +195,10 @@ mod tests {
     fn simple_gossip_run_is_complete() {
         let sc = BaselineScenario::small_test(32);
         let r = run_simple_gossip(&sc);
-        assert!((r.completeness() - 1.0).abs() < 1e-9, "anti-entropy ensures completeness");
+        assert!(
+            (r.completeness() - 1.0).abs() < 1e-9,
+            "anti-entropy ensures completeness"
+        );
     }
 
     #[test]
@@ -479,8 +208,15 @@ mod tests {
         sc.drain = SimDuration::from_secs(60);
         let r = run_tag(&sc);
         assert!((r.completeness() - 1.0).abs() < 1e-9);
-        let with_ct = r.nodes.iter().filter(|n| n.construction_time_ms.is_some()).count();
-        assert!(with_ct > r.nodes.len() / 2, "most nodes report a construction time");
+        let with_ct = r
+            .nodes
+            .iter()
+            .filter(|n| n.construction_time_ms.is_some())
+            .count();
+        assert!(
+            with_ct > r.nodes.len() / 2,
+            "most nodes report a construction time"
+        );
         assert!(!delivered_map(&r).is_empty());
     }
 }

@@ -1,18 +1,18 @@
 //! The BRISA experiment runner.
 //!
-//! Executes a [`BrisaScenario`]: bootstrap the overlay, optionally run a
-//! churn phase, inject the message stream, and collect every metric the
-//! paper's figures and tables report.
+//! A thin adapter over the generic engine: [`run_brisa`] executes a
+//! [`BrisaScenario`] through [`crate::engine::run_experiment`] (the same
+//! pipeline every baseline uses) and translates the protocol-agnostic
+//! [`EngineResult`] into the BRISA-flavoured [`BrisaRunResult`] the figures
+//! and tables consume (structure snapshot, churn report).
 
-use crate::result::{split_bandwidth, ChurnReport, NodeSummary, PhaseBandwidth};
-use crate::spec::{BrisaScenario, ChurnEvent};
+use crate::engine::{run_experiment, EngineResult, RunSpec};
+use crate::protocols::BrisaStackConfig;
+use crate::result::{ChurnReport, NodeSummary};
+use crate::spec::BrisaScenario;
 use brisa::BrisaNode;
 use brisa_metrics::StructureSnapshot;
-use brisa_simnet::{Network, NetworkConfig, NodeId, SimDuration, SimTime};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::collections::HashMap;
+use brisa_simnet::{NodeId, SimTime};
 
 /// The outcome of one BRISA run.
 #[derive(Debug)]
@@ -65,186 +65,72 @@ impl BrisaRunResult {
     }
 }
 
-/// Runs a BRISA scenario to completion.
+/// Runs a BRISA scenario to completion on the generic engine.
 pub fn run_brisa(sc: &BrisaScenario) -> BrisaRunResult {
-    let hpv_cfg = sc.hyparview_config();
-    let brisa_cfg = sc.brisa_config();
-    let mut net: Network<BrisaNode> = Network::new(
-        NetworkConfig { seed: sc.seed, ..Default::default() },
-        sc.testbed.latency_model(sc.seed),
-    );
-    let mut harness_rng = SmallRng::seed_from_u64(sc.seed ^ 0x5EED);
-
-    // --- Bootstrap: node 0 is the contact point and the source; the rest
-    // join spread over the first half of the bootstrap window.
-    let source = net.add_node(|id| {
-        let mut n = BrisaNode::new(id, hpv_cfg.clone(), brisa_cfg.clone(), None);
-        n.mark_source();
-        n
-    });
-    let join_window = sc.bootstrap / 2;
-    for i in 1..sc.nodes {
-        let at = SimTime::ZERO + join_window * i as u64 / sc.nodes.max(1) as u64;
-        let hpv_cfg = hpv_cfg.clone();
-        let brisa_cfg = brisa_cfg.clone();
-        net.add_node_at(at, move |id| BrisaNode::new(id, hpv_cfg, brisa_cfg, Some(source)));
-    }
-    net.run_until(SimTime::ZERO + sc.bootstrap);
-    let stab_end = net.now();
-    let stabilization_end_sec = stab_end.second_bucket() + 1;
-
-    // --- Build the merged schedule of stream injections and churn events.
-    let stream_start = stab_end + SimDuration::from_millis(100);
-    let interval = sc.stream.interval();
-    let churn_events: Vec<(SimTime, ChurnEvent)> = sc
-        .churn
-        .map(|c| c.schedule(stream_start, sc.nodes as usize))
-        .unwrap_or_default();
-    // With churn, keep the stream flowing for the whole churn window so
-    // repairs can complete through regular traffic.
-    let stream_duration = match sc.churn {
-        Some(c) => {
-            let d = sc.stream.duration();
-            if c.duration > d {
-                c.duration
-            } else {
-                d
-            }
-        }
-        None => sc.stream.duration(),
+    let cfg = BrisaStackConfig {
+        hpv: sc.hyparview_config(),
+        brisa: sc.brisa_config(),
     };
-    let total_messages = (stream_duration.as_micros() / interval.as_micros().max(1)).max(1);
+    let result = run_experiment::<BrisaNode>(&cfg, &RunSpec::from(sc));
+    adapt(sc, result)
+}
 
-    enum Step {
-        Publish,
-        Churn(ChurnEvent),
-    }
-    let mut schedule: Vec<(SimTime, Step)> = (0..total_messages)
-        .map(|seq| (stream_start + interval * seq, Step::Publish))
-        .collect();
-    schedule.extend(churn_events.iter().map(|(t, e)| (*t, Step::Churn(*e))));
-    schedule.sort_by_key(|(t, _)| *t);
-
-    let mut publish_times: Vec<SimTime> = Vec::with_capacity(total_messages as usize);
-    let mut failures_injected = 0usize;
-    let mut joins_injected = 0usize;
-    let churn_window_start = stream_start;
-
-    for (at, step) in schedule {
-        net.run_until(at);
-        match step {
-            Step::Publish => {
-                publish_times.push(net.now());
-                net.invoke(source, |node, ctx| {
-                    node.publish(ctx, sc.stream.payload_bytes);
-                });
-            }
-            Step::Churn(ChurnEvent::Fail) => {
-                let mut alive: Vec<NodeId> = net
-                    .alive_ids()
-                    .into_iter()
-                    .filter(|&id| id != source)
-                    .collect();
-                alive.shuffle(&mut harness_rng);
-                if let Some(victim) = alive.first().copied() {
-                    net.crash(victim);
-                    failures_injected += 1;
-                }
-            }
-            Step::Churn(ChurnEvent::Join) => {
-                let hpv_cfg = hpv_cfg.clone();
-                let brisa_cfg = brisa_cfg.clone();
-                net.add_node(move |id| BrisaNode::new(id, hpv_cfg, brisa_cfg, Some(source)));
-                joins_injected += 1;
-            }
-        }
-    }
-    net.run_for(sc.drain);
-    let end_sec = net.now().second_bucket() + 1;
-
-    // --- Collect results from live nodes.
-    let bw = split_bandwidth(net.bandwidth(), stabilization_end_sec, end_sec);
-    let mut structure = StructureSnapshot::new(source.0);
-    let alive = net.alive_ids();
-    let mut summaries = Vec::with_capacity(alive.len());
-    let churn_window_end = net.now();
+/// Translates the engine's protocol-agnostic result into the BRISA result
+/// type: builds the structure snapshot and aggregates repair telemetry into
+/// the churn report.
+fn adapt(sc: &BrisaScenario, r: EngineResult) -> BrisaRunResult {
+    let (window_start, window_end) = r.churn_window;
+    let mut structure = StructureSnapshot::new(r.source.0);
     let mut report = ChurnReport {
         duration_minutes: sc
             .churn
             .map(|c| c.duration.as_secs_f64() / 60.0)
             .unwrap_or(0.0),
-        failures_injected,
-        joins_injected,
+        failures_injected: r.failures_injected,
+        joins_injected: r.joins_injected,
         ..Default::default()
     };
     let mut parents_lost_events = 0usize;
     let mut orphan_events = 0usize;
+    let mut summaries = Vec::with_capacity(r.nodes.len());
 
-    for &id in &alive {
-        let node = net.node(id).expect("alive node exists");
-        let core = node.brisa();
-        let stats = core.stats();
-        let parents = core.parents();
-        structure.set_parents(id.0, parents.iter().map(|p| p.0).collect());
+    for o in &r.nodes {
+        structure.set_parents(o.id.0, o.report.parents.iter().map(|p| p.0).collect());
 
-        // Routing delay: mean over messages of (first delivery - injection).
-        let mut delays = Vec::new();
-        for (seq, &t) in &stats.first_delivery {
-            if let Some(&pub_t) = publish_times.get(*seq as usize) {
-                delays.push(t.saturating_since(pub_t).as_millis_f64());
-            }
-        }
-        let routing_delay_ms = if delays.is_empty() || core.is_source() {
-            None
-        } else {
-            Some(delays.iter().sum::<f64>() / delays.len() as f64)
-        };
-        let dissemination_latency_secs = stats
-            .delivery_span()
-            .map(|(a, b)| b.saturating_since(a).as_secs_f64());
-        let construction_time_ms = stats.construction_time().map(|d| d.as_millis_f64());
-
-        parents_lost_events += stats
+        let repairs = &o.report.repairs;
+        parents_lost_events += repairs
             .parents_lost
             .iter()
-            .filter(|&&t| t >= churn_window_start && t <= churn_window_end)
+            .filter(|&&t| t >= window_start && t <= window_end)
             .count();
-        orphan_events += stats
+        orphan_events += repairs
             .orphaned
             .iter()
-            .filter(|&&t| t >= churn_window_start && t <= churn_window_end)
+            .filter(|&&t| t >= window_start && t <= window_end)
             .count();
-        report.soft_repairs += stats.soft_repairs;
-        report.hard_repairs += stats.hard_repairs;
+        report.soft_repairs += repairs.soft_repairs;
+        report.hard_repairs += repairs.hard_repairs;
         report
             .soft_delays_ms
-            .extend(stats.soft_repair_delays_us.iter().map(|&us| us as f64 / 1000.0));
+            .extend(repairs.soft_delays_us.iter().map(|&us| us as f64 / 1000.0));
         report
             .hard_delays_ms
-            .extend(stats.hard_repair_delays_us.iter().map(|&us| us as f64 / 1000.0));
+            .extend(repairs.hard_delays_us.iter().map(|&us| us as f64 / 1000.0));
 
         summaries.push(NodeSummary {
-            id,
-            is_source: core.is_source(),
-            delivered: stats.delivered,
-            duplicates_per_message: stats.duplicates_per_message(),
-            depth: core.depth(),
-            degree: core.children().len(),
-            parents,
-            routing_delay_ms,
-            point_to_point_ms: 0.0, // filled below (needs &mut net)
-            dissemination_latency_secs,
-            construction_time_ms,
-            bandwidth: bw.get(&id).cloned().unwrap_or_else(PhaseBandwidth::default),
+            id: o.id,
+            is_source: o.is_source,
+            delivered: o.report.delivered,
+            duplicates_per_message: o.report.duplicates_per_message,
+            depth: o.report.depth,
+            degree: o.report.degree,
+            parents: o.report.parents.clone(),
+            routing_delay_ms: o.routing_delay_ms,
+            point_to_point_ms: o.point_to_point_ms,
+            dissemination_latency_secs: o.dissemination_latency_secs,
+            construction_time_ms: o.report.construction_time.map(|d| d.as_millis_f64()),
+            bandwidth: o.bandwidth.clone(),
         });
-    }
-    // Point-to-point reference latencies need mutable access to the network.
-    let p2p: HashMap<NodeId, f64> = alive
-        .iter()
-        .map(|&id| (id, net.typical_latency(source, id).as_millis_f64()))
-        .collect();
-    for s in &mut summaries {
-        s.point_to_point_ms = *p2p.get(&s.id).unwrap_or(&0.0);
     }
 
     let churn = sc.churn.map(|c| {
@@ -256,15 +142,15 @@ pub fn run_brisa(sc: &BrisaScenario) -> BrisaRunResult {
     });
 
     BrisaRunResult {
-        source,
-        original_nodes: sc.nodes,
-        messages_published: total_messages,
-        publish_times,
+        source: r.source,
+        original_nodes: r.original_nodes,
+        messages_published: r.messages_published,
+        publish_times: r.publish_times,
         nodes: summaries,
         structure,
         churn,
-        stabilization_end_sec,
-        end_sec,
+        stabilization_end_sec: r.stabilization_end_sec,
+        end_sec: r.end_sec,
     }
 }
 
@@ -273,13 +159,17 @@ mod tests {
     use super::*;
     use crate::spec::{BrisaScenario, ChurnSpec, StreamSpec};
     use brisa::{ParentStrategy, StructureMode};
+    use brisa_simnet::SimDuration;
 
     #[test]
     fn small_tree_run_is_complete_and_duplicate_free_after_bootstrap() {
         let sc = BrisaScenario::small_test(32);
         let r = run_brisa(&sc);
         assert_eq!(r.messages_published, 10);
-        assert!((r.completeness() - 1.0).abs() < 1e-9, "every node delivered everything");
+        assert!(
+            (r.completeness() - 1.0).abs() < 1e-9,
+            "every node delivered everything"
+        );
         assert!(r.structure.is_acyclic());
         assert!(r.structure.is_complete());
         // Non-source nodes have exactly one parent in tree mode.
@@ -289,7 +179,10 @@ mod tests {
         }
         // Duplicates only stem from the bootstrap flood: well under one per
         // message on average for a 10-message stream.
-        let avg_dup: f64 = r.non_source(|n| n.duplicates_per_message).iter().sum::<f64>()
+        let avg_dup: f64 = r
+            .non_source(|n| n.duplicates_per_message)
+            .iter()
+            .sum::<f64>()
             / (r.nodes.len() - 1) as f64;
         assert!(avg_dup < 1.0, "avg duplicates per message {avg_dup}");
     }
@@ -307,7 +200,10 @@ mod tests {
             .iter()
             .filter(|n| !n.is_source && n.parents.len() >= 2)
             .count();
-        assert!(multi * 2 > r.nodes.len() - 1, "most nodes found 2 parents ({multi})");
+        assert!(
+            multi * 2 > r.nodes.len() - 1,
+            "most nodes found 2 parents ({multi})"
+        );
         assert!(r.structure.is_acyclic());
     }
 
@@ -319,7 +215,11 @@ mod tests {
                 interval: SimDuration::from_secs(10),
                 duration: SimDuration::from_secs(40),
             }),
-            stream: StreamSpec { messages: 50, rate_per_sec: 5.0, payload_bytes: 128 },
+            stream: StreamSpec {
+                messages: 50,
+                rate_per_sec: 5.0,
+                payload_bytes: 128,
+            },
             ..BrisaScenario::small_test(48)
         };
         let r = run_brisa(&sc);
@@ -335,7 +235,11 @@ mod tests {
                 || (churn.soft_repairs + churn.hard_repairs) == 0
         );
         // The stream kept flowing: live non-source nodes received most messages.
-        for n in r.nodes.iter().filter(|n| n.id.0 < r.original_nodes && !n.is_source) {
+        for n in r
+            .nodes
+            .iter()
+            .filter(|n| n.id.0 < r.original_nodes && !n.is_source)
+        {
             if n.delivered < r.messages_published {
                 eprintln!(
                     "incomplete node {:?}: delivered {}/{} parents={:?} depth={:?}",
@@ -363,11 +267,7 @@ mod tests {
             ..base.clone()
         });
         let mean = |r: &BrisaRunResult| {
-            let v: Vec<f64> = r
-                .nodes
-                .iter()
-                .filter_map(|n| n.routing_delay_ms)
-                .collect();
+            let v: Vec<f64> = r.nodes.iter().filter_map(|n| n.routing_delay_ms).collect();
             v.iter().sum::<f64>() / v.len().max(1) as f64
         };
         let fp = mean(&first_pick);

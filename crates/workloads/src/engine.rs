@@ -1,0 +1,391 @@
+//! The generic experiment engine.
+//!
+//! Every experiment of the paper's evaluation — BRISA and all four baselines,
+//! with or without churn — is the same pipeline:
+//!
+//! 1. **bootstrap** — add the source, stagger the remaining joins over the
+//!    first half of the bootstrap window, let the overlay stabilise;
+//! 2. **schedule** — merge the stream injections with the (optional) churn
+//!    script into one time-ordered schedule;
+//! 3. **drive** — replay the schedule through the simulator: publish at the
+//!    source, crash random victims, add fresh joiners;
+//! 4. **collect** — drain in-flight traffic, then extract per-node metrics,
+//!    phase bandwidth and point-to-point reference latencies.
+//!
+//! [`run_experiment`] implements that pipeline once, generically over any
+//! [`DisseminationProtocol`]. The per-protocol knowledge (how to build a
+//! node, how to publish, which metrics the node exposes) lives in the trait
+//! implementations in [`crate::protocols`]; the protocol-specific result
+//! types of [`crate::brisa_run`] and [`crate::baseline_runs`] are thin
+//! adapters over [`EngineResult`].
+
+use crate::result::{split_bandwidth, PhaseBandwidth};
+use crate::spec::{BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, StreamSpec, Testbed};
+use brisa_simnet::{Context, Network, NetworkConfig, NodeId, Protocol, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Everything a protocol may want to know when one node is created.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildCtx {
+    /// Join index of the node: 0 for the source, `1..population` for the
+    /// bootstrap joiners, `population..` for churn joiners.
+    pub index: u32,
+    /// Nominal initial system size.
+    pub population: u32,
+    /// The system-wide contact point (the source), `None` for the first
+    /// node. HyParView-based stacks join through it.
+    pub contact: Option<NodeId>,
+    /// The most recently added node, `None` for the first. List-ordered
+    /// protocols (TAG) chain through it.
+    pub prev: Option<NodeId>,
+    /// True for the stream source (node 0).
+    pub is_source: bool,
+}
+
+/// Repair/churn telemetry one node exposes (all zero/empty for protocols
+/// without repair machinery).
+#[derive(Debug, Clone, Default)]
+pub struct RepairTelemetry {
+    /// Completed soft repairs.
+    pub soft_repairs: u64,
+    /// Completed hard repairs.
+    pub hard_repairs: u64,
+    /// Orphaning-to-adoption delays (µs) for soft repairs.
+    pub soft_delays_us: Vec<u64>,
+    /// Orphaning-to-adoption delays (µs) for hard repairs.
+    pub hard_delays_us: Vec<u64>,
+    /// Times at which the node lost a parent.
+    pub parents_lost: Vec<SimTime>,
+    /// Times at which the node lost *all* parents.
+    pub orphaned: Vec<SimTime>,
+}
+
+/// Protocol-agnostic snapshot of one node at the end of a run.
+#[derive(Debug, Clone, Default)]
+pub struct NodeReport {
+    /// Stream messages delivered (first receptions).
+    pub delivered: u64,
+    /// Average duplicate receptions per delivered message.
+    pub duplicates_per_message: f64,
+    /// `(sequence number, first reception time)` pairs.
+    pub first_delivery: Vec<(u64, SimTime)>,
+    /// Parents in the emerged structure (empty for structureless protocols).
+    pub parents: Vec<NodeId>,
+    /// Depth in the emerged structure, if the protocol tracks one.
+    pub depth: Option<usize>,
+    /// Out-degree (children served).
+    pub degree: usize,
+    /// Structure construction time, if the protocol tracks one.
+    pub construction_time: Option<SimDuration>,
+    /// Repair/churn telemetry.
+    pub repairs: RepairTelemetry,
+}
+
+/// A dissemination protocol stack the generic engine can drive.
+///
+/// Implemented by [`brisa::BrisaNode`] and all four baselines; adding a new
+/// protocol to every experiment of the harness means implementing these four
+/// methods.
+pub trait DisseminationProtocol: Protocol {
+    /// Run-wide configuration shared by every node (cloned into builders).
+    type Config: Clone + Send + Sync;
+
+    /// Display label used in result tables.
+    fn protocol_name() -> &'static str;
+
+    /// Builds the protocol state for a new node.
+    fn build(cfg: &Self::Config, id: NodeId, bctx: &BuildCtx) -> Self;
+
+    /// Publishes the next stream message (called on the source through
+    /// [`brisa_simnet::Network::invoke`]).
+    fn publish_message(&mut self, ctx: &mut Context<'_, Self::Message>, payload_bytes: usize);
+
+    /// Extracts the end-of-run metrics for this node.
+    fn report(&self) -> NodeReport;
+}
+
+/// Protocol-agnostic parameters of one run. Both scenario types convert
+/// into this; the engine never looks at protocol-specific knobs.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Number of nodes bootstrapped before the stream starts.
+    pub nodes: u32,
+    /// Deterministic seed (simulator + harness RNG).
+    pub seed: u64,
+    /// Testbed latency model.
+    pub testbed: Testbed,
+    /// Stream shape.
+    pub stream: StreamSpec,
+    /// Optional churn phase running concurrently with the stream.
+    pub churn: Option<ChurnSpec>,
+    /// Join-phase/stabilisation window before the stream starts.
+    pub bootstrap: SimDuration,
+    /// Simulated time after the last injection for traffic to drain.
+    pub drain: SimDuration,
+}
+
+impl From<&BrisaScenario> for RunSpec {
+    fn from(sc: &BrisaScenario) -> Self {
+        RunSpec {
+            nodes: sc.nodes,
+            seed: sc.seed,
+            testbed: sc.testbed,
+            stream: sc.stream,
+            churn: sc.churn,
+            bootstrap: sc.bootstrap,
+            drain: sc.drain,
+        }
+    }
+}
+
+impl From<&BaselineScenario> for RunSpec {
+    fn from(sc: &BaselineScenario) -> Self {
+        RunSpec {
+            nodes: sc.nodes,
+            seed: sc.seed,
+            testbed: sc.testbed,
+            stream: sc.stream,
+            churn: sc.churn,
+            bootstrap: sc.bootstrap,
+            drain: sc.drain,
+        }
+    }
+}
+
+/// One node's fully derived metrics in an [`EngineResult`].
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// The node.
+    pub id: NodeId,
+    /// True for the stream source.
+    pub is_source: bool,
+    /// The protocol's own report.
+    pub report: NodeReport,
+    /// Mean injection-to-first-delivery delay in milliseconds (`None` for
+    /// the source and for nodes that delivered nothing).
+    pub routing_delay_ms: Option<f64>,
+    /// Time between the first and last delivery, in seconds.
+    pub dissemination_latency_secs: Option<f64>,
+    /// One-way "typical" latency from the source, in milliseconds.
+    pub point_to_point_ms: f64,
+    /// Bandwidth split by phase.
+    pub bandwidth: PhaseBandwidth,
+}
+
+/// The protocol-agnostic outcome of one run.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// Protocol label.
+    pub protocol: &'static str,
+    /// The stream source.
+    pub source: NodeId,
+    /// Nodes bootstrapped before the stream started (churn joiners have
+    /// identifiers `>= original_nodes`).
+    pub original_nodes: u32,
+    /// Messages the source injected.
+    pub messages_published: u64,
+    /// Injection time of every message, indexed by sequence number.
+    pub publish_times: Vec<SimTime>,
+    /// Per-node outcomes for nodes alive at the end.
+    pub nodes: Vec<NodeOutcome>,
+    /// Nodes failed by the churn schedule.
+    pub failures_injected: usize,
+    /// Nodes joined by the churn schedule.
+    pub joins_injected: usize,
+    /// End of the stabilisation phase (seconds since the start).
+    pub stabilization_end_sec: usize,
+    /// End of the dissemination phase (seconds since the start).
+    pub end_sec: usize,
+    /// `[start, end]` of the churn measurement window (stream start to the
+    /// end of the drain); repair telemetry is filtered to it.
+    pub churn_window: (SimTime, SimTime),
+}
+
+impl EngineResult {
+    /// Fraction of live, non-source nodes present before the stream started
+    /// that delivered every message.
+    pub fn completeness(&self) -> f64 {
+        let eligible: Vec<&NodeOutcome> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.is_source && n.id.0 < self.original_nodes)
+            .collect();
+        if eligible.is_empty() {
+            return 1.0;
+        }
+        eligible
+            .iter()
+            .filter(|n| n.report.delivered >= self.messages_published)
+            .count() as f64
+            / eligible.len() as f64
+    }
+}
+
+/// One step of the merged experiment schedule.
+enum Step {
+    Publish,
+    Churn(ChurnEvent),
+}
+
+/// Runs one experiment to completion: the single bootstrap → churn → stream
+/// → collect pipeline behind every figure and table.
+pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec) -> EngineResult {
+    let mut net: Network<P> = Network::new(
+        NetworkConfig {
+            seed: spec.seed,
+            ..Default::default()
+        },
+        spec.testbed.latency_model(spec.seed),
+    );
+    let mut harness_rng = SmallRng::seed_from_u64(spec.seed ^ 0x5EED);
+
+    // --- Phase 1: bootstrap. Node 0 is the source and contact point; the
+    // rest join spread over the first half of the bootstrap window.
+    let first_ctx = BuildCtx {
+        index: 0,
+        population: spec.nodes,
+        contact: None,
+        prev: None,
+        is_source: true,
+    };
+    let source = net.add_node(|id| P::build(cfg, id, &first_ctx));
+    let join_window = spec.bootstrap / 2;
+    let mut prev = source;
+    for i in 1..spec.nodes {
+        let at = SimTime::ZERO + join_window * i as u64 / spec.nodes.max(1) as u64;
+        let bctx = BuildCtx {
+            index: i,
+            population: spec.nodes,
+            contact: Some(source),
+            prev: Some(prev),
+            is_source: false,
+        };
+        prev = net.add_node_at(at, |id| P::build(cfg, id, &bctx));
+    }
+    net.run_until(SimTime::ZERO + spec.bootstrap);
+    let stabilization_end_sec = net.now().second_bucket() + 1;
+
+    // --- Phase 2: merge stream injections and churn events into one
+    // time-ordered schedule. With churn, the stream keeps flowing for the
+    // whole churn window so repairs complete through regular traffic.
+    let stream_start = net.now() + SimDuration::from_millis(100);
+    let interval = spec.stream.interval();
+    let churn_events: Vec<(SimTime, ChurnEvent)> = spec
+        .churn
+        .map(|c| c.schedule(stream_start, spec.nodes as usize))
+        .unwrap_or_default();
+    let stream_duration = match spec.churn {
+        Some(c) if c.duration > spec.stream.duration() => c.duration,
+        _ => spec.stream.duration(),
+    };
+    let total_messages = (stream_duration.as_micros() / interval.as_micros().max(1)).max(1);
+
+    let mut schedule: Vec<(SimTime, Step)> = (0..total_messages)
+        .map(|seq| (stream_start + interval * seq, Step::Publish))
+        .collect();
+    schedule.extend(churn_events.into_iter().map(|(t, e)| (t, Step::Churn(e))));
+    schedule.sort_by_key(|(t, _)| *t);
+
+    // --- Phase 3: drive the schedule.
+    let mut publish_times: Vec<SimTime> = Vec::with_capacity(total_messages as usize);
+    let mut failures_injected = 0usize;
+    let mut joins_injected = 0usize;
+    let mut next_join_index = spec.nodes;
+    for (at, step) in schedule {
+        net.run_until(at);
+        match step {
+            Step::Publish => {
+                publish_times.push(net.now());
+                net.invoke(source, |node, ctx| {
+                    node.publish_message(ctx, spec.stream.payload_bytes);
+                });
+            }
+            Step::Churn(ChurnEvent::Fail) => {
+                let mut alive: Vec<NodeId> = net
+                    .alive_ids()
+                    .into_iter()
+                    .filter(|&id| id != source)
+                    .collect();
+                alive.shuffle(&mut harness_rng);
+                if let Some(victim) = alive.first().copied() {
+                    net.crash(victim);
+                    failures_injected += 1;
+                }
+            }
+            Step::Churn(ChurnEvent::Join) => {
+                let bctx = BuildCtx {
+                    index: next_join_index,
+                    population: spec.nodes,
+                    contact: Some(source),
+                    prev: Some(prev),
+                    is_source: false,
+                };
+                prev = net.add_node(|id| P::build(cfg, id, &bctx));
+                next_join_index += 1;
+                joins_injected += 1;
+            }
+        }
+    }
+    net.run_for(spec.drain);
+    let end_sec = net.now().second_bucket() + 1;
+    let churn_window = (stream_start, net.now());
+
+    // --- Phase 4: collect.
+    let bw = split_bandwidth(net.bandwidth(), stabilization_end_sec, end_sec);
+    let alive = net.alive_ids();
+    let mut outcomes = Vec::with_capacity(alive.len());
+    for &id in &alive {
+        let report = net.node(id).expect("alive node exists").report();
+        let is_source = id == source;
+        let mut delays = Vec::new();
+        for (seq, t) in &report.first_delivery {
+            if let Some(&pub_t) = publish_times.get(*seq as usize) {
+                delays.push(t.saturating_since(pub_t).as_millis_f64());
+            }
+        }
+        let routing_delay_ms = if delays.is_empty() || is_source {
+            None
+        } else {
+            Some(delays.iter().sum::<f64>() / delays.len() as f64)
+        };
+        let span = report.first_delivery.iter().map(|(_, t)| *t);
+        let dissemination_latency_secs = match (span.clone().min(), span.max()) {
+            (Some(a), Some(b)) => Some(b.saturating_since(a).as_secs_f64()),
+            _ => None,
+        };
+        outcomes.push(NodeOutcome {
+            id,
+            is_source,
+            report,
+            routing_delay_ms,
+            dissemination_latency_secs,
+            point_to_point_ms: 0.0, // filled below (needs &mut net)
+            bandwidth: bw.get(&id).cloned().unwrap_or_default(),
+        });
+    }
+    // Point-to-point reference latencies need mutable access to the network.
+    let p2p: HashMap<NodeId, f64> = alive
+        .iter()
+        .map(|&id| (id, net.typical_latency(source, id).as_millis_f64()))
+        .collect();
+    for o in &mut outcomes {
+        o.point_to_point_ms = *p2p.get(&o.id).unwrap_or(&0.0);
+    }
+
+    EngineResult {
+        protocol: P::protocol_name(),
+        source,
+        original_nodes: spec.nodes,
+        messages_published: total_messages,
+        publish_times,
+        nodes: outcomes,
+        failures_injected,
+        joins_injected,
+        stabilization_end_sec,
+        end_sec,
+        churn_window,
+    }
+}

@@ -1,15 +1,22 @@
 //! # brisa-workloads — experiment harness for the BRISA reproduction
 //!
-//! Turns the protocol crates into the experiments of the paper's evaluation:
+//! Turns the protocol crates into the experiments of the paper's evaluation,
+//! all running on **one generic engine**:
 //!
+//! * [`engine`] — the protocol-generic pipeline (bootstrap → churn → stream
+//!   → collect) behind every experiment, driven by the
+//!   [`DisseminationProtocol`] trait;
+//! * [`protocols`] — the trait implementations for BRISA and the four
+//!   baselines (the only per-protocol code in the experiment path);
+//! * [`matrix`] — the parallel sweep driver: [`run_matrix`] fans independent
+//!   (scenario × seed × parameter) cells across threads with bit-identical
+//!   results to a sequential loop;
 //! * [`spec`] — scenario descriptions: stream shape, testbed, churn phase
 //!   (the Splay churn script of Listing 1), HyParView/BRISA parameters;
 //! * [`scenarios`] — one canonical parameter set per figure/table, at the
 //!   paper's full scale or a reduced quick scale;
-//! * [`brisa_run`] — the BRISA runner: bootstrap → (churn) → stream →
-//!   metric collection;
-//! * [`baseline_runs`] — the same loop for flooding, SimpleGossip,
-//!   SimpleTree and TAG;
+//! * [`brisa_run`] / [`baseline_runs`] — thin adapters translating the
+//!   engine's generic result into the BRISA/baseline result types;
 //! * [`result`] — the collected metrics (per-node summaries, phase
 //!   bandwidth, churn reports).
 
@@ -18,15 +25,24 @@
 
 pub mod baseline_runs;
 pub mod brisa_run;
+pub mod engine;
+pub mod matrix;
+pub mod protocols;
 pub mod result;
 pub mod scenarios;
 pub mod spec;
 
 pub use baseline_runs::{
-    run_flood, run_simple_gossip, run_simple_tree, run_tag, BaselineNodeSummary,
-    BaselineRunResult, BaselineScenario,
+    delivered_map, run_flood, run_simple_gossip, run_simple_tree, run_tag, BaselineNodeSummary,
+    BaselineRunResult,
 };
 pub use brisa_run::{run_brisa, BrisaRunResult};
+pub use engine::{
+    run_experiment, BuildCtx, DisseminationProtocol, EngineResult, NodeOutcome, NodeReport,
+    RepairTelemetry, RunSpec,
+};
+pub use matrix::{derive_seed, matrix_threads, run_matrix, run_matrix_sequential};
+pub use protocols::BrisaStackConfig;
 pub use result::{split_bandwidth, ChurnReport, NodeSummary, PhaseBandwidth};
 pub use scenarios::Scale;
-pub use spec::{BrisaScenario, ChurnEvent, ChurnSpec, StreamSpec, Testbed};
+pub use spec::{BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, StreamSpec, Testbed};

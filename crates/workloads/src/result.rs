@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn churn_report_percentages() {
-        let mut r = ChurnReport { soft_repairs: 9, hard_repairs: 1, ..Default::default() };
+        let mut r = ChurnReport {
+            soft_repairs: 9,
+            hard_repairs: 1,
+            ..Default::default()
+        };
         r.finalise();
         assert!((r.soft_pct - 90.0).abs() < 1e-9);
         assert!((r.hard_pct - 10.0).abs() < 1e-9);

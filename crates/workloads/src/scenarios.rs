@@ -92,18 +92,25 @@ pub fn fig8(scale: Scale) -> Vec<BrisaScenario> {
 pub fn fig9(scale: Scale) -> Vec<BrisaScenario> {
     let nodes = scale.pick(150, 48);
     let messages = scale.pick(200, 25);
-    [ParentStrategy::FirstComeFirstPicked, ParentStrategy::DelayAware]
-        .iter()
-        .map(|&strategy| BrisaScenario {
-            nodes,
-            view_size: 4,
-            strategy,
-            testbed: Testbed::PlanetLab,
-            stream: StreamSpec { messages, rate_per_sec: 5.0, payload_bytes: 1024 },
-            bootstrap: SimDuration::from_secs(60),
-            ..Default::default()
-        })
-        .collect()
+    [
+        ParentStrategy::FirstComeFirstPicked,
+        ParentStrategy::DelayAware,
+    ]
+    .iter()
+    .map(|&strategy| BrisaScenario {
+        nodes,
+        view_size: 4,
+        strategy,
+        testbed: Testbed::PlanetLab,
+        stream: StreamSpec {
+            messages,
+            rate_per_sec: 5.0,
+            payload_bytes: 1024,
+        },
+        bootstrap: SimDuration::from_secs(60),
+        ..Default::default()
+    })
+    .collect()
 }
 
 /// Figures 10 and 11: bandwidth usage for 512 nodes, payloads 1/10/50/100 KB,
@@ -127,7 +134,11 @@ pub fn fig10_11(scale: Scale) -> (Vec<usize>, Vec<BrisaScenario>) {
         nodes,
         view_size: view,
         mode,
-        stream: StreamSpec { messages, rate_per_sec: 5.0, payload_bytes: 1024 },
+        stream: StreamSpec {
+            messages,
+            rate_per_sec: 5.0,
+            payload_bytes: 1024,
+        },
         ..Default::default()
     })
     .collect();
@@ -173,7 +184,10 @@ pub fn table1(scale: Scale) -> Vec<(u32, f64, StructureMode, BrisaScenario)> {
 /// Table II)`.
 pub fn comparison(scale: Scale) -> (u32, Vec<usize>, StreamSpec) {
     let nodes = scale.pick(512, 64);
-    let payloads = scale.pick(vec![0, 1024, 10 * 1024, 20 * 1024], vec![0, 1024, 10 * 1024]);
+    let payloads = scale.pick(
+        vec![0, 1024, 10 * 1024, 20 * 1024],
+        vec![0, 1024, 10 * 1024],
+    );
     let stream = StreamSpec {
         messages: scale.pick(500, 40),
         rate_per_sec: 5.0,

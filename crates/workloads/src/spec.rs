@@ -44,14 +44,22 @@ pub struct StreamSpec {
 
 impl Default for StreamSpec {
     fn default() -> Self {
-        StreamSpec { messages: 500, rate_per_sec: 5.0, payload_bytes: 1024 }
+        StreamSpec {
+            messages: 500,
+            rate_per_sec: 5.0,
+            payload_bytes: 1024,
+        }
     }
 }
 
 impl StreamSpec {
     /// A shorter stream, convenient for tests and examples.
     pub fn short(messages: u64, payload_bytes: usize) -> Self {
-        StreamSpec { messages, rate_per_sec: 5.0, payload_bytes }
+        StreamSpec {
+            messages,
+            rate_per_sec: 5.0,
+            payload_bytes,
+        }
     }
 
     /// Interval between two injections.
@@ -112,7 +120,7 @@ impl ChurnSpec {
         let intervals = (self.duration.as_micros() / self.interval.as_micros()).max(1);
         for i in 0..intervals {
             let interval_start = start + self.interval * i;
-            let step = self.interval / (per_interval as u64 * 2).max(1) as u64;
+            let step = self.interval / (per_interval as u64 * 2).max(1);
             for k in 0..per_interval {
                 let fail_at = interval_start + step * (2 * k as u64);
                 let join_at = interval_start + step * (2 * k as u64 + 1);
@@ -175,6 +183,57 @@ impl Default for BrisaScenario {
             churn: None,
             bootstrap: SimDuration::from_secs(30),
             drain: SimDuration::from_secs(20),
+        }
+    }
+}
+
+/// Parameters of a baseline run, shared by every comparison protocol
+/// (flooding, SimpleGossip, SimpleTree, TAG).
+#[derive(Debug, Clone)]
+pub struct BaselineScenario {
+    /// System size.
+    pub nodes: u32,
+    /// HyParView view size (flooding) / list-tree fanout knobs use defaults.
+    pub view_size: usize,
+    /// Testbed latency model.
+    pub testbed: Testbed,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Stream shape.
+    pub stream: StreamSpec,
+    /// Optional churn phase (only TAG reacts meaningfully; SimpleTree and
+    /// SimpleGossip tolerate it passively).
+    pub churn: Option<ChurnSpec>,
+    /// Bootstrap duration.
+    pub bootstrap: SimDuration,
+    /// Drain duration after the last injection.
+    pub drain: SimDuration,
+}
+
+impl Default for BaselineScenario {
+    fn default() -> Self {
+        BaselineScenario {
+            nodes: 128,
+            view_size: 4,
+            testbed: Testbed::Cluster,
+            seed: 0xB215A,
+            stream: StreamSpec::default(),
+            churn: None,
+            bootstrap: SimDuration::from_secs(30),
+            drain: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl BaselineScenario {
+    /// A small scenario suitable for tests.
+    pub fn small_test(nodes: u32) -> Self {
+        BaselineScenario {
+            nodes,
+            stream: StreamSpec::short(10, 256),
+            bootstrap: SimDuration::from_secs(20),
+            drain: SimDuration::from_secs(20),
+            ..Default::default()
         }
     }
 }
@@ -242,7 +301,10 @@ mod tests {
 
     #[test]
     fn zero_rate_churn_is_empty() {
-        let spec = ChurnSpec { rate_percent: 0.0, ..Default::default() };
+        let spec = ChurnSpec {
+            rate_percent: 0.0,
+            ..Default::default()
+        };
         assert!(spec.schedule(SimTime::ZERO, 100).is_empty());
     }
 

@@ -14,13 +14,32 @@ use brisa_workloads::{
 fn main() {
     let nodes = 128u32;
     // One "update" = 50 chunks of 50 KB pushed at 5 chunks/s.
-    let stream = StreamSpec { messages: 50, rate_per_sec: 5.0, payload_bytes: 50 * 1024 };
+    let stream = StreamSpec {
+        messages: 50,
+        rate_per_sec: 5.0,
+        payload_bytes: 50 * 1024,
+    };
 
-    println!("pushing a {} MB update to {} machines\n", 50 * 50 / 1024, nodes);
+    println!(
+        "pushing a {} MB update to {} machines\n",
+        50 * 50 / 1024,
+        nodes
+    );
 
-    let brisa_sc = BrisaScenario { nodes, view_size: 4, stream, testbed: Testbed::Cluster, ..Default::default() };
+    let brisa_sc = BrisaScenario {
+        nodes,
+        view_size: 4,
+        stream,
+        testbed: Testbed::Cluster,
+        ..Default::default()
+    };
     let brisa_run = run_brisa(&brisa_sc);
-    let baseline_sc = BaselineScenario { nodes, view_size: 4, stream, ..Default::default() };
+    let baseline_sc = BaselineScenario {
+        nodes,
+        view_size: 4,
+        stream,
+        ..Default::default()
+    };
     let flood = run_flood(&baseline_sc);
     let gossip = run_simple_gossip(&baseline_sc);
 

@@ -9,8 +9,8 @@
 
 use brisa::{ParentStrategy, StructureMode};
 use brisa_metrics::PercentileSummary;
-use brisa_workloads::{run_brisa, BrisaScenario, ChurnSpec, StreamSpec, Testbed};
 use brisa_simnet::SimDuration;
+use brisa_workloads::{run_brisa, BrisaScenario, ChurnSpec, StreamSpec, Testbed};
 
 fn main() {
     let base = BrisaScenario {
@@ -18,7 +18,11 @@ fn main() {
         view_size: 8,
         strategy: ParentStrategy::DelayAware,
         testbed: Testbed::PlanetLab,
-        stream: StreamSpec { messages: 150, rate_per_sec: 5.0, payload_bytes: 10 * 1024 },
+        stream: StreamSpec {
+            messages: 150,
+            rate_per_sec: 5.0,
+            payload_bytes: 10 * 1024,
+        },
         churn: Some(ChurnSpec {
             rate_percent: 5.0,
             interval: SimDuration::from_secs(10),
@@ -34,14 +38,20 @@ fn main() {
         ("tree (1 parent)", StructureMode::Tree),
         ("DAG (2 parents)", StructureMode::Dag { parents: 2 }),
     ] {
-        let sc = BrisaScenario { mode, ..base.clone() };
+        let sc = BrisaScenario {
+            mode,
+            ..base.clone()
+        };
         let result = run_brisa(&sc);
         let churn = result.churn.clone().expect("churn phase configured");
-        let delay = PercentileSummary::from_samples(
-            result.nodes.iter().filter_map(|n| n.routing_delay_ms),
-        );
+        let delay =
+            PercentileSummary::from_samples(result.nodes.iter().filter_map(|n| n.routing_delay_ms));
         let down = PercentileSummary::from_samples(
-            result.nodes.iter().filter(|n| !n.is_source).map(|n| n.bandwidth.diss_down_kbps),
+            result
+                .nodes
+                .iter()
+                .filter(|n| !n.is_source)
+                .map(|n| n.bandwidth.diss_down_kbps),
         );
         println!("{label}:");
         println!(

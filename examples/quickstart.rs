@@ -1,62 +1,68 @@
-//! Quickstart: build a small BRISA overlay, stream a few messages, and
+//! Quickstart: run a small BRISA experiment through the generic engine and
 //! inspect the emerged dissemination tree.
+//!
+//! This is the smallest end-to-end use of the public experiment API:
+//! describe the run with a [`BrisaScenario`], execute it with [`run_brisa`]
+//! (a thin adapter over `run_experiment::<BrisaNode>`), and read per-node
+//! metrics off the result. The same engine drives every figure/table binary
+//! in `brisa-bench`.
 //!
 //! Run with: `cargo run -p brisa-bench --release --example quickstart`
 
-use brisa::{BrisaConfig, BrisaNode};
-use brisa_membership::HyParViewConfig;
-use brisa_simnet::{latency::ClusterLatency, Network, NetworkConfig, SimDuration, SimTime};
+use brisa_simnet::SimDuration;
+use brisa_workloads::{run_brisa, BrisaScenario, StreamSpec};
 
 fn main() {
-    let nodes = 32u32;
-    let messages = 20u64;
+    // 1. Describe the experiment: 32 nodes on the cluster testbed, twenty
+    //    1 KB messages at 5/s, no churn.
+    let scenario = BrisaScenario {
+        nodes: 32,
+        view_size: 4,
+        stream: StreamSpec {
+            messages: 20,
+            rate_per_sec: 5.0,
+            payload_bytes: 1024,
+        },
+        bootstrap: SimDuration::from_secs(20),
+        drain: SimDuration::from_secs(5),
+        ..Default::default()
+    };
 
-    // 1. Create the simulated network (a switched-LAN latency model).
-    let mut net: Network<BrisaNode> = Network::new(
-        NetworkConfig::default(),
-        Box::new(ClusterLatency::default()),
-    );
+    // 2. Run it. Bootstrap, stream injection and metric collection all
+    //    happen inside the generic engine.
+    let result = run_brisa(&scenario);
 
-    // 2. Add the source (also the join contact point), then the other nodes.
-    let source = net.add_node(|id| {
-        let mut n = BrisaNode::new(id, HyParViewConfig::default(), BrisaConfig::default(), None);
-        n.mark_source();
-        n
-    });
-    for i in 1..nodes {
-        net.add_node_at(SimTime::from_millis(20 * i as u64), move |id| {
-            BrisaNode::new(id, HyParViewConfig::default(), BrisaConfig::default(), Some(source))
-        });
-    }
-
-    // 3. Let HyParView stabilise, then publish a stream of messages.
-    net.run_until(SimTime::from_secs(20));
-    for _ in 0..messages {
-        net.invoke(source, |node, ctx| node.publish(ctx, 1024));
-        net.run_for(SimDuration::from_millis(200));
-    }
-    net.run_for(SimDuration::from_secs(5));
-
-    // 4. Inspect what emerged.
+    // 3. Inspect what emerged.
     println!("node  parent  depth  children  delivered  dup/msg");
-    for id in net.alive_ids() {
-        let b = net.node(id).unwrap().brisa();
-        let stats = b.stats();
+    for n in &result.nodes {
         println!(
             "{:>4}  {:>6}  {:>5}  {:>8}  {:>9}  {:>7.2}",
-            id.to_string(),
-            b.parents().first().map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
-            b.depth().map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-            b.children().len(),
-            stats.delivered,
-            stats.duplicates_per_message(),
+            n.id.to_string(),
+            n.parents
+                .first()
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
+            n.depth.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            n.degree,
+            n.delivered,
+            n.duplicates_per_message,
         );
     }
-    let total_dup: u64 = net
-        .alive_ids()
+    let total_dup: f64 = result
+        .nodes
         .iter()
-        .map(|&id| net.node(id).unwrap().brisa().stats().duplicates)
+        .map(|n| n.duplicates_per_message * n.delivered as f64)
         .sum();
-    println!("\n{} nodes, {} messages, {} duplicate receptions in total", nodes, messages, total_dup);
+    println!(
+        "\n{} nodes, {} messages, completeness {:.1}%, ~{:.0} duplicate receptions in total",
+        scenario.nodes,
+        result.messages_published,
+        result.completeness() * 100.0,
+        total_dup
+    );
     println!("(duplicates stem from the bootstrap flood of the first message only)");
+    assert!(
+        result.structure.is_acyclic(),
+        "the emerged structure must be a tree"
+    );
 }

@@ -11,7 +11,11 @@ fn churn_scenario(nodes: u32, rate_percent: f64, mode: StructureMode) -> BrisaSc
         nodes,
         view_size: 4,
         mode,
-        stream: StreamSpec { messages: 60, rate_per_sec: 5.0, payload_bytes: 256 },
+        stream: StreamSpec {
+            messages: 60,
+            rate_per_sec: 5.0,
+            payload_bytes: 256,
+        },
         churn: Some(ChurnSpec {
             rate_percent,
             interval: SimDuration::from_secs(10),
@@ -90,7 +94,10 @@ fn late_joiners_attach_and_receive_the_tail_of_the_stream() {
         .filter(|n| n.id.0 >= result.original_nodes)
         .collect();
     assert!(!late.is_empty(), "churn joins added nodes");
-    let attached = late.iter().filter(|n| !n.parents.is_empty() || n.delivered > 0).count();
+    let attached = late
+        .iter()
+        .filter(|n| !n.parents.is_empty() || n.delivered > 0)
+        .count();
     assert!(
         attached * 2 >= late.len(),
         "most late joiners attached to the structure ({attached}/{})",

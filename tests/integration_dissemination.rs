@@ -8,9 +8,15 @@ use brisa_workloads::{run_brisa, BrisaScenario, Scale, StreamSpec, Testbed};
 fn tree_dissemination_is_complete_and_structure_is_sound() {
     let sc = BrisaScenario::small_test(64);
     let result = run_brisa(&sc);
-    assert!((result.completeness() - 1.0).abs() < 1e-9, "all nodes delivered all messages");
+    assert!(
+        (result.completeness() - 1.0).abs() < 1e-9,
+        "all nodes delivered all messages"
+    );
     assert!(result.structure.is_acyclic(), "the emerged tree is acyclic");
-    assert!(result.structure.is_complete(), "every node is reachable from the source");
+    assert!(
+        result.structure.is_complete(),
+        "every node is reachable from the source"
+    );
     for node in result.nodes.iter().filter(|n| !n.is_source) {
         assert_eq!(node.parents.len(), 1, "tree mode keeps exactly one parent");
         assert!(node.depth.is_some(), "every node positioned itself");
@@ -40,7 +46,10 @@ fn duplicates_vanish_after_the_bootstrap_flood() {
 #[test]
 fn larger_views_produce_shallower_structures() {
     let depth_for = |view: usize| {
-        let sc = BrisaScenario { view_size: view, ..BrisaScenario::small_test(96) };
+        let sc = BrisaScenario {
+            view_size: view,
+            ..BrisaScenario::small_test(96)
+        };
         let result = run_brisa(&sc);
         let depths = result.structure.depths();
         *depths.values().max().expect("non-empty structure")
@@ -64,7 +73,10 @@ fn dag_mode_bounds_duplicates_by_parent_count() {
     let result = run_brisa(&sc);
     assert!((result.completeness() - 1.0).abs() < 1e-9);
     for n in result.nodes.iter().filter(|n| !n.is_source) {
-        assert!(n.parents.len() <= 2, "never more than the configured parents");
+        assert!(
+            n.parents.len() <= 2,
+            "never more than the configured parents"
+        );
         assert!(
             n.duplicates_per_message < 2.0,
             "duplicates are bounded by the extra parents (got {})",
@@ -82,7 +94,11 @@ fn planetlab_delays_are_higher_than_cluster_delays() {
             ..BrisaScenario::small_test(48)
         };
         let result = run_brisa(&sc);
-        let v: Vec<f64> = result.nodes.iter().filter_map(|n| n.routing_delay_ms).collect();
+        let v: Vec<f64> = result
+            .nodes
+            .iter()
+            .filter_map(|n| n.routing_delay_ms)
+            .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
     let cluster = mean_delay(Testbed::Cluster);
@@ -101,13 +117,19 @@ fn strategies_all_reach_every_node() {
         ParentStrategy::Gerontocratic,
         ParentStrategy::LoadBalancing,
     ] {
-        let sc = BrisaScenario { strategy, ..BrisaScenario::small_test(40) };
+        let sc = BrisaScenario {
+            strategy,
+            ..BrisaScenario::small_test(40)
+        };
         let result = run_brisa(&sc);
         assert!(
             (result.completeness() - 1.0).abs() < 1e-9,
             "{strategy:?} must still deliver everything"
         );
-        assert!(result.structure.is_acyclic(), "{strategy:?} must not create cycles");
+        assert!(
+            result.structure.is_acyclic(),
+            "{strategy:?} must not create cycles"
+        );
     }
 }
 
@@ -126,7 +148,11 @@ fn runs_are_deterministic_for_a_fixed_seed() {
         v.sort();
         v
     };
-    assert_eq!(parents(&a), parents(&b), "identical seeds give identical structures");
+    assert_eq!(
+        parents(&a),
+        parents(&b),
+        "identical seeds give identical structures"
+    );
 }
 
 #[test]

@@ -177,7 +177,7 @@ proptest! {
             prop_assert!(result.structure.is_acyclic());
         }
         for n in result.nodes.iter().filter(|n| !n.is_source) {
-            prop_assert!(n.parents.len() >= 1 && n.parents.len() <= target);
+            prop_assert!(!n.parents.is_empty() && n.parents.len() <= target);
         }
         let _ = BrisaConfig::default();
     }

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], benchmark
+//! groups, and the [`criterion_group!`] / [`criterion_main!`] macros — backed
+//! by a simple median-of-samples wall-clock harness instead of criterion's
+//! statistical machinery. Good enough to run `cargo bench` offline and see
+//! relative numbers; swap the real crate back in for publication-grade
+//! statistics.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, like the real crate.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for compatibility; the
+/// stub always runs setup once per measured batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per allocation.
+    PerIteration,
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median wall-clock duration of one sample, filled by `iter*`.
+    pub(crate) measured: Option<Duration>,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut sample: impl FnMut() -> Duration) {
+        // One warm-up sample, then the configured number of measured ones.
+        let _ = sample();
+        let mut times: Vec<Duration> = (0..self.samples).map(|_| sample()).collect();
+        times.sort_unstable();
+        self.measured = Some(times[times.len() / 2]);
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.measure(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+}
+
+fn print_result(name: &str, measured: Option<Duration>) {
+    match measured {
+        Some(d) => println!("{name:<50} median {d:?}"),
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        print_result(&full, b.measured);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        print_result(id, b.measured);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring the two forms the real
+/// macro accepts.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
