@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks of the two event schedulers in isolation:
+//! the timing wheel (hot path) against the `BinaryHeap` reference.
+//!
+//! Two synthetic workloads bracket what the simulator actually does:
+//!
+//! * **steady_state** — a bounded-horizon hold-K pattern: keep K events
+//!   pending, repeatedly pop the earliest and push a replacement a short
+//!   latency ahead. This is the shape of a dissemination in progress
+//!   (every delivery schedules the next hop a few ms out).
+//! * **timer_mix** — the same, but one push in eight lands seconds ahead
+//!   (periodic protocol timers), exercising the coarse wheel level.
+//!
+//! The end-to-end numbers (and the recorded-trace replay, which is the
+//! fairest comparison because it uses the real grid workload) live in
+//! `bench_engine_wallclock`; these microbenches exist to catch regressions
+//! in the data structures themselves.
+
+use brisa_simnet::sched::{HeapScheduler, TimingWheel};
+use brisa_simnet::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Payload matching the simulator's in-queue event record size for BRISA.
+type Payload = [u64; 6];
+const PAYLOAD: Payload = [7; 6];
+
+/// Deterministic xorshift so both schedulers see the identical sequence.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Hold-K churn: pop one, push one `latency_range`-bounded step ahead, with
+/// every eighth push a far timer when `with_timers` is set.
+fn churn<Q>(
+    q: &mut Q,
+    push: impl Fn(&mut Q, SimTime),
+    pop: impl Fn(&mut Q) -> Option<SimTime>,
+    held: usize,
+    ops: usize,
+    with_timers: bool,
+) {
+    let mut rng = XorShift(0x5EED_CAFE);
+    for i in 0..held as u64 {
+        push(q, SimTime::from_micros(1 + i));
+    }
+    for i in 0..ops {
+        let now = pop(q).expect("queue held non-empty").as_micros();
+        let ahead = if with_timers && i % 8 == 0 {
+            1_000_000 + rng.next() % 4_000_000 // 1-5 s: periodic timer
+        } else {
+            100 + rng.next() % 9_900 // 0.1-10 ms: next-hop latency
+        };
+        push(q, SimTime::from_micros(now + ahead));
+    }
+    while pop(q).is_some() {}
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    // Same guard as bench_engine_wallclock: the entries moved here must be
+    // as big as the simulator's real in-queue event records, or the numbers
+    // stop reflecting the true per-entry move cost.
+    assert_eq!(
+        std::mem::size_of::<Payload>(),
+        brisa_simnet::event_record_size::<brisa::BrisaNode>(),
+        "microbench payload must match the simulator's event record size"
+    );
+    const HELD: usize = 4096;
+    const OPS: usize = 100_000;
+    for (name, with_timers) in [("steady_state", false), ("timer_mix", true)] {
+        c.bench_function(&format!("sched_wheel_{name}"), |b| {
+            b.iter(|| {
+                let mut q: TimingWheel<Payload> = TimingWheel::new();
+                churn(
+                    &mut q,
+                    |q, t| q.push(t, PAYLOAD),
+                    |q| black_box(q.pop()).map(|e| e.time),
+                    HELD,
+                    OPS,
+                    with_timers,
+                );
+            });
+        });
+        c.bench_function(&format!("sched_heap_{name}"), |b| {
+            b.iter(|| {
+                let mut q: HeapScheduler<Payload> = HeapScheduler::new();
+                churn(
+                    &mut q,
+                    |q, t| q.push(t, PAYLOAD),
+                    |q| black_box(q.pop()).map(|e| e.time),
+                    HELD,
+                    OPS,
+                    with_timers,
+                );
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schedulers
+}
+criterion_main!(benches);

@@ -1,0 +1,262 @@
+//! Wall-clock benchmark of the simulator hot path: the timing-wheel
+//! scheduler against the `BinaryHeap` reference, on the Table I churn grid.
+//!
+//! Two measurements, both on the exact Table I workload at the current
+//! `BRISA_SCALE`:
+//!
+//! 1. **engine** — end-to-end wall clock of the full grid (bootstrap, churn,
+//!    stream, collect) under each scheduler, reported as simulator
+//!    events/sec. This is the number the ROADMAP's trajectory tracks; it
+//!    includes all protocol work, so scheduler gains are diluted by design.
+//! 2. **sched_replay** — the recorded push/pop trace of the grid replayed
+//!    through each scheduler in isolation. This isolates the data structure
+//!    the PR replaces and is where the ≥2× target applies.
+//!
+//! Before timing anything, the binary asserts that both schedulers produce
+//! bit-identical results (the determinism contract).
+//!
+//! Results are printed and written to `BENCH_PR2.json` (override the path
+//! with `BRISA_BENCH_OUT`), which CI uploads as an artifact so every future
+//! PR extends the perf trajectory. See DESIGN.md for the JSON schema.
+
+use brisa::BrisaNode;
+use brisa_bench::{
+    banner, run_experiment, run_matrix_sequential, BrisaStackConfig, EngineResult, RunSpec, Scale,
+};
+use brisa_simnet::sched::{HeapScheduler, TimingWheel, TraceOp};
+use brisa_workloads::{scenarios, SchedulerKind};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed measurement: wall seconds and the events-per-second it implies.
+struct Measurement {
+    wall_secs: f64,
+    events: u64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Everything behaviour-relevant in a grid result, for the equivalence
+/// assertion between schedulers.
+fn grid_fingerprint(results: &[EngineResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        write!(out, "|ev={};", r.sim_events).unwrap();
+        for t in &r.publish_times {
+            write!(out, "p{};", t.as_micros()).unwrap();
+        }
+        for n in &r.nodes {
+            write!(out, "n{}:d{};", n.id.0, n.report.delivered).unwrap();
+        }
+    }
+    out
+}
+
+fn run_grid(
+    cells: &[(
+        u32,
+        f64,
+        brisa::StructureMode,
+        brisa_workloads::BrisaScenario,
+    )],
+    scheduler: SchedulerKind,
+    trace_events: bool,
+) -> (Measurement, Vec<EngineResult>) {
+    let start = Instant::now();
+    let results = run_matrix_sequential(cells, |_, (_, _, _, sc)| {
+        let cfg = BrisaStackConfig {
+            hpv: sc.hyparview_config(),
+            brisa: sc.brisa_config(),
+        };
+        let mut spec = RunSpec::from(sc);
+        spec.scheduler = scheduler;
+        spec.trace_events = trace_events;
+        run_experiment::<BrisaNode>(&cfg, &spec)
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+    let events = results.iter().map(|r| r.sim_events).sum();
+    (Measurement { wall_secs, events }, results)
+}
+
+/// Replays the recorded per-cell push/pop traces through a scheduler — one
+/// fresh queue per cell, exactly as the engine runs one fresh simulator per
+/// cell — returning the best (fastest) of `iters` passes.
+fn replay<Q, PushFn, PopFn>(
+    traces: &[Vec<TraceOp>],
+    iters: usize,
+    mut fresh: impl FnMut() -> Q,
+    push: PushFn,
+    pop: PopFn,
+) -> Measurement
+where
+    PushFn: Fn(&mut Q, brisa_simnet::SimTime),
+    PopFn: Fn(&mut Q) -> bool,
+{
+    let mut best = f64::INFINITY;
+    let mut pops = 0u64;
+    for _ in 0..iters.max(1) {
+        pops = 0;
+        let start = Instant::now();
+        for trace in traces {
+            let mut q = fresh();
+            for op in trace {
+                match *op {
+                    TraceOp::Push(t) => push(&mut q, t),
+                    TraceOp::Pop => {
+                        if pop(&mut q) {
+                            pops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Measurement {
+        wall_secs: best,
+        events: pops,
+    }
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    format!(
+        r#"{{"wall_secs": {:.6}, "events": {}, "events_per_sec": {:.1}}}"#,
+        m.wall_secs,
+        m.events,
+        m.events_per_sec()
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "bench_engine_wallclock",
+        "timing wheel vs BinaryHeap on the Table I churn grid",
+        scale,
+    );
+    let cells = scenarios::table1(scale);
+
+    // --- Correctness first: both schedulers must produce identical runs.
+    let (_, wheel_results) = run_grid(&cells, SchedulerKind::TimingWheel, false);
+    let (_, heap_results) = run_grid(&cells, SchedulerKind::BinaryHeap, false);
+    assert_eq!(
+        grid_fingerprint(&wheel_results),
+        grid_fingerprint(&heap_results),
+        "schedulers diverged: the determinism contract is broken"
+    );
+    println!(
+        "determinism: timing wheel == BinaryHeap on all {} cells",
+        cells.len()
+    );
+
+    // --- End-to-end engine wall clock (the warm runs above primed caches).
+    let (heap_engine, _) = run_grid(&cells, SchedulerKind::BinaryHeap, false);
+    let (wheel_engine, _) = run_grid(&cells, SchedulerKind::TimingWheel, false);
+    let engine_speedup = wheel_engine.events_per_sec() / heap_engine.events_per_sec();
+
+    // --- Scheduler-only replay of the recorded grid trace. Entries carry a
+    // payload of the same size as the simulator's real in-queue event
+    // records, so each scheduler moves as many bytes per operation as it
+    // does inside the engine.
+    let (_, traced) = run_grid(&cells, SchedulerKind::TimingWheel, true);
+    let traces: Vec<Vec<TraceOp>> = traced.into_iter().map(|r| r.event_trace).collect();
+    let trace_ops: usize = traces.iter().map(Vec::len).sum();
+    type Payload = [u64; 6];
+    assert_eq!(
+        std::mem::size_of::<Payload>(),
+        brisa_simnet::event_record_size::<BrisaNode>(),
+        "replay payload must match the simulator's event record size"
+    );
+    let payload: Payload = [7; 6];
+    let replay_iters = 9;
+    let heap_replay = replay(
+        &traces,
+        replay_iters,
+        HeapScheduler::<Payload>::new,
+        |q, t| q.push(t, payload),
+        |q| black_box(q.pop()).is_some(),
+    );
+    let wheel_replay = replay(
+        &traces,
+        replay_iters,
+        TimingWheel::<Payload>::new,
+        |q, t| q.push(t, payload),
+        |q| black_box(q.pop()).is_some(),
+    );
+    let replay_speedup = wheel_replay.events_per_sec() / heap_replay.events_per_sec();
+
+    println!();
+    println!("engine (end-to-end, all protocol work included):");
+    println!(
+        "  BinaryHeap  : {:>12.0} events/sec  ({} events in {:.3}s)",
+        heap_engine.events_per_sec(),
+        heap_engine.events,
+        heap_engine.wall_secs
+    );
+    println!(
+        "  TimingWheel : {:>12.0} events/sec  ({} events in {:.3}s)",
+        wheel_engine.events_per_sec(),
+        wheel_engine.events,
+        wheel_engine.wall_secs
+    );
+    println!("  speedup     : {engine_speedup:.2}x");
+    println!();
+    println!("sched_replay (scheduler isolated on the recorded grid traces, {trace_ops} ops):");
+    println!(
+        "  BinaryHeap  : {:>12.0} events/sec  ({:.3}s)",
+        heap_replay.events_per_sec(),
+        heap_replay.wall_secs
+    );
+    println!(
+        "  TimingWheel : {:>12.0} events/sec  ({:.3}s)",
+        wheel_replay.events_per_sec(),
+        wheel_replay.wall_secs
+    );
+    println!("  speedup     : {replay_speedup:.2}x  (target: >= 2x)");
+    println!(
+        "  target met  : {}",
+        if replay_speedup >= 2.0 { "yes" } else { "NO" }
+    );
+
+    let json = format!(
+        r#"{{
+  "schema": "brisa-bench-pr2/v1",
+  "generated_by": "bench_engine_wallclock",
+  "scale": "{scale:?}",
+  "grid": "table1",
+  "cells": {cells_len},
+  "engine": {{
+    "binary_heap": {heap_engine_json},
+    "timing_wheel": {wheel_engine_json},
+    "speedup": {engine_speedup:.3}
+  }},
+  "sched_replay": {{
+    "trace_ops": {trace_ops},
+    "replay_iters": {replay_iters},
+    "binary_heap": {heap_replay_json},
+    "timing_wheel": {wheel_replay_json},
+    "speedup": {replay_speedup:.3},
+    "target_speedup": 2.0,
+    "target_met": {target_met}
+  }}
+}}
+"#,
+        cells_len = cells.len(),
+        heap_engine_json = json_measurement(&heap_engine),
+        wheel_engine_json = json_measurement(&wheel_engine),
+        trace_ops = trace_ops,
+        heap_replay_json = json_measurement(&heap_replay),
+        wheel_replay_json = json_measurement(&wheel_replay),
+        target_met = replay_speedup >= 2.0,
+    );
+    let out_path =
+        std::env::var("BRISA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    std::fs::write(&out_path, json).expect("write bench result file");
+    println!();
+    println!("wrote {out_path}");
+}

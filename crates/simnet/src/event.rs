@@ -4,11 +4,15 @@
 //! assigned monotonically at insertion so that events scheduled for the same
 //! instant are processed in insertion order, which keeps runs fully
 //! deterministic for a given seed.
+//!
+//! The queue is a thin dispatcher over the two scheduler implementations in
+//! [`crate::sched`]: the timing wheel (default hot path) and the binary heap
+//! (reference/baseline). Both produce the same total order; which one runs
+//! is selected by [`SchedulerKind`] in the network configuration.
 
 use crate::node::NodeId;
+use crate::sched::{Entry, HeapScheduler, SchedulerKind, TimingWheel, TraceOp};
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A tag identifying a timer set by a protocol.
 ///
@@ -58,78 +62,85 @@ pub(crate) enum EventKind<M> {
     Crash { node: NodeId },
 }
 
-/// An event with its scheduled time and tie-breaking sequence number.
-#[derive(Debug)]
-pub(crate) struct Event<M> {
-    pub time: SimTime,
-    pub seq: u64,
-    pub kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event is popped first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+// One `QueueImpl` exists per simulation, so the size difference between the
+// wheel (inline bitmap + cursor header) and the heap is irrelevant — while
+// boxing the wheel would put an extra pointer chase on every push/pop of
+// the hot path.
+#[allow(clippy::large_enum_variant)]
+enum QueueImpl<M> {
+    Wheel(TimingWheel<EventKind<M>>),
+    Heap(HeapScheduler<EventKind<M>>),
 }
 
 /// A deterministic priority queue of simulation events.
-#[derive(Debug)]
 pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
-    next_seq: u64,
+    queue: QueueImpl<M>,
+    /// When tracing is enabled, every push/pop is recorded so benches can
+    /// replay the exact operation sequence through a scheduler in isolation.
+    trace: Option<Vec<TraceOp>>,
 }
 
 impl<M> EventQueue<M> {
-    pub fn new() -> Self {
+    pub fn new(kind: SchedulerKind, trace_events: bool) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            queue: match kind {
+                SchedulerKind::TimingWheel => QueueImpl::Wheel(TimingWheel::new()),
+                SchedulerKind::BinaryHeap => QueueImpl::Heap(HeapScheduler::new()),
+            },
+            trace: trace_events.then(Vec::new),
         }
     }
 
     /// Schedules `kind` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceOp::Push(time));
+        }
+        match &mut self.queue {
+            QueueImpl::Wheel(w) => w.push(time, kind),
+            QueueImpl::Heap(h) => h.push(time, kind),
+        }
     }
 
     /// Removes and returns the earliest event, if any.
-    pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+    pub fn pop(&mut self) -> Option<Entry<EventKind<M>>> {
+        let popped = match &mut self.queue {
+            QueueImpl::Wheel(w) => w.pop(),
+            QueueImpl::Heap(h) => h.pop(),
+        };
+        if popped.is_some() {
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceOp::Pop);
+            }
+        }
+        popped
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.queue {
+            QueueImpl::Wheel(w) => w.peek_time(),
+            QueueImpl::Heap(h) => h.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.queue {
+            QueueImpl::Wheel(w) => w.len(),
+            QueueImpl::Heap(h) => h.len(),
+        }
     }
 
     /// True if no events are pending.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Takes the recorded operation trace (empty when tracing is disabled).
+    pub fn take_trace(&mut self) -> Vec<TraceOp> {
+        self.trace.take().unwrap_or_default()
     }
 }
 
@@ -144,43 +155,72 @@ mod tests {
         }
     }
 
+    fn queue(kind: SchedulerKind) -> EventQueue<()> {
+        EventQueue::new(kind, false)
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        q.push(SimTime::from_millis(30), timer(3));
-        q.push(SimTime::from_millis(10), timer(1));
-        q.push(SimTime::from_millis(20), timer(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| e.time.as_micros())
-            .collect();
-        assert_eq!(order, vec![10_000, 20_000, 30_000]);
+        for kind in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+            let mut q = queue(kind);
+            q.push(SimTime::from_millis(30), timer(3));
+            q.push(SimTime::from_millis(10), timer(1));
+            q.push(SimTime::from_millis(20), timer(2));
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| e.time.as_micros())
+                .collect();
+            assert_eq!(order, vec![10_000, 20_000, 30_000]);
+        }
     }
 
     #[test]
     fn same_time_pops_in_insertion_order() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        let t = SimTime::from_millis(5);
-        for i in 0..10u32 {
-            q.push(t, timer(i));
+        for kind in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+            let mut q = queue(kind);
+            let t = SimTime::from_millis(5);
+            for i in 0..10u32 {
+                q.push(t, timer(i));
+            }
+            let nodes: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.item {
+                    EventKind::Timer { node, .. } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(nodes, (0..10).collect::<Vec<_>>());
         }
-        let nodes: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { node, .. } => node.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(nodes, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        let mut q = queue(SchedulerKind::default());
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
         q.push(SimTime::from_secs(1), timer(0));
         q.push(SimTime::from_secs(2), timer(1));
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn trace_records_operations() {
+        let mut q: EventQueue<()> = EventQueue::new(SchedulerKind::default(), true);
+        q.push(SimTime::from_millis(1), timer(0));
+        q.push(SimTime::from_millis(2), timer(1));
+        q.pop();
+        let trace = q.take_trace();
+        assert_eq!(
+            trace,
+            vec![
+                TraceOp::Push(SimTime::from_millis(1)),
+                TraceOp::Push(SimTime::from_millis(2)),
+                TraceOp::Pop,
+            ]
+        );
+        // Untraced queues return an empty trace.
+        let mut untraced = queue(SchedulerKind::default());
+        untraced.push(SimTime::from_millis(1), timer(0));
+        assert!(untraced.take_trace().is_empty());
     }
 
     #[test]

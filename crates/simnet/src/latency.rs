@@ -134,14 +134,11 @@ impl PlanetLabLatency {
         // gaussians via Box-Muller to sample the log-normal deterministically.
         let mut x = self
             .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(crate::seed::GOLDEN_GAMMA)
             .wrapping_add((src.0 as u64) << 32 | dst.0 as u64);
         let mut next = || {
-            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = x;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
+            x = x.wrapping_add(crate::seed::GOLDEN_GAMMA);
+            crate::seed::mix64(x)
         };
         let u1 = (next() >> 11) as f64 / (1u64 << 53) as f64;
         let u2 = (next() >> 11) as f64 / (1u64 << 53) as f64;

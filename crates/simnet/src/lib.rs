@@ -51,15 +51,19 @@
 pub mod bandwidth;
 mod event;
 pub mod latency;
+mod links;
 mod network;
 mod node;
 mod protocol;
+pub mod sched;
+pub mod seed;
 mod time;
 
 pub use bandwidth::{BandwidthMeter, Direction, NodeBandwidth};
 pub use event::TimerTag;
 pub use latency::LatencyModel;
-pub use network::{NetStats, Network, NetworkConfig};
+pub use network::{event_record_size, NetStats, Network, NetworkConfig};
 pub use node::NodeId;
 pub use protocol::{Context, Protocol, WireSize};
+pub use sched::{SchedulerKind, TraceOp};
 pub use time::{SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};

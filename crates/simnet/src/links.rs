@@ -1,0 +1,255 @@
+//! Dense, index-addressed per-node link state.
+//!
+//! The simulator used to keep its connection table in one global
+//! `BTreeSet<(NodeId, NodeId)>` (scanned end-to-end on every crash) and its
+//! FIFO link clocks in one `HashMap` per sender (hashed on every send).
+//! Both are replaced here by per-node sorted vectors addressed by the dense
+//! `NodeId` index space:
+//!
+//! * [`Adjacency`] — per-owner sorted peer lists plus a reverse index
+//!   (`incoming[peer]` = owners with an open connection *to* `peer`), so
+//!   notifying the peers of a crashed node is O(degree · log degree) instead
+//!   of O(total connections).
+//! * [`LinkClocks`] — per-sender sorted `(dest, clock)` vectors; typical
+//!   degrees are single-digit, so a binary search beats SipHash-ing a
+//!   `HashMap` key, and crash pruning clears vectors in place (capacity is
+//!   retained — no allocation per crash).
+//!
+//! Iteration order over any of these structures is fully deterministic
+//! (sorted by `NodeId`), matching the old `BTreeSet` order — required by the
+//! determinism contract (`run_matrix` parallel ≡ sequential).
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+fn ensure_len<T: Default>(v: &mut Vec<T>, index: usize) {
+    if v.len() <= index {
+        v.resize_with(index + 1, T::default);
+    }
+}
+
+/// Open connections as per-node sorted adjacency vectors with a reverse
+/// index. A connection `(owner, peer)` means `owner` has declared an open
+/// connection to `peer` and will receive `on_link_down(peer)` if `peer`
+/// crashes.
+#[derive(Debug, Default)]
+pub(crate) struct Adjacency {
+    /// `out[owner]` = peers `owner` has a connection to, sorted.
+    out: Vec<Vec<NodeId>>,
+    /// `incoming[peer]` = owners with a connection to `peer`, sorted.
+    incoming: Vec<Vec<NodeId>>,
+}
+
+impl Adjacency {
+    /// Inserts the directed connection `(owner, peer)`; no-op if present.
+    pub fn insert(&mut self, owner: NodeId, peer: NodeId) {
+        ensure_len(&mut self.out, owner.index());
+        let list = &mut self.out[owner.index()];
+        if let Err(pos) = list.binary_search(&peer) {
+            list.insert(pos, peer);
+            ensure_len(&mut self.incoming, peer.index());
+            let rev = &mut self.incoming[peer.index()];
+            if let Err(pos) = rev.binary_search(&owner) {
+                rev.insert(pos, owner);
+            }
+        }
+    }
+
+    /// Removes the directed connection `(owner, peer)`; no-op if absent.
+    pub fn remove(&mut self, owner: NodeId, peer: NodeId) {
+        if let Some(list) = self.out.get_mut(owner.index()) {
+            if let Ok(pos) = list.binary_search(&peer) {
+                list.remove(pos);
+                let rev = &mut self.incoming[peer.index()];
+                if let Ok(pos) = rev.binary_search(&owner) {
+                    rev.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// True if the directed connection `(owner, peer)` is open.
+    pub fn contains(&self, owner: NodeId, peer: NodeId) -> bool {
+        self.out
+            .get(owner.index())
+            .is_some_and(|list| list.binary_search(&peer).is_ok())
+    }
+
+    /// Owners with an open connection to `node`, sorted ascending — exactly
+    /// the peers to notify when `node` crashes.
+    pub fn incoming_of(&self, node: NodeId) -> &[NodeId] {
+        self.incoming
+            .get(node.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Drops every connection owned by `node` (its outgoing edges), in
+    /// O(degree · log degree). Incoming edges `(owner, node)` stay open
+    /// until each owner's link-down notification is processed, mirroring
+    /// connection-level failure detection. Storage is cleared in place.
+    pub fn clear_outgoing(&mut self, node: NodeId) {
+        let Some(list) = self.out.get_mut(node.index()) else {
+            return;
+        };
+        for &peer in list.iter() {
+            let rev = &mut self.incoming[peer.index()];
+            if let Ok(pos) = rev.binary_search(&node) {
+                rev.remove(pos);
+            }
+        }
+        list.clear();
+    }
+
+    /// Total number of open directed connections (diagnostic).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+}
+
+/// Per-sender FIFO clocks towards every destination the sender has messaged.
+///
+/// Semantically a map `(sender, dest) -> last scheduled arrival`, stored as
+/// one small sorted vector per sender plus a reverse index
+/// (`senders_of[dest]` = senders holding a clock towards `dest`, the same
+/// shape as [`Adjacency::incoming`]), so that all state involving a node —
+/// in either direction — can be dropped in O(degree · log degree) when it
+/// crashes. Dropped *in place*, too: the vectors are cleared, not replaced,
+/// so a crash allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct LinkClocks {
+    by_sender: Vec<Vec<(NodeId, SimTime)>>,
+    /// `senders_of[dest]` = senders with a clock towards `dest`, sorted.
+    senders_of: Vec<Vec<NodeId>>,
+}
+
+impl LinkClocks {
+    /// Mutable access to the clock of the directed link `sender -> dest`,
+    /// initialised to [`SimTime::ZERO`].
+    pub fn entry(&mut self, sender: NodeId, dest: NodeId) -> &mut SimTime {
+        ensure_len(&mut self.by_sender, sender.index());
+        let clocks = &mut self.by_sender[sender.index()];
+        let pos = match clocks.binary_search_by_key(&dest, |&(d, _)| d) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                clocks.insert(pos, (dest, SimTime::ZERO));
+                ensure_len(&mut self.senders_of, dest.index());
+                let rev = &mut self.senders_of[dest.index()];
+                if let Err(rpos) = rev.binary_search(&sender) {
+                    rev.insert(rpos, sender);
+                }
+                pos
+            }
+        };
+        &mut clocks[pos].1
+    }
+
+    /// Drops every clock involving `node`, in either direction. Called when
+    /// `node` crashes: it will never send again, and in-flight FIFO ordering
+    /// towards a dead destination no longer matters (deliveries to it are
+    /// dropped). The reverse index yields the senders tracking `node`
+    /// directly, so the whole prune is O(degree · log degree) — no scan
+    /// over other nodes' state — and clears in place, with no allocation.
+    pub fn prune(&mut self, node: NodeId) {
+        if let Some(own) = self.by_sender.get_mut(node.index()) {
+            for &(dest, _) in own.iter() {
+                let rev = &mut self.senders_of[dest.index()];
+                if let Ok(pos) = rev.binary_search(&node) {
+                    rev.remove(pos);
+                }
+            }
+            own.clear();
+        }
+        if let Some(rev) = self.senders_of.get_mut(node.index()) {
+            for &sender in rev.iter() {
+                let clocks = &mut self.by_sender[sender.index()];
+                if let Ok(pos) = clocks.binary_search_by_key(&node, |&(d, _)| d) {
+                    clocks.remove(pos);
+                }
+            }
+            rev.clear();
+        }
+    }
+
+    /// Number of directed links currently tracked (test/diagnostic hook).
+    pub fn tracked_links(&self) -> usize {
+        self.by_sender.iter().map(Vec::len).sum()
+    }
+
+    /// Capacity of `sender`'s clock vector (test hook: asserts that crash
+    /// pruning clears in place rather than reallocating).
+    pub fn slot_capacity(&self, sender: NodeId) -> usize {
+        self.by_sender
+            .get(sender.index())
+            .map(Vec::capacity)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_insert_remove_contains() {
+        let mut adj = Adjacency::default();
+        adj.insert(NodeId(1), NodeId(2));
+        adj.insert(NodeId(1), NodeId(2)); // duplicate is a no-op
+        adj.insert(NodeId(3), NodeId(2));
+        adj.insert(NodeId(1), NodeId(0));
+        assert!(adj.contains(NodeId(1), NodeId(2)));
+        assert!(!adj.contains(NodeId(2), NodeId(1)));
+        assert_eq!(adj.len(), 3);
+        assert_eq!(adj.incoming_of(NodeId(2)), &[NodeId(1), NodeId(3)]);
+        adj.remove(NodeId(1), NodeId(2));
+        adj.remove(NodeId(1), NodeId(2)); // absent is a no-op
+        assert!(!adj.contains(NodeId(1), NodeId(2)));
+        assert_eq!(adj.incoming_of(NodeId(2)), &[NodeId(3)]);
+    }
+
+    #[test]
+    fn adjacency_clear_outgoing_updates_reverse_index() {
+        let mut adj = Adjacency::default();
+        adj.insert(NodeId(0), NodeId(1));
+        adj.insert(NodeId(0), NodeId(2));
+        adj.insert(NodeId(3), NodeId(1));
+        adj.clear_outgoing(NodeId(0));
+        assert_eq!(adj.len(), 1);
+        assert_eq!(adj.incoming_of(NodeId(1)), &[NodeId(3)]);
+        assert_eq!(adj.incoming_of(NodeId(2)), &[] as &[NodeId]);
+        // Clearing an owner that never connected is fine.
+        adj.clear_outgoing(NodeId(42));
+    }
+
+    #[test]
+    fn link_clocks_entry_and_prune_in_place() {
+        let mut clocks = LinkClocks::default();
+        *clocks.entry(NodeId(0), NodeId(1)) = SimTime::from_millis(5);
+        *clocks.entry(NodeId(0), NodeId(2)) = SimTime::from_millis(7);
+        *clocks.entry(NodeId(1), NodeId(0)) = SimTime::from_millis(9);
+        *clocks.entry(NodeId(2), NodeId(1)) = SimTime::from_millis(11);
+        assert_eq!(clocks.tracked_links(), 4);
+        assert_eq!(*clocks.entry(NodeId(0), NodeId(1)), SimTime::from_millis(5));
+        let cap_before = clocks.slot_capacity(NodeId(0));
+        assert!(cap_before >= 2);
+        clocks.prune(NodeId(0));
+        // Everything involving node 0 is gone; the bystander clock 2 -> 1
+        // is untouched (the reverse index names exactly the senders that
+        // tracked the crashed node).
+        assert_eq!(clocks.tracked_links(), 1);
+        assert_eq!(
+            *clocks.entry(NodeId(2), NodeId(1)),
+            SimTime::from_millis(11)
+        );
+        assert_eq!(
+            clocks.slot_capacity(NodeId(0)),
+            cap_before,
+            "prune clears in place, it does not reallocate"
+        );
+        // Pruning the remaining sender (exercises the forward direction of
+        // the reverse index) empties the table.
+        clocks.prune(NodeId(2));
+        assert_eq!(clocks.tracked_links(), 0);
+    }
+}

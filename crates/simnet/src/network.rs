@@ -6,65 +6,23 @@
 //!
 //! Runs are fully deterministic: the same seed, latency model and sequence
 //! of `add_node` / `schedule_crash` calls produce bit-identical executions.
+//!
+//! The hot path is built on dense, index-addressed state (see
+//! [`crate::sched`] for the timing-wheel event queue and [`crate::links`]
+//! for the adjacency/link-clock vectors); the steady-state event loop does
+//! not allocate per event.
 
 use crate::bandwidth::{BandwidthMeter, Direction};
 use crate::event::{EventKind, EventQueue};
 use crate::latency::LatencyModel;
+use crate::links::{Adjacency, LinkClocks};
 use crate::node::NodeId;
 use crate::protocol::{Command, Context, Protocol, WireSize};
+use crate::sched::{SchedulerKind, TraceOp};
+use crate::seed::split_mix64;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeSet, HashMap};
-
-/// Per-sender FIFO clocks towards every destination the sender has messaged.
-///
-/// Semantically a map `(sender, dest) -> last scheduled arrival`, stored as
-/// one small map per sender so that all state belonging to a node can be
-/// dropped in O(degree) when it crashes. The old flat
-/// `HashMap<(NodeId, NodeId), SimTime>` grew without bound under churn:
-/// every node pair that ever exchanged a message stayed in the table for the
-/// rest of the run.
-#[derive(Debug, Default)]
-struct LinkClocks {
-    by_sender: Vec<HashMap<NodeId, SimTime>>,
-}
-
-impl LinkClocks {
-    /// Makes sure a slot exists for `sender`.
-    fn ensure(&mut self, sender: NodeId) {
-        if self.by_sender.len() <= sender.index() {
-            self.by_sender.resize_with(sender.index() + 1, HashMap::new);
-        }
-    }
-
-    /// Mutable access to the clock of the directed link `sender -> dest`,
-    /// initialised to [`SimTime::ZERO`].
-    fn entry(&mut self, sender: NodeId, dest: NodeId) -> &mut SimTime {
-        self.ensure(sender);
-        self.by_sender[sender.index()]
-            .entry(dest)
-            .or_insert(SimTime::ZERO)
-    }
-
-    /// Drops every clock involving `node`, in either direction. Called when
-    /// `node` crashes: it will never send again, and in-flight FIFO ordering
-    /// towards a dead destination no longer matters (deliveries to it are
-    /// dropped).
-    fn prune(&mut self, node: NodeId) {
-        if let Some(own) = self.by_sender.get_mut(node.index()) {
-            *own = HashMap::new();
-        }
-        for clocks in &mut self.by_sender {
-            clocks.remove(&node);
-        }
-    }
-
-    /// Number of directed links currently tracked (test/diagnostic hook).
-    fn tracked_links(&self) -> usize {
-        self.by_sender.iter().map(|m| m.len()).sum()
-    }
-}
 
 /// Static configuration of a simulation run.
 #[derive(Debug, Clone)]
@@ -78,6 +36,15 @@ pub struct NetworkConfig {
     /// Enforce FIFO ordering on each directed link (messages between the
     /// same pair never overtake each other), as TCP connections do.
     pub fifo_links: bool,
+    /// Which event-queue implementation to use. The timing wheel is the
+    /// default; the binary heap is kept as the reference baseline for
+    /// benches and equivalence tests. Both produce bit-identical runs.
+    pub scheduler: SchedulerKind,
+    /// Record every scheduler push/pop so benches can replay the exact
+    /// operation sequence through a queue in isolation (see
+    /// [`Network::take_event_trace`]). Off by default; costs one branch per
+    /// operation when off.
+    pub trace_events: bool,
 }
 
 impl Default for NetworkConfig {
@@ -86,6 +53,8 @@ impl Default for NetworkConfig {
             seed: 0xB215A,
             failure_detection_delay: SimDuration::from_millis(200),
             fifo_links: true,
+            scheduler: SchedulerKind::default(),
+            trace_events: false,
         }
     }
 }
@@ -118,37 +87,45 @@ pub struct Network<P: Protocol> {
     queue: EventQueue<P::Message>,
     nodes: Vec<NodeSlot<P>>,
     master_rng: SmallRng,
+    /// Dedicated RNG for reference-latency queries ([`Self::typical_latency`]).
+    /// Derived once from the master seed, *not* from `master_rng`: drawing
+    /// reference latencies must never reorder the seeds of nodes added
+    /// afterwards.
+    reference_rng: SmallRng,
     bandwidth: BandwidthMeter,
-    /// Open connections, keyed by the owning node: `(owner, peer)`.
-    ///
-    /// A `BTreeSet` rather than a hash set so that iterating it (to notify
-    /// peers of a crash) visits connections in a fixed order: the simulation
-    /// must be bit-identical no matter which thread runs it, and std's
-    /// hash-map ordering is seeded per thread.
-    connections: BTreeSet<(NodeId, NodeId)>,
+    /// Open connections as per-node sorted adjacency vectors (plus a
+    /// reverse index), iterated in fixed `NodeId` order so the simulation is
+    /// bit-identical no matter which thread runs it.
+    connections: Adjacency,
     /// Per directed pair, the time the last message is scheduled to arrive
-    /// (used to enforce FIFO ordering); pruned when a node crashes.
+    /// (used to enforce FIFO ordering); pruned in place when a node crashes.
     link_clock: LinkClocks,
     stats: NetStats,
     command_buf: Vec<Command<P::Message>>,
+    /// Reused buffer for the peers notified by `process_crash`.
+    crash_buf: Vec<NodeId>,
 }
 
 impl<P: Protocol> Network<P> {
     /// Creates a network with the given configuration and latency model.
     pub fn new(config: NetworkConfig, latency: Box<dyn LatencyModel>) -> Self {
         let master_rng = SmallRng::seed_from_u64(config.seed);
+        let reference_rng = SmallRng::seed_from_u64(split_mix64(config.seed, 0x0DD5_EED5));
+        let queue = EventQueue::new(config.scheduler, config.trace_events);
         Network {
             config,
             latency,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue,
             nodes: Vec::new(),
             master_rng,
+            reference_rng,
             bandwidth: BandwidthMeter::new(),
-            connections: BTreeSet::new(),
+            connections: Adjacency::default(),
             link_clock: LinkClocks::default(),
             stats: NetStats::default(),
             command_buf: Vec::new(),
+            crash_buf: Vec::new(),
         }
     }
 
@@ -177,14 +154,19 @@ impl<P: Protocol> Network<P> {
         self.nodes.get(id.index()).map(|n| n.alive).unwrap_or(false)
     }
 
-    /// Identifiers of all live nodes.
-    pub fn alive_ids(&self) -> Vec<NodeId> {
+    /// Iterator over the identifiers of all live nodes, in ascending order.
+    /// Allocation-free; prefer this over [`Self::alive_ids`] in hot loops.
+    pub fn alive_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes
             .iter()
             .enumerate()
             .filter(|(_, n)| n.alive)
             .map(|(i, _)| NodeId(i as u32))
-            .collect()
+    }
+
+    /// Identifiers of all live nodes, collected into a fresh vector.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.alive_iter().collect()
     }
 
     /// Immutable access to the protocol state of `id`.
@@ -238,9 +220,11 @@ impl<P: Protocol> Network<P> {
     /// Runs an application-level closure against a node *through the
     /// simulator*, so that any commands it issues (sends, timers) are
     /// processed normally. This is how experiment harnesses inject stream
-    /// messages at the source node.
+    /// messages at the source node. Ignored for nodes that are dead or whose
+    /// `on_start` has not yet run (a node that has not joined cannot
+    /// originate traffic, exactly like `Deliver` refuses them input).
     pub fn invoke(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
-        if !self.is_alive(id) {
+        if !self.is_alive(id) || !self.nodes[id.index()].started {
             return;
         }
         self.dispatch(id, f);
@@ -256,7 +240,7 @@ impl<P: Protocol> Network<P> {
             let ev = self.queue.pop().expect("peeked event must exist");
             self.now = ev.time;
             self.stats.events_processed += 1;
-            self.process(ev.kind);
+            self.process(ev.item);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -280,7 +264,7 @@ impl<P: Protocol> Network<P> {
             let ev = self.queue.pop().expect("peeked event must exist");
             self.now = ev.time;
             self.stats.events_processed += 1;
-            self.process(ev.kind);
+            self.process(ev.item);
         }
         self.now
     }
@@ -322,10 +306,10 @@ impl<P: Protocol> Network<P> {
             }
             EventKind::LinkDown { node, peer } => {
                 // Only notify if the connection is still considered open.
-                if !self.is_alive(node) || !self.connections.contains(&(node, peer)) {
+                if !self.is_alive(node) || !self.connections.contains(node, peer) {
                     return;
                 }
-                self.connections.remove(&(node, peer));
+                self.connections.remove(node, peer);
                 self.dispatch(node, |proto, ctx| proto.on_link_down(ctx, peer));
             }
             EventKind::Crash { node } => self.process_crash(node),
@@ -338,15 +322,15 @@ impl<P: Protocol> Network<P> {
         }
         self.nodes[node.index()].alive = false;
         // Peers with an open connection to the crashed node detect the
-        // failure after the detection delay.
+        // failure after the detection delay. The reverse adjacency index
+        // yields them directly in O(degree); the buffer is reused across
+        // crashes.
         let detect_at = self.now + self.config.failure_detection_delay;
-        let peers: Vec<NodeId> = self
-            .connections
-            .iter()
-            .filter(|(_, peer)| *peer == node)
-            .map(|(owner, _)| *owner)
-            .collect();
-        for owner in peers {
+        self.crash_buf.clear();
+        self.crash_buf
+            .extend_from_slice(self.connections.incoming_of(node));
+        for i in 0..self.crash_buf.len() {
+            let owner = self.crash_buf[i];
             self.queue.push(
                 detect_at,
                 EventKind::LinkDown {
@@ -357,7 +341,7 @@ impl<P: Protocol> Network<P> {
         }
         // Drop the crashed node's own connections and FIFO link clocks so
         // long churn runs do not accumulate state for dead nodes.
-        self.connections.retain(|(owner, _)| *owner != node);
+        self.connections.clear_outgoing(node);
         self.link_clock.prune(node);
     }
 
@@ -365,6 +349,19 @@ impl<P: Protocol> Network<P> {
     /// tests can assert that crash pruning keeps the table bounded.
     pub fn tracked_link_clocks(&self) -> usize {
         self.link_clock.tracked_links()
+    }
+
+    /// Capacity of `sender`'s link-clock storage. Test hook: asserts that
+    /// crash pruning clears in place instead of reallocating.
+    pub fn link_clock_capacity(&self, sender: NodeId) -> usize {
+        self.link_clock.slot_capacity(sender)
+    }
+
+    /// Takes the recorded scheduler operation trace. Empty unless
+    /// [`NetworkConfig::trace_events`] was set; intended for benches that
+    /// replay real workloads through a scheduler in isolation.
+    pub fn take_event_trace(&mut self) -> Vec<TraceOp> {
+        self.queue.take_trace()
     }
 
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
@@ -435,7 +432,7 @@ impl<P: Protocol> Network<P> {
                         .push(self.now + delay, EventKind::Timer { node: origin, tag });
                 }
                 Command::OpenConnection { peer } => {
-                    self.connections.insert((origin, peer));
+                    self.connections.insert(origin, peer);
                     // Connecting to a node that is already dead fails after
                     // the detection delay, like a TCP connect timeout.
                     if !self.is_alive(peer) {
@@ -446,7 +443,7 @@ impl<P: Protocol> Network<P> {
                     }
                 }
                 Command::CloseConnection { peer } => {
-                    self.connections.remove(&(origin, peer));
+                    self.connections.remove(origin, peer);
                 }
             }
         }
@@ -455,10 +452,21 @@ impl<P: Protocol> Network<P> {
 
     /// One-way "typical" latency between a pair according to the latency
     /// model, used as the point-to-point reference series in Figure 9.
+    ///
+    /// Draws from a dedicated reference RNG (derived once from the master
+    /// seed), never from the master RNG: calling this must not reorder the
+    /// seeds of nodes added afterwards.
     pub fn typical_latency(&mut self, src: NodeId, dst: NodeId) -> SimDuration {
-        let rng = &mut self.master_rng;
+        let rng = &mut self.reference_rng;
         self.latency.typical(src, dst, rng)
     }
+}
+
+/// Size in bytes of one in-queue event record for protocol `P` (the
+/// payload the schedulers actually move). Exposed for benches that replay
+/// scheduler traces with realistically sized entries.
+pub fn event_record_size<P: Protocol>() -> usize {
+    std::mem::size_of::<EventKind<P::Message>>()
 }
 
 #[cfg(test)]
@@ -577,6 +585,7 @@ mod tests {
         assert_eq!(net.node(b).unwrap().link_down, vec![a]);
         assert_eq!(net.stats().messages_dropped, 1);
         assert_eq!(net.alive_ids(), vec![b]);
+        assert_eq!(net.alive_iter().collect::<Vec<_>>(), vec![b]);
     }
 
     #[test]
@@ -606,6 +615,32 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         assert_eq!(net.node(a).unwrap().received.len(), 1);
         assert_eq!(net.node(a).unwrap().received[0].1, 7);
+    }
+
+    #[test]
+    fn invoke_before_start_is_ignored() {
+        let mut net = fixed_net(1);
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node_at(SimTime::from_secs(5), |_| Pinger::new(None));
+        net.run_until(SimTime::from_millis(1));
+        // b exists and is alive, but its on_start has not run yet: a harness
+        // must not be able to inject traffic through it.
+        assert!(net.is_alive(b));
+        net.invoke(b, |_proto, ctx| {
+            ctx.send(a, Ping(9));
+        });
+        net.run_until(SimTime::from_secs(10));
+        assert_eq!(
+            net.node(a).unwrap().received.len(),
+            0,
+            "publish into an unstarted node must be dropped"
+        );
+        // After on_start has run, the same invoke goes through.
+        net.invoke(b, |_proto, ctx| {
+            ctx.send(a, Ping(9));
+        });
+        net.run_until(SimTime::from_secs(11));
+        assert_eq!(net.node(a).unwrap().received.len(), 1);
     }
 
     #[test]
@@ -649,10 +684,21 @@ mod tests {
         net.run_until(SimTime::from_secs(1));
         // a<->b and a<->c exchanged messages: 4 directed clocks tracked.
         assert_eq!(net.tracked_link_clocks(), 4);
+        let a_capacity = net.link_clock_capacity(a);
+        let b_capacity = net.link_clock_capacity(b);
+        assert!(a_capacity >= 2 && b_capacity >= 1);
         net.crash(b);
         net.run_until(SimTime::from_secs(2));
         // Everything involving b is gone; a<->c remains.
         assert_eq!(net.tracked_link_clocks(), 2);
+        // Pruning clears in place: neither the crashed sender's slot nor the
+        // slots it was removed from were reallocated.
+        assert_eq!(
+            net.link_clock_capacity(b),
+            b_capacity,
+            "the crashed sender's clock vector is cleared, not replaced"
+        );
+        assert_eq!(net.link_clock_capacity(a), a_capacity);
         // Senders that have not yet detected the failure keep relaying to
         // the dead peer; those sends must not resurrect the pruned clocks.
         net.invoke(a, |_p, ctx| ctx.send(b, Ping(9)));
@@ -678,5 +724,95 @@ mod tests {
         let b = net.add_node(move |_| Pinger::new(Some(a)));
         net.run_until(SimTime::from_secs(2));
         assert_eq!(net.node(b).unwrap().link_down, vec![a]);
+    }
+
+    /// A latency model whose `typical` falls back to the default (sampling)
+    /// implementation — the case where drawing reference latencies from the
+    /// master RNG would perturb the seeds of nodes added afterwards.
+    struct JitterLatency;
+    impl LatencyModel for JitterLatency {
+        fn sample(&self, _src: NodeId, _dst: NodeId, rng: &mut SmallRng) -> SimDuration {
+            SimDuration::from_micros(rng.gen_range(100..=10_000))
+        }
+    }
+
+    #[test]
+    fn typical_latency_does_not_perturb_node_seeds() {
+        let run = |probe_reference_latency: bool| {
+            let mut net: Network<Pinger> =
+                Network::new(NetworkConfig::default(), Box::new(JitterLatency));
+            let a = net.add_node(|_| Pinger::new(None));
+            if probe_reference_latency {
+                // Draw a pile of reference latencies between adding nodes.
+                for _ in 0..17 {
+                    net.typical_latency(a, NodeId(99));
+                }
+            }
+            let _b = net.add_node(move |_| Pinger::new(Some(a)));
+            net.run_until(SimTime::from_secs(1));
+            net.node(a).unwrap().received[0].2
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "reference-latency queries must not reorder node seeds"
+        );
+    }
+
+    #[test]
+    fn schedulers_run_identically() {
+        let run = |scheduler: SchedulerKind| {
+            let mut net: Network<Pinger> = Network::new(
+                NetworkConfig {
+                    scheduler,
+                    ..Default::default()
+                },
+                Box::new(crate::latency::ClusterLatency::default()),
+            );
+            let a = net.add_node(|_| Pinger::new(None));
+            let b = net.add_node(move |_| Pinger::new(Some(a)));
+            let c = net.add_node(move |_| Pinger::new(Some(a)));
+            net.run_until(SimTime::from_millis(500));
+            net.crash(b);
+            net.run_until(SimTime::from_secs(2));
+            (
+                net.stats().clone(),
+                net.node(a).unwrap().received.clone(),
+                net.node(c).unwrap().received.clone(),
+            )
+        };
+        let (wheel_stats, wheel_a, wheel_c) = run(SchedulerKind::TimingWheel);
+        let (heap_stats, heap_a, heap_c) = run(SchedulerKind::BinaryHeap);
+        assert_eq!(wheel_stats.events_processed, heap_stats.events_processed);
+        assert_eq!(
+            wheel_stats.messages_delivered,
+            heap_stats.messages_delivered
+        );
+        assert_eq!(
+            format!("{wheel_a:?}{wheel_c:?}"),
+            format!("{heap_a:?}{heap_c:?}")
+        );
+    }
+
+    #[test]
+    fn event_trace_capture() {
+        let mut net: Network<Pinger> = Network::new(
+            NetworkConfig {
+                trace_events: true,
+                ..Default::default()
+            },
+            Box::new(FixedLatency::new(SimDuration::from_millis(1))),
+        );
+        let a = net.add_node(|_| Pinger::new(None));
+        let _b = net.add_node(move |_| Pinger::new(Some(a)));
+        net.run_until(SimTime::from_secs(1));
+        let trace = net.take_event_trace();
+        let pushes = trace
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Push(_)))
+            .count();
+        let pops = trace.iter().filter(|op| matches!(op, TraceOp::Pop)).count();
+        assert_eq!(pops as u64, net.stats().events_processed);
+        assert!(pushes >= pops);
     }
 }

@@ -1,0 +1,645 @@
+//! Event schedulers: the timing-wheel hot path and the binary-heap reference.
+//!
+//! The simulator totally orders events by `(time, seq)`, where `seq` is a
+//! monotonically assigned insertion counter — events scheduled for the same
+//! instant are processed in insertion order, which keeps runs deterministic.
+//! Two interchangeable implementations provide that order:
+//!
+//! * [`TimingWheel`] — a two-level hierarchical timing wheel / calendar
+//!   queue: near-future events go into a cache-resident circular array of
+//!   fine time buckets (O(1) insertion, amortised O(1) + per-bucket sort
+//!   extraction), further events into a coarse second level whose slots are
+//!   scattered into the fine wheel on demand, and everything beyond that
+//!   into an unsorted far list partitioned lazily. This is the default used
+//!   by [`Network`](crate::Network).
+//! * [`HeapScheduler`] — the classic `BinaryHeap` priority queue (O(log n)
+//!   per operation). Kept as the reference implementation: equivalence tests
+//!   drive both in lockstep, and `bench_engine_wallclock` measures the wheel
+//!   against it.
+//!
+//! Both pop entries in exactly the same order for any interleaving of pushes
+//! and pops (guarded by unit tests here and a proptest in
+//! `tests/integration_properties.rs`).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Selects the scheduler implementation a [`Network`](crate::Network) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The timing-wheel / calendar queue (default, hot path).
+    #[default]
+    TimingWheel,
+    /// The `BinaryHeap` reference implementation (baseline for benches and
+    /// equivalence tests).
+    BinaryHeap,
+}
+
+/// A scheduled entry: the payload plus its total-order key `(time, seq)`.
+#[derive(Debug, Clone)]
+pub struct Entry<T> {
+    /// Absolute scheduled time.
+    pub time: SimTime,
+    /// Insertion sequence number (tie-breaker within one instant).
+    pub seq: u64,
+    /// The scheduled payload.
+    pub item: T,
+}
+
+/// One recorded scheduler operation (see
+/// [`NetworkConfig::trace_events`](crate::NetworkConfig::trace_events)):
+/// benches replay real workload traces through both scheduler
+/// implementations to measure them in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// An event was scheduled at the given absolute time.
+    Push(SimTime),
+    /// The earliest pending event was popped.
+    Pop,
+}
+
+/// Simulated microseconds covered by one near-wheel bucket
+/// (`1 << L0_BITS` = 64 µs). Narrower than the minimum link latency, so a
+/// message send essentially never targets the bucket already staged for
+/// popping (which would cost a sorted insert instead of an O(1) append).
+const L0_BITS: u32 = 6;
+/// Mask selecting the in-bucket (sub-bucket) bits of a time in microseconds.
+const L0_TIME_MASK: u64 = (1 << L0_BITS) - 1;
+/// Buckets on the near wheel: 512 × 64 µs ≈ 32.8 ms horizon. Small enough
+/// that the whole level (headers + occupancy) stays cache-resident.
+const L0_SLOTS: usize = 512;
+const L0_MASK: u64 = L0_SLOTS as u64 - 1;
+/// Simulated microseconds covered by one coarse-level slot
+/// (`1 << L1_BITS` = one full near-wheel rotation, ~32.8 ms).
+const L1_BITS: u32 = L0_BITS + 9;
+/// Slots on the coarse level: 512 × ~32.8 ms ≈ 16.8 s horizon.
+const L1_SLOTS: usize = 512;
+const L1_MASK: u64 = L1_SLOTS as u64 - 1;
+
+/// Biased level-0 bucket index of `time`: the raw index
+/// `micros >> L0_BITS`, plus one. The bias keeps absolute index 0 free to
+/// act as the initial "before every bucket" cursor sentinel, so events at
+/// `t = 0` still land in a real bucket (an unbiased wheel would treat
+/// bucket 0 as already drained and degrade every `t = 0` push into a
+/// sorted insert on the ready list — O(n^2) for a same-instant burst).
+fn b0_of(time: SimTime) -> u64 {
+    (time.as_micros() >> L0_BITS) + 1
+}
+
+/// Biased level-1 slot index of `time` (same +1 bias as [`b0_of`]).
+fn b1_of(time: SimTime) -> u64 {
+    (time.as_micros() >> L1_BITS) + 1
+}
+
+/// A two-level hierarchical timing wheel with an unsorted far-future list.
+///
+/// * **Level 0** — 512 buckets of 64 µs (~32.8 ms horizon). Events are
+///   appended unsorted to their bucket; a bucket is sorted by `(time, seq)`
+///   only when the cursor reaches it, then *swapped* wholesale into the
+///   ready list (no per-entry moves).
+/// * **Level 1** — 512 slots of one full level-0 rotation each (~16.8 s
+///   horizon). When level 0 runs dry, the next occupied coarse slot is
+///   scattered into level-0 buckets; each event therefore moves O(1) times
+///   regardless of how far ahead it was scheduled.
+/// * **Far list** — events beyond the level-1 horizon sit in one unsorted
+///   vector, partitioned into level 1 only when both wheels are empty
+///   (contiguous scans; in simulation workloads this level is nearly always
+///   empty).
+///
+/// Per-level occupancy bitmaps (one bit per bucket) let the cursors skip
+/// empty stretches 64 buckets at a time, and all storage is pooled — bucket
+/// vectors retain their capacity across drains, so steady-state operation
+/// does not allocate per event.
+#[derive(Debug)]
+pub struct TimingWheel<T> {
+    /// Boxed fixed-size arrays (not `Vec`s) so that mask-derived indices
+    /// are provably in bounds — no bounds checks on the push fast path.
+    l0: Box<[Vec<Entry<T>>; L0_SLOTS]>,
+    occ0: [u64; L0_SLOTS / 64],
+    /// Absolute level-0 bucket index currently drained into `ready`. All
+    /// level-0 buckets at or below the cursor are empty.
+    cursor: u64,
+    /// Absolute level-0 bucket bound of the near window: level 0 holds
+    /// exactly the buckets in `(cursor, window0_end)`.
+    window0_end: u64,
+    l1: Box<[Vec<Entry<T>>; L1_SLOTS]>,
+    occ1: [u64; L1_SLOTS / 64],
+    /// Absolute level-1 slot index of the last slot scattered into level 0.
+    cursor1: u64,
+    /// Absolute level-1 slot bound: level 1 holds slots in
+    /// `(cursor1, window1_end)`; later events sit in `far`.
+    window1_end: u64,
+    /// Events of the cursor bucket, sorted *descending* by `(time, seq)` so
+    /// the earliest entry pops from the back in O(1).
+    ready: Vec<Entry<T>>,
+    /// Unsorted events beyond the level-1 horizon.
+    far: Vec<Entry<T>>,
+    /// Reused scratch for staging sorts. Every entry of one level-0 bucket
+    /// shares `time >> L0_BITS`, so `(low 6 time bits << 32) | index` packs
+    /// the whole comparison into one u64: sorting these 8-byte keys and
+    /// gathering entries once is much cheaper than swapping full entries.
+    sort_keys: Vec<u64>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        TimingWheel {
+            l0: empty_buckets::<T, L0_SLOTS>(),
+            occ0: [0u64; L0_SLOTS / 64],
+            cursor: 0,
+            window0_end: L0_SLOTS as u64 + 1,
+            l1: empty_buckets::<T, L1_SLOTS>(),
+            occ1: [0u64; L1_SLOTS / 64],
+            cursor1: 0,
+            window1_end: L1_SLOTS as u64 + 1,
+            ready: Vec::new(),
+            far: Vec::new(),
+            sort_keys: Vec::new(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules `item` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let b0 = b0_of(time);
+        if b0 > self.cursor {
+            if b0 < self.window0_end {
+                let slot = (b0 & L0_MASK) as usize;
+                self.l0[slot].push(Entry { time, seq, item });
+                self.occ0[slot >> 6] |= 1 << (slot & 63);
+            } else {
+                let b1 = b1_of(time);
+                if b1 < self.window1_end {
+                    let slot = (b1 & L1_MASK) as usize;
+                    self.l1[slot].push(Entry { time, seq, item });
+                    self.occ1[slot >> 6] |= 1 << (slot & 63);
+                } else {
+                    self.far.push(Entry { time, seq, item });
+                }
+            }
+        } else {
+            // The instant is at or before the staged cursor bucket, so its
+            // place is inside `ready` (stored descending, popped from the
+            // back). `seq` exceeds every pending sequence number, so the
+            // slot is found by time alone: entries strictly later than
+            // `time` stay in front.
+            let pos = self.ready.partition_point(|e| e.time > time);
+            self.ready.insert(pos, Entry { time, seq, item });
+        }
+    }
+
+    /// Removes and returns the earliest entry, if any.
+    pub fn pop(&mut self) -> Option<Entry<T>> {
+        if self.ready.is_empty() {
+            self.advance()?;
+        }
+        let e = self.ready.pop()?;
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Time of the earliest pending entry.
+    ///
+    /// Read-only by design: a peek must never advance the cursor. The
+    /// simulation loop peeks one event past every deadline, and if that
+    /// peek staged a far-future bucket, everything the harness injects at
+    /// the deadline would land "before" the cursor and degrade the wheel
+    /// into a sorted-insert list. Instead, when nothing is staged, the next
+    /// event's time is computed by scanning the first occupied bucket of
+    /// the first non-empty level — O(bucket) work, amortised once per
+    /// bucket transition.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(e) = self.ready.last() {
+            return Some(e.time);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // Earlier levels always hold strictly earlier events than later
+        // ones, so the minimum of the first non-empty level is global.
+        if let Some(b0) = next_occupied::<{ L0_SLOTS / 64 }>(&self.occ0, self.cursor, L0_MASK) {
+            let slot = (b0 & L0_MASK) as usize;
+            return self.l0[slot].iter().map(|e| e.time).min();
+        }
+        if let Some(b1) = next_occupied::<{ L1_SLOTS / 64 }>(&self.occ1, self.cursor1, L1_MASK) {
+            let slot = (b1 & L1_MASK) as usize;
+            return self.l1[slot].iter().map(|e| e.time).min();
+        }
+        self.far.iter().map(|e| e.time).min()
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Advances the cursor to the next non-empty level-0 bucket — refilling
+    /// level 0 from level 1, and level 1 from the far list, as needed — and
+    /// stages that bucket into `ready` (descending `(time, seq)`). Returns
+    /// `None` if the scheduler is empty.
+    fn advance(&mut self) -> Option<()> {
+        debug_assert!(self.ready.is_empty());
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Fast path: an occupied near-wheel bucket.
+            if let Some(b0) = next_occupied::<{ L0_SLOTS / 64 }>(&self.occ0, self.cursor, L0_MASK) {
+                let slot = (b0 & L0_MASK) as usize;
+                self.occ0[slot >> 6] &= !(1 << (slot & 63));
+                self.cursor = b0;
+                let bucket = &mut self.l0[slot];
+                if bucket.len() > 1 {
+                    // Sort packed 8-byte `(in-bucket time bits, index)` keys
+                    // instead of swapping full entries, then gather each
+                    // entry into `ready` with exactly one move. In-bucket
+                    // index order is push order, i.e. `seq` order, so
+                    // ascending (time, index) walked backwards is exactly
+                    // the descending (time, seq) the pop path needs.
+                    self.sort_keys.clear();
+                    self.sort_keys.extend(
+                        bucket
+                            .iter()
+                            .enumerate()
+                            .map(|(i, e)| ((e.time.as_micros() & (L0_TIME_MASK)) << 32) | i as u64),
+                    );
+                    self.sort_keys.sort_unstable();
+                    self.ready.reserve(bucket.len());
+                    // SAFETY: each index in `sort_keys` is a distinct valid
+                    // index into `bucket`; every entry is read exactly once,
+                    // `reserve` above makes the pushes non-panicking, and
+                    // `set_len(0)` forgets the moved-out entries before
+                    // anything else can observe them.
+                    unsafe {
+                        let src = bucket.as_ptr();
+                        for &key in self.sort_keys.iter().rev() {
+                            self.ready
+                                .push(std::ptr::read(src.add((key as u32) as usize)));
+                        }
+                        bucket.set_len(0);
+                    }
+                    return Some(());
+                }
+                // 0/1-entry bucket: swap the vector in directly.
+                std::mem::swap(&mut self.ready, bucket);
+                return Some(());
+            }
+            // Level 0 is dry: scatter the next occupied coarse slot into it.
+            if let Some(b1) = next_occupied::<{ L1_SLOTS / 64 }>(&self.occ1, self.cursor1, L1_MASK)
+            {
+                let slot = (b1 & L1_MASK) as usize;
+                self.occ1[slot >> 6] &= !(1 << (slot & 63));
+                self.cursor1 = b1;
+                // Biased slot `b1` covers raw level-0 indices
+                // `[(b1-1) << 9, (b1-1) << 9 + 512)`, i.e. biased indices
+                // one higher; the cursor is the sentinel just before them.
+                self.cursor = (b1 - 1) << (L1_BITS - L0_BITS);
+                self.window0_end = self.cursor + L0_SLOTS as u64 + 1;
+                let mut batch = std::mem::take(&mut self.l1[slot]);
+                for e in batch.drain(..) {
+                    let s0 = (b0_of(e.time) & L0_MASK) as usize;
+                    self.l0[s0].push(e);
+                    self.occ0[s0 >> 6] |= 1 << (s0 & 63);
+                }
+                self.l1[slot] = batch; // hand the emptied allocation back
+                continue;
+            }
+            // Both wheels are dry: jump the coarse window to the earliest
+            // far event and partition the far list into level 1.
+            if self.far.is_empty() {
+                return None;
+            }
+            let min_b1 = self
+                .far
+                .iter()
+                .map(|e| b1_of(e.time))
+                .min()
+                .expect("checked non-empty");
+            self.cursor1 = min_b1 - 1;
+            self.window1_end = min_b1 + L1_SLOTS as u64;
+            // Order-preserving partition (`extract_if`, not `swap_remove`):
+            // the far list is in push order, and in-bucket index order *is*
+            // the seq tie-breaker once entries reach a level-0 sort, so
+            // same-time entries must stream into level 1 in their original
+            // relative order.
+            let window1_end = self.window1_end;
+            for e in self.far.extract_if(.., |e| b1_of(e.time) < window1_end) {
+                let s1 = (b1_of(e.time) & L1_MASK) as usize;
+                self.l1[s1].push(e);
+                self.occ1[s1 >> 6] |= 1 << (s1 & 63);
+            }
+        }
+    }
+}
+
+/// A boxed array of `N` empty bucket vectors.
+fn empty_buckets<T, const N: usize>() -> Box<[Vec<Entry<T>>; N]> {
+    let v: Vec<Vec<Entry<T>>> = std::iter::repeat_with(Vec::new).take(N).collect();
+    match v.try_into() {
+        Ok(boxed) => boxed,
+        Err(_) => unreachable!("length N by construction"),
+    }
+}
+
+/// Absolute index of the nearest occupied bucket after `cursor`, found by
+/// scanning a `WORDS * 64`-bit occupancy bitmap (wrapping once around the
+/// wheel). Occupied buckets always lie within `(cursor, cursor + slots]`
+/// (the upper bound is reached only transiently, right after a window
+/// jump, when the cursor is a sentinel one bucket before the window), so
+/// the wrapped scan includes the cursor's own slot and every relative
+/// position maps back to an absolute index unambiguously.
+fn next_occupied<const WORDS: usize>(occ: &[u64; WORDS], cursor: u64, mask: u64) -> Option<u64> {
+    let slots = WORDS * 64;
+    let rel = (cursor & mask) as usize;
+    let base = cursor - rel as u64;
+    if let Some(r) = scan_bitmap(occ, rel + 1, slots) {
+        return Some(base + r as u64);
+    }
+    scan_bitmap(occ, 0, rel + 1).map(|r| base + slots as u64 + r as u64)
+}
+
+/// First set bit in `[from, to)` of the bitmap, as a bucket slot index.
+fn scan_bitmap<const WORDS: usize>(occ: &[u64; WORDS], from: usize, to: usize) -> Option<usize> {
+    let mut r = from;
+    while r < to {
+        let word = occ[r >> 6] & (!0u64 << (r & 63));
+        if word != 0 {
+            let idx = (r & !63) + word.trailing_zeros() as usize;
+            // A hit past `to` means the remaining range lies inside this
+            // word and holds no set bit.
+            return if idx < to { Some(idx) } else { None };
+        }
+        r = (r & !63) + 64;
+    }
+    None
+}
+
+/// The `BinaryHeap` reference scheduler: the exact structure the simulator
+/// used before the timing wheel, kept for equivalence tests and as the
+/// baseline of `bench_engine_wallclock`.
+#[derive(Debug)]
+pub struct HeapScheduler<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct HeapEntry<T>(Entry<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest entry pops first.
+        other
+            .0
+            .time
+            .cmp(&self.0.time)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+impl<T> Default for HeapScheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> HeapScheduler<T> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        HeapScheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `item` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Entry { time, seq, item }));
+    }
+
+    /// Removes and returns the earliest entry, if any.
+    pub fn pop(&mut self) -> Option<Entry<T>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Time of the earliest pending entry.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_order(wheel: &mut TimingWheel<u32>) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| wheel.pop())
+            .map(|e| (e.time.as_micros(), e.item))
+            .collect()
+    }
+
+    #[test]
+    fn pops_in_time_order_across_buckets() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.push(SimTime::from_millis(30), 3);
+        w.push(SimTime::from_millis(10), 1);
+        w.push(SimTime::from_millis(20), 2);
+        assert_eq!(
+            drain_order(&mut w),
+            vec![(10_000, 1), (20_000, 2), (30_000, 3)]
+        );
+    }
+
+    #[test]
+    fn same_time_pops_in_insertion_order() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            w.push(t, i);
+        }
+        assert_eq!(
+            drain_order(&mut w)
+                .iter()
+                .map(|&(_, i)| i)
+                .collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn far_future_events_go_through_overflow_and_back() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        // 30 s is beyond both wheel levels (~32.8 ms and ~16.8 s) and must
+        // take the far-list path; 90 s forces a second far partition.
+        w.push(SimTime::from_secs(30), 2);
+        w.push(SimTime::from_secs(90), 3);
+        w.push(SimTime::from_millis(1), 1);
+        assert_eq!(w.len(), 3);
+        assert_eq!(
+            drain_order(&mut w),
+            vec![(1_000, 1), (30_000_000, 2), (90_000_000, 3)]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_instant_burst_at_time_zero_is_linear() {
+        // Regression: bucket indices are biased by one so that `t = 0`
+        // lands in a real bucket (index 1) instead of being treated as
+        // already behind the initial cursor. Without the bias, every push
+        // here would take a front-of-vector sorted insert into `ready` —
+        // O(n^2) entry moves for the burst, which is exactly the shape of
+        // an engine bootstrap scheduling every node's start at once.
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        const N: u32 = 20_000;
+        for i in 0..N {
+            w.push(SimTime::ZERO, i);
+        }
+        w.push(SimTime::from_micros(1), N);
+        let order: Vec<u32> = std::iter::from_fn(|| w.pop()).map(|e| e.item).collect();
+        assert_eq!(order, (0..=N).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_list_same_time_entries_keep_insertion_order() {
+        // Regression: the far-list partition must preserve the relative
+        // order of same-time entries. With a `swap_remove` partition, the
+        // layout [30 s, 90 s, 90 s] moves the *last* 90 s entry into the
+        // extracted hole, reversing the two and popping seq 2 before seq 1.
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.push(SimTime::from_secs(30), 0);
+        w.push(SimTime::from_secs(90), 1);
+        w.push(SimTime::from_secs(90), 2);
+        assert_eq!(
+            drain_order(&mut w),
+            vec![(30_000_000, 0), (90_000_000, 1), (90_000_000, 2)]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_within_current_bucket() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        let t = SimTime::from_micros(100);
+        w.push(t, 0);
+        w.push(SimTime::from_micros(120), 2);
+        assert_eq!(w.pop().unwrap().item, 0);
+        // Pushed while the cursor bucket is partially drained: same instant
+        // as a pending entry -> must pop after it (insertion order)...
+        w.push(SimTime::from_micros(120), 3);
+        // ...and an earlier instant within the bucket still pops first.
+        w.push(SimTime::from_micros(110), 1);
+        let order: Vec<u32> = std::iter::from_fn(|| w.pop()).map(|e| e.item).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wheel_wraps_around() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        // Walk the cursor far enough to wrap the 4096-slot wheel repeatedly.
+        let mut expect = Vec::new();
+        for i in 0..200u64 {
+            let t = i * 37_003; // ~37 ms apart -> several wraps over 200 events
+            w.push(SimTime::from_micros(t), i as u32);
+            expect.push((t, i as u32));
+        }
+        assert_eq!(drain_order(&mut w), expect);
+    }
+
+    #[test]
+    fn equivalent_to_heap_on_mixed_workload() {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: HeapScheduler<u64> = HeapScheduler::new();
+        // Deterministic pseudo-random interleaving of pushes and pops with
+        // times spanning bucket-local, in-horizon and overflow ranges.
+        let mut x = 0xDEADBEEFu64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..5000u64 {
+            if step() % 3 == 0 {
+                let (a, b) = (
+                    wheel.pop().map(|e| (e.time, e.seq)),
+                    heap.pop().map(|e| (e.time, e.seq)),
+                );
+                assert_eq!(a, b, "divergence at op {i}");
+            } else {
+                let t = SimTime::from_micros(step() % 5_000_000);
+                wheel.push(t, i);
+                heap.push(t, i);
+            }
+            assert_eq!(wheel.len(), heap.len());
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        loop {
+            let (a, b) = (
+                wheel.pop().map(|e| (e.time, e.seq)),
+                heap.pop().map(|e| (e.time, e.seq)),
+            );
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.peek_time(), None);
+        w.push(SimTime::from_secs(1), 0);
+        w.push(SimTime::from_secs(2), 1);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.peek_time(), Some(SimTime::from_secs(1)));
+        let mut h: HeapScheduler<u32> = HeapScheduler::new();
+        assert!(h.is_empty());
+        h.push(SimTime::from_secs(1), 0);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.peek_time(), Some(SimTime::from_secs(1)));
+    }
+}

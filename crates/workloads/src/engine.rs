@@ -21,7 +21,9 @@
 
 use crate::result::{split_bandwidth, PhaseBandwidth};
 use crate::spec::{BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, StreamSpec, Testbed};
-use brisa_simnet::{Context, Network, NetworkConfig, NodeId, Protocol, SimDuration, SimTime};
+use brisa_simnet::{
+    Context, Network, NetworkConfig, NodeId, Protocol, SchedulerKind, SimDuration, SimTime, TraceOp,
+};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -125,6 +127,13 @@ pub struct RunSpec {
     pub bootstrap: SimDuration,
     /// Simulated time after the last injection for traffic to drain.
     pub drain: SimDuration,
+    /// Event-queue implementation the simulator uses. Timing wheel by
+    /// default; the binary heap is the reference baseline benches compare
+    /// against. Both produce bit-identical runs.
+    pub scheduler: SchedulerKind,
+    /// Record the scheduler push/pop trace of the run (bench-only; see
+    /// [`EngineResult::event_trace`]).
+    pub trace_events: bool,
 }
 
 impl From<&BrisaScenario> for RunSpec {
@@ -137,6 +146,8 @@ impl From<&BrisaScenario> for RunSpec {
             churn: sc.churn,
             bootstrap: sc.bootstrap,
             drain: sc.drain,
+            scheduler: SchedulerKind::default(),
+            trace_events: false,
         }
     }
 }
@@ -151,6 +162,8 @@ impl From<&BaselineScenario> for RunSpec {
             churn: sc.churn,
             bootstrap: sc.bootstrap,
             drain: sc.drain,
+            scheduler: SchedulerKind::default(),
+            trace_events: false,
         }
     }
 }
@@ -202,6 +215,13 @@ pub struct EngineResult {
     /// `[start, end]` of the churn measurement window (stream start to the
     /// end of the drain); repair telemetry is filtered to it.
     pub churn_window: (SimTime, SimTime),
+    /// Simulator events processed over the whole run (the denominator of
+    /// events/sec in wall-clock benches).
+    pub sim_events: u64,
+    /// The recorded scheduler operation trace, when
+    /// [`RunSpec::trace_events`] was set (empty otherwise). Benches replay
+    /// it through a scheduler in isolation.
+    pub event_trace: Vec<TraceOp>,
 }
 
 impl EngineResult {
@@ -236,6 +256,8 @@ pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec)
     let mut net: Network<P> = Network::new(
         NetworkConfig {
             seed: spec.seed,
+            scheduler: spec.scheduler,
+            trace_events: spec.trace_events,
             ..Default::default()
         },
         spec.testbed.latency_model(spec.seed),
@@ -294,6 +316,10 @@ pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec)
     let mut failures_injected = 0usize;
     let mut joins_injected = 0usize;
     let mut next_join_index = spec.nodes;
+    // Victim-selection buffer, reused across churn events (the shuffle over
+    // the full candidate list — rather than a single index draw — is kept so
+    // the harness RNG stream, and therefore every seeded result, is stable).
+    let mut alive_buf: Vec<NodeId> = Vec::new();
     for (at, step) in schedule {
         net.run_until(at);
         match step {
@@ -304,13 +330,10 @@ pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec)
                 });
             }
             Step::Churn(ChurnEvent::Fail) => {
-                let mut alive: Vec<NodeId> = net
-                    .alive_ids()
-                    .into_iter()
-                    .filter(|&id| id != source)
-                    .collect();
-                alive.shuffle(&mut harness_rng);
-                if let Some(victim) = alive.first().copied() {
+                alive_buf.clear();
+                alive_buf.extend(net.alive_iter().filter(|&id| id != source));
+                alive_buf.shuffle(&mut harness_rng);
+                if let Some(victim) = alive_buf.first().copied() {
                     net.crash(victim);
                     failures_injected += 1;
                 }
@@ -387,5 +410,7 @@ pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec)
         stabilization_end_sec,
         end_sec,
         churn_window,
+        sim_events: net.stats().events_processed,
+        event_trace: net.take_event_trace(),
     }
 }

@@ -37,6 +37,7 @@ pub use baseline_runs::{
     BaselineRunResult,
 };
 pub use brisa_run::{run_brisa, BrisaRunResult};
+pub use brisa_simnet::{SchedulerKind, TraceOp};
 pub use engine::{
     run_experiment, BuildCtx, DisseminationProtocol, EngineResult, NodeOutcome, NodeReport,
     RepairTelemetry, RunSpec,

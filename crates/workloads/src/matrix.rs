@@ -19,10 +19,7 @@ use std::sync::Mutex;
 /// every cell gets an independent, reproducible random stream no matter
 /// which thread executes it.
 pub fn derive_seed(base: u64, index: u64) -> u64 {
-    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    brisa_simnet::seed::split_mix64(base, index)
 }
 
 /// Worker count: the `BRISA_THREADS` environment variable if set, otherwise

@@ -5,11 +5,135 @@
 use brisa::{BrisaConfig, CycleGuard, CycleState, ParentStrategy, StructureMode};
 use brisa_membership::{HpvMsg, HyParView, HyParViewConfig};
 use brisa_metrics::{Cdf, PercentileSummary, StructureSnapshot};
+use brisa_simnet::sched::{HeapScheduler, TimingWheel};
 use brisa_simnet::{NodeId, SimTime};
-use brisa_workloads::{run_brisa, BrisaScenario, StreamSpec, Testbed};
+use brisa_workloads::{
+    run_brisa, run_experiment, run_matrix, run_matrix_sequential, BrisaScenario, BrisaStackConfig,
+    RunSpec, SchedulerKind, StreamSpec, Testbed,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The timing wheel pops entries in exactly the same order as the
+    /// `BinaryHeap` reference for any interleaving of pushes and pops, with
+    /// times spanning bucket-local, in-horizon and far-future (overflow)
+    /// ranges.
+    #[test]
+    fn timing_wheel_matches_binary_heap(
+        ops in proptest::collection::vec((0u64..3_000_000, 0u8..5), 1..300),
+    ) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: HeapScheduler<u64> = HeapScheduler::new();
+        for (i, &(t, kind)) in ops.iter().enumerate() {
+            if kind == 0 {
+                // One pop op per three pushes on average.
+                let w = wheel.pop().map(|e| (e.time, e.seq, e.item));
+                let h = heap.pop().map(|e| (e.time, e.seq, e.item));
+                prop_assert_eq!(w, h, "pop divergence at op {}", i);
+            } else {
+                // Stretch some times into the overflow level (> the wheel's
+                // ~1 s horizon) and collide others onto shared instants.
+                let t = match kind {
+                    1 => t,
+                    2 => t * 64,                 // up to ~192 s: far-future overflow
+                    3 => t & !0x3FF,             // coarse grid: many same-time ties
+                    _ => (t & !0xF_FFFF) * 64, // far-future *ties*: exercises the
+                                               // order-preserving far partition
+                };
+                let time = SimTime::from_micros(t);
+                wheel.push(time, i as u64);
+                heap.push(time, i as u64);
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Drain both to the end: the full total order must agree.
+        loop {
+            let w = wheel.pop().map(|e| (e.time, e.seq, e.item));
+            let h = heap.pop().map(|e| (e.time, e.seq, e.item));
+            prop_assert_eq!(&w, &h);
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// A compact fingerprint of everything behaviour-relevant in an engine run.
+fn engine_fingerprint(r: &brisa_workloads::EngineResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    write!(out, "{}|ev={}|", r.protocol, r.sim_events).unwrap();
+    for t in &r.publish_times {
+        write!(out, "p{};", t.as_micros()).unwrap();
+    }
+    for n in &r.nodes {
+        write!(
+            out,
+            "n{}:d{}:par{:?};",
+            n.id.0,
+            n.report.delivered,
+            n.report.parents.iter().map(|p| p.0).collect::<Vec<_>>(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn sched_check_cell(seed: u64) -> (BrisaStackConfig, BrisaScenario) {
+    let sc = BrisaScenario {
+        seed,
+        stream: StreamSpec::short(6, 256),
+        ..BrisaScenario::small_test(20)
+    };
+    let cfg = BrisaStackConfig {
+        hpv: sc.hyparview_config(),
+        brisa: sc.brisa_config(),
+    };
+    (cfg, sc)
+}
+
+/// Whole-system scheduler equivalence: a full BRISA run produces
+/// bit-identical results on the timing wheel and on the binary-heap
+/// reference — the wheel changes wall-clock time and nothing else.
+#[test]
+fn engine_runs_identical_on_both_schedulers() {
+    for seed in [1u64, 0xB215A, 77] {
+        let (cfg, sc) = sched_check_cell(seed);
+        let run = |scheduler: SchedulerKind| {
+            let mut spec = RunSpec::from(&sc);
+            spec.scheduler = scheduler;
+            engine_fingerprint(&run_experiment::<brisa::BrisaNode>(&cfg, &spec))
+        };
+        assert_eq!(
+            run(SchedulerKind::TimingWheel),
+            run(SchedulerKind::BinaryHeap),
+            "seed {seed}: schedulers must be observationally identical"
+        );
+    }
+}
+
+/// The `run_matrix` determinism contract holds on the new scheduler:
+/// parallel and sequential sweeps agree bit-for-bit with the scheduler
+/// pinned explicitly to the timing wheel.
+#[test]
+fn run_matrix_is_deterministic_on_timing_wheel() {
+    let seeds: Vec<u64> = vec![3, 1414, 0xB215A, 99];
+    let run = |_i: usize, &seed: &u64| {
+        let (cfg, sc) = sched_check_cell(seed);
+        let mut spec = RunSpec::from(&sc);
+        spec.scheduler = SchedulerKind::TimingWheel;
+        engine_fingerprint(&run_experiment::<brisa::BrisaNode>(&cfg, &spec))
+    };
+    let parallel = run_matrix(&seeds, run);
+    let sequential = run_matrix_sequential(&seeds, run);
+    assert_eq!(parallel, sequential);
+    assert_ne!(parallel[0], parallel[1], "fingerprints are not vacuous");
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
