@@ -25,7 +25,6 @@ use brisa_bench::{
 };
 use brisa_simnet::sched::{HeapScheduler, TimingWheel, TraceOp};
 use brisa_workloads::{scenarios, SchedulerKind};
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -44,17 +43,7 @@ impl Measurement {
 /// Everything behaviour-relevant in a grid result, for the equivalence
 /// assertion between schedulers.
 fn grid_fingerprint(results: &[EngineResult]) -> String {
-    let mut out = String::new();
-    for r in results {
-        write!(out, "|ev={};", r.sim_events).unwrap();
-        for t in &r.publish_times {
-            write!(out, "p{};", t.as_micros()).unwrap();
-        }
-        for n in &r.nodes {
-            write!(out, "n{}:d{};", n.id.0, n.report.delivered).unwrap();
-        }
-    }
-    out
+    results.iter().map(EngineResult::fingerprint).collect()
 }
 
 fn run_grid(
@@ -79,7 +68,7 @@ fn run_grid(
         run_experiment::<BrisaNode>(&cfg, &spec)
     });
     let wall_secs = start.elapsed().as_secs_f64();
-    let events = results.iter().map(|r| r.sim_events).sum();
+    let events = results.iter().map(EngineResult::sim_events).sum();
     (Measurement { wall_secs, events }, results)
 }
 

@@ -23,6 +23,18 @@ pub const SOFT_REPAIR_TIMEOUT: SimDuration = SimDuration::from_secs(2);
 /// Minimum interval between successive hard-repair re-attempts while a node
 /// remains orphaned.
 pub const HARD_REPAIR_RETRY: SimDuration = SimDuration::from_secs(2);
+/// Base interval between successive retransmission requests for the same
+/// delivery gap (steady-state loss recovery, Section II-F's buffer-based
+/// compensation applied outside the repair path). Short enough that a node
+/// behind a healed partition catches up within a few stream intervals,
+/// long enough that a single loss costs one request, not a burst. Requests
+/// that make no progress back off exponentially (doubling per fruitless
+/// attempt, capped at 32× this base), so a hole nobody can fill anymore —
+/// evicted from every upstream buffer — decays to background noise instead
+/// of soliciting the same retransmissions forever.
+pub const GAP_RETRY: SimDuration = SimDuration::from_millis(500);
+/// Cap on the exponential gap-retry backoff (`GAP_RETRY << GAP_BACKOFF_MAX`).
+pub const GAP_BACKOFF_MAX: u32 = 5;
 
 /// Classification of an ongoing parent-recovery procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +64,16 @@ pub struct BrisaCore {
     started_at: Option<SimTime>,
     pending_repair: Option<(SimTime, RepairKind)>,
     last_repair_attempt: Option<SimTime>,
+    /// Lowest sequence number not yet delivered: everything below it has
+    /// been received. Maintained incrementally (amortised O(1) per
+    /// delivery), it is both the start of any retransmission request and
+    /// the gap detector — `next_expected <= highest_seq_seen` means known
+    /// messages are missing.
+    next_expected: u64,
+    last_gap_request: Option<SimTime>,
+    /// Gap requests issued since the prefix cursor last advanced; drives
+    /// the exponential retry backoff.
+    gap_attempts: u32,
 }
 
 impl BrisaCore {
@@ -77,6 +99,9 @@ impl BrisaCore {
             started_at: None,
             pending_repair: None,
             last_repair_attempt: None,
+            next_expected: 0,
+            last_gap_request: None,
+            gap_attempts: 0,
         }
     }
 
@@ -177,6 +202,7 @@ impl BrisaCore {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.record_delivery(seq, now);
+        self.note_delivered(seq);
         self.highest_seq_seen = Some(self.highest_seq_seen.map_or(seq, |h| h.max(seq)));
         // One allocation for the message; every recipient shares it.
         let data = Arc::new(DataMsg {
@@ -267,6 +293,16 @@ impl BrisaCore {
             data.sender_uptime_secs,
             data.sender_load,
         );
+        // A node that has never delivered anything anchors its contiguous
+        // prefix one buffer window below the first message it sees: a
+        // joiner arriving mid-stream must not treat history that is long
+        // evicted from every buffer as a recoverable gap, but everything a
+        // peer could still serve — including seq 0 when an original node's
+        // first reception arrives ahead of a lost bootstrap copy — remains
+        // requestable.
+        if self.stats.delivered == 0 && !self.is_source {
+            self.next_expected = data.seq.saturating_sub(self.cfg.buffer_size as u64);
+        }
         self.highest_seq_seen = Some(self.highest_seq_seen.map_or(data.seq, |h| h.max(data.seq)));
         let first = self.stats.record_delivery(data.seq, now);
         if first {
@@ -275,12 +311,24 @@ impl BrisaCore {
                 self.stats.messages_recovered += 1;
             }
             self.buffer.insert(data.clone());
+            self.note_delivered(data.seq);
         }
 
         if self.is_source {
             // The source never needs inbound stream traffic.
             self.deactivate(now, from, &mut actions);
             return actions;
+        }
+
+        // Steady-state loss recovery: a sequence number ahead of the
+        // contiguous delivered prefix reveals a hole (a message lost on the
+        // wire, or everything missed behind a healed partition). Ask the
+        // sender — it relayed the newer message, so its buffer covers the
+        // gap or soon will — rate-limited so one hole costs one request.
+        // While a repair is pending, the adoption path issues the request
+        // instead.
+        if self.next_expected < data.seq && self.pending_repair.is_none() {
+            self.request_gap(now, from, &mut actions);
         }
 
         // Parent machinery.
@@ -492,6 +540,48 @@ impl BrisaCore {
             .unwrap_or(0)
     }
 
+    /// Advances the contiguous-prefix cursor after `seq` was recorded as
+    /// delivered. Amortised O(1): each sequence number is stepped over once
+    /// in the node's lifetime.
+    fn note_delivered(&mut self, seq: u64) {
+        if seq == self.next_expected {
+            self.next_expected += 1;
+            while self.stats.first_delivery.contains_key(&self.next_expected) {
+                self.next_expected += 1;
+            }
+            self.gap_attempts = 0;
+        }
+    }
+
+    /// Requests retransmission of the known delivery gap
+    /// `[next_expected, highest_seq_seen]` from `target`, rate-limited with
+    /// exponential backoff while no progress is made (see [`GAP_RETRY`]).
+    fn request_gap(&mut self, now: SimTime, target: NodeId, actions: &mut Vec<BrisaAction>) {
+        let backoff = GAP_RETRY * (1u64 << self.gap_attempts.min(GAP_BACKOFF_MAX));
+        let due = self
+            .last_gap_request
+            .is_none_or(|t| now.saturating_since(t) >= backoff);
+        if !due {
+            return;
+        }
+        let Some(highest) = self.highest_seq_seen else {
+            return;
+        };
+        if self.next_expected > highest {
+            return;
+        }
+        self.last_gap_request = Some(now);
+        self.gap_attempts += 1;
+        self.stats.gap_retransmit_requests += 1;
+        actions.push(BrisaAction::Send {
+            to: target,
+            msg: BrisaMsg::Retransmit {
+                from_seq: self.next_expected,
+                to_seq: highest,
+            },
+        });
+    }
+
     /// Updates our own position after delivering from (or switching to) an
     /// accepted parent and propagates depth changes to children in DAG mode.
     fn update_position(&mut self, guard: &CycleGuard, actions: &mut Vec<BrisaAction>) {
@@ -532,18 +622,14 @@ impl BrisaCore {
             }
             // Recover anything we missed while orphaned, starting from the
             // first hole in the delivered sequence (the adoption itself may
-            // already have been triggered by a newer message).
-            let highest = self.stats.first_delivery.keys().copied().max();
-            let first_gap = match highest {
-                None => 0,
-                Some(h) => (0..=h)
-                    .find(|s| !self.stats.first_delivery.contains_key(s))
-                    .unwrap_or(h + 1),
-            };
+            // already have been triggered by a newer message). The
+            // steady-state gap detector is told about this request so its
+            // rate limit covers the adoption burst too.
+            self.last_gap_request = Some(now);
             actions.push(BrisaAction::Send {
                 to: from,
                 msg: BrisaMsg::Retransmit {
-                    from_seq: first_gap,
+                    from_seq: self.next_expected,
                     to_seq: u64::MAX,
                 },
             });
@@ -688,6 +774,23 @@ impl BrisaCore {
     /// PSS.
     pub fn repair_tick(&mut self, now: SimTime) -> Vec<BrisaAction> {
         let mut actions = Vec::new();
+        // Tail-end loss recovery: when a known delivery gap persists (the
+        // retransmission itself was lost, or an upstream node is still
+        // catching up after a partition healed), keep re-requesting it from
+        // a parent until it closes. Data receptions drive the detector in
+        // steady state; this tick covers the case where nothing arrives at
+        // all anymore.
+        if self.pending_repair.is_none() && !self.is_source {
+            let parent = self.links.parents().next();
+            if let Some(parent) = parent {
+                if self
+                    .highest_seq_seen
+                    .is_some_and(|h| self.next_expected <= h)
+                {
+                    self.request_gap(now, parent, &mut actions);
+                }
+            }
+        }
         let Some((started, kind)) = self.pending_repair else {
             return actions;
         };
@@ -1223,6 +1326,63 @@ mod tests {
             assert_eq!(mesh.node(2).stats().delivered, 10);
             assert!(mesh.node(2).stats().soft_repairs + mesh.node(2).stats().hard_repairs >= 1);
         }
+    }
+
+    #[test]
+    fn gap_in_stream_triggers_rate_limited_retransmit_request() {
+        let cfg = BrisaConfig::default();
+        let mut core = BrisaCore::new(NodeId(9), cfg);
+        core.note_started(SimTime::ZERO);
+        core.on_neighbor_up(NodeId(1));
+        let data = |seq: u64| {
+            BrisaMsg::data(DataMsg {
+                seq,
+                payload_bytes: 10,
+                guard: CycleGuard::Path(vec![NodeId(0), NodeId(1)]),
+                sender_uptime_secs: 0,
+                sender_load: 0,
+            })
+        };
+        let retransmits = |actions: &[BrisaAction]| -> Vec<(u64, u64)> {
+            actions
+                .iter()
+                .filter_map(|a| match a {
+                    BrisaAction::Send {
+                        msg: BrisaMsg::Retransmit { from_seq, to_seq },
+                        ..
+                    } => Some((*from_seq, *to_seq)),
+                    _ => None,
+                })
+                .collect()
+        };
+        // Seq 0 delivered in order: no gap, no request.
+        let a0 = core.handle(SimTime::from_millis(1), NodeId(1), data(0), &NoTelemetry);
+        assert!(retransmits(&a0).is_empty());
+        // Seq 3 arrives: 1 and 2 are missing -> one request covering the gap.
+        let a3 = core.handle(SimTime::from_millis(5), NodeId(1), data(3), &NoTelemetry);
+        assert_eq!(retransmits(&a3), vec![(1, 3)]);
+        assert_eq!(core.stats().gap_retransmit_requests, 1);
+        // Another newer message within the retry window: rate-limited.
+        let a4 = core.handle(SimTime::from_millis(9), NodeId(1), data(4), &NoTelemetry);
+        assert!(retransmits(&a4).is_empty());
+        // The gap persists: the maintenance tick re-requests from the
+        // parent once the backed-off retry interval (doubled after the
+        // first fruitless attempt) has elapsed.
+        let early = core.repair_tick(SimTime::from_millis(5) + GAP_RETRY);
+        assert!(
+            retransmits(&early).is_empty(),
+            "the second attempt backs off beyond the base interval"
+        );
+        let tick = core.repair_tick(SimTime::from_millis(5) + GAP_RETRY * 2);
+        assert_eq!(retransmits(&tick), vec![(1, 4)]);
+        // The retransmitted messages close the gap; the detector goes quiet.
+        for seq in [1, 2] {
+            let _ = core.handle(SimTime::from_secs(2), NodeId(1), data(seq), &NoTelemetry);
+        }
+        let quiet = core.repair_tick(SimTime::from_secs(10));
+        assert!(retransmits(&quiet).is_empty());
+        assert_eq!(core.stats().delivered, 5);
+        assert_eq!(core.stats().gap_retransmit_requests, 2);
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub struct BrisaStats {
     pub retransmissions_served: u64,
     /// Number of messages recovered from a new parent after a repair.
     pub messages_recovered: u64,
+    /// Number of retransmission requests issued by the steady-state gap
+    /// detector (loss recovery outside the repair path).
+    pub gap_retransmit_requests: u64,
     /// Number of deactivation messages sent.
     pub deactivations_sent: u64,
     /// Number of reactivation (Activate) messages sent.

@@ -198,6 +198,13 @@ impl HyParView {
     /// resulting acknowledgements update [`HyParView::rtt_to`].
     pub fn keepalive_tick(&mut self, now: SimTime) -> Vec<HpvOut> {
         let mut out = Vec::new();
+        // Drop probes that never got an acknowledgement (the probe or its
+        // ack was lost on the wire, or the peer is gone): without this the
+        // table grows by one entry per unanswered probe for the lifetime of
+        // the node. Three periods is far beyond any plausible RTT.
+        let stale_after = self.cfg.keepalive_period * 3;
+        self.pending_probes
+            .retain(|_, (_, sent_at)| now.saturating_since(*sent_at) < stale_after);
         let members: Vec<NodeId> = self.active.iter().collect();
         for peer in members {
             let nonce = self.next_nonce;

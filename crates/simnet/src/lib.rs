@@ -12,6 +12,8 @@
 //! * per-node upload/download byte accounting with per-second buckets
 //!   ([`bandwidth::BandwidthMeter`]);
 //! * fail-stop crashes and delayed joins, driving churn experiments;
+//! * deterministic fault injection — per-link message loss, latency
+//!   degradation and timed network partitions ([`faults`]);
 //! * full determinism for a given seed.
 //!
 //! Protocols implement the sans-IO [`Protocol`] trait and interact with the
@@ -50,6 +52,7 @@
 
 pub mod bandwidth;
 mod event;
+pub mod faults;
 pub mod latency;
 mod links;
 mod network;
@@ -61,6 +64,7 @@ mod time;
 
 pub use bandwidth::{BandwidthMeter, Direction, NodeBandwidth};
 pub use event::TimerTag;
+pub use faults::{FaultConfig, LinkFaults, PartitionMode, PartitionSpec};
 pub use latency::LatencyModel;
 pub use network::{event_record_size, NetStats, Network, NetworkConfig};
 pub use node::NodeId;

@@ -10,10 +10,12 @@
 //!   (`incoming[peer]` = owners with an open connection *to* `peer`), so
 //!   notifying the peers of a crashed node is O(degree · log degree) instead
 //!   of O(total connections).
-//! * [`LinkClocks`] — per-sender sorted `(dest, clock)` vectors; typical
-//!   degrees are single-digit, so a binary search beats SipHash-ing a
-//!   `HashMap` key, and crash pruning clears vectors in place (capacity is
-//!   retained — no allocation per crash).
+//! * [`PerLink`] — a generic map `(sender, dest) -> T` stored as one small
+//!   sorted vector per sender plus the same reverse-index shape, so all
+//!   state involving a crashed node can be dropped in O(degree · log
+//!   degree), in place. The FIFO link clocks ([`LinkClocks`] =
+//!   `PerLink<SimTime>`) and the fault layer's per-link draw counters
+//!   (`PerLink<u64>`) are both instances.
 //!
 //! Iteration order over any of these structures is fully deterministic
 //! (sorted by `NodeId`), matching the old `BTreeSet` order — required by the
@@ -108,32 +110,42 @@ impl Adjacency {
     }
 }
 
-/// Per-sender FIFO clocks towards every destination the sender has messaged.
+/// A generic per-directed-link map `(sender, dest) -> T`.
 ///
-/// Semantically a map `(sender, dest) -> last scheduled arrival`, stored as
-/// one small sorted vector per sender plus a reverse index
-/// (`senders_of[dest]` = senders holding a clock towards `dest`, the same
+/// Stored as one small sorted vector per sender plus a reverse index
+/// (`senders_of[dest]` = senders holding an entry towards `dest`, the same
 /// shape as [`Adjacency::incoming`]), so that all state involving a node —
 /// in either direction — can be dropped in O(degree · log degree) when it
 /// crashes. Dropped *in place*, too: the vectors are cleared, not replaced,
-/// so a crash allocates nothing.
-#[derive(Debug, Default)]
-pub(crate) struct LinkClocks {
-    by_sender: Vec<Vec<(NodeId, SimTime)>>,
-    /// `senders_of[dest]` = senders with a clock towards `dest`, sorted.
+/// so a crash allocates nothing. Typical degrees are single-digit, so the
+/// binary searches beat SipHash-ing a `HashMap` key.
+#[derive(Debug)]
+pub(crate) struct PerLink<T> {
+    by_sender: Vec<Vec<(NodeId, T)>>,
+    /// `senders_of[dest]` = senders with an entry towards `dest`, sorted.
     senders_of: Vec<Vec<NodeId>>,
 }
 
-impl LinkClocks {
-    /// Mutable access to the clock of the directed link `sender -> dest`,
-    /// initialised to [`SimTime::ZERO`].
-    pub fn entry(&mut self, sender: NodeId, dest: NodeId) -> &mut SimTime {
+// Derived `Default` would needlessly require `T: Default`.
+impl<T> Default for PerLink<T> {
+    fn default() -> Self {
+        PerLink {
+            by_sender: Vec::new(),
+            senders_of: Vec::new(),
+        }
+    }
+}
+
+impl<T: Default> PerLink<T> {
+    /// Mutable access to the entry of the directed link `sender -> dest`,
+    /// initialised to `T::default()`.
+    pub fn entry(&mut self, sender: NodeId, dest: NodeId) -> &mut T {
         ensure_len(&mut self.by_sender, sender.index());
-        let clocks = &mut self.by_sender[sender.index()];
-        let pos = match clocks.binary_search_by_key(&dest, |&(d, _)| d) {
+        let entries = &mut self.by_sender[sender.index()];
+        let pos = match entries.binary_search_by_key(&dest, |(d, _)| *d) {
             Ok(pos) => pos,
             Err(pos) => {
-                clocks.insert(pos, (dest, SimTime::ZERO));
+                entries.insert(pos, (dest, T::default()));
                 ensure_len(&mut self.senders_of, dest.index());
                 let rev = &mut self.senders_of[dest.index()];
                 if let Err(rpos) = rev.binary_search(&sender) {
@@ -142,18 +154,18 @@ impl LinkClocks {
                 pos
             }
         };
-        &mut clocks[pos].1
+        &mut entries[pos].1
     }
 
-    /// Drops every clock involving `node`, in either direction. Called when
-    /// `node` crashes: it will never send again, and in-flight FIFO ordering
-    /// towards a dead destination no longer matters (deliveries to it are
-    /// dropped). The reverse index yields the senders tracking `node`
-    /// directly, so the whole prune is O(degree · log degree) — no scan
-    /// over other nodes' state — and clears in place, with no allocation.
+    /// Drops every entry involving `node`, in either direction. Called when
+    /// `node` crashes: it will never send again, and per-link state towards
+    /// a dead destination no longer matters. The reverse index yields the
+    /// senders tracking `node` directly, so the whole prune is
+    /// O(degree · log degree) — no scan over other nodes' state — and
+    /// clears in place, with no allocation.
     pub fn prune(&mut self, node: NodeId) {
         if let Some(own) = self.by_sender.get_mut(node.index()) {
-            for &(dest, _) in own.iter() {
+            for (dest, _) in own.iter() {
                 let rev = &mut self.senders_of[dest.index()];
                 if let Ok(pos) = rev.binary_search(&node) {
                     rev.remove(pos);
@@ -163,21 +175,23 @@ impl LinkClocks {
         }
         if let Some(rev) = self.senders_of.get_mut(node.index()) {
             for &sender in rev.iter() {
-                let clocks = &mut self.by_sender[sender.index()];
-                if let Ok(pos) = clocks.binary_search_by_key(&node, |&(d, _)| d) {
-                    clocks.remove(pos);
+                let entries = &mut self.by_sender[sender.index()];
+                if let Ok(pos) = entries.binary_search_by_key(&node, |(d, _)| *d) {
+                    entries.remove(pos);
                 }
             }
             rev.clear();
         }
     }
+}
 
+impl<T> PerLink<T> {
     /// Number of directed links currently tracked (test/diagnostic hook).
     pub fn tracked_links(&self) -> usize {
         self.by_sender.iter().map(Vec::len).sum()
     }
 
-    /// Capacity of `sender`'s clock vector (test hook: asserts that crash
+    /// Capacity of `sender`'s entry vector (test hook: asserts that crash
     /// pruning clears in place rather than reallocating).
     pub fn slot_capacity(&self, sender: NodeId) -> usize {
         self.by_sender
@@ -185,11 +199,27 @@ impl LinkClocks {
             .map(Vec::capacity)
             .unwrap_or(0)
     }
+
+    /// Every `(sender, dest, value)` triple, in `(sender, dest)` order.
+    /// Diagnostic hook for the online invariant checkers.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, &T)> + '_ {
+        self.by_sender
+            .iter()
+            .enumerate()
+            .flat_map(|(s, entries)| entries.iter().map(move |(d, v)| (NodeId(s as u32), *d, v)))
+    }
 }
+
+/// Per-sender FIFO clocks towards every destination the sender has
+/// messaged: the time the last message on the directed link is scheduled to
+/// arrive.
+pub(crate) type LinkClocks = PerLink<SimTime>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn adjacency_insert_remove_contains() {
@@ -251,5 +281,155 @@ mod tests {
         // the reverse index) empties the table.
         clocks.prune(NodeId(2));
         assert_eq!(clocks.tracked_links(), 0);
+    }
+
+    #[test]
+    fn entries_iterate_in_link_order() {
+        let mut map: PerLink<u64> = PerLink::default();
+        *map.entry(NodeId(2), NodeId(0)) = 20;
+        *map.entry(NodeId(0), NodeId(3)) = 3;
+        *map.entry(NodeId(0), NodeId(1)) = 1;
+        let triples: Vec<(u32, u32, u64)> = map.entries().map(|(s, d, v)| (s.0, d.0, *v)).collect();
+        assert_eq!(triples, vec![(0, 1, 1), (0, 3, 3), (2, 0, 20)]);
+    }
+
+    /// Checks every structural invariant tying the forward vectors to the
+    /// reverse index of an [`Adjacency`]: sortedness, no duplicates, and
+    /// exact agreement in both directions.
+    fn assert_adjacency_consistent(adj: &Adjacency) {
+        for (owner, list) in adj.out.iter().enumerate() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "out sorted, unique");
+            for peer in list {
+                let rev = adj.incoming.get(peer.index()).expect("reverse slot");
+                assert!(
+                    rev.binary_search(&NodeId(owner as u32)).is_ok(),
+                    "edge ({owner}, {peer}) missing from the reverse index"
+                );
+            }
+        }
+        let mut reverse_edges = 0usize;
+        for (peer, rev) in adj.incoming.iter().enumerate() {
+            assert!(rev.windows(2).all(|w| w[0] < w[1]), "incoming sorted");
+            for owner in rev {
+                assert!(
+                    adj.contains(*owner, NodeId(peer as u32)),
+                    "reverse edge ({owner}, {peer}) has no forward edge"
+                );
+                reverse_edges += 1;
+            }
+        }
+        assert_eq!(reverse_edges, adj.len(), "edge counts agree");
+    }
+
+    /// Same for a [`PerLink`] map: every `(sender, dest)` entry appears in
+    /// the reverse index and vice versa.
+    fn assert_per_link_consistent<T>(map: &PerLink<T>) {
+        for (sender, entries) in map.by_sender.iter().enumerate() {
+            assert!(
+                entries.windows(2).all(|w| w[0].0 < w[1].0),
+                "sender slots sorted, unique"
+            );
+            for (dest, _) in entries {
+                let rev = map.senders_of.get(dest.index()).expect("reverse slot");
+                assert!(
+                    rev.binary_search(&NodeId(sender as u32)).is_ok(),
+                    "link ({sender}, {dest}) missing from the reverse index"
+                );
+            }
+        }
+        let mut reverse_links = 0usize;
+        for (dest, rev) in map.senders_of.iter().enumerate() {
+            assert!(rev.windows(2).all(|w| w[0] < w[1]), "senders_of sorted");
+            for sender in rev {
+                assert!(
+                    map.by_sender[sender.index()]
+                        .binary_search_by_key(&NodeId(dest as u32), |(d, _)| *d)
+                        .is_ok(),
+                    "reverse link ({sender}, {dest}) has no forward entry"
+                );
+                reverse_links += 1;
+            }
+        }
+        assert_eq!(reverse_links, map.tracked_links(), "link counts agree");
+    }
+
+    /// One scripted operation over the link structures. Node identifiers are
+    /// drawn from a window that grows with `join`s, like the simulator's
+    /// dense id space.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Connect(u32, u32),
+        Close(u32, u32),
+        Touch(u32, u32),
+        Crash(u32),
+        Join,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0u32..32, 0u32..32).prop_map(|(a, b)| Op::Connect(a, b)),
+            1 => (0u32..32, 0u32..32).prop_map(|(a, b)| Op::Close(a, b)),
+            3 => (0u32..32, 0u32..32).prop_map(|(a, b)| Op::Touch(a, b)),
+            1 => (0u32..32).prop_map(Op::Crash),
+            1 => Just(Op::Join),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        /// The reverse indices of [`Adjacency`] and [`PerLink`] stay exactly
+        /// consistent with the forward vectors under arbitrary interleavings
+        /// of connects, closes, sends (clock touches), crashes and joins —
+        /// and both structures agree with a naive model.
+        #[test]
+        fn reverse_indices_stay_consistent(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let mut adj = Adjacency::default();
+            let mut clocks: PerLink<u64> = PerLink::default();
+            let mut model_edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+            let mut model_links: BTreeSet<(u32, u32)> = BTreeSet::new();
+            let mut population = 8u32;
+            for op in ops {
+                match op {
+                    Op::Connect(a, b) => {
+                        let (a, b) = (a % population, b % population);
+                        adj.insert(NodeId(a), NodeId(b));
+                        model_edges.insert((a, b));
+                    }
+                    Op::Close(a, b) => {
+                        let (a, b) = (a % population, b % population);
+                        adj.remove(NodeId(a), NodeId(b));
+                        model_edges.remove(&(a, b));
+                    }
+                    Op::Touch(a, b) => {
+                        let (a, b) = (a % population, b % population);
+                        *clocks.entry(NodeId(a), NodeId(b)) += 1;
+                        model_links.insert((a, b));
+                    }
+                    Op::Crash(n) => {
+                        let n = n % population;
+                        // Exactly what `process_crash` does to this state.
+                        adj.clear_outgoing(NodeId(n));
+                        clocks.prune(NodeId(n));
+                        model_edges.retain(|&(a, _)| a != n);
+                        model_links.retain(|&(a, b)| a != n && b != n);
+                    }
+                    Op::Join => population += 1,
+                }
+                assert_adjacency_consistent(&adj);
+                assert_per_link_consistent(&clocks);
+                // Forward state matches the naive model exactly.
+                let edges: BTreeSet<(u32, u32)> = adj
+                    .out
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(o, l)| l.iter().map(move |p| (o as u32, p.0)))
+                    .collect();
+                prop_assert_eq!(&edges, &model_edges);
+                let links: BTreeSet<(u32, u32)> =
+                    clocks.entries().map(|(s, d, _)| (s.0, d.0)).collect();
+                prop_assert_eq!(&links, &model_links);
+            }
+        }
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::bandwidth::{BandwidthMeter, Direction};
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{FaultConfig, FaultLayer, LinkFaults, PartitionSpec, Routed};
 use crate::latency::LatencyModel;
 use crate::links::{Adjacency, LinkClocks};
 use crate::node::NodeId;
@@ -45,6 +46,11 @@ pub struct NetworkConfig {
     /// [`Network::take_event_trace`]). Off by default; costs one branch per
     /// operation when off.
     pub trace_events: bool,
+    /// Deterministic fault injection (per-link loss, latency degradation,
+    /// timed partitions). Inert by default, in which case the fault layer
+    /// costs a single branch per message and the run is bit-identical to
+    /// one without the layer. See [`crate::faults`].
+    pub faults: FaultConfig,
 }
 
 impl Default for NetworkConfig {
@@ -55,6 +61,7 @@ impl Default for NetworkConfig {
             fifo_links: true,
             scheduler: SchedulerKind::default(),
             trace_events: false,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -68,6 +75,13 @@ pub struct NetStats {
     pub messages_delivered: u64,
     /// Messages dropped because the destination was dead at delivery time.
     pub messages_dropped: u64,
+    /// Messages lost to the fault layer's per-link Bernoulli loss. Disjoint
+    /// from [`NetStats::messages_dropped`]: a faulted message never reaches
+    /// delivery, a dropped one reached a dead destination.
+    pub messages_lost_to_faults: u64,
+    /// Messages discarded because an active partition cut sender from
+    /// receiver ([`crate::faults::PartitionMode::Drop`]).
+    pub messages_cut_by_partition: u64,
     /// Events processed so far.
     pub events_processed: u64,
 }
@@ -101,6 +115,9 @@ pub struct Network<P: Protocol> {
     /// (used to enforce FIFO ordering); pruned in place when a node crashes.
     link_clock: LinkClocks,
     stats: NetStats,
+    /// Fault-injection layer, consulted between command drain and delivery
+    /// scheduling. Inert by default (one branch per send).
+    faults: FaultLayer,
     command_buf: Vec<Command<P::Message>>,
     /// Reused buffer for the peers notified by `process_crash`.
     crash_buf: Vec<NodeId>,
@@ -112,6 +129,7 @@ impl<P: Protocol> Network<P> {
         let master_rng = SmallRng::seed_from_u64(config.seed);
         let reference_rng = SmallRng::seed_from_u64(split_mix64(config.seed, 0x0DD5_EED5));
         let queue = EventQueue::new(config.scheduler, config.trace_events);
+        let faults = FaultLayer::new(config.seed, config.faults.clone());
         Network {
             config,
             latency,
@@ -124,9 +142,26 @@ impl<P: Protocol> Network<P> {
             connections: Adjacency::default(),
             link_clock: LinkClocks::default(),
             stats: NetStats::default(),
+            faults,
             command_buf: Vec::new(),
             crash_buf: Vec::new(),
         }
+    }
+
+    /// Replaces the live per-link fault profile (loss rate, jitter, latency
+    /// degradation), effective for every message sent from now on.
+    /// Experiment harnesses use this to switch faults on at a scheduled
+    /// point of the run (e.g. stream start).
+    pub fn set_link_faults(&mut self, link: LinkFaults) {
+        self.faults.set_link_faults(link);
+    }
+
+    /// Installs a timed partition at runtime, in addition to any configured
+    /// through [`NetworkConfig::faults`]. The window may start immediately;
+    /// it must not lie entirely in the past.
+    pub fn add_partition(&mut self, spec: PartitionSpec) {
+        assert!(spec.end > self.now, "partition healed in the past");
+        self.faults.add_partition(spec);
     }
 
     /// Current simulated time.
@@ -339,10 +374,12 @@ impl<P: Protocol> Network<P> {
                 },
             );
         }
-        // Drop the crashed node's own connections and FIFO link clocks so
-        // long churn runs do not accumulate state for dead nodes.
+        // Drop the crashed node's own connections, FIFO link clocks and
+        // fault-layer draw counters so long churn runs do not accumulate
+        // state for dead nodes.
         self.connections.clear_outgoing(node);
         self.link_clock.prune(node);
+        self.faults.prune(node);
     }
 
     /// Number of directed FIFO link clocks currently tracked. Exposed so
@@ -355,6 +392,17 @@ impl<P: Protocol> Network<P> {
     /// crash pruning clears in place instead of reallocating.
     pub fn link_clock_capacity(&self, sender: NodeId) -> usize {
         self.link_clock.slot_capacity(sender)
+    }
+
+    /// Snapshot of every tracked FIFO link clock as `(sender, dest, last
+    /// scheduled arrival)`, in `(sender, dest)` order. Diagnostic hook for
+    /// the online invariant checkers (per-link clocks must be monotone over
+    /// a run).
+    pub fn link_clock_entries(&self) -> Vec<(NodeId, NodeId, SimTime)> {
+        self.link_clock
+            .entries()
+            .map(|(s, d, t)| (s, d, *t))
+            .collect()
     }
 
     /// Takes the recorded scheduler operation trace. Empty unless
@@ -402,7 +450,26 @@ impl<P: Protocol> Network<P> {
                         let rng = &mut self.nodes[origin.index()].rng;
                         self.latency.sample(origin, to, rng)
                     };
+                    // The fault layer sits between command drain and
+                    // delivery scheduling. The sender has already paid the
+                    // upload bandwidth: a lost message went onto the wire,
+                    // it just never arrives. Loss/jitter draws come from the
+                    // layer's own per-link split-seed PRF, so the node RNG
+                    // stream above is identical with or without faults.
                     let mut deliver_at = self.now + latency;
+                    if !self.faults.is_inert() {
+                        match self.faults.route(origin, to, self.now, latency) {
+                            Routed::Deliver(at) => deliver_at = at,
+                            Routed::LostToFaults => {
+                                self.stats.messages_lost_to_faults += 1;
+                                continue;
+                            }
+                            Routed::CutByPartition => {
+                                self.stats.messages_cut_by_partition += 1;
+                                continue;
+                            }
+                        }
+                    }
                     // FIFO clocks are only tracked towards live destinations:
                     // a delivery to a dead node is dropped on arrival, so its
                     // ordering is irrelevant — and re-inserting a clock that
@@ -433,9 +500,13 @@ impl<P: Protocol> Network<P> {
                 }
                 Command::OpenConnection { peer } => {
                     self.connections.insert(origin, peer);
-                    // Connecting to a node that is already dead fails after
-                    // the detection delay, like a TCP connect timeout.
-                    if !self.is_alive(peer) {
+                    // Connecting to a node that is already dead — or across
+                    // an active partition cut, whose handshake traffic is
+                    // blackholed — fails after the detection delay, like a
+                    // TCP connect timeout.
+                    if !self.is_alive(peer)
+                        || (!self.faults.is_inert() && self.faults.is_cut(self.now, origin, peer))
+                    {
                         self.queue.push(
                             self.now + self.config.failure_detection_delay,
                             EventKind::LinkDown { node: origin, peer },
@@ -584,6 +655,10 @@ mod tests {
         assert_eq!(net.node(a).unwrap().received.len(), 0);
         assert_eq!(net.node(b).unwrap().link_down, vec![a]);
         assert_eq!(net.stats().messages_dropped, 1);
+        // A dead-destination drop is not a fault-layer loss: the counters
+        // are disjoint.
+        assert_eq!(net.stats().messages_lost_to_faults, 0);
+        assert_eq!(net.stats().messages_cut_by_partition, 0);
         assert_eq!(net.alive_ids(), vec![b]);
         assert_eq!(net.alive_iter().collect::<Vec<_>>(), vec![b]);
     }
@@ -791,6 +866,201 @@ mod tests {
         assert_eq!(
             format!("{wheel_a:?}{wheel_c:?}"),
             format!("{heap_a:?}{heap_c:?}")
+        );
+    }
+
+    #[test]
+    fn bernoulli_loss_is_counted_separately_from_drops() {
+        use crate::faults::{FaultConfig, LinkFaults};
+        let run = |loss_rate: f64| {
+            let mut net: Network<Pinger> = Network::new(
+                NetworkConfig {
+                    faults: FaultConfig {
+                        link: LinkFaults {
+                            loss_rate,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                Box::new(FixedLatency::new(SimDuration::from_millis(1))),
+            );
+            let a = net.add_node(|_| Pinger::new(None));
+            let b = net.add_node(|_| Pinger::new(None));
+            net.run_until(SimTime::from_millis(1));
+            net.invoke(b, |_p, ctx| {
+                for _ in 0..200u8 {
+                    // Ping(0) draws no reply from the receiver, so exactly
+                    // 200 messages cross the wire.
+                    ctx.send(a, Ping(0));
+                }
+            });
+            net.run_until(SimTime::from_secs(1));
+            (net.stats().clone(), net.node(a).unwrap().received.len())
+        };
+        let (stats, received) = run(0.2);
+        assert!(
+            stats.messages_lost_to_faults > 0,
+            "20% loss over 200 sends must lose something"
+        );
+        assert_eq!(
+            stats.messages_dropped, 0,
+            "fault losses are not dead-destination drops"
+        );
+        assert_eq!(stats.messages_cut_by_partition, 0);
+        assert_eq!(
+            stats.messages_delivered + stats.messages_lost_to_faults,
+            stats.messages_sent,
+            "every sent message is either delivered or lost"
+        );
+        assert_eq!(received as u64, stats.messages_delivered);
+        // Deterministic: the same seed reproduces the exact loss pattern.
+        let (again, _) = run(0.2);
+        assert_eq!(stats.messages_lost_to_faults, again.messages_lost_to_faults);
+        assert_eq!(stats.events_processed, again.events_processed);
+    }
+
+    /// An *active but harmless* fault layer (zero loss, empty-island
+    /// partition) must be bit-identical to no fault layer at all: the layer
+    /// takes no draws and shifts no timestamps.
+    #[test]
+    fn harmless_fault_layer_is_bit_identical_to_none() {
+        use crate::faults::{FaultConfig, PartitionMode, PartitionSpec};
+        let run = |faults: FaultConfig| {
+            let mut net: Network<Pinger> = Network::new(
+                NetworkConfig {
+                    faults,
+                    ..Default::default()
+                },
+                Box::new(crate::latency::ClusterLatency::default()),
+            );
+            let a = net.add_node(|_| Pinger::new(None));
+            let _b = net.add_node(move |_| Pinger::new(Some(a)));
+            let _c = net.add_node(move |_| Pinger::new(Some(a)));
+            net.run_until(SimTime::from_secs(1));
+            format!(
+                "{:?}{:?}",
+                net.node(a).unwrap().received,
+                net.stats().events_processed
+            )
+        };
+        let empty_island = FaultConfig {
+            partitions: vec![PartitionSpec::new(
+                Vec::new(),
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                PartitionMode::Drop,
+            )],
+            ..Default::default()
+        };
+        assert_eq!(run(FaultConfig::default()), run(empty_island));
+    }
+
+    #[test]
+    fn partition_blackholes_and_heals() {
+        use crate::faults::{FaultConfig, PartitionMode, PartitionSpec};
+        let island_node = NodeId(1);
+        let mut net: Network<Pinger> = Network::new(
+            NetworkConfig {
+                faults: FaultConfig {
+                    partitions: vec![PartitionSpec::new(
+                        vec![island_node],
+                        SimTime::from_secs(2),
+                        SimTime::from_secs(4),
+                        PartitionMode::Drop,
+                    )],
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Box::new(FixedLatency::new(SimDuration::from_millis(1))),
+        );
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(|_| Pinger::new(None));
+        assert_eq!(b, island_node);
+        net.run_until(SimTime::from_secs(1));
+        // Before the window: delivered. (Ping values != 1 draw no reply.)
+        net.invoke(a, |_p, ctx| ctx.send(b, Ping(0)));
+        net.run_until(SimTime::from_secs(3));
+        assert_eq!(net.node(b).unwrap().received.len(), 1);
+        // Inside the window: cross-cut traffic is cut, both directions.
+        net.invoke(a, |_p, ctx| ctx.send(b, Ping(2)));
+        net.invoke(b, |_p, ctx| ctx.send(a, Ping(3)));
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.node(b).unwrap().received.len(), 1);
+        assert_eq!(net.node(a).unwrap().received.len(), 0);
+        assert_eq!(net.stats().messages_cut_by_partition, 2);
+        assert_eq!(net.stats().messages_lost_to_faults, 0);
+        // After heal: traffic flows again.
+        net.invoke(a, |_p, ctx| ctx.send(b, Ping(4)));
+        net.run_until(SimTime::from_secs(6));
+        assert_eq!(net.node(b).unwrap().received.len(), 2);
+        // No connections were torn down by the partition: the model is an
+        // outage shorter than the transport time-out.
+        assert!(net.node(a).unwrap().link_down.is_empty());
+        assert!(net.node(b).unwrap().link_down.is_empty());
+    }
+
+    #[test]
+    fn delaying_partition_holds_traffic_until_heal() {
+        use crate::faults::{FaultConfig, PartitionMode, PartitionSpec};
+        let heal = SimTime::from_secs(4);
+        let mut net: Network<Pinger> = Network::new(
+            NetworkConfig {
+                faults: FaultConfig {
+                    partitions: vec![PartitionSpec::new(
+                        vec![NodeId(1)],
+                        SimTime::from_secs(2),
+                        heal,
+                        PartitionMode::Delay,
+                    )],
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Box::new(FixedLatency::new(SimDuration::from_millis(1))),
+        );
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(|_| Pinger::new(None));
+        net.run_until(SimTime::from_secs(3));
+        net.invoke(a, |_p, ctx| ctx.send(b, Ping(9)));
+        net.run_until(SimTime::from_secs(10));
+        let received = &net.node(b).unwrap().received;
+        assert_eq!(received.len(), 1);
+        assert_eq!(
+            received[0].2,
+            heal + SimDuration::from_millis(1),
+            "held back until the heal instant plus the original latency"
+        );
+        assert_eq!(net.stats().messages_cut_by_partition, 0);
+    }
+
+    #[test]
+    fn connecting_across_an_active_cut_reports_link_down() {
+        use crate::faults::{FaultConfig, PartitionMode, PartitionSpec};
+        let mut net: Network<Pinger> = Network::new(
+            NetworkConfig {
+                faults: FaultConfig {
+                    partitions: vec![PartitionSpec::new(
+                        vec![NodeId(1)],
+                        SimTime::ZERO,
+                        SimTime::from_secs(60),
+                        PartitionMode::Drop,
+                    )],
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Box::new(FixedLatency::new(SimDuration::from_millis(1))),
+        );
+        let a = net.add_node(|_| Pinger::new(None));
+        let b = net.add_node(move |_| Pinger::new(Some(a)));
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            net.node(b).unwrap().link_down,
+            vec![a],
+            "the blackholed handshake times out like a dead-peer connect"
         );
     }
 

@@ -26,14 +26,32 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Selects the scheduler implementation a [`Network`](crate::Network) uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// The timing-wheel / calendar queue (default, hot path).
-    #[default]
     TimingWheel,
     /// The `BinaryHeap` reference implementation (baseline for benches and
     /// equivalence tests).
     BinaryHeap,
+}
+
+impl Default for SchedulerKind {
+    /// The timing wheel, unless the `BRISA_SCHEDULER` environment variable
+    /// selects the heap (`heap` / `binary_heap`). The override exists so an
+    /// entire test suite or experiment batch can be re-run on the reference
+    /// scheduler without code changes (CI runs one such leg to keep the
+    /// legacy path honest); it is read once per process, so a run never
+    /// mixes defaults. Code that pins a specific scheduler (equivalence
+    /// tests, benches) sets the field explicitly and is unaffected.
+    fn default() -> Self {
+        static KIND: std::sync::OnceLock<SchedulerKind> = std::sync::OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("BRISA_SCHEDULER").as_deref() {
+            Ok("heap") | Ok("binary_heap") | Ok("binary-heap") | Ok("BinaryHeap") => {
+                SchedulerKind::BinaryHeap
+            }
+            _ => SchedulerKind::TimingWheel,
+        })
+    }
 }
 
 /// A scheduled entry: the payload plus its total-order key `(time, seq)`.

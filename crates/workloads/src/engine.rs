@@ -19,10 +19,14 @@
 //! types of [`crate::brisa_run`] and [`crate::baseline_runs`] are thin
 //! adapters over [`EngineResult`].
 
+use crate::invariants::{InvariantCtx, InvariantSuite};
 use crate::result::{split_bandwidth, PhaseBandwidth};
-use crate::spec::{BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, StreamSpec, Testbed};
+use crate::spec::{
+    BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, StreamSpec, Testbed,
+};
 use brisa_simnet::{
-    Context, Network, NetworkConfig, NodeId, Protocol, SchedulerKind, SimDuration, SimTime, TraceOp,
+    Context, LinkFaults, Network, NetworkConfig, NodeId, PartitionSpec, Protocol, SchedulerKind,
+    SimDuration, SimTime, TraceOp,
 };
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -63,6 +67,10 @@ pub struct RepairTelemetry {
     pub parents_lost: Vec<SimTime>,
     /// Times at which the node lost *all* parents.
     pub orphaned: Vec<SimTime>,
+    /// Retransmission requests issued by the steady-state gap detector.
+    pub gap_requests: u64,
+    /// Retransmissions this node served to recovering peers.
+    pub retransmissions_served: u64,
 }
 
 /// Protocol-agnostic snapshot of one node at the end of a run.
@@ -123,6 +131,10 @@ pub struct RunSpec {
     pub stream: StreamSpec,
     /// Optional churn phase running concurrently with the stream.
     pub churn: Option<ChurnSpec>,
+    /// Adversarial network conditions, merged into the schedule as fault
+    /// steps (loss/jitter switch on at stream start, partitions cut and
+    /// heal on their own window). Inert by default.
+    pub faults: FaultSpec,
     /// Join-phase/stabilisation window before the stream starts.
     pub bootstrap: SimDuration,
     /// Simulated time after the last injection for traffic to drain.
@@ -144,6 +156,7 @@ impl From<&BrisaScenario> for RunSpec {
             testbed: sc.testbed,
             stream: sc.stream,
             churn: sc.churn,
+            faults: sc.faults.clone(),
             bootstrap: sc.bootstrap,
             drain: sc.drain,
             scheduler: SchedulerKind::default(),
@@ -160,6 +173,7 @@ impl From<&BaselineScenario> for RunSpec {
             testbed: sc.testbed,
             stream: sc.stream,
             churn: sc.churn,
+            faults: sc.faults.clone(),
             bootstrap: sc.bootstrap,
             drain: sc.drain,
             scheduler: SchedulerKind::default(),
@@ -215,9 +229,9 @@ pub struct EngineResult {
     /// `[start, end]` of the churn measurement window (stream start to the
     /// end of the drain); repair telemetry is filtered to it.
     pub churn_window: (SimTime, SimTime),
-    /// Simulator events processed over the whole run (the denominator of
-    /// events/sec in wall-clock benches).
-    pub sim_events: u64,
+    /// The simulator's own counters (sent/delivered/dropped, fault losses,
+    /// partition cuts, events processed).
+    pub net_stats: brisa_simnet::NetStats,
     /// The recorded scheduler operation trace, when
     /// [`RunSpec::trace_events`] was set (empty otherwise). Benches replay
     /// it through a scheduler in isolation.
@@ -225,6 +239,83 @@ pub struct EngineResult {
 }
 
 impl EngineResult {
+    /// Simulator events processed over the whole run (the denominator of
+    /// events/sec in wall-clock benches).
+    pub fn sim_events(&self) -> u64 {
+        self.net_stats.events_processed
+    }
+
+    /// Fraction of (eligible node × message) pairs delivered: the
+    /// per-message delivery rate over live, non-source nodes present before
+    /// the stream started. Coarser than [`EngineResult::completeness`] (a
+    /// node missing one message out of 500 barely moves this number but
+    /// zeroes its completeness contribution); the headline metric of the
+    /// fault sweeps.
+    pub fn delivery_rate(&self) -> f64 {
+        let mut delivered = 0u64;
+        let mut expected = 0u64;
+        for n in &self.nodes {
+            if n.is_source || n.id.0 >= self.original_nodes {
+                continue;
+            }
+            delivered += n.report.delivered.min(self.messages_published);
+            expected += self.messages_published;
+        }
+        if expected == 0 {
+            1.0
+        } else {
+            delivered as f64 / expected as f64
+        }
+    }
+
+    /// A compact, fully ordered fingerprint of everything
+    /// behaviour-relevant in the result: simulator counters, publish
+    /// schedule, and per-node delivery records, parents and bandwidth. Two
+    /// runs are observationally identical iff their fingerprints match —
+    /// the canonical equality used by the scheduler-equivalence and
+    /// determinism tests (a divergence in any unfingerprinted field would
+    /// pass silently, so new behaviour-relevant fields belong here).
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        write!(
+            out,
+            "{}|src={}|ev={}|sent={}|dropped={}|lost={}|cut={}|fails={}|joins={}|",
+            self.protocol,
+            self.source.0,
+            self.net_stats.events_processed,
+            self.net_stats.messages_sent,
+            self.net_stats.messages_dropped,
+            self.net_stats.messages_lost_to_faults,
+            self.net_stats.messages_cut_by_partition,
+            self.failures_injected,
+            self.joins_injected,
+        )
+        .unwrap();
+        for t in &self.publish_times {
+            write!(out, "p{};", t.as_micros()).unwrap();
+        }
+        for n in &self.nodes {
+            write!(
+                out,
+                "n{}:d{}:dup{:.9}:par{:?}:fd{:?}:bw{}-{};",
+                n.id.0,
+                n.report.delivered,
+                n.report.duplicates_per_message,
+                n.report.parents.iter().map(|p| p.0).collect::<Vec<_>>(),
+                n.report
+                    .first_delivery
+                    .iter()
+                    .map(|(s, t)| (*s, t.as_micros()))
+                    .collect::<Vec<_>>(),
+                n.bandwidth.stab_up_bytes + n.bandwidth.diss_up_bytes,
+                n.bandwidth.stab_down_bytes + n.bandwidth.diss_down_bytes,
+            )
+            .unwrap();
+        }
+        out
+    }
+
     /// Fraction of live, non-source nodes present before the stream started
     /// that delivered every message.
     pub fn completeness(&self) -> f64 {
@@ -248,11 +339,32 @@ impl EngineResult {
 enum Step {
     Publish,
     Churn(ChurnEvent),
+    Fault(FaultAction),
+}
+
+/// A scheduled fault transition.
+enum FaultAction {
+    /// Switch the per-link stochastic profile on (at stream start).
+    EnableLink(LinkFaults),
+    /// Install a timed partition (at its cut instant; it heals by window).
+    StartPartition(PartitionSpec),
 }
 
 /// Runs one experiment to completion: the single bootstrap → churn → stream
 /// → collect pipeline behind every figure and table.
 pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec) -> EngineResult {
+    run_experiment_checked(cfg, spec, &mut InvariantSuite::<P>::new())
+}
+
+/// [`run_experiment`] with an online [`InvariantSuite`] evaluated during the
+/// drive phase: after every schedule step and once after the drain. An empty
+/// suite costs nothing; violations are recorded in the suite for the caller
+/// to inspect (or [`InvariantSuite::assert_clean`]).
+pub fn run_experiment_checked<P: DisseminationProtocol>(
+    cfg: &P::Config,
+    spec: &RunSpec,
+    invariants: &mut InvariantSuite<P>,
+) -> EngineResult {
     let mut net: Network<P> = Network::new(
         NetworkConfig {
             seed: spec.seed,
@@ -305,9 +417,26 @@ pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec)
     };
     let total_messages = (stream_duration.as_micros() / interval.as_micros().max(1)).max(1);
 
-    let mut schedule: Vec<(SimTime, Step)> = (0..total_messages)
-        .map(|seq| (stream_start + interval * seq, Step::Publish))
-        .collect();
+    // Fault transitions are pushed first: the sort below is stable, so at
+    // equal times faults switch on before the publish they should affect.
+    let mut schedule: Vec<(SimTime, Step)> = Vec::new();
+    if !spec.faults.is_inert() {
+        let link = spec.faults.link_faults();
+        if !link.is_inert() {
+            schedule.push((stream_start, Step::Fault(FaultAction::EnableLink(link))));
+        }
+        // A zero-width window can never be active; installing it exactly at
+        // its own heal instant would only trip the simulator's
+        // healed-in-the-past assertion.
+        if let Some(phase) = spec.faults.partition.filter(|p| !p.duration.is_zero()) {
+            let partition = phase.to_partition(stream_start, spec.nodes);
+            schedule.push((
+                partition.start,
+                Step::Fault(FaultAction::StartPartition(partition)),
+            ));
+        }
+    }
+    schedule.extend((0..total_messages).map(|seq| (stream_start + interval * seq, Step::Publish)));
     schedule.extend(churn_events.into_iter().map(|(t, e)| (t, Step::Churn(e))));
     schedule.sort_by_key(|(t, _)| *t);
 
@@ -323,6 +452,8 @@ pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec)
     for (at, step) in schedule {
         net.run_until(at);
         match step {
+            Step::Fault(FaultAction::EnableLink(link)) => net.set_link_faults(link),
+            Step::Fault(FaultAction::StartPartition(partition)) => net.add_partition(partition),
             Step::Publish => {
                 publish_times.push(net.now());
                 net.invoke(source, |node, ctx| {
@@ -351,8 +482,24 @@ pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec)
                 joins_injected += 1;
             }
         }
+        if !invariants.is_empty() {
+            let ctx = InvariantCtx {
+                now: net.now(),
+                published: publish_times.len() as u64,
+                source,
+            };
+            invariants.run_checks(&net, &ctx);
+        }
     }
     net.run_for(spec.drain);
+    if !invariants.is_empty() {
+        let ctx = InvariantCtx {
+            now: net.now(),
+            published: publish_times.len() as u64,
+            source,
+        };
+        invariants.run_checks(&net, &ctx);
+    }
     let end_sec = net.now().second_bucket() + 1;
     let churn_window = (stream_start, net.now());
 
@@ -410,7 +557,7 @@ pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec)
         stabilization_end_sec,
         end_sec,
         churn_window,
-        sim_events: net.stats().events_processed,
+        net_stats: net.stats().clone(),
         event_trace: net.take_event_trace(),
     }
 }

@@ -1,0 +1,460 @@
+//! Online invariant checking.
+//!
+//! An [`Invariant`] is a predicate over the *live* state of a running
+//! experiment, evaluated repeatedly **during** the drive phase (after every
+//! schedule step and once after the drain) rather than post-hoc on the
+//! collected result. Online evaluation is what makes the checks worth
+//! having under adversity: a transient violation — a cycle stitched
+//! mid-repair, a delivery count running ahead of the publishes, a FIFO
+//! clock moving backwards — is visible at the step where it happens and
+//! carries its timestamp, where an end-of-run check would only see the
+//! healed aftermath.
+//!
+//! Checks are collected in an [`InvariantSuite`] handed to
+//! [`crate::engine::run_experiment_checked`]; an empty suite is skipped
+//! entirely (the default [`crate::engine::run_experiment`] path pays
+//! nothing). Violations are recorded, not panicked, so a harness can assert
+//! [`InvariantSuite::assert_clean`] or inspect them selectively.
+//!
+//! Three invariants ship with the harness, all protocol-generic (they look
+//! only at [`NodeReport`]s and simulator state):
+//!
+//! * [`DeliveryInvariant`] — no duplicate first-deliveries, delivery counts
+//!   monotone over time and never ahead of what the source has published;
+//! * [`TreeValidityInvariant`] — parent counts within the target bound and
+//!   no *persistent* parent cycle among live nodes (a cycle observed at two
+//!   consecutive checks; transient cycles are repaired by the protocol's
+//!   own detection and are not violations);
+//! * [`LinkClockInvariant`] — every directed FIFO link clock in the
+//!   simulator is monotone non-decreasing across checks.
+
+use crate::engine::{DisseminationProtocol, NodeReport};
+use brisa_simnet::{Network, NodeId, SimTime};
+use std::collections::HashMap;
+
+/// Context handed to every check: what the harness knows about the run at
+/// this instant.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantCtx {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Messages the source has published so far.
+    pub published: u64,
+    /// The stream source.
+    pub source: NodeId,
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone)]
+pub struct InvariantViolation {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Simulated time of the check that caught it.
+    pub at: SimTime,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+/// An online invariant over a running experiment.
+pub trait Invariant<P: DisseminationProtocol> {
+    /// Display name (used in violation reports).
+    fn name(&self) -> &'static str;
+
+    /// Checks the invariant against the live network state; returns a
+    /// description of the violation if it does not hold. Checks may keep
+    /// state across calls (monotonicity needs the previous observation).
+    /// `reports` holds every live node's [`NodeReport`], in ascending node
+    /// order — built once per check pass and shared by all invariants
+    /// (extracting a report clones the node's delivery record, so each
+    /// invariant rebuilding its own would multiply that cost).
+    fn check(
+        &mut self,
+        net: &Network<P>,
+        reports: &[(NodeId, NodeReport)],
+        ctx: &InvariantCtx,
+    ) -> Result<(), String>;
+}
+
+/// An ordered collection of invariants plus the violations they recorded.
+#[derive(Default)]
+pub struct InvariantSuite<P: DisseminationProtocol> {
+    checks: Vec<Box<dyn Invariant<P>>>,
+    violations: Vec<InvariantViolation>,
+    checks_run: u64,
+}
+
+impl<P: DisseminationProtocol> InvariantSuite<P> {
+    /// An empty suite (checking is skipped entirely).
+    pub fn new() -> Self {
+        InvariantSuite {
+            checks: Vec::new(),
+            violations: Vec::new(),
+            checks_run: 0,
+        }
+    }
+
+    /// The three standard invariants. `tree_parents` bounds the parent
+    /// count and enables the cycle check; pass `None` for DAG modes, whose
+    /// depth labels are approximate by design (cycles there are prevented
+    /// only probabilistically, see EXPERIMENTS notes), or for protocols
+    /// without a parent structure.
+    pub fn standard(tree_parents: Option<usize>) -> Self {
+        let mut suite = Self::new()
+            .with(DeliveryInvariant::new())
+            .with(LinkClockInvariant::new());
+        if let Some(max_parents) = tree_parents {
+            suite = suite.with(TreeValidityInvariant::new(max_parents));
+        }
+        suite
+    }
+
+    /// Adds an invariant (builder style).
+    pub fn with(mut self, invariant: impl Invariant<P> + 'static) -> Self {
+        self.checks.push(Box::new(invariant));
+        self
+    }
+
+    /// True if no invariants are registered (the engine skips checking).
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Runs every check once against the current state.
+    pub fn run_checks(&mut self, net: &Network<P>, ctx: &InvariantCtx) {
+        self.checks_run += 1;
+        let reports: Vec<(NodeId, NodeReport)> = net
+            .alive_iter()
+            .filter_map(|id| net.node(id).map(|n| (id, n.report())))
+            .collect();
+        for check in &mut self.checks {
+            if let Err(detail) = check.check(net, &reports, ctx) {
+                self.violations.push(InvariantViolation {
+                    invariant: check.name(),
+                    at: ctx.now,
+                    detail,
+                });
+            }
+        }
+    }
+
+    /// Violations recorded so far, in detection order.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Number of times the suite was evaluated (0 means the checks never
+    /// ran — an assertion that the suite is clean would be vacuous).
+    pub fn checks_run(&self) -> u64 {
+        self.checks_run
+    }
+
+    /// Panics with every recorded violation if any check failed, and if the
+    /// suite holds checks that never ran (a mis-wired harness would
+    /// otherwise pass vacuously).
+    pub fn assert_clean(&self) {
+        if !self.checks.is_empty() {
+            assert!(
+                self.checks_run > 0,
+                "invariant suite was never evaluated — harness mis-wired"
+            );
+        }
+        assert!(
+            self.violations.is_empty(),
+            "online invariants violated:\n{}",
+            self.violations
+                .iter()
+                .map(|v| format!("  [{} @ {}] {}", v.invariant, v.at, v.detail))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Delivery sanity: per-node first-delivery records are unique and ordered,
+/// never exceed what the source has published, never decrease over time,
+/// and never carry a timestamp from the future.
+pub struct DeliveryInvariant {
+    prev_delivered: HashMap<u32, u64>,
+}
+
+impl DeliveryInvariant {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        DeliveryInvariant {
+            prev_delivered: HashMap::new(),
+        }
+    }
+}
+
+impl Default for DeliveryInvariant {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: DisseminationProtocol> Invariant<P> for DeliveryInvariant {
+    fn name(&self) -> &'static str {
+        "no-duplicate-delivery"
+    }
+
+    fn check(
+        &mut self,
+        _net: &Network<P>,
+        reports: &[(NodeId, NodeReport)],
+        ctx: &InvariantCtx,
+    ) -> Result<(), String> {
+        for (id, report) in reports {
+            let id = *id;
+            let deliveries = &report.first_delivery;
+            if deliveries.len() as u64 != report.delivered {
+                return Err(format!(
+                    "node {id}: {} first-delivery records but delivered={} — a \
+                     sequence number was delivered twice or dropped from the record",
+                    deliveries.len(),
+                    report.delivered
+                ));
+            }
+            for pair in deliveries.windows(2) {
+                if pair[0].0 >= pair[1].0 {
+                    return Err(format!(
+                        "node {id}: first-delivery records out of order or duplicated \
+                         ({} then {})",
+                        pair[0].0, pair[1].0
+                    ));
+                }
+            }
+            for &(seq, at) in deliveries {
+                if seq >= ctx.published {
+                    return Err(format!(
+                        "node {id}: delivered seq {seq} but the source has only \
+                         published {} messages",
+                        ctx.published
+                    ));
+                }
+                if at > ctx.now {
+                    return Err(format!(
+                        "node {id}: first delivery of seq {seq} stamped {at}, in the \
+                         future of {}",
+                        ctx.now
+                    ));
+                }
+            }
+            let prev = self.prev_delivered.insert(id.0, report.delivered);
+            if let Some(prev) = prev {
+                if report.delivered < prev {
+                    return Err(format!(
+                        "node {id}: delivered count went backwards ({prev} -> {})",
+                        report.delivered
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structure sanity for tree-shaped runs: every live non-source node holds
+/// at most `max_parents` parents, and no parent cycle among live nodes
+/// *persists* across two consecutive checks. BRISA's path guards repair
+/// transiently stitched cycles as soon as a message traverses them; a cycle
+/// that survives a whole schedule step (hundreds of milliseconds) would
+/// starve its members for good and is a genuine violation.
+pub struct TreeValidityInvariant {
+    max_parents: usize,
+    /// Canonical signatures of the cycles seen at the previous check.
+    prev_cycles: Vec<Vec<u32>>,
+}
+
+impl TreeValidityInvariant {
+    /// A checker allowing up to `max_parents` parents per node.
+    pub fn new(max_parents: usize) -> Self {
+        TreeValidityInvariant {
+            max_parents,
+            prev_cycles: Vec::new(),
+        }
+    }
+
+    /// Finds every distinct parent cycle among live nodes, following each
+    /// node's first live parent. Returns canonical (rotated-to-minimum)
+    /// member lists, sorted for set comparison.
+    fn cycles(parent_of: &HashMap<u32, u32>) -> Vec<Vec<u32>> {
+        let mut cycles: Vec<Vec<u32>> = Vec::new();
+        let mut state: HashMap<u32, u8> = HashMap::new(); // 1 = visiting, 2 = done
+        let mut ids: Vec<u32> = parent_of.keys().copied().collect();
+        ids.sort_unstable();
+        for &start in &ids {
+            if state.contains_key(&start) {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = start;
+            loop {
+                match state.get(&cur) {
+                    Some(1) => {
+                        // Found a cycle: the tail of `path` from `cur` on.
+                        let pos = path.iter().position(|&n| n == cur).expect("on path");
+                        let mut cycle: Vec<u32> = path[pos..].to_vec();
+                        let min_pos = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &n)| n)
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        cycle.rotate_left(min_pos);
+                        cycles.push(cycle);
+                        break;
+                    }
+                    Some(_) => break,
+                    None => {
+                        state.insert(cur, 1);
+                        path.push(cur);
+                        match parent_of.get(&cur) {
+                            Some(&parent) => cur = parent,
+                            None => break,
+                        }
+                    }
+                }
+            }
+            for n in path {
+                state.insert(n, 2);
+            }
+        }
+        cycles.sort();
+        cycles
+    }
+}
+
+impl<P: DisseminationProtocol> Invariant<P> for TreeValidityInvariant {
+    fn name(&self) -> &'static str {
+        "tree-validity"
+    }
+
+    fn check(
+        &mut self,
+        net: &Network<P>,
+        reports: &[(NodeId, NodeReport)],
+        ctx: &InvariantCtx,
+    ) -> Result<(), String> {
+        let mut parent_of: HashMap<u32, u32> = HashMap::new();
+        for (id, report) in reports {
+            let id = *id;
+            if id != ctx.source && report.parents.len() > self.max_parents {
+                return Err(format!(
+                    "node {id}: {} parents exceeds the target of {}",
+                    report.parents.len(),
+                    self.max_parents
+                ));
+            }
+            // Follow only links between live nodes: a dead parent cannot
+            // close a cycle (it will never relay again).
+            if let Some(parent) = report.parents.iter().find(|p| net.is_alive(**p)) {
+                parent_of.insert(id.0, parent.0);
+            }
+        }
+        let cycles = Self::cycles(&parent_of);
+        let persistent: Vec<&Vec<u32>> = cycles
+            .iter()
+            .filter(|c| self.prev_cycles.binary_search(c).is_ok())
+            .collect();
+        self.prev_cycles = cycles.clone();
+        if let Some(cycle) = persistent.first() {
+            return Err(format!(
+                "parent cycle {cycle:?} persisted across two consecutive checks — \
+                 its members are starving"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// FIFO link-clock monotonicity: the simulator's per-directed-link clocks
+/// (last scheduled arrival) never move backwards. A regression here would
+/// let later sends overtake earlier ones on the same link, silently
+/// breaking the FIFO contract every protocol in the workspace assumes.
+pub struct LinkClockInvariant {
+    prev: HashMap<(u32, u32), SimTime>,
+}
+
+impl LinkClockInvariant {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        LinkClockInvariant {
+            prev: HashMap::new(),
+        }
+    }
+}
+
+impl Default for LinkClockInvariant {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: DisseminationProtocol> Invariant<P> for LinkClockInvariant {
+    fn name(&self) -> &'static str {
+        "link-clock-monotonicity"
+    }
+
+    fn check(
+        &mut self,
+        net: &Network<P>,
+        _reports: &[(NodeId, NodeReport)],
+        _ctx: &InvariantCtx,
+    ) -> Result<(), String> {
+        let entries = net.link_clock_entries();
+        for &(sender, dest, clock) in &entries {
+            if let Some(&prev) = self.prev.get(&(sender.0, dest.0)) {
+                if clock < prev {
+                    return Err(format!(
+                        "link {sender} -> {dest}: FIFO clock went backwards \
+                         ({prev} -> {clock})"
+                    ));
+                }
+            }
+            self.prev.insert((sender.0, dest.0), clock);
+        }
+        // Entries pruned by a crash may reappear at an earlier clock if the
+        // pair reconnects much later; forget pairs that vanished so a
+        // legitimate reset is not misread as a regression.
+        let current: std::collections::HashSet<(u32, u32)> =
+            entries.iter().map(|(s, d, _)| (s.0, d.0)).collect();
+        self.prev.retain(|k, _| current.contains(k));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_detection_finds_and_canonicalises() {
+        // 1 -> 2 -> 3 -> 1 plus a chain 4 -> 1.
+        let parent_of: HashMap<u32, u32> = [(1, 2), (2, 3), (3, 1), (4, 1)].into();
+        let cycles = TreeValidityInvariant::cycles(&parent_of);
+        assert_eq!(cycles, vec![vec![1, 2, 3]]);
+        // Pure chains have no cycle.
+        let chain: HashMap<u32, u32> = [(1, 0), (2, 1), (3, 2)].into();
+        assert!(TreeValidityInvariant::cycles(&chain).is_empty());
+        // Two disjoint 2-cycles.
+        let two: HashMap<u32, u32> = [(1, 2), (2, 1), (5, 6), (6, 5)].into();
+        assert_eq!(
+            TreeValidityInvariant::cycles(&two),
+            vec![vec![1, 2], vec![5, 6]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never evaluated")]
+    fn assert_clean_rejects_vacuous_suites() {
+        let suite: InvariantSuite<brisa::BrisaNode> = InvariantSuite::standard(Some(1));
+        suite.assert_clean();
+    }
+
+    #[test]
+    fn empty_suite_is_clean_and_skippable() {
+        let suite: InvariantSuite<brisa::BrisaNode> = InvariantSuite::new();
+        assert!(suite.is_empty());
+        suite.assert_clean();
+    }
+}

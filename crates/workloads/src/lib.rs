@@ -8,6 +8,10 @@
 //!   [`DisseminationProtocol`] trait;
 //! * [`protocols`] — the trait implementations for BRISA and the four
 //!   baselines (the only per-protocol code in the experiment path);
+//! * [`invariants`] — online invariant checking: an [`InvariantSuite`]
+//!   evaluated *during* the drive phase (delivery sanity, tree validity,
+//!   FIFO link-clock monotonicity) through
+//!   [`engine::run_experiment_checked`];
 //! * [`matrix`] — the parallel sweep driver: [`run_matrix`] fans independent
 //!   (scenario × seed × parameter) cells across threads with bit-identical
 //!   results to a sequential loop;
@@ -26,6 +30,7 @@
 pub mod baseline_runs;
 pub mod brisa_run;
 pub mod engine;
+pub mod invariants;
 pub mod matrix;
 pub mod protocols;
 pub mod result;
@@ -37,13 +42,20 @@ pub use baseline_runs::{
     BaselineRunResult,
 };
 pub use brisa_run::{run_brisa, BrisaRunResult};
-pub use brisa_simnet::{SchedulerKind, TraceOp};
+pub use brisa_simnet::{PartitionMode, SchedulerKind, TraceOp};
 pub use engine::{
-    run_experiment, BuildCtx, DisseminationProtocol, EngineResult, NodeOutcome, NodeReport,
-    RepairTelemetry, RunSpec,
+    run_experiment, run_experiment_checked, BuildCtx, DisseminationProtocol, EngineResult,
+    NodeOutcome, NodeReport, RepairTelemetry, RunSpec,
+};
+pub use invariants::{
+    DeliveryInvariant, Invariant, InvariantCtx, InvariantSuite, InvariantViolation,
+    LinkClockInvariant, TreeValidityInvariant,
 };
 pub use matrix::{derive_seed, matrix_threads, run_matrix, run_matrix_sequential};
 pub use protocols::BrisaStackConfig;
 pub use result::{split_bandwidth, ChurnReport, NodeSummary, PhaseBandwidth};
 pub use scenarios::Scale;
-pub use spec::{BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, StreamSpec, Testbed};
+pub use spec::{
+    BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, PartitionPhase, StreamSpec,
+    Testbed,
+};

@@ -84,6 +84,8 @@ impl DisseminationProtocol for BrisaNode {
                 hard_delays_us: stats.hard_repair_delays_us.clone(),
                 parents_lost: stats.parents_lost.clone(),
                 orphaned: stats.orphaned.clone(),
+                gap_requests: stats.gap_retransmit_requests,
+                retransmissions_served: stats.retransmissions_served,
             },
         }
     }

@@ -5,7 +5,7 @@
 //! recorded in exactly one place. Each scenario can be instantiated at the
 //! paper's full scale or at a reduced `Quick` scale for smoke runs and CI.
 
-use crate::spec::{BrisaScenario, ChurnSpec, StreamSpec, Testbed};
+use crate::spec::{BrisaScenario, ChurnSpec, FaultSpec, PartitionPhase, StreamSpec, Testbed};
 use brisa::{ParentStrategy, StructureMode};
 use brisa_simnet::SimDuration;
 
@@ -222,6 +222,79 @@ pub fn fig14(scale: Scale) -> (u32, ChurnSpec, StreamSpec) {
     (nodes, churn, stream)
 }
 
+/// Fault sweep, loss leg: a BRISA tree streaming under per-link Bernoulli
+/// loss from 0 % (control) to 5 %. The structure bootstraps under nominal
+/// conditions; loss switches on at stream start. Returns
+/// `(loss rate, scenario)` pairs.
+pub fn fault_loss_sweep(scale: Scale) -> Vec<(f64, BrisaScenario)> {
+    let nodes = scale.pick(256, 48);
+    let messages = scale.pick(300, 40);
+    [0.0, 0.001, 0.01, 0.02, 0.05]
+        .iter()
+        .map(|&loss_rate| {
+            (
+                loss_rate,
+                BrisaScenario {
+                    nodes,
+                    view_size: 4,
+                    stream: StreamSpec {
+                        messages,
+                        rate_per_sec: 5.0,
+                        payload_bytes: 1024,
+                    },
+                    faults: FaultSpec::loss(loss_rate),
+                    bootstrap: SimDuration::from_secs(30),
+                    drain: SimDuration::from_secs(20),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// Offset of the partition cut from stream start in the partition sweep.
+pub const PARTITION_START_AFTER: SimDuration = SimDuration::from_secs(5);
+
+/// Fault sweep, partition leg: a quarter of the population is cut from the
+/// source [`PARTITION_START_AFTER`] into the stream, for 5/10/20 s (5/10 at
+/// quick scale), then the cut heals while the stream keeps flowing for
+/// another 15 s — long enough to watch the island catch back up. Returns
+/// `(partition duration, scenario)` pairs.
+pub fn fault_partition_sweep(scale: Scale) -> Vec<(SimDuration, BrisaScenario)> {
+    let nodes = scale.pick(192, 48);
+    let durations: Vec<u64> = scale.pick(vec![5, 10, 20], vec![5, 10]);
+    durations
+        .into_iter()
+        .map(|secs| {
+            let duration = SimDuration::from_secs(secs);
+            let stream_secs = PARTITION_START_AFTER.as_micros() / 1_000_000 + secs + 15;
+            (
+                duration,
+                BrisaScenario {
+                    nodes,
+                    view_size: 4,
+                    stream: StreamSpec {
+                        messages: stream_secs * 5,
+                        rate_per_sec: 5.0,
+                        payload_bytes: 1024,
+                    },
+                    faults: FaultSpec {
+                        partition: Some(PartitionPhase::drop(
+                            0.25,
+                            PARTITION_START_AFTER,
+                            duration,
+                        )),
+                        ..Default::default()
+                    },
+                    bootstrap: SimDuration::from_secs(30),
+                    drain: SimDuration::from_secs(20),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +330,35 @@ mod tests {
         let (nodes_quick, ..) = fig2(Scale::Quick);
         assert!(nodes_quick < nodes_full);
         assert!(table1(Scale::Quick)[0].3.nodes < table1(Scale::Full)[0].3.nodes);
+    }
+
+    #[test]
+    fn fault_sweeps_are_well_formed() {
+        let loss = fault_loss_sweep(Scale::Quick);
+        assert_eq!(loss.len(), 5);
+        assert_eq!(loss[0].0, 0.0, "the control cell runs without loss");
+        assert!(loss[0].1.faults.is_inert());
+        assert!(loss.iter().skip(1).all(|(r, sc)| sc.faults.loss_rate == *r));
+        assert!(loss.windows(2).all(|w| w[0].0 < w[1].0));
+
+        for scale in [Scale::Quick, Scale::Full] {
+            let partition = fault_partition_sweep(scale);
+            assert!(
+                partition
+                    .iter()
+                    .any(|(d, _)| *d == SimDuration::from_secs(10)),
+                "the 10 s partition-then-heal scenario exists at every scale"
+            );
+            for (duration, sc) in &partition {
+                let phase = sc.faults.partition.expect("partition phase present");
+                assert_eq!(phase.duration, *duration);
+                // The stream outlasts the heal by a post-heal tail.
+                assert!(
+                    sc.stream.duration()
+                        > phase.start_after + phase.duration + SimDuration::from_secs(10)
+                );
+            }
+        }
     }
 
     #[test]

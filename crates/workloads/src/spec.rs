@@ -9,7 +9,7 @@
 use brisa::{BrisaConfig, ParentStrategy, StructureMode};
 use brisa_membership::HyParViewConfig;
 use brisa_simnet::latency::{ClusterLatency, LatencyModel, PlanetLabLatency};
-use brisa_simnet::{SimDuration, SimTime};
+use brisa_simnet::{LinkFaults, NodeId, PartitionMode, PartitionSpec, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Which testbed the experiment models.
@@ -140,6 +140,115 @@ impl ChurnSpec {
     }
 }
 
+/// Adversarial conditions injected into a run: per-link loss, latency
+/// degradation, and an optional timed partition. Inert by default — a
+/// default `FaultSpec` produces a run bit-identical to one without any
+/// fault machinery (asserted by `tests/integration_faults.rs`).
+///
+/// The stochastic profile activates at **stream start** (the structure
+/// bootstraps under nominal conditions, then the stream runs under
+/// adversity — the shape of the paper's reliability experiments); the
+/// partition window is expressed relative to stream start too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Probability in `[0, 1]` that any single transmission is lost.
+    pub loss_rate: f64,
+    /// Maximum extra uniform per-message delay.
+    pub jitter: SimDuration,
+    /// Multiplier on every sampled link latency (`1.0` = nominal).
+    pub latency_factor: f64,
+    /// Optional partition-then-heal phase.
+    pub partition: Option<PartitionPhase>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            loss_rate: 0.0,
+            jitter: SimDuration::ZERO,
+            latency_factor: 1.0,
+            partition: None,
+        }
+    }
+}
+
+/// A timed partition riding a [`FaultSpec`]: a fraction of the initial
+/// population is cut from the rest (source included on the majority side)
+/// for a window relative to stream start, then the cut heals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionPhase {
+    /// Fraction of the initial population forming the cut-away island
+    /// (clamped to leave the source and at least one island node).
+    pub fraction: f64,
+    /// Offset of the cut from stream start.
+    pub start_after: SimDuration,
+    /// How long the cut lasts before healing.
+    pub duration: SimDuration,
+    /// Drop or delay cross-cut traffic.
+    pub mode: PartitionMode,
+}
+
+impl PartitionPhase {
+    /// A `fraction` cut starting `start_after` into the stream and lasting
+    /// `duration`, dropping cross-cut traffic.
+    pub fn drop(fraction: f64, start_after: SimDuration, duration: SimDuration) -> Self {
+        PartitionPhase {
+            fraction,
+            start_after,
+            duration,
+            mode: PartitionMode::Drop,
+        }
+    }
+
+    /// The island: the lowest-identifier non-source nodes making up
+    /// `fraction` of the initial `population`. Deterministic, so benches
+    /// and invariant checkers can name the cut-away nodes without access to
+    /// engine internals.
+    pub fn island(&self, population: u32) -> Vec<NodeId> {
+        let count = ((population as f64) * self.fraction).round() as u32;
+        let count = count.clamp(1, population.saturating_sub(1).max(1));
+        (1..=count).map(NodeId).collect()
+    }
+
+    /// The simulator-level partition for a stream starting at
+    /// `stream_start` over `population` initial nodes.
+    pub fn to_partition(&self, stream_start: SimTime, population: u32) -> PartitionSpec {
+        let start = stream_start + self.start_after;
+        PartitionSpec::new(
+            self.island(population),
+            start,
+            start + self.duration,
+            self.mode,
+        )
+    }
+}
+
+impl FaultSpec {
+    /// A pure per-link loss profile.
+    pub fn loss(loss_rate: f64) -> Self {
+        FaultSpec {
+            loss_rate,
+            ..Default::default()
+        }
+    }
+
+    /// True if this spec cannot affect the run in any way — the engine then
+    /// skips the fault plumbing entirely, guaranteeing bit-identical
+    /// execution to a run without it.
+    pub fn is_inert(&self) -> bool {
+        self.link_faults().is_inert() && self.partition.is_none()
+    }
+
+    /// The simulator-level stochastic profile.
+    pub fn link_faults(&self) -> LinkFaults {
+        LinkFaults {
+            loss_rate: self.loss_rate,
+            jitter: self.jitter,
+            latency_factor: self.latency_factor,
+        }
+    }
+}
+
 /// Full specification of a BRISA experiment run.
 #[derive(Debug, Clone)]
 pub struct BrisaScenario {
@@ -161,6 +270,9 @@ pub struct BrisaScenario {
     pub stream: StreamSpec,
     /// Optional churn phase running concurrently with the stream.
     pub churn: Option<ChurnSpec>,
+    /// Adversarial network conditions (loss, jitter, partitions). Inert by
+    /// default.
+    pub faults: FaultSpec,
     /// Time allotted for the join phase and overlay stabilisation before the
     /// stream starts.
     pub bootstrap: SimDuration,
@@ -181,6 +293,7 @@ impl Default for BrisaScenario {
             seed: 0xB215A,
             stream: StreamSpec::default(),
             churn: None,
+            faults: FaultSpec::default(),
             bootstrap: SimDuration::from_secs(30),
             drain: SimDuration::from_secs(20),
         }
@@ -204,6 +317,9 @@ pub struct BaselineScenario {
     /// Optional churn phase (only TAG reacts meaningfully; SimpleTree and
     /// SimpleGossip tolerate it passively).
     pub churn: Option<ChurnSpec>,
+    /// Adversarial network conditions (loss, jitter, partitions). Inert by
+    /// default.
+    pub faults: FaultSpec,
     /// Bootstrap duration.
     pub bootstrap: SimDuration,
     /// Drain duration after the last injection.
@@ -219,6 +335,7 @@ impl Default for BaselineScenario {
             seed: 0xB215A,
             stream: StreamSpec::default(),
             churn: None,
+            faults: FaultSpec::default(),
             bootstrap: SimDuration::from_secs(30),
             drain: SimDuration::from_secs(30),
         }
@@ -330,5 +447,48 @@ mod tests {
     fn testbed_models_build() {
         let _c = Testbed::Cluster.latency_model(1);
         let _p = Testbed::PlanetLab.latency_model(1);
+    }
+
+    #[test]
+    fn default_fault_spec_is_inert() {
+        let spec = FaultSpec::default();
+        assert!(spec.is_inert());
+        assert!(spec.link_faults().is_inert());
+        assert!(!FaultSpec::loss(0.01).is_inert());
+        assert!(!FaultSpec {
+            partition: Some(PartitionPhase::drop(
+                0.25,
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(10),
+            )),
+            ..Default::default()
+        }
+        .is_inert());
+    }
+
+    #[test]
+    fn partition_phase_island_and_window() {
+        let phase =
+            PartitionPhase::drop(0.25, SimDuration::from_secs(5), SimDuration::from_secs(10));
+        let island = phase.island(48);
+        assert_eq!(island.len(), 12);
+        assert_eq!(island.first(), Some(&NodeId(1)), "the source is never cut");
+        let spec = phase.to_partition(SimTime::from_secs(30), 48);
+        assert_eq!(spec.start, SimTime::from_secs(35));
+        assert_eq!(spec.end, SimTime::from_secs(45));
+        assert_eq!(spec.island(), island.as_slice());
+        // Degenerate fractions stay within [1, population - 1].
+        assert_eq!(
+            PartitionPhase::drop(0.0, SimDuration::ZERO, SimDuration::ZERO)
+                .island(10)
+                .len(),
+            1
+        );
+        assert_eq!(
+            PartitionPhase::drop(5.0, SimDuration::ZERO, SimDuration::ZERO)
+                .island(10)
+                .len(),
+            9
+        );
     }
 }

@@ -8,41 +8,8 @@ use brisa_baselines::TagNode;
 use brisa_simnet::SimDuration;
 use brisa_workloads::{
     derive_seed, run_brisa, run_experiment, run_matrix, run_matrix_sequential, run_tag,
-    BaselineScenario, BrisaScenario, BrisaStackConfig, ChurnSpec, EngineResult, RunSpec,
-    StreamSpec,
+    BaselineScenario, BrisaScenario, BrisaStackConfig, ChurnSpec, RunSpec, StreamSpec,
 };
-
-/// A compact, fully ordered fingerprint of an engine result. Two runs with
-/// identical behaviour produce identical fingerprints; any reordering or
-/// numeric drift shows up.
-fn fingerprint(r: &EngineResult) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    write!(
-        out,
-        "{}|src={}|msgs={}|fails={}|joins={}|",
-        r.protocol, r.source.0, r.messages_published, r.failures_injected, r.joins_injected
-    )
-    .unwrap();
-    for t in &r.publish_times {
-        write!(out, "p{};", t.as_micros()).unwrap();
-    }
-    for n in &r.nodes {
-        write!(
-            out,
-            "n{}:d{}:dup{:.6}:par{:?}:rt{:?}:bw{}-{};",
-            n.id.0,
-            n.report.delivered,
-            n.report.duplicates_per_message,
-            n.report.parents.iter().map(|p| p.0).collect::<Vec<_>>(),
-            n.routing_delay_ms.map(|d| (d * 1e6) as u64),
-            n.bandwidth.stab_up_bytes + n.bandwidth.diss_up_bytes,
-            n.bandwidth.stab_down_bytes + n.bandwidth.diss_down_bytes,
-        )
-        .unwrap();
-    }
-    out
-}
 
 fn brisa_cell(seed: u64, nodes: u32) -> BrisaScenario {
     BrisaScenario {
@@ -70,10 +37,7 @@ fn run_matrix_parallel_is_bit_identical_to_sequential() {
         brisa: sc.brisa_config(),
     };
     let run = |_i: usize, sc: &BrisaScenario| {
-        fingerprint(&run_experiment::<BrisaNode>(
-            &cfg_of(sc),
-            &RunSpec::from(sc),
-        ))
+        run_experiment::<BrisaNode>(&cfg_of(sc), &RunSpec::from(sc)).fingerprint()
     };
     let parallel = run_matrix(&cells, run);
     let sequential = run_matrix_sequential(&cells, run);
@@ -97,13 +61,14 @@ fn derived_seed_cells_are_reproducible() {
     let indices: Vec<u64> = (0..4).collect();
     let run = |i: usize, &base: &u64| {
         let sc = brisa_cell(derive_seed(base, i as u64), 16);
-        fingerprint(&run_experiment::<BrisaNode>(
+        run_experiment::<BrisaNode>(
             &BrisaStackConfig {
                 hpv: sc.hyparview_config(),
                 brisa: sc.brisa_config(),
             },
             &RunSpec::from(&sc),
-        ))
+        )
+        .fingerprint()
     };
     assert_eq!(
         run_matrix(&indices, run),

@@ -63,27 +63,6 @@ proptest! {
     }
 }
 
-/// A compact fingerprint of everything behaviour-relevant in an engine run.
-fn engine_fingerprint(r: &brisa_workloads::EngineResult) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    write!(out, "{}|ev={}|", r.protocol, r.sim_events).unwrap();
-    for t in &r.publish_times {
-        write!(out, "p{};", t.as_micros()).unwrap();
-    }
-    for n in &r.nodes {
-        write!(
-            out,
-            "n{}:d{}:par{:?};",
-            n.id.0,
-            n.report.delivered,
-            n.report.parents.iter().map(|p| p.0).collect::<Vec<_>>(),
-        )
-        .unwrap();
-    }
-    out
-}
-
 fn sched_check_cell(seed: u64) -> (BrisaStackConfig, BrisaScenario) {
     let sc = BrisaScenario {
         seed,
@@ -107,7 +86,7 @@ fn engine_runs_identical_on_both_schedulers() {
         let run = |scheduler: SchedulerKind| {
             let mut spec = RunSpec::from(&sc);
             spec.scheduler = scheduler;
-            engine_fingerprint(&run_experiment::<brisa::BrisaNode>(&cfg, &spec))
+            run_experiment::<brisa::BrisaNode>(&cfg, &spec).fingerprint()
         };
         assert_eq!(
             run(SchedulerKind::TimingWheel),
@@ -127,7 +106,7 @@ fn run_matrix_is_deterministic_on_timing_wheel() {
         let (cfg, sc) = sched_check_cell(seed);
         let mut spec = RunSpec::from(&sc);
         spec.scheduler = SchedulerKind::TimingWheel;
-        engine_fingerprint(&run_experiment::<brisa::BrisaNode>(&cfg, &spec))
+        run_experiment::<brisa::BrisaNode>(&cfg, &spec).fingerprint()
     };
     let parallel = run_matrix(&seeds, run);
     let sequential = run_matrix_sequential(&seeds, run);

@@ -1,0 +1,181 @@
+//! Scheduler equivalence pinned per experiment.
+//!
+//! `tests/integration_properties.rs` proves the timing wheel and the
+//! `BinaryHeap` reference pop identically on synthetic op streams and on
+//! one BRISA workload; this suite pins the same golden guarantee for
+//! **every figure/table scenario family** of the paper at `small_test`
+//! scale: each experiment, shrunk to a few seconds of simulated time, must
+//! produce a bit-identical fingerprint under both schedulers. A divergence
+//! anywhere in the stack — scheduler, fault layer, protocol — names the
+//! experiment it broke.
+
+use brisa::BrisaNode;
+use brisa_baselines::{
+    FloodNode, GossipConfig, SimpleGossipNode, SimpleTreeNode, TagConfig, TagNode,
+};
+use brisa_membership::HyParViewConfig;
+use brisa_simnet::SimDuration;
+use brisa_workloads::{
+    run_experiment, scenarios, BaselineScenario, BrisaScenario, BrisaStackConfig, ChurnSpec,
+    DisseminationProtocol, RunSpec, Scale, SchedulerKind, StreamSpec,
+};
+
+/// Runs `P` on both schedulers and asserts fingerprint equality.
+fn assert_scheduler_equivalence<P: DisseminationProtocol>(
+    family: &str,
+    cfg: &P::Config,
+    spec: &RunSpec,
+) {
+    let run = |scheduler: SchedulerKind| {
+        let mut spec = spec.clone();
+        spec.scheduler = scheduler;
+        run_experiment::<P>(cfg, &spec).fingerprint()
+    };
+    let wheel = run(SchedulerKind::TimingWheel);
+    let heap = run(SchedulerKind::BinaryHeap);
+    assert_eq!(
+        wheel, heap,
+        "experiment family `{family}`: schedulers diverged"
+    );
+    assert!(
+        wheel.contains(":d"),
+        "experiment family `{family}`: fingerprint is vacuous"
+    );
+}
+
+/// Shrinks any BRISA scenario to `small_test` scale while preserving its
+/// qualitative knobs (mode, strategy, testbed, view size, churn, faults).
+fn shrink(sc: BrisaScenario) -> BrisaScenario {
+    BrisaScenario {
+        nodes: sc.nodes.min(28),
+        stream: StreamSpec::short(6, 256),
+        churn: sc.churn.map(|c| ChurnSpec {
+            interval: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(30),
+            ..c
+        }),
+        bootstrap: SimDuration::from_secs(20),
+        drain: SimDuration::from_secs(10),
+        ..sc
+    }
+}
+
+fn check_brisa(family: &str, sc: BrisaScenario) {
+    let sc = shrink(sc);
+    let cfg = BrisaStackConfig {
+        hpv: sc.hyparview_config(),
+        brisa: sc.brisa_config(),
+    };
+    assert_scheduler_equivalence::<BrisaNode>(family, &cfg, &RunSpec::from(&sc));
+}
+
+fn small_baseline(nodes: u32, view_size: usize) -> BaselineScenario {
+    BaselineScenario {
+        view_size,
+        stream: StreamSpec::short(6, 256),
+        drain: SimDuration::from_secs(10),
+        ..BaselineScenario::small_test(nodes)
+    }
+}
+
+#[test]
+fn fig02_duplicates_flood() {
+    let (_, _, payload, views) = scenarios::fig2(Scale::Quick);
+    let sc = BaselineScenario {
+        stream: StreamSpec::short(6, payload),
+        ..small_baseline(24, views[0])
+    };
+    let cfg = HyParViewConfig::with_active_size(sc.view_size);
+    assert_scheduler_equivalence::<FloodNode>("fig02", &cfg, &RunSpec::from(&sc));
+}
+
+#[test]
+fn fig06_07_depth_degree() {
+    for (i, sc) in scenarios::fig6_7(Scale::Quick).into_iter().enumerate() {
+        // One tree and one DAG cell pin the family; the other two only
+        // vary the view size.
+        if i == 0 || i == 2 {
+            check_brisa("fig06_07", sc);
+        }
+    }
+}
+
+#[test]
+fn fig08_tree_shape() {
+    let sc = scenarios::fig8(Scale::Quick).remove(0);
+    check_brisa("fig08", sc);
+}
+
+#[test]
+fn fig09_routing_delay_planetlab() {
+    // The delay-aware cell exercises the PlanetLab latency model and the
+    // RTT-driven strategy.
+    let sc = scenarios::fig9(Scale::Quick).remove(1);
+    check_brisa("fig09", sc);
+}
+
+#[test]
+fn fig10_11_bandwidth() {
+    let (_, mut cells) = scenarios::fig10_11(Scale::Quick);
+    check_brisa("fig10_11", cells.remove(0));
+}
+
+#[test]
+fn fig12_table2_comparison_baselines() {
+    let (_, _, stream) = scenarios::comparison(Scale::Quick);
+    let sc = BaselineScenario {
+        stream: StreamSpec {
+            messages: 6,
+            ..stream
+        },
+        ..small_baseline(24, 4)
+    };
+    let spec = RunSpec::from(&sc);
+    assert_scheduler_equivalence::<TagNode>("table2/tag", &TagConfig::default(), &spec);
+    assert_scheduler_equivalence::<SimpleTreeNode>("table2/simple_tree", &(), &spec);
+    assert_scheduler_equivalence::<SimpleGossipNode>(
+        "table2/simple_gossip",
+        &GossipConfig::default(),
+        &spec,
+    );
+}
+
+#[test]
+fn fig13_construction_time_tag_planetlab() {
+    let (testbed, _) = scenarios::fig13(Scale::Quick)[1];
+    let sc = BaselineScenario {
+        testbed,
+        ..small_baseline(24, 4)
+    };
+    assert_scheduler_equivalence::<TagNode>("fig13", &TagConfig::default(), &RunSpec::from(&sc));
+}
+
+#[test]
+fn table1_churn_grid() {
+    let (_, _, _, sc) = scenarios::table1(Scale::Quick).remove(0);
+    check_brisa("table1", sc);
+}
+
+#[test]
+fn fig14_recovery_under_churn() {
+    let (nodes, churn, stream) = scenarios::fig14(Scale::Quick);
+    check_brisa(
+        "fig14",
+        BrisaScenario {
+            nodes,
+            churn: Some(churn),
+            stream,
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+fn fault_sweeps_scheduler_equivalence() {
+    // The new adversarial scenarios are pinned like every other family:
+    // loss and partition runs must be scheduler-independent too.
+    let (_, sc) = scenarios::fault_loss_sweep(Scale::Quick).remove(2);
+    check_brisa("fault_loss", sc);
+    let (_, sc) = scenarios::fault_partition_sweep(Scale::Quick).remove(0);
+    check_brisa("fault_partition", sc);
+}

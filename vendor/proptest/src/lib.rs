@@ -2,7 +2,8 @@
 //!
 //! Implements the subset the workspace's property tests use: the
 //! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, range and tuple
-//! strategies, [`collection::vec`], [`any`] and [`ProptestConfig`]. Cases
+//! strategies, [`collection::vec`], [`any`], [`prop_oneof!`] with optional
+//! weights, `Just`, `prop_map` and [`ProptestConfig`]. Cases
 //! are drawn from a deterministic per-case RNG; there is **no shrinking** —
 //! a failing case panics with the drawn values' debug representation, which
 //! is reproducible because the stream is fixed.
@@ -72,6 +73,78 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (the real crate's
+        /// `Strategy::prop_map`).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// The constant strategy: always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A weighted union of same-valued strategies (the engine behind
+    /// [`crate::prop_oneof!`]). Weights are relative draw frequencies.
+    pub struct Union<V> {
+        options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options, total }
+        }
+    }
+
+    /// Type-erases a strategy for [`Union::new`] (lets [`crate::prop_oneof!`]
+    /// build a homogeneous vector out of heterogeneous strategy types).
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.next_u64() % self.total;
+            for (weight, strategy) in &self.options {
+                if pick < *weight as u64 {
+                    return strategy.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick within total")
+        }
     }
 
     macro_rules! impl_int_range {
@@ -201,9 +274,25 @@ pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
 
 /// Everything a property-test file usually imports.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Picks one of several same-valued strategies per draw, optionally
+/// weighted (`weight => strategy`). Mirrors the real crate's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
 }
 
 /// Asserts a condition inside a property (plain `assert!` here: the stub
