@@ -1,0 +1,188 @@
+//! Throughput benchmark of the live runtime: BRISA on the loopback mesh,
+//! wall-clock time, real frames through the wire codec.
+//!
+//! Sweeps a nodes × payload grid; each cell boots a [`Cluster`], publishes
+//! a fixed-cadence stream, waits for full delivery and reports:
+//!
+//! * **deliveries/sec** — (node × message) delivery events per wall
+//!   second, the live counterpart of the sim bench's events/sec;
+//! * **delivery latency CDF** — injection-to-first-delivery percentiles
+//!   over every (node, message) pair;
+//! * frame/byte totals as moved by the codec (length prefixes included).
+//!
+//! Every cell must reach **100% delivery** — the binary asserts it, so CI
+//! catches a runtime regression the way the fault sweep catches protocol
+//! ones. Results go to `BENCH_PR4.json` (override with `BRISA_BENCH_OUT`);
+//! schema in DESIGN.md. Pass `--smoke` (or run at the default quick scale)
+//! for the CI-sized grid; `BRISA_SCALE=full` widens it.
+
+use brisa::{BrisaConfig, BrisaNode};
+use brisa_bench::{banner, BrisaStackConfig, Scale};
+use brisa_membership::HyParViewConfig;
+use brisa_metrics::percentile::percentile_of_sorted;
+use brisa_metrics::report::render_table;
+use brisa_metrics::PercentileSummary;
+use brisa_runtime::{Cluster, ClusterConfig, LiveResult, TransportKind};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One grid cell's measurements.
+struct Cell {
+    nodes: u32,
+    payload: usize,
+    messages: u64,
+    result: LiveResult,
+    latency: PercentileSummary,
+    p99_ms: f64,
+}
+
+fn run_cell(nodes: u32, payload: usize, messages: u64, seed: u64) -> Cell {
+    let cfg = ClusterConfig {
+        nodes,
+        transport: TransportKind::Loopback,
+        seed,
+        ..Default::default()
+    };
+    let stack = BrisaStackConfig {
+        hpv: HyParViewConfig::with_active_size(4),
+        brisa: BrisaConfig::default(),
+    };
+    let mut cluster: Cluster<BrisaNode> =
+        Cluster::launch(&cfg, &stack).expect("launch loopback cluster");
+    // Let the overlay and the first dissemination structure form.
+    cluster.run_for(Duration::from_millis(400));
+    for _ in 0..messages {
+        cluster.publish(payload);
+        cluster.run_for(Duration::from_millis(25));
+    }
+    let complete = cluster.wait_for_delivery(messages, Duration::from_secs(120));
+    let result = cluster.stop_and_collect();
+    assert!(
+        complete && result.delivery_rate() == 1.0,
+        "cell {nodes}x{payload}: delivery incomplete (rate {})",
+        result.delivery_rate()
+    );
+    result
+        .check_delivery_invariants()
+        .expect("live trace passes the delivery invariants");
+    let mut samples = result.latency_samples_ms();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let latency = PercentileSummary::from_samples(samples.iter().copied());
+    let p99_ms = percentile_of_sorted(&samples, 99.0);
+    Cell {
+        nodes,
+        payload,
+        messages,
+        result,
+        latency,
+        p99_ms,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "bench_runtime_throughput",
+        "live loopback-mesh cluster: msgs/sec and delivery latency CDF",
+        scale,
+    );
+
+    // The 64-node × 1 KiB cell is the acceptance row and runs at every
+    // scale, smoke included.
+    let grid: Vec<(u32, usize)> = if smoke {
+        vec![(16, 256), (64, 1024)]
+    } else {
+        scale.pick(
+            vec![(16, 256), (32, 1024), (64, 1024), (64, 8192), (128, 1024)],
+            vec![(16, 256), (32, 1024), (64, 1024)],
+        )
+    };
+    let messages: u64 = if smoke { 10 } else { scale.pick(50, 20) };
+
+    let cells: Vec<Cell> = grid
+        .iter()
+        .map(|&(nodes, payload)| run_cell(nodes, payload, messages, 0xB215A))
+        .collect();
+
+    let headers = [
+        "nodes",
+        "payload B",
+        "msgs",
+        "delivery",
+        "deliv/s",
+        "lat p50 ms",
+        "lat p90 ms",
+        "lat p99 ms",
+        "MB out",
+    ];
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let (_, bytes) = c.result.frames_and_bytes_out();
+            vec![
+                c.nodes.to_string(),
+                c.payload.to_string(),
+                c.messages.to_string(),
+                format!("{:.1}%", c.result.delivery_rate() * 100.0),
+                format!("{:.0}", c.result.deliveries_per_sec()),
+                format!("{:.2}", c.latency.p50),
+                format!("{:.2}", c.latency.p90),
+                format!("{:.2}", c.p99_ms),
+                format!("{:.2}", bytes as f64 / 1.0e6),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&headers, &rows));
+
+    assert!(
+        cells
+            .iter()
+            .any(|c| c.nodes == 64 && c.payload == 1024 && c.result.delivery_rate() == 1.0),
+        "the 64-node x 1 KiB acceptance cell must run and fully deliver"
+    );
+
+    // --- BENCH_PR4.json (schema: brisa-bench-pr4/v1, see DESIGN.md).
+    let mut cells_json = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            cells_json.push_str(",\n");
+        }
+        let (frames, bytes) = c.result.frames_and_bytes_out();
+        write!(
+            cells_json,
+            "    {{\"nodes\": {}, \"payload_bytes\": {}, \"messages\": {}, \
+             \"delivery_rate\": {:.6}, \"deliveries_per_sec\": {:.1}, \
+             \"wall_secs\": {:.3}, \"frames_out\": {}, \"bytes_out\": {}, \
+             \"latency_ms\": {{\"p5\": {:.3}, \"p25\": {:.3}, \"p50\": {:.3}, \
+             \"p75\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \
+             \"count\": {}}}}}",
+            c.nodes,
+            c.payload,
+            c.messages,
+            c.result.delivery_rate(),
+            c.result.deliveries_per_sec(),
+            c.result.wall_elapsed.as_secs_f64(),
+            frames,
+            bytes,
+            c.latency.p5,
+            c.latency.p25,
+            c.latency.p50,
+            c.latency.p75,
+            c.latency.p90,
+            c.p99_ms,
+            c.latency.mean,
+            c.latency.count,
+        )
+        .unwrap();
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"brisa-bench-pr4/v1\",\n  \"scale\": \"{:?}\",\n  \
+         \"transport\": \"loopback\",\n  \"protocol\": \"Brisa\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+        scale, cells_json
+    );
+    let out_path =
+        std::env::var("BRISA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    std::fs::write(&out_path, json).expect("write bench result file");
+    println!("\nwrote {out_path}");
+}

@@ -239,9 +239,23 @@ impl BrisaCore {
     ) -> Vec<BrisaAction> {
         match msg {
             BrisaMsg::Data(data) => self.handle_data(now, from, data, telemetry),
-            BrisaMsg::Deactivate => {
+            BrisaMsg::Deactivate { symmetric } => {
                 self.links.deactivate_outbound(from);
-                Vec::new()
+                let mut actions = Vec::new();
+                // A symmetric deactivation means the sender also stopped
+                // relaying to us. If we considered it a parent, that
+                // parenthood is dead — clinging to it would starve this
+                // node silently (no data, no link-down, no gap evidence),
+                // so treat it as a parent loss and repair.
+                if symmetric && !self.is_source && self.links.is_parent(from) {
+                    self.links.drop_parent(from);
+                    self.stats.parents_lost.push(now);
+                    if self.links.parent_count() == 0 {
+                        self.stats.orphaned.push(now);
+                        self.start_repair(now, &mut actions);
+                    }
+                }
+                actions
             }
             BrisaMsg::Activate => {
                 self.links.reactivate_outbound(from);
@@ -369,11 +383,11 @@ impl BrisaCore {
         } else {
             // Steady-state duplicate: keep the incumbent parents and silence
             // the surplus sender.
-            self.deactivate(now, from, &mut actions);
-            if self.cfg.symmetric_deactivation
+            let symmetric = self.cfg.symmetric_deactivation
                 && self.cfg.strategy == ParentStrategy::FirstComeFirstPicked
-                && self.cfg.mode.is_tree()
-            {
+                && self.cfg.mode.is_tree();
+            self.deactivate_flagged(now, from, symmetric, &mut actions);
+            if symmetric {
                 self.links.deactivate_outbound(from);
             }
         }
@@ -509,13 +523,25 @@ impl BrisaCore {
 
     /// Whether `from` may be adopted as a new parent right now.
     ///
-    /// Tree mode: exactly the path-embedding check. DAG mode: the sender's
-    /// depth must be strictly smaller, or equal with a deterministic
-    /// identifier tie-break. The tie-break prevents two equal-depth nodes
-    /// from adopting each other based on in-flight (stale) depth labels,
-    /// which would create a two-node cycle the approximate scheme could not
-    /// detect.
+    /// The sender must be a *current overlay neighbor*: the dissemination
+    /// structure is embedded in the overlay, and a sender we no longer hold
+    /// a membership link to will never put us back among its outbound-active
+    /// children — adopting it (e.g. from the data burst answering a repair
+    /// `Activate` that crossed paths with our eviction from the sender's
+    /// view) would leave this node with a parent that never relays again, a
+    /// silent permanent starvation. The simulator's seeded schedules do not
+    /// produce that interleaving; the live runtime's wall-clock ones do.
+    ///
+    /// Beyond that — tree mode: exactly the path-embedding check. DAG mode:
+    /// the sender's depth must be strictly smaller, or equal with a
+    /// deterministic identifier tie-break. The tie-break prevents two
+    /// equal-depth nodes from adopting each other based on in-flight
+    /// (stale) depth labels, which would create a two-node cycle the
+    /// approximate scheme could not detect.
     fn can_adopt(&self, from: NodeId, guard: &CycleGuard) -> bool {
+        if !self.links.is_neighbor(from) {
+            return false;
+        }
         match (&self.cycle, guard) {
             (CycleState::Depth(my_depth), CycleGuard::Depth(sender_depth)) => match my_depth {
                 None => true,
@@ -640,6 +666,20 @@ impl BrisaCore {
     /// Sends a deactivation for the inbound link from `peer` and updates the
     /// construction-time bookkeeping.
     fn deactivate(&mut self, now: SimTime, peer: NodeId, actions: &mut Vec<BrisaAction>) {
+        self.deactivate_flagged(now, peer, false, actions);
+    }
+
+    /// [`Self::deactivate`] with an explicit symmetric flag: `symmetric`
+    /// is set by the caller that *also* deactivates its own outbound link
+    /// towards `peer` (Section II-E), telling the peer both directions are
+    /// dead.
+    fn deactivate_flagged(
+        &mut self,
+        now: SimTime,
+        peer: NodeId,
+        symmetric: bool,
+        actions: &mut Vec<BrisaAction>,
+    ) {
         let was_parent = self.links.is_parent(peer);
         self.links.deactivate_inbound(peer);
         self.stats.deactivations_sent += 1;
@@ -648,7 +688,7 @@ impl BrisaCore {
         }
         actions.push(BrisaAction::Send {
             to: peer,
-            msg: BrisaMsg::Deactivate,
+            msg: BrisaMsg::Deactivate { symmetric },
         });
         let _ = was_parent;
         self.check_construction(now);
@@ -701,14 +741,16 @@ impl BrisaCore {
             // or an explicit depth update (DAG mode).
             self.update_position(guard, actions);
         } else {
-            self.deactivate(now, from, actions);
             // Symmetric deactivation (Section II-E): under first-come
             // first-picked we know we cannot be `from`'s parent either, so we
-            // stop relaying to it without waiting for its deactivation.
-            if self.cfg.symmetric_deactivation
+            // stop relaying to it without waiting for its deactivation — and
+            // say so on the wire, so a stale parenthood on the other side
+            // dies with the link.
+            let symmetric = self.cfg.symmetric_deactivation
                 && self.cfg.strategy == ParentStrategy::FirstComeFirstPicked
-                && self.cfg.mode.is_tree()
-            {
+                && self.cfg.mode.is_tree();
+            self.deactivate_flagged(now, from, symmetric, actions);
+            if symmetric {
                 self.links.deactivate_outbound(from);
             }
         }
@@ -1111,7 +1153,7 @@ mod tests {
             a,
             BrisaAction::Send {
                 to: NodeId(1),
-                msg: BrisaMsg::Deactivate
+                msg: BrisaMsg::Deactivate { .. }
             }
         )));
         assert_eq!(source.links().inbound_active_count(), 0);
@@ -1140,7 +1182,7 @@ mod tests {
             a,
             BrisaAction::Send {
                 to: NodeId(1),
-                msg: BrisaMsg::Deactivate
+                msg: BrisaMsg::Deactivate { .. }
             }
         )));
         // Still delivered to the application exactly once.
@@ -1186,7 +1228,7 @@ mod tests {
             a,
             BrisaAction::Send {
                 to: NodeId(2),
-                msg: BrisaMsg::Deactivate
+                msg: BrisaMsg::Deactivate { .. }
             }
         )));
         assert!(!core.links().is_outbound_active(NodeId(2)));
@@ -1238,7 +1280,7 @@ mod tests {
             a,
             BrisaAction::Send {
                 to: NodeId(1),
-                msg: BrisaMsg::Deactivate
+                msg: BrisaMsg::Deactivate { .. }
             }
         )));
     }
@@ -1492,7 +1534,7 @@ mod tests {
         let _ = core.handle(
             SimTime::from_millis(1),
             NodeId(2),
-            BrisaMsg::Deactivate,
+            BrisaMsg::Deactivate { symmetric: false },
             &NoTelemetry,
         );
         assert!(!core.links().is_outbound_active(NodeId(2)));

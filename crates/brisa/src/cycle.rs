@@ -34,11 +34,15 @@ pub enum CycleGuard {
 }
 
 impl CycleGuard {
-    /// Metadata size on the wire in bytes.
+    /// Metadata size on the wire in bytes: a one-byte guard kind, then
+    /// either an explicit `u16` hop count followed by the path entries, or a
+    /// `u32` depth. This matches `runtime::wire`'s encoding byte for byte
+    /// (asserted by the codec tests), so the simulator's bandwidth
+    /// accounting charges exactly what a live transport carries.
     pub fn wire_size(&self) -> usize {
         match self {
-            CycleGuard::Path(p) => p.len() * NodeId::WIRE_SIZE,
-            CycleGuard::Depth(_) => 4,
+            CycleGuard::Path(p) => 1 + 2 + p.len() * NodeId::WIRE_SIZE,
+            CycleGuard::Depth(_) => 1 + 4,
         }
     }
 
@@ -334,10 +338,10 @@ mod tests {
     #[test]
     fn guards_report_sizes_and_hops() {
         let p = CycleGuard::Path(vec![NodeId(0), NodeId(1), NodeId(2)]);
-        assert_eq!(p.wire_size(), 3 * NodeId::WIRE_SIZE);
+        assert_eq!(p.wire_size(), 1 + 2 + 3 * NodeId::WIRE_SIZE);
         assert_eq!(p.hops(), 3);
         let d = CycleGuard::Depth(9);
-        assert_eq!(d.wire_size(), 4);
+        assert_eq!(d.wire_size(), 5);
         assert_eq!(d.hops(), 9);
     }
 

@@ -44,7 +44,16 @@ pub enum BrisaMsg {
     Data(Arc<DataMsg>),
     /// "Stop relaying stream data to me": the receiver marks its outgoing
     /// link towards the sender as inactive.
-    Deactivate,
+    Deactivate {
+        /// True when the sender *also* deactivated its own outgoing link
+        /// towards the receiver (the symmetric deactivation optimisation of
+        /// Section II-E). The flag makes the optimisation sound: a receiver
+        /// that considered the sender its parent learns the parenthood is
+        /// dead — without it the reverse link dies silently and a stale
+        /// parent pointer starves the receiver for good (an interleaving
+        /// the live runtime's wall-clock schedules actually produce).
+        symmetric: bool,
+    },
     /// "Resume relaying stream data to me": the receiver marks its outgoing
     /// link towards the sender as active again (used by the repair
     /// mechanisms).
@@ -75,7 +84,8 @@ impl WireSize for BrisaMsg {
     fn wire_size(&self) -> usize {
         let body = match self {
             BrisaMsg::Data(d) => 8 + 4 + 4 + 2 + d.guard.wire_size() + d.payload_bytes,
-            BrisaMsg::Deactivate | BrisaMsg::Activate | BrisaMsg::ReactivationOrder => 0,
+            BrisaMsg::Deactivate { .. } => 1,
+            BrisaMsg::Activate | BrisaMsg::ReactivationOrder => 0,
             BrisaMsg::DepthUpdate { .. } => 4,
             BrisaMsg::Retransmit { .. } => 16,
         };
@@ -152,15 +162,17 @@ mod tests {
             1024,
             CycleGuard::Path(vec![NodeId(0), NodeId(1), NodeId(2)]),
         ));
+        // A 3-hop path guard (kind + count + entries) replaces the 5-byte
+        // depth guard (kind + u32).
         assert_eq!(
             path_guard.wire_size() - small.wire_size(),
-            3 * NodeId::WIRE_SIZE - 4
+            (1 + 2 + 3 * NodeId::WIRE_SIZE) - 5
         );
     }
 
     #[test]
     fn control_messages_are_small() {
-        assert!(BrisaMsg::Deactivate.wire_size() <= 2 * BRISA_HEADER_BYTES);
+        assert!(BrisaMsg::Deactivate { symmetric: true }.wire_size() <= 2 * BRISA_HEADER_BYTES);
         assert!(BrisaMsg::Activate.wire_size() <= 2 * BRISA_HEADER_BYTES);
         assert!(BrisaMsg::ReactivationOrder.wire_size() <= 2 * BRISA_HEADER_BYTES);
         assert_eq!(
@@ -181,7 +193,7 @@ mod tests {
         let actions = vec![
             BrisaAction::Send {
                 to: NodeId(1),
-                msg: BrisaMsg::Deactivate,
+                msg: BrisaMsg::Deactivate { symmetric: false },
             },
             BrisaAction::Deliver { seq: 3 },
             BrisaAction::Send {

@@ -335,8 +335,8 @@ mod tests {
             HpvMsg::Join.wire_size()
         );
         assert_eq!(
-            StackMsg::Brisa(BrisaMsg::Deactivate).wire_size(),
-            BrisaMsg::Deactivate.wire_size()
+            StackMsg::Brisa(BrisaMsg::Deactivate { symmetric: false }).wire_size(),
+            BrisaMsg::Deactivate { symmetric: false }.wire_size()
         );
     }
 }

@@ -71,7 +71,9 @@ impl WireSize for CyclonMsg {
             CyclonMsg::ShuffleRequest { descriptors } => descriptors.len(),
             CyclonMsg::ShuffleResponse { descriptors } => descriptors.len(),
         };
-        CYCLON_HEADER_BYTES + n * DESCRIPTOR_BYTES
+        // An explicit u16 descriptor count precedes the entries, mirroring
+        // the `runtime::wire` encoding.
+        CYCLON_HEADER_BYTES + 2 + n * DESCRIPTOR_BYTES
     }
 }
 

@@ -69,10 +69,13 @@ impl WireSize for HpvMsg {
             HpvMsg::Neighbor { .. } => 1,
             HpvMsg::NeighborReply { .. } => 1,
             HpvMsg::Disconnect => 0,
+            // Node lists carry an explicit u16 count so a decoder does not
+            // have to infer the length from the frame size (matches
+            // `runtime::wire` byte for byte).
             HpvMsg::Shuffle { nodes, .. } => {
-                NodeId::WIRE_SIZE + nodes.len() * NodeId::WIRE_SIZE + 1
+                NodeId::WIRE_SIZE + 1 + 2 + nodes.len() * NodeId::WIRE_SIZE
             }
-            HpvMsg::ShuffleReply { nodes } => nodes.len() * NodeId::WIRE_SIZE,
+            HpvMsg::ShuffleReply { nodes } => 2 + nodes.len() * NodeId::WIRE_SIZE,
             HpvMsg::KeepAlive { .. } | HpvMsg::KeepAliveAck { .. } => 8,
         };
         HPV_HEADER_BYTES + body

@@ -1,0 +1,267 @@
+//! The cluster harness: boots N live nodes over a chosen transport, drives
+//! a broadcast workload and collects per-node reports.
+//!
+//! This is the live counterpart of `workloads::engine::run_experiment`: it
+//! builds nodes through the same [`DisseminationProtocol`] trait (same
+//! [`BuildCtx`] shape: node 0 is the source and contact point), publishes
+//! through `publish_message`, and collects the same
+//! [`NodeReport`](brisa_workloads::NodeReport)s into a [`LiveResult`] whose
+//! `delivery_rate()`/`completeness()` are computed with the sim engine's
+//! formulas — a simulated and a live run of one scenario are directly
+//! comparable.
+
+use crate::executor::{NodeRuntime, RuntimeMsg, WallClock};
+use crate::loopback::LoopbackMesh;
+use crate::report::{LiveNode, LiveResult};
+use crate::tcp::TcpMesh;
+use crate::transport::{FrameSink, Transport};
+use crate::wire::WireCodec;
+use brisa_simnet::{NodeId, SimTime};
+use brisa_workloads::{BuildCtx, DisseminationProtocol, NodeReport};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Which interconnect a cluster runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process MPSC mesh: no syscalls, measures stack + executor.
+    Loopback,
+    /// Real TCP sockets on `127.0.0.1`.
+    Tcp,
+}
+
+/// Parameters of a live cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (node 0 is the source and contact point).
+    pub nodes: u32,
+    /// The interconnect.
+    pub transport: TransportKind,
+    /// Base seed for the per-node deterministic RNGs.
+    pub seed: u64,
+    /// Pause between consecutive node launches. A small stagger mimics a
+    /// deployment script bringing nodes up one by one and keeps the
+    /// contact node from absorbing every join in the same instant.
+    pub join_stagger: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 8,
+            transport: TransportKind::Loopback,
+            seed: 42,
+            join_stagger: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A running live cluster of `P` nodes.
+pub struct Cluster<P: DisseminationProtocol>
+where
+    P: Send + 'static,
+    P::Message: WireCodec,
+{
+    clock: WallClock,
+    /// Slot per node; `None` after a kill.
+    runtimes: Vec<Option<NodeRuntime<P>>>,
+    source: NodeId,
+    original_nodes: u32,
+    publish_times: Vec<SimTime>,
+}
+
+impl<P> Cluster<P>
+where
+    P: DisseminationProtocol + Send + 'static,
+    P::Message: WireCodec,
+{
+    /// Boots a cluster: binds the interconnect, builds every node through
+    /// [`DisseminationProtocol::build`] and starts one executor thread per
+    /// node. Returns once every node is running.
+    pub fn launch(cfg: &ClusterConfig, proto_cfg: &P::Config) -> std::io::Result<Self> {
+        let n = cfg.nodes.max(1);
+        let clock = WallClock::new();
+
+        // Stage 1: create every node's channel and transport before any
+        // executor starts, so the earliest join already finds its contact
+        // attached (the TCP listeners are likewise all pre-bound).
+        enum Mesh {
+            Loopback(LoopbackMesh),
+            Tcp(TcpMesh),
+        }
+        let mesh = match cfg.transport {
+            TransportKind::Loopback => Mesh::Loopback(LoopbackMesh::new(n as usize)),
+            TransportKind::Tcp => Mesh::Tcp(TcpMesh::bind(n as usize)?),
+        };
+        #[allow(clippy::type_complexity)]
+        let mut plumbing: Vec<(
+            mpsc::Sender<RuntimeMsg<P>>,
+            mpsc::Receiver<RuntimeMsg<P>>,
+            Box<dyn Transport>,
+        )> = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let (tx, rx, sink): (_, _, Box<dyn FrameSink>) = NodeRuntime::<P>::channel();
+            let transport: Box<dyn Transport> = match &mesh {
+                Mesh::Loopback(m) => Box::new(m.attach(NodeId(i), sink)),
+                Mesh::Tcp(m) => Box::new(m.attach(NodeId(i), sink)),
+            };
+            plumbing.push((tx, rx, transport));
+        }
+
+        // Stage 2: build and start the nodes, source first.
+        let source = NodeId(0);
+        let mut runtimes = Vec::with_capacity(n as usize);
+        let mut prev = None;
+        for (i, (tx, rx, transport)) in plumbing.into_iter().enumerate() {
+            let i = i as u32;
+            let bctx = BuildCtx {
+                index: i,
+                population: n,
+                contact: (i > 0).then_some(source),
+                prev,
+                is_source: i == 0,
+            };
+            let proto = P::build(proto_cfg, NodeId(i), &bctx);
+            runtimes.push(Some(NodeRuntime::spawn(
+                NodeId(i),
+                proto,
+                cfg.seed,
+                clock,
+                transport,
+                tx,
+                rx,
+            )));
+            prev = Some(NodeId(i));
+            if !cfg.join_stagger.is_zero() && i + 1 < n {
+                std::thread::sleep(cfg.join_stagger);
+            }
+        }
+
+        Ok(Cluster {
+            clock,
+            runtimes,
+            source,
+            original_nodes: n,
+            publish_times: Vec::new(),
+        })
+    }
+
+    /// The stream source (node 0).
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The cluster's wall clock (microseconds since launch, as `SimTime`).
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Number of nodes still running.
+    pub fn alive(&self) -> usize {
+        self.runtimes.iter().flatten().count()
+    }
+
+    /// Publishes the next stream message at the source and records the
+    /// injection time. Panics if the source was killed — a phantom publish
+    /// would silently skew every delivery metric downstream.
+    pub fn publish(&mut self, payload_bytes: usize) {
+        let rt = self.runtimes[self.source.index()]
+            .as_ref()
+            .expect("publish through a killed source");
+        self.publish_times.push(self.clock.now());
+        rt.invoke(move |p, ctx| p.publish_message(ctx, payload_bytes));
+    }
+
+    /// Lets the cluster run for `d` of wall time.
+    pub fn run_for(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    /// Stops `id` (fail-stop from the peers' point of view: its transport
+    /// tears down and monitored connections surface link-downs). The node
+    /// is excluded from the final result, like a crashed simulator node.
+    pub fn kill(&mut self, id: NodeId) {
+        if let Some(rt) = self.runtimes[id.index()].take() {
+            rt.stop();
+            let _ = rt.join();
+        }
+    }
+
+    /// Snapshots every live node's report, in node order. Runs on the
+    /// nodes' own threads (consistent with their protocol state), so this
+    /// can be called mid-stream.
+    pub fn snapshot_reports(&self) -> Vec<(NodeId, NodeReport)> {
+        let (tx, rx) = mpsc::channel::<(NodeId, NodeReport)>();
+        let mut expected = 0;
+        for rt in self.runtimes.iter().flatten() {
+            let tx = tx.clone();
+            let id = rt.id();
+            rt.invoke(move |p, _ctx| {
+                let _ = tx.send((id, p.report()));
+            });
+            expected += 1;
+        }
+        drop(tx);
+        let mut reports = Vec::with_capacity(expected);
+        while let Ok(r) = rx.recv_timeout(Duration::from_secs(10)) {
+            reports.push(r);
+        }
+        reports.sort_by_key(|(id, _)| *id);
+        reports
+    }
+
+    /// Polls until every live non-source node has delivered `expected`
+    /// messages, or `deadline` of wall time elapsed. Returns whether the
+    /// target was reached. A node whose report snapshot timed out counts as
+    /// not done — a wedged executor must fail the wait, not vanish from it.
+    pub fn wait_for_delivery(&self, expected: u64, deadline: Duration) -> bool {
+        let end = Instant::now() + deadline;
+        loop {
+            let reports = self.snapshot_reports();
+            let done = reports.len() == self.alive()
+                && reports
+                    .iter()
+                    .filter(|(id, _)| *id != self.source)
+                    .all(|(_, r)| r.delivered >= expected);
+            if done {
+                return true;
+            }
+            if Instant::now() >= end {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Stops every node, joins the executor threads and assembles the
+    /// final [`LiveResult`].
+    pub fn stop_and_collect(self) -> LiveResult {
+        for rt in self.runtimes.iter().flatten() {
+            rt.stop();
+        }
+        let mut nodes = Vec::new();
+        for rt in self.runtimes.into_iter().flatten() {
+            let id = rt.id();
+            let (proto, stats) = rt.join();
+            nodes.push(LiveNode {
+                id,
+                report: proto.report(),
+                stats,
+            });
+        }
+        nodes.sort_by_key(|n| n.id);
+        // Elapsed time is measured on the cluster clock (the epoch every
+        // node stamps its telemetry against), so no report timestamp can
+        // exceed it.
+        let wall_elapsed = Duration::from_micros(self.clock.now().as_micros());
+        LiveResult {
+            protocol: P::protocol_name(),
+            source: self.source,
+            original_nodes: self.original_nodes,
+            messages_published: self.publish_times.len() as u64,
+            publish_times: self.publish_times,
+            nodes,
+            wall_elapsed,
+        }
+    }
+}

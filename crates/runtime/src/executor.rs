@@ -1,0 +1,294 @@
+//! The per-node executor: one thread driving a sans-IO [`Protocol`] in
+//! wall-clock time.
+//!
+//! The executor owns the protocol state, its deterministic RNG and a
+//! real-time timer queue, and loops on a single MPSC channel carrying
+//! inbound transport events and control messages. Every callback runs with
+//! a [`Context`] built through [`Context::external`]; the commands the
+//! protocol emits are drained afterwards and translated:
+//!
+//! * `Send` → encode through [`WireCodec`] and hand to the [`Transport`];
+//! * `SetTimer` → push `(Instant::now() + delay, seq, tag)` onto the timer
+//!   heap — the same [`TimerTag`] discipline as the simulator, with
+//!   insertion order breaking ties so same-instant timers fire in the
+//!   order they were set;
+//! * `OpenConnection` / `CloseConnection` → transport failure-detection
+//!   registration.
+//!
+//! Time: the node reports [`Context::now`] as microseconds of wall clock
+//! since the cluster's shared epoch, so `SimTime`-stamped telemetry
+//! (first-delivery records, repair delays) is directly comparable between
+//! a simulated run and a live one.
+
+use crate::transport::{FrameSink, NetEvent, Transport};
+use crate::wire::WireCodec;
+use brisa_simnet::{Command, Context, NodeId, Protocol, SimTime, TimerTag};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the executor parks when no timer is pending.
+const IDLE_PARK: Duration = Duration::from_millis(100);
+
+/// A monotonic wall clock shared by every node of a cluster; `now()` is the
+/// live counterpart of the simulator's global clock.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds of wall time since the epoch, as the simulator's time
+    /// type.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Byte/frame counters one executor accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeStats {
+    /// Frames decoded and dispatched to `on_message`.
+    pub frames_in: u64,
+    /// Bytes of those frames (length prefix included).
+    pub bytes_in: u64,
+    /// Frames encoded and handed to the transport.
+    pub frames_out: u64,
+    /// Bytes of those frames.
+    pub bytes_out: u64,
+    /// Frames that failed to decode (dropped; a live system would count
+    /// and alert on these).
+    pub decode_errors: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+/// A boxed protocol callback queued through [`NodeRuntime::invoke`].
+pub type InvokeFn<P> = Box<dyn FnOnce(&mut P, &mut Context<'_, <P as Protocol>::Message>) + Send>;
+
+/// Control/data messages consumed by an executor thread.
+pub enum RuntimeMsg<P: Protocol> {
+    /// An inbound transport event.
+    Net(NetEvent),
+    /// Run a closure against the protocol (publish, snapshot a report...).
+    /// Commands it issues through the context are executed normally.
+    Invoke(InvokeFn<P>),
+    /// Stop the node: tear down the transport and return the protocol
+    /// state to [`NodeRuntime::join`].
+    Stop,
+}
+
+/// The transport-facing adapter over an executor's channel. Hides the
+/// protocol type parameter behind [`FrameSink`].
+pub struct NetSender<P: Protocol> {
+    tx: mpsc::Sender<RuntimeMsg<P>>,
+}
+
+impl<P: Protocol + 'static> FrameSink for NetSender<P> {
+    fn deliver(&mut self, event: NetEvent) -> bool {
+        self.tx.send(RuntimeMsg::Net(event)).is_ok()
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameSink> {
+        Box::new(NetSender {
+            tx: self.tx.clone(),
+        })
+    }
+}
+
+/// A pending wall-clock timer. Ordered by `(deadline, insertion seq)` so
+/// ties fire in insertion order, exactly like the simulator's event queue.
+#[derive(PartialEq, Eq)]
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    tag: TimerTag,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A running node: the executor thread plus its control channel.
+pub struct NodeRuntime<P: Protocol> {
+    id: NodeId,
+    tx: mpsc::Sender<RuntimeMsg<P>>,
+    handle: JoinHandle<(P, RuntimeStats)>,
+}
+
+impl<P> NodeRuntime<P>
+where
+    P: Protocol + Send + 'static,
+    P::Message: WireCodec,
+{
+    /// Spawns the executor thread for `proto`.
+    ///
+    /// `rx` must be the receiving end of the channel whose senders were
+    /// handed to the transport (via [`NodeRuntime::channel`]); `seed`
+    /// derives the node's deterministic RNG exactly like the simulator
+    /// derives per-node streams.
+    pub fn spawn(
+        id: NodeId,
+        proto: P,
+        seed: u64,
+        clock: WallClock,
+        transport: Box<dyn Transport>,
+        tx: mpsc::Sender<RuntimeMsg<P>>,
+        rx: mpsc::Receiver<RuntimeMsg<P>>,
+    ) -> Self {
+        let handle = std::thread::Builder::new()
+            .name(format!("brisa-node-{}", id.0))
+            .spawn(move || executor_main(id, proto, seed, clock, transport, rx))
+            .expect("spawn node thread");
+        NodeRuntime { id, tx, handle }
+    }
+
+    /// Creates the executor channel: the receiver goes to
+    /// [`NodeRuntime::spawn`], the [`FrameSink`] to the transport.
+    #[allow(clippy::type_complexity)]
+    pub fn channel() -> (
+        mpsc::Sender<RuntimeMsg<P>>,
+        mpsc::Receiver<RuntimeMsg<P>>,
+        Box<dyn FrameSink>,
+    ) {
+        let (tx, rx) = mpsc::channel();
+        let sink = Box::new(NetSender { tx: tx.clone() });
+        (tx, rx, sink)
+    }
+
+    /// The node this runtime executes.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Queues a closure to run against the protocol on its own thread.
+    pub fn invoke(&self, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>) + Send + 'static) {
+        let _ = self.tx.send(RuntimeMsg::Invoke(Box::new(f)));
+    }
+
+    /// Asks the node to stop (asynchronously; use [`NodeRuntime::join`]).
+    pub fn stop(&self) {
+        let _ = self.tx.send(RuntimeMsg::Stop);
+    }
+
+    /// Waits for the executor to exit and returns the final protocol state
+    /// and transfer counters.
+    pub fn join(self) -> (P, RuntimeStats) {
+        self.handle.join().expect("node thread panicked")
+    }
+}
+
+fn executor_main<P>(
+    id: NodeId,
+    mut proto: P,
+    seed: u64,
+    clock: WallClock,
+    mut transport: Box<dyn Transport>,
+    rx: mpsc::Receiver<RuntimeMsg<P>>,
+) -> (P, RuntimeStats)
+where
+    P: Protocol,
+    P::Message: WireCodec,
+{
+    let mut rng = SmallRng::seed_from_u64(brisa_simnet::seed::split_mix64(seed, id.0 as u64));
+    let mut stats = RuntimeStats::default();
+    let mut timers: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    let mut commands: Vec<Command<P::Message>> = Vec::new();
+
+    // One protocol callback + command drain.
+    macro_rules! dispatch {
+        ($f:expr) => {{
+            let mut ctx = Context::external(clock.now(), id, &mut rng, &mut commands);
+            #[allow(clippy::redundant_closure_call)]
+            ($f)(&mut proto, &mut ctx);
+            for cmd in commands.drain(..) {
+                match cmd {
+                    Command::Send { to, msg } => {
+                        let frame = msg.encode();
+                        stats.frames_out += 1;
+                        stats.bytes_out += frame.len() as u64;
+                        transport.send(to, frame);
+                    }
+                    Command::SetTimer { delay, tag } => {
+                        timers.push(Reverse(TimerEntry {
+                            at: Instant::now() + Duration::from_micros(delay.as_micros()),
+                            seq: timer_seq,
+                            tag,
+                        }));
+                        timer_seq += 1;
+                    }
+                    Command::OpenConnection { peer } => transport.open_connection(peer),
+                    Command::CloseConnection { peer } => transport.close_connection(peer),
+                }
+            }
+        }};
+    }
+
+    dispatch!(|p: &mut P, ctx: &mut Context<'_, P::Message>| p.on_start(ctx));
+
+    loop {
+        // Fire every due timer before blocking again.
+        loop {
+            let due = matches!(timers.peek(), Some(Reverse(e)) if e.at <= Instant::now());
+            if !due {
+                break;
+            }
+            let Reverse(entry) = timers.pop().expect("peeked entry");
+            stats.timers_fired += 1;
+            let tag = entry.tag;
+            dispatch!(|p: &mut P, ctx: &mut Context<'_, P::Message>| p.on_timer(ctx, tag));
+        }
+        let timeout = timers
+            .peek()
+            .map(|Reverse(e)| e.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(IDLE_PARK);
+        match rx.recv_timeout(timeout) {
+            Ok(RuntimeMsg::Net(NetEvent::Frame { from, frame })) => {
+                match P::Message::decode(&frame) {
+                    Ok(msg) => {
+                        stats.frames_in += 1;
+                        stats.bytes_in += frame.len() as u64;
+                        dispatch!(|p: &mut P, ctx: &mut Context<'_, P::Message>| {
+                            p.on_message(ctx, from, msg)
+                        });
+                    }
+                    Err(_) => stats.decode_errors += 1,
+                }
+            }
+            Ok(RuntimeMsg::Net(NetEvent::LinkDown { peer })) => {
+                dispatch!(|p: &mut P, ctx: &mut Context<'_, P::Message>| p.on_link_down(ctx, peer));
+            }
+            Ok(RuntimeMsg::Invoke(f)) => dispatch!(f),
+            Ok(RuntimeMsg::Stop) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+    }
+    transport.shutdown();
+    (proto, stats)
+}

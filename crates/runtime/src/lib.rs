@@ -1,0 +1,69 @@
+//! # brisa-runtime — live wall-clock execution of the sans-IO stack
+//!
+//! Everything above the simulator is written sans-IO: protocols react to
+//! events through `brisa_simnet::Protocol` and emit commands, never
+//! touching sockets, threads or clocks. This crate cashes that design in:
+//! it executes **the same protocol implementations, unmodified**, in real
+//! time over real byte transports — the execution mode the paper's
+//! prototype used on its physical testbeds.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — a length-prefixed, versioned binary codec for every stack
+//!   message type, with the contract that `WireSize::wire_size()` **is**
+//!   the encoded frame length (so sim bandwidth accounting equals live
+//!   bytes);
+//! * [`transport`] — the [`Transport`] trait with two backends: the
+//!   in-process [`LoopbackMesh`] (MPSC queues) and the real [`TcpMesh`]
+//!   (framed sockets on `127.0.0.1`, per-peer outbound writer queues,
+//!   TCP failures surfaced as `on_link_down`);
+//! * [`executor`]/[`cluster`] — one thread per node driving
+//!   `on_start`/`on_message`/`on_timer` from a real-time timer queue, and
+//!   the [`Cluster`] harness that boots N nodes, publishes a broadcast
+//!   workload and collects the sim engine's `NodeReport`s into a
+//!   [`LiveResult`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use brisa_runtime::{Cluster, ClusterConfig, TransportKind};
+//! use brisa_workloads::BrisaStackConfig;
+//! use brisa::{BrisaConfig, BrisaNode};
+//! use brisa_membership::HyParViewConfig;
+//! use std::time::Duration;
+//!
+//! let cfg = ClusterConfig {
+//!     nodes: 8,
+//!     transport: TransportKind::Loopback,
+//!     ..Default::default()
+//! };
+//! let stack = BrisaStackConfig {
+//!     hpv: HyParViewConfig::default(),
+//!     brisa: BrisaConfig::default(),
+//! };
+//! let mut cluster: Cluster<BrisaNode> = Cluster::launch(&cfg, &stack).unwrap();
+//! cluster.run_for(Duration::from_millis(300)); // overlay forms
+//! cluster.publish(1024);
+//! cluster.wait_for_delivery(1, Duration::from_secs(10));
+//! let result = cluster.stop_and_collect();
+//! assert_eq!(result.delivery_rate(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod executor;
+pub mod loopback;
+pub mod report;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterConfig, TransportKind};
+pub use executor::{NodeRuntime, RuntimeStats, WallClock};
+pub use loopback::{LoopbackMesh, LoopbackTransport};
+pub use report::{LiveNode, LiveResult};
+pub use tcp::{TcpMesh, TcpTransport};
+pub use transport::{FrameSink, NetEvent, Transport};
+pub use wire::{WireCodec, WireError, WIRE_VERSION};

@@ -1,0 +1,401 @@
+//! Real-socket transport: the protocol stack over TCP on `127.0.0.1`.
+//!
+//! Topology and thread model, per node:
+//!
+//! * one pre-bound listener (all listeners are bound before any node
+//!   starts, so connects never race the accept side);
+//! * one **accept thread** that spawns a reader thread per inbound
+//!   connection;
+//! * one **writer thread per outbound peer**, fed by an unbounded per-peer
+//!   queue — the executor never blocks on a slow socket, and per-peer
+//!   ordering (the FIFO the protocols assume) falls out of the single
+//!   writer;
+//! * reader threads split the byte stream into frames using the codec's
+//!   length prefix and deliver them to the executor's sink.
+//!
+//! Connections are per-direction: `a → b` traffic flows on a connection
+//! initiated by `a`, identified by a 5-byte handshake (`version`, `u32`
+//! node id). **Link-down detection** maps TCP failure onto the simulator's
+//! connection-monitoring contract: a failed `connect`, a write error on the
+//! outbound connection, or EOF/reset on an inbound connection from a
+//! monitored peer all surface as [`NetEvent::LinkDown`] — emitted at most
+//! once per `open_connection` registration (the monitored set entry is
+//! consumed when the event fires).
+
+use crate::transport::{FrameSink, NetEvent, Transport};
+use crate::wire::{LEN_PREFIX_BYTES, MAX_FRAME_BYTES, WIRE_VERSION};
+use brisa_simnet::NodeId;
+use std::collections::{BTreeSet, HashMap};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll interval for blocking reads (bounds shutdown latency of reader
+/// threads).
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Outbound connect retry schedule: listeners are pre-bound, so retries
+/// only cover transient kernel backlog pressure.
+const CONNECT_RETRIES: u32 = 20;
+const CONNECT_RETRY_DELAY: Duration = Duration::from_millis(25);
+
+/// State shared by one node's transport threads.
+struct Shared {
+    me: NodeId,
+    /// Peers under failure-detection monitoring. An entry is consumed when
+    /// its link-down fires, so each `open_connection` yields at most one
+    /// notification.
+    open: Mutex<BTreeSet<u32>>,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    /// Emits a link-down for `peer` if (and only if) it is monitored.
+    fn link_down(&self, sink: &mut Box<dyn FrameSink>, peer: NodeId) {
+        if self.open.lock().unwrap().remove(&peer.0) {
+            sink.deliver(NetEvent::LinkDown { peer });
+        }
+    }
+}
+
+/// The bound interconnect: one listener per node, all on `127.0.0.1`.
+pub struct TcpMesh {
+    addrs: Arc<Vec<SocketAddr>>,
+    listeners: Mutex<Vec<Option<TcpListener>>>,
+}
+
+impl TcpMesh {
+    /// Binds `n` listeners on ephemeral loopback ports.
+    pub fn bind(n: usize) -> std::io::Result<TcpMesh> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut listeners = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(Some(listener));
+        }
+        Ok(TcpMesh {
+            addrs: Arc::new(addrs),
+            listeners: Mutex::new(listeners),
+        })
+    }
+
+    /// The advertised address of `node` (exposed for diagnostics).
+    pub fn addr(&self, node: NodeId) -> SocketAddr {
+        self.addrs[node.index()]
+    }
+
+    /// Takes `node`'s listener, registers its inbound sink and returns the
+    /// transport handle. Call once per node, before starting its executor.
+    pub fn attach(&self, node: NodeId, sink: Box<dyn FrameSink>) -> TcpTransport {
+        let listener = self.listeners.lock().unwrap()[node.index()]
+            .take()
+            .expect("node already attached");
+        let shared = Arc::new(Shared {
+            me: node,
+            open: Mutex::new(BTreeSet::new()),
+            stopping: AtomicBool::new(false),
+        });
+        let accept_handle = spawn_acceptor(listener, sink.clone(), Arc::clone(&shared));
+        TcpTransport {
+            shared,
+            addrs: Arc::clone(&self.addrs),
+            sink,
+            writers: HashMap::new(),
+            accept: Some(accept_handle),
+            my_addr: self.addrs[node.index()],
+        }
+    }
+}
+
+/// Commands consumed by a per-peer writer thread.
+enum WriterCmd {
+    Frame(Vec<u8>),
+    Close,
+}
+
+struct WriterHandle {
+    tx: mpsc::Sender<WriterCmd>,
+    handle: JoinHandle<()>,
+}
+
+/// One node's handle onto a [`TcpMesh`].
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    addrs: Arc<Vec<SocketAddr>>,
+    sink: Box<dyn FrameSink>,
+    writers: HashMap<u32, WriterHandle>,
+    accept: Option<JoinHandle<()>>,
+    my_addr: SocketAddr,
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, to: NodeId, frame: Vec<u8>) {
+        if let Some(w) = self.writers.get(&to.0) {
+            match w.tx.send(WriterCmd::Frame(frame)) {
+                Ok(()) => return,
+                Err(mpsc::SendError(WriterCmd::Frame(f))) => {
+                    // The writer died (connection failure). Re-dial with a
+                    // fresh writer so post-repair traffic can reconnect.
+                    if let Some(w) = self.writers.remove(&to.0) {
+                        let _ = w.handle.join();
+                    }
+                    self.spawn_writer(to).tx.send(WriterCmd::Frame(f)).ok();
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+        self.spawn_writer(to).tx.send(WriterCmd::Frame(frame)).ok();
+    }
+
+    fn open_connection(&mut self, peer: NodeId) {
+        self.shared.open.lock().unwrap().insert(peer.0);
+        // Eagerly dial so a dead peer is detected without waiting for
+        // traffic (the simulator's open-to-dead-peer timeout).
+        if !self.writers.contains_key(&peer.0) {
+            self.spawn_writer(peer);
+        }
+    }
+
+    fn close_connection(&mut self, peer: NodeId) {
+        self.shared.open.lock().unwrap().remove(&peer.0);
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        for (_, w) in self.writers.drain() {
+            let _ = w.tx.send(WriterCmd::Close);
+            drop(w.tx);
+            let _ = w.handle.join();
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.my_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Reader threads observe `stopping` within READ_POLL and exit.
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        if !self.shared.stopping.load(Ordering::SeqCst) {
+            self.shutdown();
+        }
+    }
+}
+
+impl TcpTransport {
+    /// Returns the writer for `to`, dialing a fresh connection only if none
+    /// exists — the thread is spawned inside the vacant-entry arm so an
+    /// existing writer can never race a throwaway connection into being.
+    fn spawn_writer(&mut self, to: NodeId) -> &WriterHandle {
+        match self.writers.entry(to.0) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let (tx, rx) = mpsc::channel();
+                let shared = Arc::clone(&self.shared);
+                let mut sink = self.sink.clone();
+                let addr = self.addrs[to.index()];
+                let handle =
+                    std::thread::spawn(move || writer_main(shared, &mut sink, to, addr, rx));
+                v.insert(WriterHandle { tx, handle })
+            }
+        }
+    }
+}
+
+/// Connects to `addr` with bounded retries.
+fn connect(shared: &Shared, addr: SocketAddr) -> Option<TcpStream> {
+    for attempt in 0..CONNECT_RETRIES {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return None;
+        }
+        match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Some(stream);
+            }
+            Err(_) if attempt + 1 < CONNECT_RETRIES => std::thread::sleep(CONNECT_RETRY_DELAY),
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+/// Per-peer writer: dial, handshake, then drain the outbound queue.
+///
+/// A companion **peer-close watcher** thread blocks reading the same
+/// connection. The remote never writes on it (connections are
+/// per-direction), so the read only ever completes when the peer closes or
+/// dies — which is exactly the failure-detection signal `open_connection`
+/// asks for, and it fires even when this side is idle.
+fn writer_main(
+    shared: Arc<Shared>,
+    sink: &mut Box<dyn FrameSink>,
+    to: NodeId,
+    addr: SocketAddr,
+    rx: mpsc::Receiver<WriterCmd>,
+) {
+    let Some(mut stream) = connect(&shared, addr) else {
+        shared.link_down(sink, to);
+        return;
+    };
+    let mut hello = [0u8; 5];
+    hello[0] = WIRE_VERSION;
+    hello[1..5].copy_from_slice(&shared.me.0.to_le_bytes());
+    if stream.write_all(&hello).is_err() {
+        shared.link_down(sink, to);
+        return;
+    }
+    if let Ok(watch) = stream.try_clone() {
+        let shared = Arc::clone(&shared);
+        let mut sink = sink.clone();
+        std::thread::spawn(move || watch_peer_close(shared, &mut sink, to, watch));
+    }
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            WriterCmd::Frame(frame) => {
+                if stream.write_all(&frame).is_err() {
+                    shared.link_down(sink, to);
+                    return;
+                }
+            }
+            WriterCmd::Close => break,
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Blocks on the outbound connection until the peer closes it (EOF/reset)
+/// or this transport stops; surfaces the former as a link-down.
+fn watch_peer_close(
+    shared: Arc<Shared>,
+    sink: &mut Box<dyn FrameSink>,
+    peer: NodeId,
+    mut stream: TcpStream,
+) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut buf = [0u8; 1];
+    match read_exact_polled(&shared, &mut stream, &mut buf) {
+        ReadEnd::Closed => {
+            if !shared.stopping.load(Ordering::SeqCst) {
+                shared.link_down(sink, peer);
+            }
+        }
+        // The peer is never supposed to write on this direction; if it
+        // does, treat the connection as healthy and keep watching until it
+        // closes.
+        ReadEnd::Done => {
+            while matches!(
+                read_exact_polled(&shared, &mut stream, &mut buf),
+                ReadEnd::Done
+            ) {}
+            if !shared.stopping.load(Ordering::SeqCst) {
+                shared.link_down(sink, peer);
+            }
+        }
+    }
+}
+
+fn spawn_acceptor(
+    listener: TcpListener,
+    sink: Box<dyn FrameSink>,
+    shared: Arc<Shared>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(READ_POLL));
+                let mut sink = sink.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || reader_main(shared, &mut sink, stream));
+            }
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    })
+}
+
+/// Outcome of a polled blocking read.
+enum ReadEnd {
+    /// The buffer was filled.
+    Done,
+    /// EOF, connection reset, or the transport is stopping.
+    Closed,
+}
+
+/// `read_exact` that polls the stopping flag on every timeout tick.
+fn read_exact_polled(shared: &Shared, stream: &mut TcpStream, buf: &mut [u8]) -> ReadEnd {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return ReadEnd::Closed;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadEnd::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return ReadEnd::Closed,
+        }
+    }
+    ReadEnd::Done
+}
+
+/// Inbound connection reader: handshake, then frame loop.
+fn reader_main(shared: Arc<Shared>, sink: &mut Box<dyn FrameSink>, mut stream: TcpStream) {
+    let mut hello = [0u8; 5];
+    if !matches!(
+        read_exact_polled(&shared, &mut stream, &mut hello),
+        ReadEnd::Done
+    ) || hello[0] != WIRE_VERSION
+    {
+        return;
+    }
+    let from = NodeId(u32::from_le_bytes([hello[1], hello[2], hello[3], hello[4]]));
+    loop {
+        let mut prefix = [0u8; LEN_PREFIX_BYTES];
+        if !matches!(
+            read_exact_polled(&shared, &mut stream, &mut prefix),
+            ReadEnd::Done
+        ) {
+            break;
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if !(3..=MAX_FRAME_BYTES).contains(&len) {
+            // Corrupt stream: treat like a broken connection.
+            break;
+        }
+        let mut frame = vec![0u8; LEN_PREFIX_BYTES + len];
+        frame[..LEN_PREFIX_BYTES].copy_from_slice(&prefix);
+        if !matches!(
+            read_exact_polled(&shared, &mut stream, &mut frame[LEN_PREFIX_BYTES..]),
+            ReadEnd::Done
+        ) {
+            break;
+        }
+        if !sink.deliver(NetEvent::Frame { from, frame }) {
+            break;
+        }
+    }
+    if !shared.stopping.load(Ordering::SeqCst) {
+        // The peer's outbound connection died while we are still running:
+        // surface it if the peer is monitored.
+        shared.link_down(sink, from);
+    }
+}

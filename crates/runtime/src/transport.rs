@@ -1,0 +1,77 @@
+//! The byte-transport abstraction the live runtime executes over.
+//!
+//! A [`Transport`] is one node's handle onto the interconnect: it pushes
+//! encoded frames towards peers and registers/unregisters failure-detection
+//! interest. Inbound traffic travels the other way: the transport delivers
+//! [`NetEvent`]s into the node's executor through a [`FrameSink`] (an
+//! abstraction over the executor's channel that hides the protocol type
+//! from the transport implementations).
+//!
+//! Two backends ship with the crate: the in-process
+//! [`LoopbackMesh`](crate::loopback::LoopbackMesh) (MPSC queues, zero
+//! syscalls — the throughput-bench substrate) and the real
+//! [`TcpMesh`](crate::tcp::TcpMesh) over `127.0.0.1` sockets.
+
+use brisa_simnet::NodeId;
+
+/// An event a transport delivers into a node's executor.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A full frame (length prefix included) arrived from `from`.
+    Frame {
+        /// The sending node.
+        from: NodeId,
+        /// The raw frame bytes.
+        frame: Vec<u8>,
+    },
+    /// Connection-level failure detection reports the link to `peer` broken.
+    LinkDown {
+        /// The peer whose link failed.
+        peer: NodeId,
+    },
+}
+
+/// Where a transport delivers inbound events.
+///
+/// Implemented by the executor's channel adapter
+/// ([`NetSender`](crate::executor::NetSender)); the indirection keeps
+/// transports independent of the protocol type parameter.
+pub trait FrameSink: Send {
+    /// Delivers one event. Returns `false` if the receiving executor is
+    /// gone (the transport may then drop further traffic for it).
+    fn deliver(&mut self, event: NetEvent) -> bool;
+
+    /// Clones the sink for another transport thread.
+    fn box_clone(&self) -> Box<dyn FrameSink>;
+}
+
+impl Clone for Box<dyn FrameSink> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// One node's handle onto the interconnect.
+///
+/// The executor translates the sans-IO [`brisa_simnet::Command`]s a
+/// protocol emits into calls on this trait; implementations own whatever
+/// sockets, queues and helper threads the medium needs.
+pub trait Transport: Send {
+    /// Sends an encoded frame to `to`. Delivery is best-effort and FIFO per
+    /// destination; sending to a dead peer silently drops the frame
+    /// (exactly what a broken TCP connection does — loss surfaces through
+    /// [`NetEvent::LinkDown`] on monitored connections instead).
+    fn send(&mut self, to: NodeId, frame: Vec<u8>);
+
+    /// Declares failure-detection interest in `peer`: if the peer dies, a
+    /// [`NetEvent::LinkDown`] must eventually reach this node's sink.
+    fn open_connection(&mut self, peer: NodeId);
+
+    /// Withdraws failure-detection interest in `peer`.
+    fn close_connection(&mut self, peer: NodeId);
+
+    /// Tears the transport down: closes sockets/queues and wakes helper
+    /// threads. Called by the executor when its node stops; peers with an
+    /// open connection to this node observe a link-down.
+    fn shutdown(&mut self);
+}

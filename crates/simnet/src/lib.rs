@@ -68,6 +68,6 @@ pub use faults::{FaultConfig, LinkFaults, PartitionMode, PartitionSpec};
 pub use latency::LatencyModel;
 pub use network::{event_record_size, NetStats, Network, NetworkConfig};
 pub use node::NodeId;
-pub use protocol::{Context, Protocol, WireSize};
+pub use protocol::{Command, Context, Protocol, WireSize};
 pub use sched::{SchedulerKind, TraceOp};
 pub use time::{SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};

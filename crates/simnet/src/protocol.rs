@@ -59,12 +59,39 @@ pub trait Protocol: Sized {
 }
 
 /// Commands emitted by a protocol while handling an event.
+///
+/// Inside the simulator these are consumed by the event loop; they are also
+/// public so *external* drivers (the live runtime in `brisa-runtime`) can
+/// execute the same sans-IO protocols over real transports: build a
+/// [`Context`] with [`Context::external`], run a callback, then drain the
+/// command vector and translate each entry into socket writes and wall-clock
+/// timers.
 #[derive(Debug)]
-pub(crate) enum Command<M> {
-    Send { to: NodeId, msg: M },
-    SetTimer { delay: SimDuration, tag: TimerTag },
-    OpenConnection { peer: NodeId },
-    CloseConnection { peer: NodeId },
+pub enum Command<M> {
+    /// Send `msg` to `to` over the (reliable, FIFO) link.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Message to deliver.
+        msg: M,
+    },
+    /// Arm a one-shot timer firing after `delay`.
+    SetTimer {
+        /// Delay until the timer fires.
+        delay: SimDuration,
+        /// Tag handed back to [`Protocol::on_timer`].
+        tag: TimerTag,
+    },
+    /// Open a monitored connection to `peer` (failure detection).
+    OpenConnection {
+        /// The peer to monitor.
+        peer: NodeId,
+    },
+    /// Close the monitored connection to `peer`.
+    CloseConnection {
+        /// The peer to stop monitoring.
+        peer: NodeId,
+    },
 }
 
 /// Execution context handed to a protocol callback.
@@ -80,6 +107,28 @@ pub struct Context<'a, M> {
 }
 
 impl<'a, M> Context<'a, M> {
+    /// Builds a context for an external driver.
+    ///
+    /// The simulator constructs contexts internally; this constructor is the
+    /// seam that lets other executors — the wall-clock runtime of
+    /// `brisa-runtime` — drive the same [`Protocol`] implementations. The
+    /// driver supplies the current time (for the live runtime: microseconds
+    /// of wall clock since the cluster epoch), the node's identity and RNG,
+    /// and a command vector it drains after the callback returns.
+    pub fn external(
+        now: SimTime,
+        id: NodeId,
+        rng: &'a mut SmallRng,
+        commands: &'a mut Vec<Command<M>>,
+    ) -> Self {
+        Context {
+            now,
+            id,
+            rng,
+            commands,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -166,5 +215,27 @@ mod tests {
     #[test]
     fn unit_has_zero_wire_size() {
         assert_eq!(().wire_size(), 0);
+    }
+
+    #[test]
+    fn external_context_behaves_like_internal() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut commands: Vec<Command<u8>> = Vec::new();
+        let mut ctx =
+            Context::external(SimTime::from_millis(42), NodeId(9), &mut rng, &mut commands);
+        assert_eq!(ctx.now(), SimTime::from_millis(42));
+        assert_eq!(ctx.id(), NodeId(9));
+        ctx.send(NodeId(1), 5);
+        ctx.set_timer(SimDuration::from_millis(3), TimerTag::new(1, 2));
+        assert!(matches!(
+            commands.as_slice(),
+            [
+                Command::Send {
+                    to: NodeId(1),
+                    msg: 5
+                },
+                Command::SetTimer { .. }
+            ]
+        ));
     }
 }

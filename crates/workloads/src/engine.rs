@@ -202,6 +202,45 @@ pub struct NodeOutcome {
     pub bandwidth: PhaseBandwidth,
 }
 
+/// Fraction of (node × message) pairs delivered, over the per-node
+/// delivered counts of the *eligible* nodes (live, non-source, present
+/// before the stream started — the caller filters). The single
+/// implementation behind [`EngineResult::delivery_rate`] and the live
+/// runtime's `LiveResult::delivery_rate`, so a simulated and a live run of
+/// one scenario are scored by the same formula.
+pub fn delivery_rate_of(delivered: impl IntoIterator<Item = u64>, published: u64) -> f64 {
+    let mut got = 0u64;
+    let mut expected = 0u64;
+    for d in delivered {
+        got += d.min(published);
+        expected += published;
+    }
+    if expected == 0 {
+        1.0
+    } else {
+        got as f64 / expected as f64
+    }
+}
+
+/// Fraction of eligible nodes that delivered every message; the
+/// counterpart of [`delivery_rate_of`] for [`EngineResult::completeness`]
+/// and the live runtime.
+pub fn completeness_of(delivered: impl IntoIterator<Item = u64>, published: u64) -> f64 {
+    let mut complete = 0usize;
+    let mut eligible = 0usize;
+    for d in delivered {
+        eligible += 1;
+        if d >= published {
+            complete += 1;
+        }
+    }
+    if eligible == 0 {
+        1.0
+    } else {
+        complete as f64 / eligible as f64
+    }
+}
+
 /// The protocol-agnostic outcome of one run.
 #[derive(Debug, Clone)]
 pub struct EngineResult {
@@ -252,20 +291,16 @@ impl EngineResult {
     /// zeroes its completeness contribution); the headline metric of the
     /// fault sweeps.
     pub fn delivery_rate(&self) -> f64 {
-        let mut delivered = 0u64;
-        let mut expected = 0u64;
-        for n in &self.nodes {
-            if n.is_source || n.id.0 >= self.original_nodes {
-                continue;
-            }
-            delivered += n.report.delivered.min(self.messages_published);
-            expected += self.messages_published;
-        }
-        if expected == 0 {
-            1.0
-        } else {
-            delivered as f64 / expected as f64
-        }
+        delivery_rate_of(self.eligible_delivered_counts(), self.messages_published)
+    }
+
+    /// Delivered counts of the eligible nodes: live, non-source, present
+    /// before the stream started.
+    fn eligible_delivered_counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_source && n.id.0 < self.original_nodes)
+            .map(|n| n.report.delivered)
     }
 
     /// A compact, fully ordered fingerprint of everything
@@ -319,19 +354,7 @@ impl EngineResult {
     /// Fraction of live, non-source nodes present before the stream started
     /// that delivered every message.
     pub fn completeness(&self) -> f64 {
-        let eligible: Vec<&NodeOutcome> = self
-            .nodes
-            .iter()
-            .filter(|n| !n.is_source && n.id.0 < self.original_nodes)
-            .collect();
-        if eligible.is_empty() {
-            return 1.0;
-        }
-        eligible
-            .iter()
-            .filter(|n| n.report.delivered >= self.messages_published)
-            .count() as f64
-            / eligible.len() as f64
+        completeness_of(self.eligible_delivered_counts(), self.messages_published)
     }
 }
 

@@ -170,6 +170,54 @@ impl<P: DisseminationProtocol> InvariantSuite<P> {
     }
 }
 
+/// The stateless core of the delivery check, usable offline: validates one
+/// node's report against what the source had published by `now`.
+///
+/// Shared between the online [`DeliveryInvariant`] (which adds
+/// monotonicity across checks) and post-hoc validation of non-simulated
+/// traces — the live runtime (`brisa-runtime`) applies it to the reports a
+/// real-transport cluster collected.
+pub fn check_delivery_report(
+    id: NodeId,
+    report: &NodeReport,
+    published: u64,
+    now: SimTime,
+) -> Result<(), String> {
+    let deliveries = &report.first_delivery;
+    if deliveries.len() as u64 != report.delivered {
+        return Err(format!(
+            "node {id}: {} first-delivery records but delivered={} — a \
+             sequence number was delivered twice or dropped from the record",
+            deliveries.len(),
+            report.delivered
+        ));
+    }
+    for pair in deliveries.windows(2) {
+        if pair[0].0 >= pair[1].0 {
+            return Err(format!(
+                "node {id}: first-delivery records out of order or duplicated \
+                 ({} then {})",
+                pair[0].0, pair[1].0
+            ));
+        }
+    }
+    for &(seq, at) in deliveries {
+        if seq >= published {
+            return Err(format!(
+                "node {id}: delivered seq {seq} but the source has only \
+                 published {published} messages"
+            ));
+        }
+        if at > now {
+            return Err(format!(
+                "node {id}: first delivery of seq {seq} stamped {at}, in the \
+                 future of {now}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Delivery sanity: per-node first-delivery records are unique and ordered,
 /// never exceed what the source has published, never decrease over time,
 /// and never carry a timestamp from the future.
@@ -205,40 +253,7 @@ impl<P: DisseminationProtocol> Invariant<P> for DeliveryInvariant {
     ) -> Result<(), String> {
         for (id, report) in reports {
             let id = *id;
-            let deliveries = &report.first_delivery;
-            if deliveries.len() as u64 != report.delivered {
-                return Err(format!(
-                    "node {id}: {} first-delivery records but delivered={} — a \
-                     sequence number was delivered twice or dropped from the record",
-                    deliveries.len(),
-                    report.delivered
-                ));
-            }
-            for pair in deliveries.windows(2) {
-                if pair[0].0 >= pair[1].0 {
-                    return Err(format!(
-                        "node {id}: first-delivery records out of order or duplicated \
-                         ({} then {})",
-                        pair[0].0, pair[1].0
-                    ));
-                }
-            }
-            for &(seq, at) in deliveries {
-                if seq >= ctx.published {
-                    return Err(format!(
-                        "node {id}: delivered seq {seq} but the source has only \
-                         published {} messages",
-                        ctx.published
-                    ));
-                }
-                if at > ctx.now {
-                    return Err(format!(
-                        "node {id}: first delivery of seq {seq} stamped {at}, in the \
-                         future of {}",
-                        ctx.now
-                    ));
-                }
-            }
+            check_delivery_report(id, report, ctx.published, ctx.now)?;
             let prev = self.prev_delivered.insert(id.0, report.delivered);
             if let Some(prev) = prev {
                 if report.delivered < prev {
@@ -449,6 +464,34 @@ mod tests {
     fn assert_clean_rejects_vacuous_suites() {
         let suite: InvariantSuite<brisa::BrisaNode> = InvariantSuite::standard(Some(1));
         suite.assert_clean();
+    }
+
+    #[test]
+    fn offline_delivery_check_catches_bad_reports() {
+        let now = SimTime::from_secs(10);
+        let good = NodeReport {
+            delivered: 2,
+            first_delivery: vec![(0, SimTime::from_secs(1)), (1, SimTime::from_secs(2))],
+            ..NodeReport::default()
+        };
+        assert!(check_delivery_report(NodeId(1), &good, 5, now).is_ok());
+        // Count / record mismatch.
+        let short = NodeReport {
+            delivered: 3,
+            ..good.clone()
+        };
+        assert!(check_delivery_report(NodeId(1), &short, 5, now).is_err());
+        // Duplicate sequence number.
+        let dup = NodeReport {
+            delivered: 2,
+            first_delivery: vec![(1, SimTime::from_secs(1)), (1, SimTime::from_secs(2))],
+            ..NodeReport::default()
+        };
+        assert!(check_delivery_report(NodeId(1), &dup, 5, now).is_err());
+        // Delivered beyond what was published.
+        assert!(check_delivery_report(NodeId(1), &good, 1, now).is_err());
+        // Timestamp from the future.
+        assert!(check_delivery_report(NodeId(1), &good, 5, SimTime::from_millis(1)).is_err());
     }
 
     #[test]

@@ -44,12 +44,12 @@ pub use baseline_runs::{
 pub use brisa_run::{run_brisa, BrisaRunResult};
 pub use brisa_simnet::{PartitionMode, SchedulerKind, TraceOp};
 pub use engine::{
-    run_experiment, run_experiment_checked, BuildCtx, DisseminationProtocol, EngineResult,
-    NodeOutcome, NodeReport, RepairTelemetry, RunSpec,
+    completeness_of, delivery_rate_of, run_experiment, run_experiment_checked, BuildCtx,
+    DisseminationProtocol, EngineResult, NodeOutcome, NodeReport, RepairTelemetry, RunSpec,
 };
 pub use invariants::{
-    DeliveryInvariant, Invariant, InvariantCtx, InvariantSuite, InvariantViolation,
-    LinkClockInvariant, TreeValidityInvariant,
+    check_delivery_report, DeliveryInvariant, Invariant, InvariantCtx, InvariantSuite,
+    InvariantViolation, LinkClockInvariant, TreeValidityInvariant,
 };
 pub use matrix::{derive_seed, matrix_threads, run_matrix, run_matrix_sequential};
 pub use protocols::BrisaStackConfig;

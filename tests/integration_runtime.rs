@@ -1,0 +1,329 @@
+//! Integration tests of the live runtime: the sans-IO stack executing in
+//! wall-clock time over real transports.
+//!
+//! Wall-clock runs are not bit-reproducible, so these tests assert the
+//! properties that *must* hold on any healthy run — 100% delivery, no
+//! duplicate deliveries, sim/live agreement on the delivery outcome — with
+//! deadlines generous enough for a loaded CI box.
+
+use brisa::{BrisaConfig, BrisaNode};
+use brisa_membership::{HpvMsg, HyParViewConfig};
+use brisa_runtime::executor::{NodeRuntime, WallClock};
+use brisa_runtime::tcp::TcpMesh;
+use brisa_runtime::transport::Transport;
+use brisa_runtime::{Cluster, ClusterConfig, TransportKind};
+use brisa_simnet::{Context, NodeId, Protocol, SimDuration, TimerTag};
+use brisa_workloads::{
+    run_experiment, BrisaScenario, BrisaStackConfig, EngineResult, RunSpec, StreamSpec,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn stack_config(active_size: usize) -> BrisaStackConfig {
+    BrisaStackConfig {
+        hpv: HyParViewConfig::with_active_size(active_size),
+        brisa: BrisaConfig::default(),
+    }
+}
+
+/// Publishes `messages` payloads at a steady cadence and waits until every
+/// node delivered them all (or the deadline passes).
+fn drive_stream(
+    cluster: &mut Cluster<BrisaNode>,
+    messages: u64,
+    payload: usize,
+    deadline: Duration,
+) -> bool {
+    for _ in 0..messages {
+        cluster.publish(payload);
+        cluster.run_for(Duration::from_millis(40));
+    }
+    cluster.wait_for_delivery(messages, deadline)
+}
+
+/// The acceptance bar: a ≥16-node cluster on real TCP sockets delivers
+/// 100% of the stream.
+#[test]
+fn tcp_cluster_delivers_everything() {
+    let cfg = ClusterConfig {
+        nodes: 16,
+        transport: TransportKind::Tcp,
+        seed: 7,
+        ..Default::default()
+    };
+    let mut cluster: Cluster<BrisaNode> =
+        Cluster::launch(&cfg, &stack_config(4)).expect("bind + launch");
+    // Let the overlay and the first dissemination structure form.
+    cluster.run_for(Duration::from_millis(500));
+    let complete = drive_stream(&mut cluster, 8, 1024, Duration::from_secs(60));
+    let result = cluster.stop_and_collect();
+    assert!(
+        complete,
+        "stream did not complete: rate={} fp={}",
+        result.delivery_rate(),
+        result.delivery_fingerprint()
+    );
+    assert_eq!(result.nodes.len(), 16);
+    assert_eq!(
+        result.delivery_rate(),
+        1.0,
+        "every node delivers everything"
+    );
+    assert_eq!(result.completeness(), 1.0);
+    // Zero duplicate deliveries + structurally sane delivery records,
+    // checked with the engine's own invariant logic applied offline.
+    result
+        .check_delivery_invariants()
+        .expect("live trace passes the delivery invariants");
+    // Real traffic moved through the codec.
+    let (frames, bytes) = result.frames_and_bytes_out();
+    assert!(frames > 0 && bytes > 0);
+    assert_eq!(
+        result
+            .nodes
+            .iter()
+            .map(|n| n.stats.decode_errors)
+            .sum::<u64>(),
+        0,
+        "no frame failed to decode"
+    );
+}
+
+/// Extracts the per-node delivered-sequence sets of a simulated run.
+fn sim_delivered_sets(r: &EngineResult) -> BTreeMap<u32, Vec<u64>> {
+    r.nodes
+        .iter()
+        .map(|n| {
+            (
+                n.id.0,
+                n.report.first_delivery.iter().map(|&(s, _)| s).collect(),
+            )
+        })
+        .collect()
+}
+
+/// The same broadcast scenario on the sim engine and on the loopback-mesh
+/// runtime produces the same delivery outcome: identical delivery sets and
+/// zero duplicate deliveries on both sides.
+#[test]
+fn sim_and_live_agree_on_the_delivery_outcome() {
+    const NODES: u32 = 12;
+    const MESSAGES: u64 = 5;
+    const PAYLOAD: usize = 256;
+
+    // Simulated run.
+    let scenario = BrisaScenario {
+        nodes: NODES,
+        stream: StreamSpec::short(MESSAGES, PAYLOAD),
+        bootstrap: SimDuration::from_secs(20),
+        drain: SimDuration::from_secs(10),
+        ..Default::default()
+    };
+    let spec = RunSpec::from(&scenario);
+    let sim = run_experiment::<BrisaNode>(&stack_config(4), &spec);
+    assert_eq!(sim.messages_published, MESSAGES);
+
+    // Live run on the loopback mesh.
+    let cfg = ClusterConfig {
+        nodes: NODES,
+        transport: TransportKind::Loopback,
+        seed: scenario.seed,
+        ..Default::default()
+    };
+    let mut cluster: Cluster<BrisaNode> = Cluster::launch(&cfg, &stack_config(4)).expect("launch");
+    cluster.run_for(Duration::from_millis(400));
+    let complete = drive_stream(&mut cluster, MESSAGES, PAYLOAD, Duration::from_secs(60));
+    let live = cluster.stop_and_collect();
+    assert!(
+        complete,
+        "live stream incomplete: {}",
+        live.delivery_fingerprint()
+    );
+
+    // Same delivery sets, node by node.
+    assert_eq!(sim_delivered_sets(&sim), live.delivered_sets());
+    // Zero duplicate deliveries on both sides: each node's first-delivery
+    // records are exactly its delivered count, one per sequence number.
+    for n in &sim.nodes {
+        assert_eq!(n.report.first_delivery.len() as u64, n.report.delivered);
+        let uniq: BTreeSet<u64> = n.report.first_delivery.iter().map(|&(s, _)| s).collect();
+        assert_eq!(
+            uniq.len() as u64,
+            n.report.delivered,
+            "sim node {} duplicated",
+            n.id
+        );
+    }
+    live.check_delivery_invariants()
+        .expect("live trace passes the delivery invariants");
+}
+
+/// Killing a node mid-stream: surviving nodes repair over live transports
+/// (link-down → HyParView → BRISA repair → gap retransmission) and still
+/// deliver the whole stream.
+///
+/// BRISA's gap recovery is data-driven — a hole is detected when a *later*
+/// message arrives — so, like the sim engine's churn runs ("the stream
+/// keeps flowing for the whole churn window so repairs complete through
+/// regular traffic"), the stream must keep flowing until the structure has
+/// re-stabilised: a message lost in a parent-switch window with nothing
+/// published after it would be an invisible tail gap by design.
+#[test]
+fn loopback_cluster_survives_a_kill_mid_stream() {
+    let cfg = ClusterConfig {
+        nodes: 16,
+        transport: TransportKind::Loopback,
+        seed: 11,
+        ..Default::default()
+    };
+    let mut cluster: Cluster<BrisaNode> = Cluster::launch(&cfg, &stack_config(4)).expect("launch");
+    cluster.run_for(Duration::from_millis(500));
+    for _ in 0..3 {
+        cluster.publish(512);
+        cluster.run_for(Duration::from_millis(40));
+    }
+    assert!(cluster.wait_for_delivery(3, Duration::from_secs(60)));
+
+    // Kill a relay (a node currently serving children), not just a leaf.
+    let victim = cluster
+        .snapshot_reports()
+        .iter()
+        .find(|(id, r)| *id != cluster.source() && r.degree > 0)
+        .map(|(id, _)| *id)
+        .unwrap_or(NodeId(1));
+    cluster.kill(victim);
+
+    // Publish through the repair window (soft repair escalates after 2s,
+    // hard repairs retry every 2s), then keep the stream alive until every
+    // survivor has caught up — each new message reveals any remaining gap
+    // to the maintenance-tick re-requests.
+    let mut published = 3u64;
+    for _ in 0..3 {
+        cluster.publish(512);
+        published += 1;
+        cluster.run_for(Duration::from_millis(300));
+    }
+    while !cluster.wait_for_delivery(published, Duration::from_secs(5)) && published < 20 {
+        cluster.publish(512);
+        published += 1;
+    }
+    let complete = cluster.wait_for_delivery(published, Duration::from_secs(60));
+    let result = cluster.stop_and_collect();
+    assert!(
+        complete,
+        "survivors did not recover the stream: {}",
+        result.delivery_fingerprint()
+    );
+    assert_eq!(result.nodes.len(), 15, "the victim is excluded");
+    assert_eq!(result.delivery_rate(), 1.0);
+    result
+        .check_delivery_invariants()
+        .expect("clean live trace");
+}
+
+// ---------------------------------------------------------------------------
+// Transport-level link-down probing
+// ---------------------------------------------------------------------------
+
+/// Everything a probe node observed, shared with the test body.
+#[derive(Default)]
+struct ProbeLog {
+    messages: Vec<(NodeId, u64)>,
+    link_downs: Vec<NodeId>,
+}
+
+/// A minimal protocol that opens a monitored connection to a peer, sends
+/// one keep-alive, and records what comes back. Runs over the real stack
+/// codec so the TCP path is exercised end to end.
+struct Probe {
+    peer: Option<NodeId>,
+    log: Arc<Mutex<ProbeLog>>,
+}
+
+impl Protocol for Probe {
+    type Message = brisa::StackMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        if let Some(peer) = self.peer {
+            ctx.open_connection(peer);
+            ctx.send(peer, brisa::StackMsg::Hpv(HpvMsg::KeepAlive { nonce: 99 }));
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _ctx: &mut Context<'_, Self::Message>,
+        from: NodeId,
+        msg: Self::Message,
+    ) {
+        if let brisa::StackMsg::Hpv(HpvMsg::KeepAlive { nonce }) = msg {
+            self.log.lock().unwrap().messages.push((from, nonce));
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Message>, _tag: TimerTag) {}
+
+    fn on_link_down(&mut self, _ctx: &mut Context<'_, Self::Message>, peer: NodeId) {
+        self.log.lock().unwrap().link_downs.push(peer);
+    }
+}
+
+/// TCP failure detection surfaces as `on_link_down`: when a peer under an
+/// open connection stops, the survivor's protocol hears about it.
+#[test]
+fn tcp_link_down_reaches_the_protocol() {
+    let mesh = TcpMesh::bind(2).expect("bind");
+    let clock = WallClock::new();
+    let log0 = Arc::new(Mutex::new(ProbeLog::default()));
+    let log1 = Arc::new(Mutex::new(ProbeLog::default()));
+
+    let mut runtimes = Vec::new();
+    for (i, log) in [(0u32, &log0), (1u32, &log1)] {
+        let (tx, rx, sink) = NodeRuntime::<Probe>::channel();
+        let transport: Box<dyn Transport> = Box::new(mesh.attach(NodeId(i), sink));
+        let probe = Probe {
+            // Node 0 monitors node 1.
+            peer: (i == 0).then_some(NodeId(1)),
+            log: Arc::clone(log),
+        };
+        runtimes.push(NodeRuntime::spawn(
+            NodeId(i),
+            probe,
+            1,
+            clock,
+            transport,
+            tx,
+            rx,
+        ));
+    }
+
+    // The keep-alive from 0 reaches 1 over a real socket.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while log1.lock().unwrap().messages.is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "keep-alive never arrived"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(log1.lock().unwrap().messages[0], (NodeId(0), 99));
+
+    // Stop node 1; node 0 must observe the link going down.
+    let rt1 = runtimes.pop().unwrap();
+    rt1.stop();
+    let _ = rt1.join();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while log0.lock().unwrap().link_downs.is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "link-down never surfaced"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(log0.lock().unwrap().link_downs[0], NodeId(1));
+
+    let rt0 = runtimes.pop().unwrap();
+    rt0.stop();
+    let _ = rt0.join();
+}
