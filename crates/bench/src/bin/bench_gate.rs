@@ -1,0 +1,68 @@
+//! CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate <baseline-dir> <fresh-dir>
+//! ```
+//!
+//! Compares every `BENCH_*.json` present in `<baseline-dir>` (the committed
+//! baselines, snapshotted by CI before the bench binaries overwrite them)
+//! against the freshly produced copy in `<fresh-dir>`, using the rules of
+//! `brisa_bench::gate`: >20 % wall-clock growth (`BENCH_GATE_WALL_PCT`
+//! override) or any delivery-rate drop fails the job. A baseline artifact
+//! with no fresh counterpart fails too — a bench silently ceasing to
+//! produce its trajectory is itself a regression.
+//!
+//! Thresholds and the consumed schemas are documented in DESIGN.md.
+
+use brisa_bench::gate::{compare, parse, GateConfig, GateReport};
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_dir), Some(fresh_dir)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_gate <baseline-dir> <fresh-dir>");
+        std::process::exit(2);
+    };
+    let cfg = GateConfig::from_env();
+    println!(
+        "bench_gate: baselines {baseline_dir} vs fresh {fresh_dir} \
+         (wall tolerance +{:.0}%, any delivery drop fails)",
+        cfg.wall_tolerance * 100.0
+    );
+
+    let mut names: Vec<String> = std::fs::read_dir(&baseline_dir)
+        .expect("read baseline dir")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        eprintln!("bench_gate: no BENCH_*.json baselines in {baseline_dir}");
+        std::process::exit(2);
+    }
+
+    let mut report = GateReport::default();
+    for name in &names {
+        let base_path = Path::new(&baseline_dir).join(name);
+        let fresh_path = Path::new(&fresh_dir).join(name);
+        if !fresh_path.exists() {
+            report.violations.push(format!(
+                "{name}: baseline exists but no fresh artifact was produced"
+            ));
+            continue;
+        }
+        let baseline = parse(&std::fs::read_to_string(&base_path).expect("read baseline"))
+            .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
+        let fresh = parse(&std::fs::read_to_string(&fresh_path).expect("read fresh"))
+            .unwrap_or_else(|e| panic!("{name} fresh: {e}"));
+        compare(name, &baseline, &fresh, &cfg, &mut report);
+    }
+
+    print!("{}", report.render());
+    if !report.passed() {
+        eprintln!("bench_gate: the bench trajectory regressed");
+        std::process::exit(1);
+    }
+    println!("bench_gate: trajectory OK ({} artifacts)", names.len());
+}

@@ -20,6 +20,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod gate;
+
 use brisa_metrics::report::render_table;
 use brisa_metrics::Cdf;
 

@@ -51,6 +51,25 @@ pub enum ParentStrategy {
     LoadBalancing,
 }
 
+/// How much per-message delivery bookkeeping a node keeps (see
+/// [`crate::delivery::DeliveryLog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeliveryTracking {
+    /// Record the first-delivery time of every sequence number — the exact
+    /// data the classic per-node result path consumes. Costs 8 bytes per
+    /// message per node.
+    Full,
+    /// Scale mode: keep only the seen-bitmap (one bit per message) plus a
+    /// fixed-footprint latency histogram computed against the known publish
+    /// schedule (`stream_start_us + seq × interval_us`).
+    Counters {
+        /// Injection time of sequence number 0, in µs of simulated time.
+        stream_start_us: u64,
+        /// Interval between injections, in µs.
+        interval_us: u64,
+    },
+}
+
 /// Full configuration of a BRISA node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BrisaConfig {
@@ -64,6 +83,8 @@ pub struct BrisaConfig {
     /// Whether to apply the symmetric deactivation optimisation (only
     /// meaningful with [`ParentStrategy::FirstComeFirstPicked`]).
     pub symmetric_deactivation: bool,
+    /// Delivery bookkeeping mode ([`DeliveryTracking::Full`] by default).
+    pub tracking: DeliveryTracking,
 }
 
 impl Default for BrisaConfig {
@@ -73,6 +94,7 @@ impl Default for BrisaConfig {
             strategy: ParentStrategy::FirstComeFirstPicked,
             buffer_size: 64,
             symmetric_deactivation: true,
+            tracking: DeliveryTracking::Full,
         }
     }
 }

@@ -35,6 +35,12 @@ pub const HARD_REPAIR_RETRY: SimDuration = SimDuration::from_secs(2);
 pub const GAP_RETRY: SimDuration = SimDuration::from_millis(500);
 /// Cap on the exponential gap-retry backoff (`GAP_RETRY << GAP_BACKOFF_MAX`).
 pub const GAP_BACKOFF_MAX: u32 = 5;
+/// A parenthood is considered *stale* when no stream data has arrived from
+/// any parent for this long (ten intervals at the paper's 5 msg/s rate).
+/// A first reception from a non-parent while the parents are stale is
+/// recovery evidence, not a surplus link — see the fresh-feeder path in
+/// `handle_data`.
+pub const PARENT_STALE_AFTER: SimDuration = SimDuration::from_secs(2);
 
 /// Classification of an ongoing parent-recovery procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +80,9 @@ pub struct BrisaCore {
     /// Gap requests issued since the prefix cursor last advanced; drives
     /// the exponential retry backoff.
     gap_attempts: u32,
+    /// Last time stream data arrived from a current parent (or a parent was
+    /// adopted). Drives the staleness test of the fresh-feeder path.
+    last_parent_delivery: Option<SimTime>,
 }
 
 impl BrisaCore {
@@ -85,6 +94,7 @@ impl BrisaCore {
             CycleState::dag()
         };
         let buffer = MessageBuffer::new(cfg.buffer_size);
+        let stats = BrisaStats::with_tracking(cfg.tracking);
         BrisaCore {
             me,
             cfg,
@@ -92,7 +102,7 @@ impl BrisaCore {
             links: Links::new(),
             candidates: CandidateSet::new(),
             buffer,
-            stats: BrisaStats::default(),
+            stats,
             is_source: false,
             next_seq: 0,
             highest_seq_seen: None,
@@ -102,6 +112,7 @@ impl BrisaCore {
             next_expected: 0,
             last_gap_request: None,
             gap_attempts: 0,
+            last_parent_delivery: None,
         }
     }
 
@@ -135,6 +146,22 @@ impl BrisaCore {
     /// Protocol statistics.
     pub fn stats(&self) -> &BrisaStats {
         &self.stats
+    }
+
+    /// Rough memory footprint of the dissemination state in bytes (inline
+    /// struct plus tracked heap: the delivery ledger, repair timelines,
+    /// buffer handles and link table). Summed across nodes by the
+    /// scale-mode bytes-per-node accounting.
+    pub fn approx_state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.stats.delivery.approx_bytes()
+            + (self.stats.parents_lost.capacity() + self.stats.orphaned.capacity())
+                * std::mem::size_of::<SimTime>()
+            + (self.stats.soft_repair_delays_us.capacity()
+                + self.stats.hard_repair_delays_us.capacity())
+                * std::mem::size_of::<u64>()
+            + self.buffer.len() * 2 * std::mem::size_of::<usize>()
+            + self.links.degree() * 3 * std::mem::size_of::<NodeId>()
     }
 
     /// Link state (parents, children, activation flags).
@@ -262,12 +289,39 @@ impl BrisaCore {
                 // Answer with the most recent buffered message so a
                 // recovering orphan can adopt a parent (and then request the
                 // rest of the gap) without waiting for the next injection.
+                //
+                // Only nodes with an upstream of their own may answer: a
+                // node that is itself orphaned (or mid-repair) answering
+                // with stale buffered data advertises itself as a parent
+                // while disconnected. Two simultaneous orphans Activating
+                // each other would then *mutually adopt* — a parent cycle
+                // with no path to the source that no fresh data ever
+                // enters, so the path-embedding cycle detection never
+                // fires and the whole subtree below wedges silently
+                // (reproduced at every mass-crash scale; ~12 % of
+                // survivors at 10 000 nodes before this guard). The link
+                // reactivation above still happens, so whichever orphan
+                // recovers first relays fresh data to the other and
+                // adoption proceeds through the normal first-reception
+                // path.
+                // The answer is also gated on still *knowing* the
+                // requester: if our membership layer already evicted it,
+                // the `reactivate_outbound` above was a no-op, so we would
+                // hand it adoption bait and then never relay a single
+                // message to it — the child wedges on a parent that is
+                // healthy but link-less towards it (the dominant residual
+                // wedge class after mass crashes: stale asymmetric views).
                 let mut actions = Vec::new();
-                let latest = self
-                    .buffer
-                    .highest_seq()
-                    .and_then(|s| self.buffer.get(s))
-                    .map(|m| (m.seq, m.payload_bytes));
+                let has_upstream = self.is_source
+                    || (self.links.parent_count() > 0 && self.pending_repair.is_none());
+                let latest = (has_upstream && self.links.is_neighbor(from))
+                    .then(|| {
+                        self.buffer
+                            .highest_seq()
+                            .and_then(|s| self.buffer.get(s))
+                            .map(|m| (m.seq, m.payload_bytes))
+                    })
+                    .flatten();
                 if let Some((seq, payload_bytes)) = latest {
                     let guard = self.cycle.outgoing_guard(self.me);
                     actions.push(BrisaAction::Send {
@@ -348,6 +402,7 @@ impl BrisaCore {
         // Parent machinery.
         let adoptable = self.can_adopt(from, &data.guard);
         if self.links.is_parent(from) {
+            self.last_parent_delivery = Some(now);
             // A message from a current parent whose path contains us reveals
             // a cycle (Section II-D) and forces a re-selection. With depth
             // labels a parent that moved deeper is not a cycle: the paper's
@@ -380,9 +435,36 @@ impl BrisaCore {
             // established tree on in-flight (possibly stale) path metadata
             // can stitch a cycle out of two concurrent switches.
             self.consider_replacement(now, from, &data.guard, &mut actions);
-        } else {
+        } else if first && self.parents_stale(now) {
+            // A *first* reception from a surplus sender while no parent has
+            // delivered anything for PARENT_STALE_AFTER: the incumbent
+            // parenthood is dead weight (its upstream chain is broken in a
+            // way no local signal reports — alive parent, silent link) and
+            // this sender is provably connected to fresh data. Deactivating
+            // it here is how a mass-crash recovery deadlocks globally:
+            // after a 50 % correlated failure the healed nodes around the
+            // source relay new sequence numbers into the wedged region,
+            // and every wedged node used to answer with `Deactivate` in
+            // favour of its stale parent — silencing the only live feeder
+            // (reproduced at 20k/100k nodes: the source lost every
+            // outbound link within a second of the crash and the stream
+            // died at the crash sequence number overlay-wide). Instead:
+            // re-parent onto the sender when it sits strictly closer to
+            // the source (the same upward guard as `consider_replacement`,
+            // so concurrent switches cannot stitch a cycle); otherwise
+            // leave the link active and let a genuine duplicate prune it
+            // later.
+            self.adopt_fresh_feeder(now, from, &data.guard, &mut actions);
+        } else if !first {
             // Steady-state duplicate: keep the incumbent parents and silence
-            // the surplus sender.
+            // the surplus sender. Deactivation is *duplicate-triggered*
+            // (Section II-C): a first reception from a surplus sender is a
+            // latency race, not redundancy — the sender is ahead of our
+            // parents for this message. Deactivating on firsts silences
+            // live feeders one message at a time, which is how the
+            // mass-crash recovery deadlock above started; leaving the link
+            // active costs at most a few extra duplicates until the
+            // sender's copy loses a race and the link prunes normally.
             let symmetric = self.cfg.symmetric_deactivation
                 && self.cfg.strategy == ParentStrategy::FirstComeFirstPicked
                 && self.cfg.mode.is_tree();
@@ -572,7 +654,7 @@ impl BrisaCore {
     fn note_delivered(&mut self, seq: u64) {
         if seq == self.next_expected {
             self.next_expected += 1;
-            while self.stats.first_delivery.contains_key(&self.next_expected) {
+            while self.stats.delivery.contains(self.next_expected) {
                 self.next_expected += 1;
             }
             self.gap_attempts = 0;
@@ -634,6 +716,7 @@ impl BrisaCore {
     /// the new parent for messages missed in the meantime.
     fn adopt(&mut self, now: SimTime, from: NodeId, actions: &mut Vec<BrisaAction>) {
         self.links.adopt_parent(from);
+        self.last_parent_delivery = Some(now);
         if let Some((started, kind)) = self.pending_repair.take() {
             let delay = now.saturating_since(started).as_micros();
             match kind {
@@ -754,6 +837,47 @@ impl BrisaCore {
                 self.links.deactivate_outbound(from);
             }
         }
+    }
+
+    /// True if no current parent has delivered stream data (nor been
+    /// adopted) within [`PARENT_STALE_AFTER`].
+    fn parents_stale(&self, now: SimTime) -> bool {
+        self.last_parent_delivery
+            .is_none_or(|t| now.saturating_since(t) >= PARENT_STALE_AFTER)
+    }
+
+    /// Re-parents onto `from` — a sender that just delivered a *first*
+    /// reception while every incumbent parent was silent past the staleness
+    /// window — when it sits strictly closer to the source than our own
+    /// position (the anti-cycle upward guard of
+    /// [`Self::consider_replacement`]). When the sender is not upward the
+    /// link is simply left active: it keeps feeding us while the stale
+    /// chain recovers, and an eventual true duplicate prunes it through
+    /// the normal path.
+    fn adopt_fresh_feeder(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        guard: &CycleGuard,
+        actions: &mut Vec<BrisaAction>,
+    ) {
+        let sender_depth = match guard {
+            CycleGuard::Path(p) => p.len().saturating_sub(1),
+            CycleGuard::Depth(d) => *d as usize,
+        };
+        let upward = match self.cycle.position() {
+            None => true,
+            Some(pos) => sender_depth < pos,
+        };
+        if !upward {
+            return;
+        }
+        let losers: Vec<NodeId> = self.links.parents().filter(|p| *p != from).collect();
+        for loser in losers {
+            self.deactivate(now, loser, actions);
+        }
+        self.adopt(now, from, actions);
+        self.update_position(guard, actions);
     }
 
     /// Starts the repair procedure after losing every parent: soft repair if

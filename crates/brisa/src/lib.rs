@@ -60,6 +60,7 @@ pub mod buffer;
 pub mod config;
 mod core;
 pub mod cycle;
+pub mod delivery;
 pub mod links;
 pub mod message;
 mod node;
@@ -68,8 +69,9 @@ pub mod stats;
 
 pub use crate::core::{BrisaCore, RepairKind, HARD_REPAIR_RETRY, SOFT_REPAIR_TIMEOUT};
 pub use buffer::MessageBuffer;
-pub use config::{BrisaConfig, ParentStrategy, StructureMode};
+pub use config::{BrisaConfig, DeliveryTracking, ParentStrategy, StructureMode};
 pub use cycle::{BloomMembership, CycleGuard, CycleState};
+pub use delivery::DeliveryLog;
 pub use links::Links;
 pub use message::{BrisaAction, BrisaMsg, DataMsg, BRISA_HEADER_BYTES};
 pub use node::{BrisaNode, StackMsg, TIMER_KEEPALIVE, TIMER_REPAIR, TIMER_SHUFFLE};

@@ -180,6 +180,10 @@ impl Protocol for BrisaNode {
         let outs = self.hpv.link_down(now, peer, ctx.rng());
         self.apply_hpv_outs(ctx, outs);
     }
+
+    fn approx_state_bytes(&self) -> usize {
+        self.hpv.approx_bytes() + self.core.approx_state_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //!
 //! During the bootstrap flood (and after repairs) a node hears the same
 //! stream message from several neighbors. Each sender is a *candidate*
-//! parent; the configured [`ParentStrategy`](crate::ParentStrategy) decides
+//! parent; the configured [`crate::config::ParentStrategy`] decides
 //! which candidates are kept when the node has more eligible inbound links
 //! than its target parent count.
 

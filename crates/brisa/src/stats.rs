@@ -6,8 +6,9 @@
 //! behaviour under churn (Table I, Figure 14) and construction time
 //! (Figure 13).
 
+use crate::config::DeliveryTracking;
+use crate::delivery::DeliveryLog;
 use brisa_simnet::SimTime;
-use std::collections::HashMap;
 
 /// Counters and timelines recorded by one BRISA node.
 #[derive(Debug, Clone, Default)]
@@ -18,8 +19,10 @@ pub struct BrisaStats {
     /// Number of duplicate receptions (any reception after the first of the
     /// same sequence number).
     pub duplicates: u64,
-    /// Per-sequence-number time of first reception.
-    pub first_delivery: HashMap<u64, SimTime>,
+    /// Per-sequence-number delivery ledger (first-reception times under
+    /// [`DeliveryTracking::Full`], seen-bitmap + latency histogram under
+    /// [`DeliveryTracking::Counters`]).
+    pub delivery: DeliveryLog,
     /// Times at which this node lost a parent (failure of a node it was
     /// receiving the stream from).
     pub parents_lost: Vec<SimTime>,
@@ -58,11 +61,18 @@ pub struct BrisaStats {
 }
 
 impl BrisaStats {
+    /// Creates empty statistics with the given delivery-tracking mode.
+    pub fn with_tracking(tracking: DeliveryTracking) -> Self {
+        BrisaStats {
+            delivery: DeliveryLog::new(tracking),
+            ..Default::default()
+        }
+    }
+
     /// Records the first delivery of `seq` at `now`; returns `true` if this
     /// was indeed the first reception.
     pub fn record_delivery(&mut self, seq: u64, now: SimTime) -> bool {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.first_delivery.entry(seq) {
-            e.insert(now);
+        if self.delivery.record(seq, now) {
             self.delivered += 1;
             true
         } else {
@@ -94,9 +104,7 @@ impl BrisaStats {
     /// The span between them is the per-node dissemination latency used in
     /// Table II.
     pub fn delivery_span(&self) -> Option<(SimTime, SimTime)> {
-        let min = self.first_delivery.values().min()?;
-        let max = self.first_delivery.values().max()?;
-        Some((*min, *max))
+        self.delivery.span()
     }
 }
 

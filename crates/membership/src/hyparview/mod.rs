@@ -117,6 +117,22 @@ impl HyParView {
         self.neighbor_since.get(&peer).copied()
     }
 
+    /// Rough memory footprint of this membership state machine in bytes
+    /// (inline struct plus tracked heap), the HyParView term of the
+    /// scale-mode bytes-per-node accounting.
+    pub fn approx_bytes(&self) -> usize {
+        // Rounded-up hash-map entry cost including control-byte overhead.
+        const MAP_ENTRY: usize = 48;
+        std::mem::size_of::<Self>()
+            + (self.active.len() + self.passive.len() + self.last_shuffle_sample.len())
+                * std::mem::size_of::<NodeId>()
+            + (self.rtt.len()
+                + self.neighbor_since.len()
+                + self.pending_probes.len()
+                + self.pending_neighbor.len())
+                * MAP_ENTRY
+    }
+
     /// Membership activity counters.
     pub fn stats(&self) -> &HpvStats {
         &self.stats

@@ -21,5 +21,5 @@ pub mod hyparview;
 pub mod view;
 
 pub use cyclon::{Cyclon, CyclonConfig, CyclonMsg, CyclonOut, Descriptor};
-pub use hyparview::{HpvMsg, HpvOut, HpvStats, HyParView, HyParViewConfig};
+pub use hyparview::{HpvMsg, HpvOut, HpvStats, HyParView, HyParViewConfig, HPV_HEADER_BYTES};
 pub use view::BoundedView;

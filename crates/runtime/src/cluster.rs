@@ -5,7 +5,7 @@
 //! builds nodes through the same [`DisseminationProtocol`] trait (same
 //! [`BuildCtx`] shape: node 0 is the source and contact point), publishes
 //! through `publish_message`, and collects the same
-//! [`NodeReport`](brisa_workloads::NodeReport)s into a [`LiveResult`] whose
+//! [`NodeReport`]s into a [`LiveResult`] whose
 //! `delivery_rate()`/`completeness()` are computed with the sim engine's
 //! formulas — a simulated and a live run of one scenario are directly
 //! comparable.

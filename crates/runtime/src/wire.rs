@@ -12,8 +12,8 @@
 //! ```
 //!
 //! The header tail pads the fixed header to exactly the per-message
-//! overhead the simulator has always charged: [`HPV_HEADER_BYTES`] (8) for
-//! HyParView and Cyclon frames (one reserved byte), [`BRISA_HEADER_BYTES`]
+//! overhead the simulator has always charged: [`brisa_membership::HPV_HEADER_BYTES`] (8) for
+//! HyParView and Cyclon frames (one reserved byte), [`brisa::BRISA_HEADER_BYTES`]
 //! (16) for BRISA frames (a `u64` stream identifier — always 0 while the
 //! stack carries a single stream — plus one reserved byte). With the
 //! explicit counts added to the `WireSize` formulas in this PR, **the

@@ -18,6 +18,20 @@ pub enum Direction {
     Download,
 }
 
+/// How much bandwidth history the meter retains per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeterMode {
+    /// Totals plus one bucket per simulated second and direction — the data
+    /// behind the per-phase KB/s figures (Figures 10–12). Costs
+    /// `16 bytes × simulated seconds` per node.
+    #[default]
+    PerSecond,
+    /// Totals only. Scale-mode runs select this: at 100 000 nodes the
+    /// per-second buckets would dominate the simulation's memory while the
+    /// streaming result path never reads them.
+    TotalsOnly,
+}
+
 /// Byte counters for a single node.
 #[derive(Debug, Clone, Default)]
 pub struct NodeBandwidth {
@@ -32,17 +46,19 @@ pub struct NodeBandwidth {
 }
 
 impl NodeBandwidth {
-    fn record(&mut self, dir: Direction, bytes: usize, at: SimTime) {
-        let bucket = at.second_bucket();
+    fn record(&mut self, dir: Direction, bytes: usize, at: SimTime, mode: MeterMode) {
         let (total, per_sec) = match dir {
             Direction::Upload => (&mut self.upload_total, &mut self.upload_per_sec),
             Direction::Download => (&mut self.download_total, &mut self.download_per_sec),
         };
         *total += bytes as u64;
-        if per_sec.len() <= bucket {
-            per_sec.resize(bucket + 1, 0);
+        if mode == MeterMode::PerSecond {
+            let bucket = at.second_bucket();
+            if per_sec.len() <= bucket {
+                per_sec.resize(bucket + 1, 0);
+            }
+            per_sec[bucket] += bytes as u64;
         }
-        per_sec[bucket] += bytes as u64;
     }
 
     /// Average upload rate in KB/s over the window `[from, to)` (seconds).
@@ -78,12 +94,26 @@ fn rate_kbps(buckets: &[u64], from_sec: usize, to_sec: usize) -> f64 {
 #[derive(Debug, Default)]
 pub struct BandwidthMeter {
     nodes: Vec<NodeBandwidth>,
+    mode: MeterMode,
 }
 
 impl BandwidthMeter {
-    /// Creates an empty meter.
+    /// Creates an empty meter with per-second bucketing.
     pub fn new() -> Self {
-        BandwidthMeter { nodes: Vec::new() }
+        Self::with_mode(MeterMode::PerSecond)
+    }
+
+    /// Creates an empty meter with the given retention mode.
+    pub fn with_mode(mode: MeterMode) -> Self {
+        BandwidthMeter {
+            nodes: Vec::new(),
+            mode,
+        }
+    }
+
+    /// The retention mode in force.
+    pub fn mode(&self) -> MeterMode {
+        self.mode
     }
 
     /// Ensures the meter covers `id`.
@@ -97,7 +127,22 @@ impl BandwidthMeter {
     /// Records a transfer for `id`.
     pub(crate) fn record(&mut self, id: NodeId, dir: Direction, bytes: usize, at: SimTime) {
         self.ensure(id);
-        self.nodes[id.index()].record(dir, bytes, at);
+        let mode = self.mode;
+        self.nodes[id.index()].record(dir, bytes, at, mode);
+    }
+
+    /// Bytes of memory the meter occupies (capacities, not lengths).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.nodes.capacity() * std::mem::size_of::<NodeBandwidth>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    (n.upload_per_sec.capacity() + n.download_per_sec.capacity())
+                        * std::mem::size_of::<u64>()
+                })
+                .sum::<usize>()
     }
 
     /// Counters for a node, if it has ever been registered.
@@ -157,6 +202,21 @@ mod tests {
         assert_eq!(n.download_per_sec, vec![0, 0, 200]);
         assert_eq!(m.total_uploaded(), 1500);
         assert_eq!(m.total_downloaded(), 200);
+    }
+
+    #[test]
+    fn totals_only_skips_buckets() {
+        let mut m = BandwidthMeter::with_mode(MeterMode::TotalsOnly);
+        assert_eq!(m.mode(), MeterMode::TotalsOnly);
+        m.record(NodeId(0), Direction::Upload, 100, SimTime::from_secs(5));
+        m.record(NodeId(0), Direction::Download, 70, SimTime::from_secs(9));
+        let n = m.node(NodeId(0)).unwrap();
+        assert_eq!(n.upload_total, 100);
+        assert_eq!(n.download_total, 70);
+        assert!(n.upload_per_sec.is_empty());
+        assert!(n.download_per_sec.is_empty());
+        // The footprint estimate covers the node slots but no buckets.
+        assert!(m.approx_bytes() >= std::mem::size_of::<NodeBandwidth>());
     }
 
     #[test]

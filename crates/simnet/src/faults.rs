@@ -3,7 +3,7 @@
 //! The fault layer sits between the drain of a protocol's `Send` commands
 //! and the scheduling of the corresponding `Deliver` events: every message
 //! the simulator is about to put on the wire passes through
-//! [`FaultLayer::route`], which may drop it (per-link Bernoulli loss or an
+//! `FaultLayer::route`, which may drop it (per-link Bernoulli loss or an
 //! active partition cut), delay it (latency degradation, jitter, or a
 //! delaying partition) or pass it through untouched.
 //!

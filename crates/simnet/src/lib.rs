@@ -62,11 +62,11 @@ pub mod sched;
 pub mod seed;
 mod time;
 
-pub use bandwidth::{BandwidthMeter, Direction, NodeBandwidth};
+pub use bandwidth::{BandwidthMeter, Direction, MeterMode, NodeBandwidth};
 pub use event::TimerTag;
 pub use faults::{FaultConfig, LinkFaults, PartitionMode, PartitionSpec};
 pub use latency::LatencyModel;
-pub use network::{event_record_size, NetStats, Network, NetworkConfig};
+pub use network::{event_record_size, Footprint, NetStats, Network, NetworkConfig};
 pub use node::NodeId;
 pub use protocol::{Command, Context, Protocol, WireSize};
 pub use sched::{SchedulerKind, TraceOp};

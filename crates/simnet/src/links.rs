@@ -108,6 +108,21 @@ impl Adjacency {
     pub fn len(&self) -> usize {
         self.out.iter().map(Vec::len).sum()
     }
+
+    /// Bytes of memory the adjacency vectors occupy (capacities, not
+    /// lengths — this is the footprint, not the live entry count).
+    pub fn approx_bytes(&self) -> usize {
+        let id = std::mem::size_of::<NodeId>();
+        let vec = std::mem::size_of::<Vec<NodeId>>();
+        std::mem::size_of::<Self>()
+            + (self.out.capacity() + self.incoming.capacity()) * vec
+            + self
+                .out
+                .iter()
+                .chain(self.incoming.iter())
+                .map(|v| v.capacity() * id)
+                .sum::<usize>()
+    }
 }
 
 /// A generic per-directed-link map `(sender, dest) -> T`.
@@ -198,6 +213,26 @@ impl<T> PerLink<T> {
             .get(sender.index())
             .map(Vec::capacity)
             .unwrap_or(0)
+    }
+
+    /// Bytes of memory the per-link vectors occupy (capacities, not
+    /// lengths).
+    pub fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(NodeId, T)>();
+        let id = std::mem::size_of::<NodeId>();
+        let vec = std::mem::size_of::<Vec<NodeId>>();
+        std::mem::size_of::<Self>()
+            + (self.by_sender.capacity() + self.senders_of.capacity()) * vec
+            + self
+                .by_sender
+                .iter()
+                .map(|v| v.capacity() * entry)
+                .sum::<usize>()
+            + self
+                .senders_of
+                .iter()
+                .map(|v| v.capacity() * id)
+                .sum::<usize>()
     }
 
     /// Every `(sender, dest, value)` triple, in `(sender, dest)` order.

@@ -12,7 +12,7 @@
 //! for the adjacency/link-clock vectors); the steady-state event loop does
 //! not allocate per event.
 
-use crate::bandwidth::{BandwidthMeter, Direction};
+use crate::bandwidth::{BandwidthMeter, Direction, MeterMode};
 use crate::event::{EventKind, EventQueue};
 use crate::faults::{FaultConfig, FaultLayer, LinkFaults, PartitionSpec, Routed};
 use crate::latency::LatencyModel;
@@ -51,6 +51,11 @@ pub struct NetworkConfig {
     /// costs a single branch per message and the run is bit-identical to
     /// one without the layer. See [`crate::faults`].
     pub faults: FaultConfig,
+    /// Bandwidth retention: per-second buckets (default) or totals only
+    /// (scale mode — per-second history would cost `16 bytes × simulated
+    /// seconds` per node and nothing in the streaming result path reads
+    /// it). Totals are identical in both modes.
+    pub meter: MeterMode,
 }
 
 impl Default for NetworkConfig {
@@ -62,6 +67,7 @@ impl Default for NetworkConfig {
             scheduler: SchedulerKind::default(),
             trace_events: false,
             faults: FaultConfig::default(),
+            meter: MeterMode::default(),
         }
     }
 }
@@ -130,6 +136,7 @@ impl<P: Protocol> Network<P> {
         let reference_rng = SmallRng::seed_from_u64(split_mix64(config.seed, 0x0DD5_EED5));
         let queue = EventQueue::new(config.scheduler, config.trace_events);
         let faults = FaultLayer::new(config.seed, config.faults.clone());
+        let bandwidth = BandwidthMeter::with_mode(config.meter);
         Network {
             config,
             latency,
@@ -138,7 +145,7 @@ impl<P: Protocol> Network<P> {
             nodes: Vec::new(),
             master_rng,
             reference_rng,
-            bandwidth: BandwidthMeter::new(),
+            bandwidth,
             connections: Adjacency::default(),
             link_clock: LinkClocks::default(),
             stats: NetStats::default(),
@@ -521,6 +528,27 @@ impl<P: Protocol> Network<P> {
         commands
     }
 
+    /// The accounting-based memory footprint of the simulation right now
+    /// (see [`Footprint`]). O(nodes); intended for end-of-run sampling by
+    /// the scale benches, not for the event loop.
+    pub fn footprint(&self) -> Footprint {
+        let slot_overhead = std::mem::size_of::<NodeSlot<P>>() - std::mem::size_of::<P>();
+        Footprint {
+            nodes: self.nodes.len(),
+            node_state_bytes: self
+                .nodes
+                .iter()
+                .map(|n| n.proto.approx_state_bytes() + slot_overhead)
+                .sum(),
+            // Each pending entry carries the event record plus its
+            // `(time, sequence)` sort key.
+            queue_bytes: self.queue.len() * (event_record_size::<P>() + 16),
+            adjacency_bytes: self.connections.approx_bytes(),
+            link_clock_bytes: self.link_clock.approx_bytes(),
+            bandwidth_bytes: self.bandwidth.approx_bytes(),
+        }
+    }
+
     /// One-way "typical" latency between a pair according to the latency
     /// model, used as the point-to-point reference series in Figure 9.
     ///
@@ -538,6 +566,50 @@ impl<P: Protocol> Network<P> {
 /// scheduler traces with realistically sized entries.
 pub fn event_record_size<P: Protocol>() -> usize {
     std::mem::size_of::<EventKind<P::Message>>()
+}
+
+/// Accounting-based memory footprint of a simulation, split by component.
+///
+/// This is the "peak RSS proxy" of the scale benches: instead of asking the
+/// OS (noisy, allocator-dependent), every dense structure reports the bytes
+/// its capacities occupy and every protocol stack estimates its own state
+/// through [`Protocol::approx_state_bytes`]. Sampled at collect time, when
+/// the per-node ledgers and link tables are at their largest.
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// Nodes ever added (dead slots included — their storage remains).
+    pub nodes: usize,
+    /// Sum of the per-node protocol-state estimates plus the slot overhead
+    /// (RNG, flags).
+    pub node_state_bytes: usize,
+    /// Pending event records in the scheduler.
+    pub queue_bytes: usize,
+    /// Connection table (adjacency vectors + reverse index).
+    pub adjacency_bytes: usize,
+    /// FIFO link clocks.
+    pub link_clock_bytes: usize,
+    /// Bandwidth meter (totals, and per-second buckets if retained).
+    pub bandwidth_bytes: usize,
+}
+
+impl Footprint {
+    /// Total accounted bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.node_state_bytes
+            + self.queue_bytes
+            + self.adjacency_bytes
+            + self.link_clock_bytes
+            + self.bandwidth_bytes
+    }
+
+    /// Accounted bytes per node ever added.
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.nodes as f64
+        }
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,16 @@ pub trait Protocol: Sized {
     fn on_link_down(&mut self, ctx: &mut Context<'_, Self::Message>, peer: NodeId) {
         let _ = (ctx, peer);
     }
+
+    /// Rough memory footprint of this protocol state in bytes, including
+    /// owned heap storage. The default counts only the inline struct size;
+    /// stacks with significant heap state (delivery ledgers, views,
+    /// buffers) should override it. Summed across nodes by
+    /// [`crate::Network::footprint`] as the bytes-per-node proxy of the
+    /// scale benches.
+    fn approx_state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
 }
 
 /// Commands emitted by a protocol while handling an event.

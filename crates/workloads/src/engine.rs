@@ -22,11 +22,13 @@
 use crate::invariants::{InvariantCtx, InvariantSuite};
 use crate::result::{split_bandwidth, PhaseBandwidth};
 use crate::spec::{
-    BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, StreamSpec, Testbed,
+    BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, ResultMode, ScaleEvent,
+    ScaleEventKind, StreamSpec, Testbed, FIRST_PUBLISH_DELAY,
 };
+use brisa_metrics::LatencyHistogram;
 use brisa_simnet::{
-    Context, LinkFaults, Network, NetworkConfig, NodeId, PartitionSpec, Protocol, SchedulerKind,
-    SimDuration, SimTime, TraceOp,
+    Context, Footprint, LinkFaults, MeterMode, Network, NetworkConfig, NodeId, PartitionSpec,
+    Protocol, SchedulerKind, SimDuration, SimTime, TraceOp,
 };
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -94,6 +96,18 @@ pub struct NodeReport {
     pub repairs: RepairTelemetry,
 }
 
+/// Compact per-node metrics for the scale-mode streaming result path:
+/// counters plus a fixed-footprint latency histogram, no per-sequence data.
+#[derive(Debug, Clone, Default)]
+pub struct ScaleNodeReport {
+    /// Stream messages delivered (first receptions).
+    pub delivered: u64,
+    /// Duplicate receptions.
+    pub duplicates: u64,
+    /// Injection-to-first-delivery latency distribution.
+    pub latency: LatencyHistogram,
+}
+
 /// A dissemination protocol stack the generic engine can drive.
 ///
 /// Implemented by [`brisa::BrisaNode`] and all four baselines; adding a new
@@ -115,6 +129,29 @@ pub trait DisseminationProtocol: Protocol {
 
     /// Extracts the end-of-run metrics for this node.
     fn report(&self) -> NodeReport;
+
+    /// Extracts the compact scale-mode metrics for this node.
+    ///
+    /// The default derives them from [`DisseminationProtocol::report`] and
+    /// the engine's publish times — exact, but it materialises the
+    /// per-sequence vector it is trying to avoid. Protocols with compact
+    /// delivery tracking (BRISA under
+    /// [`brisa::DeliveryTracking::Counters`]) override this to return their
+    /// streamed counters directly.
+    fn scale_report(&self, publish_times: &[SimTime]) -> ScaleNodeReport {
+        let report = self.report();
+        let mut latency = LatencyHistogram::new();
+        for &(seq, t) in &report.first_delivery {
+            if let Some(&published) = publish_times.get(seq as usize) {
+                latency.record_us(t.saturating_since(published).as_micros());
+            }
+        }
+        ScaleNodeReport {
+            delivered: report.delivered,
+            duplicates: (report.duplicates_per_message * report.delivered as f64).round() as u64,
+            latency,
+        }
+    }
 }
 
 /// Protocol-agnostic parameters of one run. Both scenario types convert
@@ -146,6 +183,19 @@ pub struct RunSpec {
     /// Record the scheduler push/pop trace of the run (bench-only; see
     /// [`EngineResult::event_trace`]).
     pub trace_events: bool,
+    /// Scheduled large-scale incidents (flash crowds, mass crashes),
+    /// relative to stream start.
+    pub events: Vec<ScaleEvent>,
+    /// Classic per-node results, or the scale-mode streaming summary.
+    pub results: ResultMode,
+}
+
+impl RunSpec {
+    /// Injection time of the first stream message (the bootstrap phase runs
+    /// to exactly `bootstrap` before the stream is scheduled).
+    pub fn stream_start(&self) -> SimTime {
+        SimTime::ZERO + self.bootstrap + FIRST_PUBLISH_DELAY
+    }
 }
 
 impl From<&BrisaScenario> for RunSpec {
@@ -161,6 +211,8 @@ impl From<&BrisaScenario> for RunSpec {
             drain: sc.drain,
             scheduler: SchedulerKind::default(),
             trace_events: false,
+            events: sc.events.clone(),
+            results: sc.results,
         }
     }
 }
@@ -178,6 +230,8 @@ impl From<&BaselineScenario> for RunSpec {
             drain: sc.drain,
             scheduler: SchedulerKind::default(),
             trace_events: false,
+            events: Vec::new(),
+            results: ResultMode::Classic,
         }
     }
 }
@@ -241,6 +295,34 @@ pub fn completeness_of(delivered: impl IntoIterator<Item = u64>, published: u64)
     }
 }
 
+/// The scale-mode run summary: everything the streaming result path
+/// retains instead of per-node outcomes. All counters are exact; only the
+/// latency distribution is bucketed (within a factor of two).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingSummary {
+    /// Live, non-source nodes present before the stream started.
+    pub eligible: u64,
+    /// Eligible nodes that delivered every message.
+    pub complete: u64,
+    /// Sum over eligible nodes of `min(delivered, published)`.
+    pub got: u64,
+    /// `eligible × published`.
+    pub expected: u64,
+    /// First receptions summed over *all* live nodes (source included).
+    pub delivered_total: u64,
+    /// Duplicate receptions summed over all live nodes.
+    pub duplicates_total: u64,
+    /// Injection-to-first-delivery latencies, merged over all live nodes.
+    pub latency: LatencyHistogram,
+    /// Bytes every node uploaded, from the totals-only bandwidth meter.
+    pub uploaded_bytes: u64,
+    /// Bytes every node downloaded.
+    pub downloaded_bytes: u64,
+    /// Accounting-based memory footprint sampled at collect time (the
+    /// bytes-per-node proxy of the scale benches).
+    pub footprint: Footprint,
+}
+
 /// The protocol-agnostic outcome of one run.
 #[derive(Debug, Clone)]
 pub struct EngineResult {
@@ -275,6 +357,10 @@ pub struct EngineResult {
     /// [`RunSpec::trace_events`] was set (empty otherwise). Benches replay
     /// it through a scheduler in isolation.
     pub event_trace: Vec<TraceOp>,
+    /// The scale-mode summary, present iff the run used
+    /// [`ResultMode::Streaming`] (in which case [`EngineResult::nodes`] is
+    /// empty).
+    pub streaming: Option<StreamingSummary>,
 }
 
 impl EngineResult {
@@ -291,6 +377,13 @@ impl EngineResult {
     /// zeroes its completeness contribution); the headline metric of the
     /// fault sweeps.
     pub fn delivery_rate(&self) -> f64 {
+        if let Some(s) = &self.streaming {
+            return if s.expected == 0 {
+                1.0
+            } else {
+                s.got as f64 / s.expected as f64
+            };
+        }
         delivery_rate_of(self.eligible_delivered_counts(), self.messages_published)
     }
 
@@ -348,12 +441,33 @@ impl EngineResult {
             )
             .unwrap();
         }
+        if let Some(s) = &self.streaming {
+            write!(
+                out,
+                "stream:el{}:cp{}:got{}:exp{}:del{}:dup{}:lat",
+                s.eligible, s.complete, s.got, s.expected, s.delivered_total, s.duplicates_total,
+            )
+            .unwrap();
+            for (i, &b) in s.latency.buckets().iter().enumerate() {
+                if b != 0 {
+                    write!(out, "{i}x{b},").unwrap();
+                }
+            }
+            out.push(';');
+        }
         out
     }
 
     /// Fraction of live, non-source nodes present before the stream started
     /// that delivered every message.
     pub fn completeness(&self) -> f64 {
+        if let Some(s) = &self.streaming {
+            return if s.eligible == 0 {
+                1.0
+            } else {
+                s.complete as f64 / s.eligible as f64
+            };
+        }
         completeness_of(self.eligible_delivered_counts(), self.messages_published)
     }
 }
@@ -363,6 +477,7 @@ enum Step {
     Publish,
     Churn(ChurnEvent),
     Fault(FaultAction),
+    Scale(ScaleEventKind),
 }
 
 /// A scheduled fault transition.
@@ -393,6 +508,12 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
             seed: spec.seed,
             scheduler: spec.scheduler,
             trace_events: spec.trace_events,
+            // The streaming result path never reads per-second bandwidth
+            // buckets; dropping them keeps scale runs O(nodes) in memory.
+            meter: match spec.results {
+                ResultMode::Classic => MeterMode::PerSecond,
+                ResultMode::Streaming => MeterMode::TotalsOnly,
+            },
             ..Default::default()
         },
         spec.testbed.latency_model(spec.seed),
@@ -428,7 +549,10 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
     // --- Phase 2: merge stream injections and churn events into one
     // time-ordered schedule. With churn, the stream keeps flowing for the
     // whole churn window so repairs complete through regular traffic.
-    let stream_start = net.now() + SimDuration::from_millis(100);
+    // `run_until` always advances the clock to its deadline, so this equals
+    // the spec-derived value scale-mode delivery tracking is anchored to.
+    let stream_start = spec.stream_start();
+    debug_assert_eq!(stream_start, net.now() + FIRST_PUBLISH_DELAY);
     let interval = spec.stream.interval();
     let churn_events: Vec<(SimTime, ChurnEvent)> = spec
         .churn
@@ -459,6 +583,15 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
             ));
         }
     }
+    // Scale events ride the same stable-sort contract: at equal times they
+    // run after fault transitions and before the publish they coincide
+    // with (a mass crash at second s hits the overlay before that second's
+    // injection).
+    schedule.extend(
+        spec.events
+            .iter()
+            .map(|ev| (stream_start + ev.after, Step::Scale(ev.kind))),
+    );
     schedule.extend((0..total_messages).map(|seq| (stream_start + interval * seq, Step::Publish)));
     schedule.extend(churn_events.into_iter().map(|(t, e)| (t, Step::Churn(e))));
     schedule.sort_by_key(|(t, _)| *t);
@@ -472,6 +605,19 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
     // the full candidate list — rather than a single index draw — is kept so
     // the harness RNG stream, and therefore every seeded result, is stable).
     let mut alive_buf: Vec<NodeId> = Vec::new();
+    // Mid-run joiners (churn and flash crowds) join through a *random live
+    // contact*, not the source: a member's HyParView `Join` displaces one
+    // of the contact's active-view entries, so funnelling a join burst
+    // through one node evicts its entire view — the burst's ForwardJoin
+    // walks then circulate among the just-joined nodes and the contact ends
+    // up severed from the established overlay (with the source as contact,
+    // that wedges the whole stream). Spreading contacts is also what a real
+    // deployment's join service does.
+    let random_contact = |net: &Network<P>, buf: &mut Vec<NodeId>, rng: &mut SmallRng| {
+        buf.clear();
+        buf.extend(net.alive_iter());
+        buf.choose(rng).copied().unwrap_or(source)
+    };
     for (at, step) in schedule {
         net.run_until(at);
         match step {
@@ -493,16 +639,54 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
                 }
             }
             Step::Churn(ChurnEvent::Join) => {
+                let contact = random_contact(&net, &mut alive_buf, &mut harness_rng);
                 let bctx = BuildCtx {
                     index: next_join_index,
                     population: spec.nodes,
-                    contact: Some(source),
+                    contact: Some(contact),
                     prev: Some(prev),
                     is_source: false,
                 };
                 prev = net.add_node(|id| P::build(cfg, id, &bctx));
                 next_join_index += 1;
                 joins_injected += 1;
+            }
+            Step::Scale(ScaleEventKind::FlashCrowd { joiners }) => {
+                // One snapshot of the live population for the whole burst:
+                // re-listing ~100k alive nodes per joiner would make a 10k
+                // flash crowd O(alive × joiners) on the bench's measured
+                // wall-clock path. The crowd arrives at one instant, so
+                // drawing every contact from the pre-crowd population is
+                // also the honest model.
+                alive_buf.clear();
+                alive_buf.extend(net.alive_iter());
+                for _ in 0..joiners {
+                    let contact = alive_buf
+                        .choose(&mut harness_rng)
+                        .copied()
+                        .unwrap_or(source);
+                    let bctx = BuildCtx {
+                        index: next_join_index,
+                        population: spec.nodes,
+                        contact: Some(contact),
+                        prev: Some(prev),
+                        is_source: false,
+                    };
+                    prev = net.add_node(|id| P::build(cfg, id, &bctx));
+                    next_join_index += 1;
+                    joins_injected += 1;
+                }
+            }
+            Step::Scale(ScaleEventKind::MassCrash { fraction }) => {
+                alive_buf.clear();
+                alive_buf.extend(net.alive_iter().filter(|&id| id != source));
+                alive_buf.shuffle(&mut harness_rng);
+                let victims =
+                    ((alive_buf.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+                for &victim in alive_buf.iter().take(victims) {
+                    net.crash(victim);
+                    failures_injected += 1;
+                }
             }
         }
         if !invariants.is_empty() {
@@ -526,47 +710,80 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
     let end_sec = net.now().second_bucket() + 1;
     let churn_window = (stream_start, net.now());
 
-    // --- Phase 4: collect.
-    let bw = split_bandwidth(net.bandwidth(), stabilization_end_sec, end_sec);
-    let alive = net.alive_ids();
-    let mut outcomes = Vec::with_capacity(alive.len());
-    for &id in &alive {
-        let report = net.node(id).expect("alive node exists").report();
-        let is_source = id == source;
-        let mut delays = Vec::new();
-        for (seq, t) in &report.first_delivery {
-            if let Some(&pub_t) = publish_times.get(*seq as usize) {
-                delays.push(t.saturating_since(pub_t).as_millis_f64());
+    // --- Phase 4: collect. Classic mode materialises one `NodeOutcome`
+    // per node (first-delivery vectors, phase bandwidth, point-to-point
+    // references); streaming mode folds every node into one summary and
+    // never allocates per-node result state.
+    let (outcomes, streaming) = match spec.results {
+        ResultMode::Classic => {
+            let bw = split_bandwidth(net.bandwidth(), stabilization_end_sec, end_sec);
+            let alive = net.alive_ids();
+            let mut outcomes = Vec::with_capacity(alive.len());
+            for &id in &alive {
+                let report = net.node(id).expect("alive node exists").report();
+                let is_source = id == source;
+                let mut delays = Vec::new();
+                for (seq, t) in &report.first_delivery {
+                    if let Some(&pub_t) = publish_times.get(*seq as usize) {
+                        delays.push(t.saturating_since(pub_t).as_millis_f64());
+                    }
+                }
+                let routing_delay_ms = if delays.is_empty() || is_source {
+                    None
+                } else {
+                    Some(delays.iter().sum::<f64>() / delays.len() as f64)
+                };
+                let span = report.first_delivery.iter().map(|(_, t)| *t);
+                let dissemination_latency_secs = match (span.clone().min(), span.max()) {
+                    (Some(a), Some(b)) => Some(b.saturating_since(a).as_secs_f64()),
+                    _ => None,
+                };
+                outcomes.push(NodeOutcome {
+                    id,
+                    is_source,
+                    report,
+                    routing_delay_ms,
+                    dissemination_latency_secs,
+                    point_to_point_ms: 0.0, // filled below (needs &mut net)
+                    bandwidth: bw.get(&id).cloned().unwrap_or_default(),
+                });
             }
+            // Point-to-point reference latencies need mutable access to the
+            // network.
+            let p2p: HashMap<NodeId, f64> = alive
+                .iter()
+                .map(|&id| (id, net.typical_latency(source, id).as_millis_f64()))
+                .collect();
+            for o in &mut outcomes {
+                o.point_to_point_ms = *p2p.get(&o.id).unwrap_or(&0.0);
+            }
+            (outcomes, None)
         }
-        let routing_delay_ms = if delays.is_empty() || is_source {
-            None
-        } else {
-            Some(delays.iter().sum::<f64>() / delays.len() as f64)
-        };
-        let span = report.first_delivery.iter().map(|(_, t)| *t);
-        let dissemination_latency_secs = match (span.clone().min(), span.max()) {
-            (Some(a), Some(b)) => Some(b.saturating_since(a).as_secs_f64()),
-            _ => None,
-        };
-        outcomes.push(NodeOutcome {
-            id,
-            is_source,
-            report,
-            routing_delay_ms,
-            dissemination_latency_secs,
-            point_to_point_ms: 0.0, // filled below (needs &mut net)
-            bandwidth: bw.get(&id).cloned().unwrap_or_default(),
-        });
-    }
-    // Point-to-point reference latencies need mutable access to the network.
-    let p2p: HashMap<NodeId, f64> = alive
-        .iter()
-        .map(|&id| (id, net.typical_latency(source, id).as_millis_f64()))
-        .collect();
-    for o in &mut outcomes {
-        o.point_to_point_ms = *p2p.get(&o.id).unwrap_or(&0.0);
-    }
+        ResultMode::Streaming => {
+            let mut summary = StreamingSummary::default();
+            for id in net.alive_iter() {
+                let sr = net
+                    .node(id)
+                    .expect("alive node exists")
+                    .scale_report(&publish_times);
+                summary.delivered_total += sr.delivered;
+                summary.duplicates_total += sr.duplicates;
+                summary.latency.merge(&sr.latency);
+                if id != source && id.0 < spec.nodes {
+                    summary.eligible += 1;
+                    summary.got += sr.delivered.min(total_messages);
+                    summary.expected += total_messages;
+                    if sr.delivered >= total_messages {
+                        summary.complete += 1;
+                    }
+                }
+            }
+            summary.uploaded_bytes = net.bandwidth().total_uploaded();
+            summary.downloaded_bytes = net.bandwidth().total_downloaded();
+            summary.footprint = net.footprint();
+            (Vec::new(), Some(summary))
+        }
+    };
 
     EngineResult {
         protocol: P::protocol_name(),
@@ -582,5 +799,6 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
         churn_window,
         net_stats: net.stats().clone(),
         event_trace: net.take_event_trace(),
+        streaming,
     }
 }

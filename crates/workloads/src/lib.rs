@@ -46,6 +46,7 @@ pub use brisa_simnet::{PartitionMode, SchedulerKind, TraceOp};
 pub use engine::{
     completeness_of, delivery_rate_of, run_experiment, run_experiment_checked, BuildCtx,
     DisseminationProtocol, EngineResult, NodeOutcome, NodeReport, RepairTelemetry, RunSpec,
+    ScaleNodeReport, StreamingSummary,
 };
 pub use invariants::{
     check_delivery_report, DeliveryInvariant, Invariant, InvariantCtx, InvariantSuite,
@@ -56,6 +57,6 @@ pub use protocols::BrisaStackConfig;
 pub use result::{split_bandwidth, ChurnReport, NodeSummary, PhaseBandwidth};
 pub use scenarios::Scale;
 pub use spec::{
-    BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, PartitionPhase, StreamSpec,
-    Testbed,
+    BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, PartitionPhase, ResultMode,
+    ScaleEvent, ScaleEventKind, StreamSpec, Testbed, FIRST_PUBLISH_DELAY,
 };

@@ -7,7 +7,9 @@
 //! to every figure/table experiment means implementing the four methods
 //! below for it.
 
-use crate::engine::{BuildCtx, DisseminationProtocol, NodeReport, RepairTelemetry};
+use crate::engine::{
+    BuildCtx, DisseminationProtocol, NodeReport, RepairTelemetry, ScaleNodeReport,
+};
 use brisa::{BrisaConfig, BrisaNode};
 use brisa_baselines::{
     DeliveryStats, FloodNode, GossipConfig, SimpleGossipNode, SimpleTreeNode, TagConfig, TagNode,
@@ -72,7 +74,10 @@ impl DisseminationProtocol for BrisaNode {
         NodeReport {
             delivered: stats.delivered,
             duplicates_per_message: stats.duplicates_per_message(),
-            first_delivery: sorted_deliveries(&stats.first_delivery),
+            // The delivery ledger is sequence-indexed, so this is already
+            // in ascending sequence order (and empty under scale-mode
+            // counter tracking).
+            first_delivery: stats.delivery.iter_times().collect(),
             parents: core.parents(),
             depth: core.depth(),
             degree: core.children().len(),
@@ -87,6 +92,27 @@ impl DisseminationProtocol for BrisaNode {
                 gap_requests: stats.gap_retransmit_requests,
                 retransmissions_served: stats.retransmissions_served,
             },
+        }
+    }
+
+    fn scale_report(&self, publish_times: &[brisa_simnet::SimTime]) -> ScaleNodeReport {
+        let stats = self.brisa().stats();
+        let mut latency = stats.delivery.latency_hist().clone();
+        if latency.is_empty() && stats.delivered > 0 {
+            // Full tracking: the histogram was never streamed, so derive it
+            // from the recorded first-delivery times (exactly what the
+            // counter tracking would have produced — the publish schedule
+            // is deterministic).
+            for (seq, t) in stats.delivery.iter_times() {
+                if let Some(&published) = publish_times.get(seq as usize) {
+                    latency.record_us(t.saturating_since(published).as_micros());
+                }
+            }
+        }
+        ScaleNodeReport {
+            delivered: stats.delivered,
+            duplicates: stats.duplicates,
+            latency,
         }
     }
 }

@@ -5,7 +5,10 @@
 //! recorded in exactly one place. Each scenario can be instantiated at the
 //! paper's full scale or at a reduced `Quick` scale for smoke runs and CI.
 
-use crate::spec::{BrisaScenario, ChurnSpec, FaultSpec, PartitionPhase, StreamSpec, Testbed};
+use crate::spec::{
+    BrisaScenario, ChurnSpec, FaultSpec, PartitionPhase, ResultMode, ScaleEvent, ScaleEventKind,
+    StreamSpec, Testbed,
+};
 use brisa::{ParentStrategy, StructureMode};
 use brisa_simnet::SimDuration;
 
@@ -295,6 +298,101 @@ pub fn fault_partition_sweep(scale: Scale) -> Vec<(SimDuration, BrisaScenario)> 
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Scale-mode scenarios (beyond the paper's sizes)
+// ---------------------------------------------------------------------
+//
+// The paper evaluates up to 512 nodes; related epidemic-broadcast systems
+// (Plumtree/HyParView lineage) go to 10k+. These scenarios take the same
+// stack one order of magnitude further — 100 000-node overlays — using the
+// streaming result path (`ResultMode::Streaming`), and add the large-scale
+// incidents the paper implies but never runs: a flash crowd joining
+// mid-stream, a catastrophic correlated failure, and sustained churn at
+// scale.
+
+/// Base of every scale scenario: a short 1 KiB stream at the paper's 5/s
+/// rate over a tree with view 4, collected through the streaming result
+/// path.
+fn scale_base(nodes: u32) -> BrisaScenario {
+    BrisaScenario {
+        nodes,
+        view_size: 4,
+        stream: StreamSpec {
+            messages: 50,
+            rate_per_sec: 5.0,
+            payload_bytes: 1024,
+        },
+        bootstrap: SimDuration::from_secs(30),
+        drain: SimDuration::from_secs(20),
+        results: ResultMode::Streaming,
+        ..Default::default()
+    }
+}
+
+/// Scale, control leg: plain dissemination at `nodes`, no faults. The
+/// acceptance bar of the scale sweep: 100 % delivery at 100 000 nodes.
+pub fn scale_no_fault(nodes: u32) -> BrisaScenario {
+    scale_base(nodes)
+}
+
+/// Scale, flash-crowd leg: 10 % of the population (10 000 fresh nodes at
+/// the 100k row) joins through the contact point *at the same instant*,
+/// two seconds into the stream, while the original overlay keeps
+/// streaming.
+pub fn scale_flash_crowd(nodes: u32) -> BrisaScenario {
+    BrisaScenario {
+        events: vec![ScaleEvent {
+            after: SimDuration::from_secs(2),
+            kind: ScaleEventKind::FlashCrowd {
+                joiners: (nodes / 10).max(1),
+            },
+        }],
+        ..scale_base(nodes)
+    }
+}
+
+/// Scale, correlated-failure leg: half of the live non-source population
+/// crashes simultaneously three seconds into the stream. Survivors must
+/// re-form the structure and close their gaps through the repair path; the
+/// drain window is stretched so recovery completes inside the run.
+pub fn scale_mass_crash(nodes: u32) -> BrisaScenario {
+    BrisaScenario {
+        events: vec![ScaleEvent {
+            after: SimDuration::from_secs(3),
+            kind: ScaleEventKind::MassCrash { fraction: 0.5 },
+        }],
+        drain: SimDuration::from_secs(30),
+        ..scale_base(nodes)
+    }
+}
+
+/// Scale, sustained-churn leg: 0.5 % of the population replaced every 15 s
+/// for 45 s while the stream flows (the engine keeps publishing for the
+/// whole churn window, so this row streams 225 messages at the 100k row —
+/// by far the heaviest cell of the sweep).
+pub fn scale_churn(nodes: u32) -> BrisaScenario {
+    BrisaScenario {
+        churn: Some(ChurnSpec {
+            rate_percent: 0.5,
+            interval: SimDuration::from_secs(15),
+            duration: SimDuration::from_secs(45),
+        }),
+        drain: SimDuration::from_secs(30),
+        ..scale_base(nodes)
+    }
+}
+
+/// The scenario grid of `bench_scale_sweep`, one labelled scenario per
+/// incident family at system size `nodes`.
+pub fn scale_suite(nodes: u32) -> Vec<(&'static str, BrisaScenario)> {
+    vec![
+        ("no_fault", scale_no_fault(nodes)),
+        ("flash_crowd", scale_flash_crowd(nodes)),
+        ("mass_crash", scale_mass_crash(nodes)),
+        ("churn", scale_churn(nodes)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +457,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scale_suite_is_well_formed() {
+        let suite = scale_suite(100_000);
+        assert_eq!(suite.len(), 4);
+        for (label, sc) in &suite {
+            assert_eq!(sc.nodes, 100_000);
+            assert_eq!(sc.results, ResultMode::Streaming, "{label}");
+            // Streaming scenarios carry counter tracking anchored to the
+            // publish schedule.
+            assert!(matches!(
+                sc.brisa_config().tracking,
+                brisa::DeliveryTracking::Counters { .. }
+            ));
+        }
+        let flash = scale_flash_crowd(100_000);
+        assert!(matches!(
+            flash.events[0].kind,
+            ScaleEventKind::FlashCrowd { joiners: 10_000 }
+        ));
+        let crash = scale_mass_crash(64);
+        assert!(matches!(
+            crash.events[0].kind,
+            ScaleEventKind::MassCrash { fraction } if (fraction - 0.5).abs() < 1e-9
+        ));
+        assert!(scale_churn(1000).churn.is_some());
+        assert!(scale_no_fault(1000).events.is_empty());
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! optional churn phase. These types capture those parameters; the runner
 //! modules execute them.
 
-use brisa::{BrisaConfig, ParentStrategy, StructureMode};
+use brisa::{BrisaConfig, DeliveryTracking, ParentStrategy, StructureMode};
 use brisa_membership::HyParViewConfig;
 use brisa_simnet::latency::{ClusterLatency, LatencyModel, PlanetLabLatency};
 use brisa_simnet::{LinkFaults, NodeId, PartitionMode, PartitionSpec, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// Delay between the end of the bootstrap window and the first stream
+/// injection. Public because scale-mode delivery tracking derives the
+/// publish schedule (`stream_start + seq × interval`) from it.
+pub const FIRST_PUBLISH_DELAY: SimDuration = SimDuration::from_millis(100);
 
 /// Which testbed the experiment models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -138,6 +143,52 @@ impl ChurnSpec {
         let intervals = (self.duration.as_micros() / self.interval.as_micros().max(1)).max(1);
         per_interval * intervals as usize
     }
+}
+
+/// How the engine materialises run results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResultMode {
+    /// Per-node outcomes with full first-delivery vectors, per-phase
+    /// bandwidth and point-to-point reference latencies — everything the
+    /// classic figures consume. O(nodes × messages) memory at collect time.
+    #[default]
+    Classic,
+    /// Scale mode: no per-node materialisation. The engine folds every
+    /// node's counters into one [`StreamingSummary`](crate::engine::StreamingSummary)
+    /// (delivery counters + a mergeable latency histogram), selects
+    /// totals-only bandwidth metering, and samples the simulator's
+    /// bytes-per-node footprint. O(nodes) memory, independent of stream
+    /// length.
+    Streaming,
+}
+
+/// A scheduled large-scale incident, expressed relative to stream start.
+/// Unlike [`ChurnSpec`]'s gradual grind, these are the step-function events
+/// the scale scenarios exercise: thousands of nodes arriving at once, or
+/// half the overlay failing simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleEvent {
+    /// Offset from stream start.
+    pub after: SimDuration,
+    /// What happens.
+    pub kind: ScaleEventKind,
+}
+
+/// The kinds of large-scale incident.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleEventKind {
+    /// `joiners` fresh nodes join through the contact point at the same
+    /// instant (flash crowd).
+    FlashCrowd {
+        /// Number of simultaneous joiners.
+        joiners: u32,
+    },
+    /// A fraction of the live non-source population crashes simultaneously
+    /// (catastrophic correlated failure).
+    MassCrash {
+        /// Fraction of live non-source nodes to crash, clamped to `[0, 1]`.
+        fraction: f64,
+    },
 }
 
 /// Adversarial conditions injected into a run: per-link loss, latency
@@ -279,6 +330,11 @@ pub struct BrisaScenario {
     /// Time to keep simulating after the last injection so in-flight
     /// messages and repairs drain.
     pub drain: SimDuration,
+    /// Scheduled large-scale incidents (flash crowds, mass crashes),
+    /// relative to stream start. Empty by default.
+    pub events: Vec<ScaleEvent>,
+    /// Classic per-node results or scale-mode streaming results.
+    pub results: ResultMode,
 }
 
 impl Default for BrisaScenario {
@@ -296,6 +352,8 @@ impl Default for BrisaScenario {
             faults: FaultSpec::default(),
             bootstrap: SimDuration::from_secs(30),
             drain: SimDuration::from_secs(20),
+            events: Vec::new(),
+            results: ResultMode::Classic,
         }
     }
 }
@@ -361,11 +419,30 @@ impl BrisaScenario {
         HyParViewConfig::with_active_size(self.view_size).expansion_factor(self.expansion_factor)
     }
 
-    /// The BRISA configuration implied by this scenario.
+    /// Injection time of the first stream message. Deterministic — the
+    /// engine runs the bootstrap phase to exactly `bootstrap` before
+    /// scheduling the stream — so scale-mode nodes can compute per-message
+    /// latencies against `stream_start() + seq × stream.interval()` without
+    /// carrying publish timestamps on the wire.
+    pub fn stream_start(&self) -> SimTime {
+        SimTime::ZERO + self.bootstrap + FIRST_PUBLISH_DELAY
+    }
+
+    /// The BRISA configuration implied by this scenario. Under
+    /// [`ResultMode::Streaming`] the nodes keep compact counter tracking
+    /// against this scenario's publish schedule instead of per-sequence
+    /// delivery times.
     pub fn brisa_config(&self) -> BrisaConfig {
         BrisaConfig {
             mode: self.mode,
             strategy: self.strategy,
+            tracking: match self.results {
+                ResultMode::Classic => DeliveryTracking::Full,
+                ResultMode::Streaming => DeliveryTracking::Counters {
+                    stream_start_us: self.stream_start().as_micros(),
+                    interval_us: self.stream.interval().as_micros(),
+                },
+            },
             ..BrisaConfig::default()
         }
     }

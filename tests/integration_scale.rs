@@ -1,0 +1,175 @@
+//! Scale-mode integration tests: the streaming result path must agree with
+//! the classic per-node path, the scale events must behave, and the
+//! bytes-per-node footprint must stay bounded.
+
+use brisa::BrisaNode;
+use brisa_bench::{BrisaScenario, BrisaStackConfig, EngineResult, RunSpec};
+use brisa_metrics::LatencyHistogram;
+use brisa_simnet::SimDuration;
+use brisa_workloads::{
+    run_experiment, scenarios, ResultMode, ScaleEvent, ScaleEventKind, SchedulerKind,
+};
+
+fn run(sc: &BrisaScenario, scheduler: SchedulerKind) -> EngineResult {
+    let cfg = BrisaStackConfig {
+        hpv: sc.hyparview_config(),
+        brisa: sc.brisa_config(),
+    };
+    let mut spec = RunSpec::from(sc);
+    spec.scheduler = scheduler;
+    run_experiment::<BrisaNode>(&cfg, &spec)
+}
+
+/// Rebuilds the latency histogram a streaming run would produce from a
+/// classic run's exact first-delivery records.
+fn classic_latency_hist(r: &EngineResult) -> LatencyHistogram {
+    let mut hist = LatencyHistogram::new();
+    for n in &r.nodes {
+        for &(seq, t) in &n.report.first_delivery {
+            let published = r.publish_times[seq as usize];
+            hist.record_us(t.saturating_since(published).as_micros());
+        }
+    }
+    hist
+}
+
+/// The streaming result path is bookkeeping, not behaviour: on both
+/// schedulers, a streaming run must process the identical event sequence as
+/// the classic run of the same scenario and summarise it to the same
+/// delivery numbers — including a bit-identical latency histogram.
+#[test]
+fn streaming_results_agree_with_classic_path() {
+    for scheduler in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+        let classic_sc = BrisaScenario::small_test(48);
+        let streaming_sc = BrisaScenario {
+            results: ResultMode::Streaming,
+            ..classic_sc.clone()
+        };
+        let classic = run(&classic_sc, scheduler);
+        let streaming = run(&streaming_sc, scheduler);
+
+        // Identical simulation underneath.
+        assert_eq!(
+            classic.net_stats.events_processed, streaming.net_stats.events_processed,
+            "streaming mode changed the simulation itself ({scheduler:?})"
+        );
+        assert_eq!(
+            classic.net_stats.messages_sent,
+            streaming.net_stats.messages_sent
+        );
+        assert_eq!(classic.publish_times, streaming.publish_times);
+
+        // Identical summary numbers on top.
+        let s = streaming.streaming.as_ref().expect("streaming summary");
+        assert!(classic.streaming.is_none());
+        assert!(streaming.nodes.is_empty(), "no per-node materialisation");
+        assert_eq!(classic.delivery_rate(), streaming.delivery_rate());
+        assert_eq!(classic.completeness(), streaming.completeness());
+        let classic_delivered: u64 = classic.nodes.iter().map(|n| n.report.delivered).sum();
+        assert_eq!(classic_delivered, s.delivered_total);
+        assert_eq!(classic_latency_hist(&classic), s.latency);
+        assert!(s.latency.count() > 0, "latencies were streamed");
+        assert!(s.footprint.nodes >= 48);
+        assert!(s.uploaded_bytes > 0);
+    }
+}
+
+/// Streaming runs are scheduler-independent like every other run: the full
+/// fingerprint (which covers the streaming summary) must match between the
+/// timing wheel and the binary heap.
+#[test]
+fn streaming_fingerprint_is_scheduler_equivalent() {
+    let sc = BrisaScenario {
+        results: ResultMode::Streaming,
+        ..BrisaScenario::small_test(40)
+    };
+    let wheel = run(&sc, SchedulerKind::TimingWheel);
+    let heap = run(&sc, SchedulerKind::BinaryHeap);
+    assert_eq!(wheel.fingerprint(), heap.fingerprint());
+}
+
+/// A flash crowd joins mid-stream: the original population still delivers
+/// everything, and the joiners (identifiers `>= nodes`) are counted as
+/// joins, not as eligible receivers.
+#[test]
+fn flash_crowd_joins_mid_stream() {
+    let sc = BrisaScenario {
+        events: vec![ScaleEvent {
+            after: SimDuration::from_secs(1),
+            kind: ScaleEventKind::FlashCrowd { joiners: 16 },
+        }],
+        results: ResultMode::Streaming,
+        ..BrisaScenario::small_test(48)
+    };
+    let r = run(&sc, SchedulerKind::TimingWheel);
+    assert_eq!(r.joins_injected, 16);
+    assert_eq!(r.failures_injected, 0);
+    let s = r.streaming.as_ref().unwrap();
+    assert_eq!(s.eligible, 47, "joiners are not eligible receivers");
+    assert_eq!(
+        r.delivery_rate(),
+        1.0,
+        "the original overlay keeps delivering through the flash crowd"
+    );
+}
+
+/// Half the overlay crashes at once: the survivors repair and keep
+/// receiving the stream.
+#[test]
+fn mass_crash_survivors_recover() {
+    let sc = BrisaScenario {
+        events: vec![ScaleEvent {
+            after: SimDuration::from_secs(2),
+            kind: ScaleEventKind::MassCrash { fraction: 0.5 },
+        }],
+        drain: SimDuration::from_secs(30),
+        results: ResultMode::Streaming,
+        ..BrisaScenario::small_test(48)
+    };
+    let r = run(&sc, SchedulerKind::TimingWheel);
+    assert_eq!(r.failures_injected, 24, "47 non-source × 0.5 rounded");
+    let s = r.streaming.as_ref().unwrap();
+    assert_eq!(s.eligible, 23, "47 originals - 24 victims");
+    assert!(
+        r.delivery_rate() >= 0.99,
+        "survivors must close their gaps: {}",
+        r.delivery_rate()
+    );
+}
+
+/// The memory-footprint regression bound: in scale mode a node costs a
+/// bounded number of accounted bytes, independent of how many messages the
+/// stream carried. The pin includes ~40 % headroom over the measured value;
+/// a regression that reintroduces per-message per-node state (delivery
+/// maps, per-second bandwidth buckets) blows through it immediately.
+#[test]
+fn scale_mode_bytes_per_node_stays_bounded() {
+    let sc = BrisaScenario {
+        results: ResultMode::Streaming,
+        ..BrisaScenario::small_test(512)
+    };
+    let r = run(&sc, SchedulerKind::TimingWheel);
+    let s = r.streaming.as_ref().unwrap();
+    let per_node = s.footprint.bytes_per_node();
+    assert!(
+        per_node < 6000.0,
+        "scale-mode footprint regressed: {per_node:.0} bytes/node \
+         (total {} over {} nodes)",
+        s.footprint.total_bytes(),
+        s.footprint.nodes
+    );
+    // The classic path at the same size keeps strictly more state.
+    let classic = run(&BrisaScenario::small_test(512), SchedulerKind::TimingWheel);
+    assert!(classic.streaming.is_none());
+
+    // And the full scale suite stays in streaming mode end to end.
+    for (label, sc) in scenarios::scale_suite(256) {
+        let r = run(&sc, SchedulerKind::TimingWheel);
+        let s = r.streaming.as_ref().unwrap_or_else(|| panic!("{label}"));
+        assert!(
+            s.footprint.bytes_per_node() < 6000.0,
+            "{label}: {:.0} bytes/node",
+            s.footprint.bytes_per_node()
+        );
+    }
+}

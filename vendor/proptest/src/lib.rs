@@ -3,7 +3,7 @@
 //! Implements the subset the workspace's property tests use: the
 //! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, range and tuple
 //! strategies, [`collection::vec`], [`any`], [`prop_oneof!`] with optional
-//! weights, `Just`, `prop_map` and [`ProptestConfig`]. Cases
+//! weights, `Just`, `prop_map` and [`test_runner::ProptestConfig`]. Cases
 //! are drawn from a deterministic per-case RNG; there is **no shrinking** —
 //! a failing case panics with the drawn values' debug representation, which
 //! is reproducible because the stream is fixed.
