@@ -2,27 +2,59 @@
 //!
 //! ```text
 //! bench_gate <baseline-dir> <fresh-dir>
+//! bench_gate --divergence <BENCH_SOAK.json>
 //! ```
 //!
-//! Compares every `BENCH_*.json` present in `<baseline-dir>` (the committed
-//! baselines, snapshotted by CI before the bench binaries overwrite them)
-//! against the freshly produced copy in `<fresh-dir>`, using the rules of
-//! `brisa_bench::gate`: >20 % wall-clock growth (`BENCH_GATE_WALL_PCT`
-//! override) or any delivery-rate drop fails the job. A baseline artifact
-//! with no fresh counterpart fails too — a bench silently ceasing to
-//! produce its trajectory is itself a regression.
+//! **Baseline mode** compares every `BENCH_*.json` present in
+//! `<baseline-dir>` (the committed baselines, snapshotted by CI before the
+//! bench binaries overwrite them) against the freshly produced copy in
+//! `<fresh-dir>`, using the rules of `brisa_bench::gate`: >20 % wall-clock
+//! growth (`BENCH_GATE_WALL_PCT` override) or any delivery-rate drop fails
+//! the job. A baseline artifact with no fresh counterpart fails too — a
+//! bench silently ceasing to produce its trajectory is itself a regression.
+//!
+//! **Divergence mode** gates a freshly produced soak artifact against the
+//! sim predictions recorded inside it: per scenario, zero online invariant
+//! violations and live delivery/completeness/latency inside the
+//! `DivergenceBand` (`BRISA_DIV_DELIVERY_ABS` /
+//! `BRISA_DIV_COMPLETENESS_ABS` / `BRISA_DIV_LATENCY_RATIO` overrides).
+//! There is no committed baseline in this mode — the simulator *is* the
+//! baseline.
 //!
 //! Thresholds and the consumed schemas are documented in DESIGN.md.
 
-use brisa_bench::gate::{compare, parse, GateConfig, GateReport};
+use brisa_bench::gate::{compare, divergence_check, parse, DivergenceBand, GateConfig, GateReport};
 use std::path::Path;
+
+fn run_divergence(artifact_path: &str) -> ! {
+    let band = DivergenceBand::from_env();
+    println!(
+        "bench_gate: divergence gate on {artifact_path} \
+         (delivery ±{:.3}, completeness ±{:.3}, latency ≤{:.0}x sim)",
+        band.delivery_abs, band.completeness_abs, band.latency_ratio
+    );
+    let artifact = parse(&std::fs::read_to_string(artifact_path).expect("read soak artifact"))
+        .unwrap_or_else(|e| panic!("{artifact_path}: {e}"));
+    let mut report = GateReport::default();
+    divergence_check(&artifact, &band, &mut report);
+    print!("{}", report.render());
+    if !report.passed() {
+        eprintln!("bench_gate: live run diverged from the sim prediction");
+        std::process::exit(1);
+    }
+    println!("bench_gate: sim-vs-live divergence OK");
+    std::process::exit(0);
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let (Some(baseline_dir), Some(fresh_dir)) = (args.next(), args.next()) else {
-        eprintln!("usage: bench_gate <baseline-dir> <fresh-dir>");
+        eprintln!("usage: bench_gate <baseline-dir> <fresh-dir> | --divergence <artifact>");
         std::process::exit(2);
     };
+    if baseline_dir == "--divergence" {
+        run_divergence(&fresh_dir);
+    }
     let cfg = GateConfig::from_env();
     println!(
         "bench_gate: baselines {baseline_dir} vs fresh {fresh_dir} \

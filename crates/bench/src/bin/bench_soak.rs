@@ -1,0 +1,436 @@
+//! Chaos soak: live clusters under scripted adversity, gated against the
+//! simulator's prediction of the same script.
+//!
+//! Each named scenario is one [`ChaosSchedule`] — a stochastic fault
+//! profile (per-link loss, a timed partition) plus timed lifecycle events
+//! (kills, restarts, flash joins) — executed **twice**:
+//!
+//! 1. **live**, via `brisa_runtime::run_chaos`: a real cluster (threads,
+//!    codec, wall clock) behind the transport fault shim, with periodic
+//!    online invariant sweeps; and
+//! 2. **simulated**, via the engine: the same population, stream, seed and
+//!    (lowered) schedule through `run_experiment_checked`.
+//!
+//! Because the shim draws from the same counter-based split-seed PRF as
+//! the simulator's fault layer, the stochastic profile means the same
+//! thing in both worlds; the artifact records both outcomes side by side
+//! and `bench_gate --divergence` holds the live numbers to a band around
+//! the sim prediction (`DivergenceBand`, see DESIGN.md).
+//!
+//! Acceptance, asserted by the binary itself: every scenario's invariant
+//! sweeps are clean, survivor delivery is >= 99 %, and the artifact passes
+//! the default divergence band. Results go to `BENCH_SOAK.json` (override
+//! with `BRISA_BENCH_OUT`); the artifact is *not* a committed baseline —
+//! in divergence mode the simulator is the baseline.
+//!
+//! `--smoke` shrinks to the CI-sized soak (~16 nodes, seconds per
+//! scenario); `BRISA_SCALE=full` runs the 64-node two-minute streams.
+//! Positional arguments filter scenarios by name. Set
+//! `BRISA_SOAK_TRANSPORT=tcp` to soak the real TCP mesh instead of the
+//! in-process loopback mesh.
+
+use brisa::BrisaNode;
+use brisa_bench::gate::{divergence_check, parse, DivergenceBand, GateReport};
+use brisa_bench::{banner, BrisaStackConfig, EngineResult, RunSpec, Scale};
+use brisa_metrics::percentile::percentile_of_sorted;
+use brisa_metrics::report::render_table;
+use brisa_runtime::{run_chaos, SoakConfig, SoakOutcome, TransportKind};
+use brisa_simnet::SimDuration;
+use brisa_workloads::chaos::{ChaosEvent, ChaosEventKind, ChaosSchedule};
+use brisa_workloads::StreamSpec;
+use brisa_workloads::{run_experiment_checked, FaultSpec, InvariantSuite, PartitionPhase};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The soak dimensions of one scale tier.
+struct SoakShape {
+    nodes: u32,
+    messages: u64,
+    payload_bytes: usize,
+    drain: Duration,
+    sweep_interval: Duration,
+}
+
+/// One scenario's combined outcome.
+struct ScenarioResult {
+    name: String,
+    live: SoakOutcome,
+    sim: EngineResult,
+    sim_latency_ms: Vec<f64>,
+}
+
+/// Fraction of the stream's injection window, as a schedule offset.
+fn at(stream: &StreamSpec, frac: f64) -> SimDuration {
+    SimDuration::from_millis_f64(stream.duration().as_secs_f64() * 1000.0 * frac)
+}
+
+/// The named chaos scripts of the soak matrix. Kill victims live in the
+/// upper half of the identifier space so they never collide with the
+/// partition island (the *lowest* non-source identifiers).
+fn scenarios(nodes: u32, stream: &StreamSpec) -> Vec<ChaosSchedule> {
+    let victim = nodes / 2;
+    let mut steady = ChaosSchedule::named("steady_loss_1pct");
+    steady.faults = FaultSpec::loss(0.01);
+
+    let mut kill_restart = ChaosSchedule::named("kill_restart");
+    kill_restart.events = vec![
+        ChaosEvent {
+            after: at(stream, 0.25),
+            kind: ChaosEventKind::Kill { node: victim },
+        },
+        ChaosEvent {
+            after: at(stream, 0.60),
+            kind: ChaosEventKind::Restart { node: victim },
+        },
+    ];
+
+    let partition = PartitionPhase::drop(0.25, at(stream, 0.30), at(stream, 0.25));
+    let mut partition_heal = ChaosSchedule::named("partition_heal");
+    partition_heal.faults.partition = Some(partition);
+
+    let mut combined = ChaosSchedule::named("chaos_combined");
+    combined.faults = FaultSpec::loss(0.01);
+    combined.faults.partition = Some(partition);
+    combined.events = vec![
+        ChaosEvent {
+            after: at(stream, 0.20),
+            kind: ChaosEventKind::Kill { node: victim },
+        },
+        ChaosEvent {
+            after: at(stream, 0.35),
+            kind: ChaosEventKind::Kill { node: victim + 1 },
+        },
+        ChaosEvent {
+            after: at(stream, 0.50),
+            kind: ChaosEventKind::FlashJoin { count: 2 },
+        },
+        ChaosEvent {
+            after: at(stream, 0.70),
+            kind: ChaosEventKind::Restart { node: victim },
+        },
+    ];
+
+    vec![steady, kill_restart, partition_heal, combined]
+}
+
+/// Sim latency samples, mirroring `LiveResult::latency_samples_ms`:
+/// injection-to-first-delivery per (non-source node, message), in ms.
+fn sim_latency_samples_ms(r: &EngineResult) -> Vec<f64> {
+    let mut samples = Vec::new();
+    for n in &r.nodes {
+        if n.is_source {
+            continue;
+        }
+        for &(seq, t) in &n.report.first_delivery {
+            if let Some(&published) = r.publish_times.get(seq as usize) {
+                samples.push(t.saturating_since(published).as_millis_f64());
+            }
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples
+}
+
+/// Runs one schedule through both worlds.
+fn run_scenario(
+    shape: &SoakShape,
+    transport: TransportKind,
+    seed: u64,
+    sched: &ChaosSchedule,
+) -> ScenarioResult {
+    let stream = StreamSpec {
+        messages: shape.messages,
+        rate_per_sec: 5.0,
+        payload_bytes: shape.payload_bytes,
+    };
+    let scenario = sched.to_scenario(shape.nodes, stream, seed);
+    let mut stack = BrisaStackConfig {
+        hpv: scenario.hyparview_config(),
+        brisa: scenario.brisa_config(),
+    };
+    // Gap recovery reaches back at most `buffer_size` messages (the
+    // catch-up cursor anchors at `seq - buffer_size`), in both worlds: a
+    // partition longer than the buffer horizon is unrecoverable by
+    // design. Provision the buffer to cover the schedule's partition
+    // window with headroom, as a production stream with a planned outage
+    // tolerance would — identically for sim and live, so the divergence
+    // comparison is unaffected.
+    if let Some(p) = sched.faults.partition {
+        let missed = (stream.rate_per_sec * p.duration.as_secs_f64()).ceil() as usize;
+        stack.brisa.buffer_size = stack.brisa.buffer_size.max(missed * 2);
+    }
+
+    // Sim prediction first (fast): same schedule through the engine, with
+    // the online invariant suite — the baseline must itself be clean.
+    let spec = RunSpec::from(&scenario);
+    let mut suite = InvariantSuite::standard(Some(scenario.brisa_config().mode.target_parents()));
+    let sim = run_experiment_checked::<BrisaNode>(&stack, &spec, &mut suite);
+    suite.assert_clean();
+    let sim_latency_ms = sim_latency_samples_ms(&sim);
+
+    // Then the live soak.
+    let cfg = SoakConfig {
+        nodes: shape.nodes,
+        transport,
+        seed,
+        stream,
+        bootstrap: Duration::from_secs(2),
+        drain: shape.drain,
+        sweep_interval: shape.sweep_interval,
+    };
+    let live = run_chaos::<BrisaNode>(&cfg, &stack, sched).expect("launch soak cluster");
+    ScenarioResult {
+        name: sched.name.clone(),
+        live,
+        sim,
+        sim_latency_ms,
+    }
+}
+
+/// Aggregate live recovery traffic: `(gap requests, retransmissions
+/// served, mean duplicates per message)` over non-source nodes.
+fn live_recovery(outcome: &SoakOutcome) -> (u64, u64, f64) {
+    let mut req = 0;
+    let mut served = 0;
+    let mut dup = 0.0;
+    let mut n = 0u32;
+    for node in &outcome.result.nodes {
+        if node.id == outcome.result.source {
+            continue;
+        }
+        req += node.report.repairs.gap_requests;
+        served += node.report.repairs.retransmissions_served;
+        dup += node.report.duplicates_per_message;
+        n += 1;
+    }
+    (req, served, if n == 0 { 0.0 } else { dup / n as f64 })
+}
+
+/// Sim recovery traffic: `(gap requests, retransmissions served)`.
+fn sim_recovery(r: &EngineResult) -> (u64, u64) {
+    r.nodes.iter().fold((0, 0), |(a, b), n| {
+        (
+            a + n.report.repairs.gap_requests,
+            b + n.report.repairs.retransmissions_served,
+        )
+    })
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let transport = match std::env::var("BRISA_SOAK_TRANSPORT").as_deref() {
+        Ok("tcp") => TransportKind::Tcp,
+        _ => TransportKind::Loopback,
+    };
+    banner(
+        "bench_soak",
+        "live chaos soak vs sim prediction (fault shim, lifecycle, divergence gate)",
+        scale,
+    );
+
+    let shape = if smoke {
+        SoakShape {
+            nodes: 16,
+            messages: 30,
+            payload_bytes: 256,
+            drain: Duration::from_secs(10),
+            sweep_interval: Duration::from_secs(1),
+        }
+    } else {
+        scale.pick(
+            SoakShape {
+                nodes: 64,
+                messages: 600,
+                payload_bytes: 1024,
+                drain: Duration::from_secs(20),
+                sweep_interval: Duration::from_secs(2),
+            },
+            SoakShape {
+                nodes: 24,
+                messages: 60,
+                payload_bytes: 512,
+                drain: Duration::from_secs(12),
+                sweep_interval: Duration::from_secs(1),
+            },
+        )
+    };
+    let stream_probe = StreamSpec {
+        messages: shape.messages,
+        rate_per_sec: 5.0,
+        payload_bytes: shape.payload_bytes,
+    };
+    let mut scheds = scenarios(shape.nodes, &stream_probe);
+    if !filter.is_empty() {
+        scheds.retain(|s| filter.iter().any(|f| **f == s.name));
+        assert!(!scheds.is_empty(), "no scenario matches {filter:?}");
+    }
+    println!(
+        "{} nodes, {} msgs x {} B @5/s ({:?} mesh), {} scenario(s)\n",
+        shape.nodes,
+        shape.messages,
+        shape.payload_bytes,
+        transport,
+        scheds.len()
+    );
+
+    let results: Vec<ScenarioResult> = scheds
+        .iter()
+        .enumerate()
+        .map(|(i, sched)| run_scenario(&shape, transport, 0xB215A + i as u64, sched))
+        .collect();
+
+    let headers = [
+        "scenario",
+        "surv deliv%",
+        "sim deliv%",
+        "sweeps",
+        "violations",
+        "shim lost/cut",
+        "live p50 ms",
+        "sim p50 ms",
+    ];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut live_lat = r.live.result.latency_samples_ms();
+            live_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vec![
+                r.name.clone(),
+                format!("{:.2}", r.live.result.survivor_delivery_rate() * 100.0),
+                format!("{:.2}", r.sim.delivery_rate() * 100.0),
+                r.live.sweeps.to_string(),
+                r.live.violations.len().to_string(),
+                format!("{}/{}", r.live.shim.frames_lost, r.live.shim.frames_cut),
+                format!("{:.2}", percentile_of_sorted(&live_lat, 50.0)),
+                format!("{:.2}", percentile_of_sorted(&r.sim_latency_ms, 50.0)),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&headers, &rows));
+
+    // --- BENCH_SOAK.json (schema: brisa-bench-soak/v1, see DESIGN.md).
+    // `soak_secs`, not `wall_secs`: the soak's wall time is dictated by the
+    // stream schedule, not by implementation speed, so the baseline gate's
+    // wall-clock rule must not see it.
+    let mut cells = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            cells.push_str(",\n");
+        }
+        let (req, served, dup) = live_recovery(&r.live);
+        let (sim_req, sim_served) = sim_recovery(&r.sim);
+        let (frames, bytes) = r.live.result.frames_and_bytes_out();
+        let mut live_lat = r.live.result.latency_samples_ms();
+        live_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lp50, lp90, lp99) = (
+            percentile_of_sorted(&live_lat, 50.0),
+            percentile_of_sorted(&live_lat, 90.0),
+            percentile_of_sorted(&live_lat, 99.0),
+        );
+        let (sp50, sp90) = (
+            percentile_of_sorted(&r.sim_latency_ms, 50.0),
+            percentile_of_sorted(&r.sim_latency_ms, 90.0),
+        );
+        write!(
+            cells,
+            "    {{\"scenario\": \"{}\", \"nodes\": {}, \"messages\": {}, \
+             \"payload_bytes\": {}, \"soak_secs\": {:.3}, \"sweeps\": {}, \
+             \"invariant_violations\": {}, \"restarted\": {}, \"joined\": {},\n     \
+             \"shim\": {{\"frames_passed\": {}, \"frames_lost\": {}, \"frames_cut\": {}, \
+             \"frames_delayed\": {}, \"linkdowns_synthesized\": {}}},\n     \
+             \"live\": {{\"delivery_rate\": {:.6}, \"completeness\": {:.6}, \
+             \"survivor_delivery_rate\": {:.6}, \"survivor_completeness\": {:.6}, \
+             \"duplicates_per_message\": {:.4}, \"gap_requests\": {}, \
+             \"retransmissions_served\": {}, \"latency_p50_ms\": {:.3}, \
+             \"latency_p90_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \
+             \"frames_out\": {}, \"bytes_out\": {}}},\n     \
+             \"sim\": {{\"delivery_rate\": {:.6}, \"completeness\": {:.6}, \
+             \"latency_p50_ms\": {:.3}, \"latency_p90_ms\": {:.3}, \
+             \"messages_lost_to_faults\": {}, \"messages_cut_by_partition\": {}, \
+             \"gap_requests\": {}, \"retransmissions_served\": {}}},\n     \
+             \"divergence\": {{\"delivery_abs\": {:.6}, \"completeness_abs\": {:.6}, \
+             \"latency_ratio\": {:.3}}}}}",
+            r.name,
+            shape.nodes,
+            shape.messages,
+            shape.payload_bytes,
+            r.live.result.wall_elapsed.as_secs_f64(),
+            r.live.sweeps,
+            r.live.violations.len(),
+            r.live.restarted.len(),
+            r.live.joined.len(),
+            r.live.shim.frames_passed,
+            r.live.shim.frames_lost,
+            r.live.shim.frames_cut,
+            r.live.shim.frames_delayed,
+            r.live.shim.linkdowns_synthesized,
+            r.live.result.delivery_rate(),
+            r.live.result.completeness(),
+            r.live.result.survivor_delivery_rate(),
+            r.live.result.survivor_completeness(),
+            dup,
+            req,
+            served,
+            lp50,
+            lp90,
+            lp99,
+            frames,
+            bytes,
+            r.sim.delivery_rate(),
+            r.sim.completeness(),
+            sp50,
+            sp90,
+            r.sim.net_stats.messages_lost_to_faults,
+            r.sim.net_stats.messages_cut_by_partition,
+            sim_req,
+            sim_served,
+            (r.live.result.survivor_delivery_rate() - r.sim.delivery_rate()).abs(),
+            (r.live.result.survivor_completeness() - r.sim.completeness()).abs(),
+            if sp50 > 0.0 { lp50 / sp50 } else { 0.0 },
+        )
+        .unwrap();
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"brisa-bench-soak/v1\",\n  \"generated_by\": \"bench_soak\",\n  \
+         \"scale\": \"{:?}\",\n  \"transport\": \"{:?}\",\n  \"protocol\": \"Brisa\",\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        scale, transport, cells
+    );
+    let out_path =
+        std::env::var("BRISA_BENCH_OUT").unwrap_or_else(|_| "BENCH_SOAK.json".to_string());
+    std::fs::write(&out_path, &json).expect("write soak result file");
+    println!("\nwrote {out_path}");
+
+    // --- Acceptance: clean sweeps, survivors fully served, live inside
+    // the divergence band around the sim prediction.
+    for r in &results {
+        assert!(
+            r.live.violations.is_empty(),
+            "[{}] online invariant violations:\n  {}",
+            r.name,
+            r.live.violations.join("\n  ")
+        );
+        let survivors = r.live.result.survivor_delivery_rate();
+        assert!(
+            survivors >= 0.99,
+            "[{}] survivor delivery {survivors:.4} below the 99% bar",
+            r.name
+        );
+        r.live
+            .result
+            .check_delivery_invariants()
+            .expect("live trace passes the delivery invariants");
+    }
+    let mut gate = GateReport::default();
+    divergence_check(
+        &parse(&json).expect("reparse own artifact"),
+        &DivergenceBand::from_env(),
+        &mut gate,
+    );
+    print!("{}", gate.render());
+    assert!(gate.passed(), "soak diverged from the sim prediction");
+    println!("bench_soak: all scenarios clean and inside the divergence band");
+}

@@ -19,6 +19,13 @@
 //! cells present on both sides are compared, the rest are reported as
 //! skipped.
 //!
+//! The module also carries the **sim-vs-live divergence gate**
+//! ([`divergence_check`]): a `BENCH_SOAK.json` artifact records, per chaos
+//! scenario, the live cluster's outcome next to the simulator's prediction
+//! of the *same* schedule, and the gate fails when the live numbers drift
+//! outside a configurable [`DivergenceBand`] — or when any online
+//! invariant sweep tripped during the soak.
+//!
 //! The vendored serde stub has no JSON support, so this module carries its
 //! own small recursive-descent parser — sufficient for the machine-written
 //! artifacts the benches emit.
@@ -409,6 +416,163 @@ pub fn compare(
     }
 }
 
+/// Allowed sim-vs-live drift per soak scenario — the band the divergence
+/// gate holds a `BENCH_SOAK.json` artifact to.
+///
+/// Delivery and completeness are gated **symmetrically**: live falling
+/// below the sim prediction means the runtime is dropping deliveries, and
+/// live sitting far *above* it means the fault shim is not applying the
+/// adversity the simulator modelled — both are divergence. Latency is
+/// gated one-sided as a ratio: the sim's testbed latency model and the
+/// live interconnect are different clocks, so live being much faster than
+/// the model is expected (loopback), but live p50 exceeding sim p50 by
+/// more than the ratio means the runtime is stalling.
+#[derive(Debug, Clone, Copy)]
+pub struct DivergenceBand {
+    /// Max absolute drift of live survivor delivery rate vs sim delivery.
+    pub delivery_abs: f64,
+    /// Max absolute drift of live survivor completeness vs sim
+    /// completeness (wider: one node missing one message zeroes its
+    /// contribution, so the metric is intrinsically coarser).
+    pub completeness_abs: f64,
+    /// Max live-p50 / sim-p50 latency ratio (one-sided; faster is fine).
+    pub latency_ratio: f64,
+}
+
+impl Default for DivergenceBand {
+    fn default() -> Self {
+        DivergenceBand {
+            delivery_abs: 0.05,
+            completeness_abs: 0.15,
+            latency_ratio: 25.0,
+        }
+    }
+}
+
+impl DivergenceBand {
+    /// Reads overrides from `BRISA_DIV_DELIVERY_ABS`,
+    /// `BRISA_DIV_COMPLETENESS_ABS` and `BRISA_DIV_LATENCY_RATIO`, keeping
+    /// the defaults for anything unset or unparsable.
+    pub fn from_env() -> Self {
+        fn env_f64(key: &str, default: f64) -> f64 {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .unwrap_or(default)
+        }
+        let d = DivergenceBand::default();
+        DivergenceBand {
+            delivery_abs: env_f64("BRISA_DIV_DELIVERY_ABS", d.delivery_abs),
+            completeness_abs: env_f64("BRISA_DIV_COMPLETENESS_ABS", d.completeness_abs),
+            latency_ratio: env_f64("BRISA_DIV_LATENCY_RATIO", d.latency_ratio),
+        }
+    }
+}
+
+/// Pulls a required numeric field out of a soak scenario cell, recording a
+/// violation when it is missing — a soak artifact losing one of its gated
+/// numbers must fail loudly, not gate an empty set.
+fn require_num(
+    cell: &Json,
+    block: Option<&str>,
+    key: &str,
+    name: &str,
+    report: &mut GateReport,
+) -> Option<f64> {
+    let holder = match block {
+        Some(b) => cell.get(b),
+        None => Some(cell),
+    };
+    let v = holder.and_then(|h| h.get(key)).and_then(Json::as_num);
+    if v.is_none() {
+        let where_ = block.map(|b| format!("{b}.")).unwrap_or_default();
+        report
+            .violations
+            .push(format!("{name}: missing numeric field {where_}{key}"));
+    }
+    v
+}
+
+/// Gates a `BENCH_SOAK.json` artifact: every scenario's online invariant
+/// sweeps must be clean and its live metrics must sit inside `band` around
+/// the sim prediction recorded next to them. Appends to `report`.
+pub fn divergence_check(artifact: &Json, band: &DivergenceBand, report: &mut GateReport) {
+    match artifact.get("schema") {
+        Some(Json::Str(s)) if s.starts_with("brisa-bench-soak/") => {}
+        other => {
+            report.violations.push(format!(
+                "artifact is not a soak artifact (schema {other:?})"
+            ));
+            return;
+        }
+    }
+    let scenarios = match artifact.get("scenarios") {
+        Some(Json::Arr(items)) if !items.is_empty() => items,
+        _ => {
+            report
+                .violations
+                .push("artifact has no scenarios to gate".to_string());
+            return;
+        }
+    };
+    for cell in scenarios {
+        let name = match cell.get("scenario") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => {
+                report
+                    .violations
+                    .push("scenario cell without a scenario name".to_string());
+                continue;
+            }
+        };
+        if let Some(v) = require_num(cell, None, "invariant_violations", &name, report) {
+            report.checks += 1;
+            if v != 0.0 {
+                report.violations.push(format!(
+                    "{name}: {v:.0} online invariant violations during the soak"
+                ));
+            }
+        }
+        let live_delivery =
+            require_num(cell, Some("live"), "survivor_delivery_rate", &name, report);
+        let sim_delivery = require_num(cell, Some("sim"), "delivery_rate", &name, report);
+        if let (Some(live), Some(sim)) = (live_delivery, sim_delivery) {
+            report.checks += 1;
+            if (live - sim).abs() > band.delivery_abs {
+                report.violations.push(format!(
+                    "{name}: live survivor delivery {live:.4} diverges from sim {sim:.4} \
+                     by more than {:.4}",
+                    band.delivery_abs
+                ));
+            }
+        }
+        let live_comp = require_num(cell, Some("live"), "survivor_completeness", &name, report);
+        let sim_comp = require_num(cell, Some("sim"), "completeness", &name, report);
+        if let (Some(live), Some(sim)) = (live_comp, sim_comp) {
+            report.checks += 1;
+            if (live - sim).abs() > band.completeness_abs {
+                report.violations.push(format!(
+                    "{name}: live survivor completeness {live:.4} diverges from sim {sim:.4} \
+                     by more than {:.4}",
+                    band.completeness_abs
+                ));
+            }
+        }
+        let live_p50 = require_num(cell, Some("live"), "latency_p50_ms", &name, report);
+        let sim_p50 = require_num(cell, Some("sim"), "latency_p50_ms", &name, report);
+        if let (Some(live), Some(sim)) = (live_p50, sim_p50) {
+            report.checks += 1;
+            if sim > 0.0 && live > sim * band.latency_ratio {
+                report.violations.push(format!(
+                    "{name}: live p50 latency {live:.2}ms exceeds {:.0}x the sim \
+                     prediction {sim:.2}ms",
+                    band.latency_ratio
+                ));
+            }
+        }
+    }
+}
+
 fn compare_field(
     path: &str,
     key: &str,
@@ -589,5 +753,109 @@ mod tests {
         let cfg = GateConfig::default();
         assert!((cfg.wall_tolerance - 0.20).abs() < 1e-12);
         assert!((GateConfig::from_env().wall_tolerance - 0.20).abs() < 1e-12);
+    }
+
+    /// A healthy two-scenario soak artifact: live tracks sim closely, no
+    /// invariant violations.
+    const SOAK: &str = r#"{
+      "schema": "brisa-bench-soak/v1",
+      "scenarios": [
+        {"scenario": "steady_loss_1pct", "nodes": 16, "invariant_violations": 0,
+         "live": {"survivor_delivery_rate": 0.998, "survivor_completeness": 0.95,
+                  "latency_p50_ms": 4.0},
+         "sim": {"delivery_rate": 1.0, "completeness": 1.0, "latency_p50_ms": 60.0}},
+        {"scenario": "kill_restart", "nodes": 16, "invariant_violations": 0,
+         "live": {"survivor_delivery_rate": 1.0, "survivor_completeness": 1.0,
+                  "latency_p50_ms": 3.5},
+         "sim": {"delivery_rate": 1.0, "completeness": 1.0, "latency_p50_ms": 55.0}}
+      ]
+    }"#;
+
+    fn divergence(artifact: &str, band: &DivergenceBand) -> GateReport {
+        let mut report = GateReport::default();
+        divergence_check(&parse(artifact).unwrap(), band, &mut report);
+        report
+    }
+
+    #[test]
+    fn healthy_soak_passes_the_divergence_gate() {
+        let r = divergence(SOAK, &DivergenceBand::default());
+        assert!(r.passed(), "{}", r.render());
+        // 2 scenarios x (invariants + delivery + completeness + latency).
+        assert_eq!(r.checks, 8);
+    }
+
+    #[test]
+    fn dropped_delivery_trace_fails_the_gate() {
+        // Live survivor delivery collapsed while sim predicts full delivery
+        // — the exact signature of the runtime dropping messages.
+        let broken = SOAK.replace(
+            r#""survivor_delivery_rate": 0.998"#,
+            r#""survivor_delivery_rate": 0.80"#,
+        );
+        let r = divergence(&broken, &DivergenceBand::default());
+        assert!(!r.passed());
+        assert!(
+            r.violations[0].contains("diverges from sim"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn deliberately_broken_band_fails_even_a_healthy_trace() {
+        // Zero-width delivery band: the healthy artifact's 0.002 drift must
+        // now trip the gate — proof the band is actually load-bearing.
+        let band = DivergenceBand {
+            delivery_abs: 0.0,
+            ..DivergenceBand::default()
+        };
+        let r = divergence(SOAK, &band);
+        assert!(!r.passed(), "{}", r.render());
+    }
+
+    #[test]
+    fn live_exceeding_sim_prediction_is_also_divergence() {
+        // Sim predicts partition damage; live sailed through untouched —
+        // the fault shim is not applying the modelled adversity.
+        let inert_shim = SOAK.replace(r#""delivery_rate": 1.0"#, r#""delivery_rate": 0.85"#);
+        let r = divergence(&inert_shim, &DivergenceBand::default());
+        assert!(!r.passed(), "{}", r.render());
+    }
+
+    #[test]
+    fn invariant_violations_fail_the_gate() {
+        let broken = SOAK.replacen(
+            r#""invariant_violations": 0"#,
+            r#""invariant_violations": 3"#,
+            1,
+        );
+        let r = divergence(&broken, &DivergenceBand::default());
+        assert!(!r.passed());
+        assert!(r.violations[0].contains("invariant"), "{}", r.render());
+    }
+
+    #[test]
+    fn stalled_live_latency_fails_the_gate() {
+        let stalled = SOAK.replace(r#""latency_p50_ms": 4.0"#, r#""latency_p50_ms": 2000.0"#);
+        let r = divergence(&stalled, &DivergenceBand::default());
+        assert!(!r.passed());
+        assert!(r.violations[0].contains("latency"), "{}", r.render());
+    }
+
+    #[test]
+    fn missing_gated_fields_fail_loudly() {
+        let gutted = SOAK.replace(r#""survivor_delivery_rate": 0.998, "#, "");
+        let r = divergence(&gutted, &DivergenceBand::default());
+        assert!(!r.passed());
+        assert!(r.violations[0].contains("missing"), "{}", r.render());
+
+        let r = divergence(r#"{"schema": "x/v1"}"#, &DivergenceBand::default());
+        assert!(!r.passed());
+        let r = divergence(
+            r#"{"schema": "brisa-bench-soak/v1", "scenarios": []}"#,
+            &DivergenceBand::default(),
+        );
+        assert!(!r.passed());
     }
 }

@@ -41,6 +41,14 @@ pub const GAP_BACKOFF_MAX: u32 = 5;
 /// recovery evidence, not a surplus link — see the fresh-feeder path in
 /// `handle_data`.
 pub const PARENT_STALE_AFTER: SimDuration = SimDuration::from_secs(2);
+/// How long the data path must be quiet (no reception or publish) before a
+/// node starts advertising its stream edge to children on the repair tick.
+/// While data flows, later messages reveal holes on their own; the
+/// advertisement exists for the tail of the stream, where a lost final
+/// message is followed by nothing and would otherwise stay invisible
+/// forever. Gating on quiescence keeps the advertisement free in steady
+/// state (one stream interval at 5 msg/s is 200 ms, well under this).
+pub const EDGE_QUIET_AFTER: SimDuration = SimDuration::from_secs(1);
 
 /// Classification of an ongoing parent-recovery procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +91,10 @@ pub struct BrisaCore {
     /// Last time stream data arrived from a current parent (or a parent was
     /// adopted). Drives the staleness test of the fresh-feeder path.
     last_parent_delivery: Option<SimTime>,
+    /// Last time any stream data moved through this node (reception or
+    /// publish). Gates the stream-edge advertisement: quiet for
+    /// [`EDGE_QUIET_AFTER`] means the tail may be hiding a hole.
+    last_data_at: Option<SimTime>,
 }
 
 impl BrisaCore {
@@ -113,6 +125,7 @@ impl BrisaCore {
             last_gap_request: None,
             gap_attempts: 0,
             last_parent_delivery: None,
+            last_data_at: None,
         }
     }
 
@@ -231,6 +244,7 @@ impl BrisaCore {
         self.stats.record_delivery(seq, now);
         self.note_delivered(seq);
         self.highest_seq_seen = Some(self.highest_seq_seen.map_or(seq, |h| h.max(seq)));
+        self.last_data_at = Some(now);
         // One allocation for the message; every recipient shares it.
         let data = Arc::new(DataMsg {
             seq,
@@ -342,7 +356,34 @@ impl BrisaCore {
             BrisaMsg::Retransmit { from_seq, to_seq } => {
                 self.handle_retransmit(now, from, from_seq, to_seq)
             }
+            BrisaMsg::Edge { highest } => self.handle_edge(now, from, highest),
         }
+    }
+
+    /// A stream-edge advertisement from an upstream node: anything between
+    /// our contiguous prefix and the advertised edge is now a *known* gap,
+    /// so the regular rate-limited retransmission path can close it — this
+    /// is how a message lost at the stream's tail (which no later data ever
+    /// reveals) gets repaired.
+    fn handle_edge(&mut self, now: SimTime, from: NodeId, highest: u64) -> Vec<BrisaAction> {
+        let mut actions = Vec::new();
+        if self.is_source {
+            return actions;
+        }
+        // A node that has never delivered anchors exactly like the data
+        // path: only what an upstream buffer could still serve is treated
+        // as a recoverable gap.
+        if self.stats.delivered == 0 {
+            self.next_expected = highest.saturating_sub(self.cfg.buffer_size as u64);
+        }
+        self.highest_seq_seen = Some(self.highest_seq_seen.map_or(highest, |h| h.max(highest)));
+        let known_gap = self
+            .highest_seq_seen
+            .is_some_and(|h| self.next_expected <= h);
+        if known_gap && self.pending_repair.is_none() {
+            self.request_gap(now, from, &mut actions);
+        }
+        actions
     }
 
     fn handle_data(
@@ -372,6 +413,7 @@ impl BrisaCore {
             self.next_expected = data.seq.saturating_sub(self.cfg.buffer_size as u64);
         }
         self.highest_seq_seen = Some(self.highest_seq_seen.map_or(data.seq, |h| h.max(data.seq)));
+        self.last_data_at = Some(now);
         let first = self.stats.record_delivery(data.seq, now);
         if first {
             actions.push(BrisaAction::Deliver { seq: data.seq });
@@ -940,6 +982,25 @@ impl BrisaCore {
     /// PSS.
     pub fn repair_tick(&mut self, now: SimTime) -> Vec<BrisaAction> {
         let mut actions = Vec::new();
+        // Stream-edge advertisement: once the data path has gone quiet
+        // (the stream's tail, or an outage), tell the children where the
+        // edge is, so a hole *after* their last reception — invisible to
+        // the data-driven detector — becomes a known, requestable gap.
+        // While data flows this stays silent: later messages reveal holes
+        // on their own.
+        if let Some(highest) = self.highest_seq_seen {
+            let quiet = self
+                .last_data_at
+                .is_none_or(|t| now.saturating_since(t) >= EDGE_QUIET_AFTER);
+            if quiet {
+                for child in self.links.children() {
+                    actions.push(BrisaAction::Send {
+                        to: child,
+                        msg: BrisaMsg::Edge { highest },
+                    });
+                }
+            }
+        }
         // Tail-end loss recovery: when a known delivery gap persists (the
         // retransmission itself was lost, or an upstream node is still
         // catching up after a partition healed), keep re-requesting it from
@@ -1549,6 +1610,114 @@ mod tests {
         assert!(retransmits(&quiet).is_empty());
         assert_eq!(core.stats().delivered, 5);
         assert_eq!(core.stats().gap_retransmit_requests, 2);
+    }
+
+    /// A hole at the stream's tail is invisible to the data-driven gap
+    /// detector (nothing later ever arrives to reveal it); an [`Edge`]
+    /// advertisement from upstream turns it into a known, requestable gap.
+    #[test]
+    fn edge_advertisement_reveals_a_tail_hole() {
+        let cfg = BrisaConfig::default();
+        let mut core = BrisaCore::new(NodeId(9), cfg);
+        core.note_started(SimTime::ZERO);
+        core.on_neighbor_up(NodeId(1));
+        for seq in 0..3 {
+            let _ = core.handle(
+                SimTime::from_millis(seq * 10),
+                NodeId(1),
+                BrisaMsg::data(DataMsg {
+                    seq,
+                    payload_bytes: 10,
+                    guard: CycleGuard::Path(vec![NodeId(0), NodeId(1)]),
+                    sender_uptime_secs: 0,
+                    sender_load: 0,
+                }),
+                &NoTelemetry,
+            );
+        }
+        // Seq 3 (the stream's last message) was lost on our link; nothing
+        // reveals it, so the repair tick alone requests nothing.
+        let blind = core.repair_tick(SimTime::from_secs(5));
+        assert!(
+            !blind.iter().any(|a| matches!(
+                a,
+                BrisaAction::Send {
+                    msg: BrisaMsg::Retransmit { .. },
+                    ..
+                }
+            )),
+            "no known gap yet — the tail hole is invisible"
+        );
+        // The parent's edge advertisement makes the hole a known gap.
+        let revealed = core.handle(
+            SimTime::from_secs(6),
+            NodeId(1),
+            BrisaMsg::Edge { highest: 3 },
+            &NoTelemetry,
+        );
+        let requested: Vec<(u64, u64)> = revealed
+            .iter()
+            .filter_map(|a| match a {
+                BrisaAction::Send {
+                    to: NodeId(1),
+                    msg: BrisaMsg::Retransmit { from_seq, to_seq },
+                } => Some((*from_seq, *to_seq)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(requested, vec![(3, 3)]);
+        // A caught-up node ignores further advertisements.
+        let _ = core.handle(
+            SimTime::from_secs(7),
+            NodeId(1),
+            BrisaMsg::data(DataMsg {
+                seq: 3,
+                payload_bytes: 10,
+                guard: CycleGuard::Path(vec![NodeId(0), NodeId(1)]),
+                sender_uptime_secs: 0,
+                sender_load: 0,
+            }),
+            &NoTelemetry,
+        );
+        let settled = core.handle(
+            SimTime::from_secs(20),
+            NodeId(1),
+            BrisaMsg::Edge { highest: 3 },
+            &NoTelemetry,
+        );
+        assert!(settled.is_empty(), "caught up — nothing to request");
+        assert_eq!(core.stats().delivered, 4);
+    }
+
+    /// The advertisement itself is quiescence-gated: a relay streams data
+    /// without edge chatter, and starts advertising to its children only
+    /// once the data path has been quiet for [`EDGE_QUIET_AFTER`].
+    #[test]
+    fn edge_advertisement_waits_for_quiescence() {
+        let cfg = BrisaConfig::default();
+        let mut source = BrisaCore::new(NodeId(0), cfg);
+        source.mark_source();
+        source.note_started(SimTime::ZERO);
+        source.on_neighbor_up(NodeId(1));
+        let _ = source.publish(SimTime::from_millis(100), 10);
+        let edges = |actions: &[BrisaAction]| -> Vec<u64> {
+            actions
+                .iter()
+                .filter_map(|a| match a {
+                    BrisaAction::Send {
+                        msg: BrisaMsg::Edge { highest },
+                        ..
+                    } => Some(*highest),
+                    _ => None,
+                })
+                .collect()
+        };
+        // Mid-stream (data just moved): silent.
+        let busy = source.repair_tick(SimTime::from_millis(200));
+        assert!(edges(&busy).is_empty(), "data is flowing — no edge chatter");
+        // Quiet past the threshold: the edge goes out to every child.
+        let quiet = source.repair_tick(SimTime::from_millis(100) + EDGE_QUIET_AFTER);
+        assert_eq!(edges(&quiet), vec![0]);
     }
 
     #[test]

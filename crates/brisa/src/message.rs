@@ -78,6 +78,17 @@ pub enum BrisaMsg {
         /// Last sequence number known to exist.
         to_seq: u64,
     },
+    /// Stream-edge advertisement, sent to children on the repair tick once
+    /// the sender's data path has gone quiet. Gap detection is data-driven
+    /// (a hole is revealed by a *later* message), which leaves one blind
+    /// spot: a message lost at the stream's tail is followed by nothing, so
+    /// the victim never learns it exists. Advertising the edge closes the
+    /// blind spot — a receiver behind the advertised edge treats it as a
+    /// known gap and re-requests from the advertiser's buffer.
+    Edge {
+        /// Highest sequence number the sender has seen.
+        highest: u64,
+    },
 }
 
 impl WireSize for BrisaMsg {
@@ -88,6 +99,7 @@ impl WireSize for BrisaMsg {
             BrisaMsg::Activate | BrisaMsg::ReactivationOrder => 0,
             BrisaMsg::DepthUpdate { .. } => 4,
             BrisaMsg::Retransmit { .. } => 16,
+            BrisaMsg::Edge { .. } => 8,
         };
         BRISA_HEADER_BYTES + body
     }

@@ -13,11 +13,13 @@
 use crate::executor::{NodeRuntime, RuntimeMsg, WallClock};
 use crate::loopback::LoopbackMesh;
 use crate::report::{LiveNode, LiveResult};
+use crate::shim::ShimControl;
 use crate::tcp::TcpMesh;
 use crate::transport::{FrameSink, Transport};
 use crate::wire::WireCodec;
 use brisa_simnet::{NodeId, SimTime};
 use brisa_workloads::{BuildCtx, DisseminationProtocol, NodeReport};
+use std::collections::BTreeSet;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -43,6 +45,15 @@ pub struct ClusterConfig {
     /// deployment script bringing nodes up one by one and keeps the
     /// contact node from absorbing every join in the same instant.
     pub join_stagger: Duration,
+    /// Extra interconnect capacity beyond `nodes`, reserved for
+    /// mid-run joiners ([`Cluster::join_node`] — flash crowds in chaos
+    /// scripts). Joins past the reserve panic.
+    pub reserve: u32,
+    /// Wraps every node's transport in a [`FaultShim`](crate::FaultShim)
+    /// drawing from this cluster's seed, so `simnet::faults`-style loss,
+    /// jitter and partitions can be injected live through
+    /// [`Cluster::shim`].
+    pub fault_shim: bool,
 }
 
 impl Default for ClusterConfig {
@@ -52,6 +63,39 @@ impl Default for ClusterConfig {
             transport: TransportKind::Loopback,
             seed: 42,
             join_stagger: Duration::from_millis(2),
+            reserve: 0,
+            fault_shim: false,
+        }
+    }
+}
+
+/// The bound interconnect, retained for the cluster's lifetime so killed
+/// nodes can re-attach and reserved slots can join mid-run.
+enum Mesh {
+    Loopback(LoopbackMesh),
+    Tcp(TcpMesh),
+}
+
+impl Mesh {
+    /// First-time attachment of `node` (its listener/slot is unused).
+    fn attach(&self, node: NodeId, sink: Box<dyn FrameSink>) -> Box<dyn Transport> {
+        match self {
+            Mesh::Loopback(m) => Box::new(m.attach(node, sink)),
+            Mesh::Tcp(m) => Box::new(m.attach(node, sink)),
+        }
+    }
+
+    /// Re-attachment of a previously killed `node` (same identifier, same
+    /// advertised address, fresh transport state).
+    fn reattach(
+        &self,
+        node: NodeId,
+        sink: Box<dyn FrameSink>,
+    ) -> std::io::Result<Box<dyn Transport>> {
+        match self {
+            // The loopback mesh's attach re-registers the slot natively.
+            Mesh::Loopback(m) => Ok(Box::new(m.attach(node, sink))),
+            Mesh::Tcp(m) => Ok(Box::new(m.reattach(node, sink)?)),
         }
     }
 }
@@ -68,6 +112,17 @@ where
     source: NodeId,
     original_nodes: u32,
     publish_times: Vec<SimTime>,
+    mesh: Mesh,
+    proto_cfg: P::Config,
+    seed: u64,
+    /// Total interconnect capacity (`nodes + reserve`).
+    capacity: u32,
+    /// Identifier the next [`Cluster::join_node`] will use.
+    next_join: u32,
+    /// Every node that was killed at least once, restarted or not —
+    /// excluded from the survivor metrics of the final result.
+    ever_killed: BTreeSet<u32>,
+    shim: Option<ShimControl>,
 }
 
 impl<P> Cluster<P>
@@ -80,18 +135,17 @@ where
     /// node. Returns once every node is running.
     pub fn launch(cfg: &ClusterConfig, proto_cfg: &P::Config) -> std::io::Result<Self> {
         let n = cfg.nodes.max(1);
+        let capacity = n + cfg.reserve;
         let clock = WallClock::new();
+        let shim = cfg.fault_shim.then(|| ShimControl::new(cfg.seed, clock));
 
         // Stage 1: create every node's channel and transport before any
         // executor starts, so the earliest join already finds its contact
-        // attached (the TCP listeners are likewise all pre-bound).
-        enum Mesh {
-            Loopback(LoopbackMesh),
-            Tcp(TcpMesh),
-        }
+        // attached (the TCP listeners are likewise all pre-bound —
+        // reserved slots included).
         let mesh = match cfg.transport {
-            TransportKind::Loopback => Mesh::Loopback(LoopbackMesh::new(n as usize)),
-            TransportKind::Tcp => Mesh::Tcp(TcpMesh::bind(n as usize)?),
+            TransportKind::Loopback => Mesh::Loopback(LoopbackMesh::new(capacity as usize)),
+            TransportKind::Tcp => Mesh::Tcp(TcpMesh::bind(capacity as usize)?),
         };
         #[allow(clippy::type_complexity)]
         let mut plumbing: Vec<(
@@ -101,10 +155,11 @@ where
         )> = Vec::with_capacity(n as usize);
         for i in 0..n {
             let (tx, rx, sink): (_, _, Box<dyn FrameSink>) = NodeRuntime::<P>::channel();
-            let transport: Box<dyn Transport> = match &mesh {
-                Mesh::Loopback(m) => Box::new(m.attach(NodeId(i), sink)),
-                Mesh::Tcp(m) => Box::new(m.attach(NodeId(i), sink)),
-            };
+            let shim_sink = sink.clone();
+            let mut transport = mesh.attach(NodeId(i), sink);
+            if let Some(ctl) = &shim {
+                transport = Box::new(ctl.wrap(NodeId(i), transport, shim_sink));
+            }
             plumbing.push((tx, rx, transport));
         }
 
@@ -143,6 +198,13 @@ where
             source,
             original_nodes: n,
             publish_times: Vec::new(),
+            mesh,
+            proto_cfg: proto_cfg.clone(),
+            seed: cfg.seed,
+            capacity,
+            next_join: n,
+            ever_killed: BTreeSet::new(),
+            shim,
         })
     }
 
@@ -154,6 +216,17 @@ where
     /// The cluster's wall clock (microseconds since launch, as `SimTime`).
     pub fn now(&self) -> SimTime {
         self.clock.now()
+    }
+
+    /// The shared wall clock itself, for converting schedule times into
+    /// real deadlines.
+    pub fn clock(&self) -> &WallClock {
+        &self.clock
+    }
+
+    /// Messages published so far.
+    pub fn published(&self) -> u64 {
+        self.publish_times.len() as u64
     }
 
     /// Number of nodes still running.
@@ -177,14 +250,97 @@ where
         std::thread::sleep(d);
     }
 
+    /// The fault-shim control plane, when the cluster was launched with
+    /// [`ClusterConfig::fault_shim`].
+    pub fn shim(&self) -> Option<&ShimControl> {
+        self.shim.as_ref()
+    }
+
+    /// True if `id`'s executor is currently running.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.runtimes
+            .get(id.index())
+            .is_some_and(|slot| slot.is_some())
+    }
+
+    /// Nodes killed at least once over the run so far (restarted or not).
+    pub fn ever_killed(&self) -> Vec<u32> {
+        self.ever_killed.iter().copied().collect()
+    }
+
     /// Stops `id` (fail-stop from the peers' point of view: its transport
     /// tears down and monitored connections surface link-downs). The node
-    /// is excluded from the final result, like a crashed simulator node.
+    /// is excluded from the survivor metrics of the final result, like a
+    /// crashed simulator node.
     pub fn kill(&mut self, id: NodeId) {
         if let Some(rt) = self.runtimes[id.index()].take() {
+            self.ever_killed.insert(id.0);
             rt.stop();
             let _ = rt.join();
         }
+    }
+
+    /// Restarts a previously killed node under the same identifier with
+    /// **empty protocol state** — the crash-recovery path. The node
+    /// re-attaches to the interconnect (same advertised address), rejoins
+    /// through the source contact and must catch up on the stream through
+    /// the protocol's own repair machinery (buffer anchoring).
+    pub fn restart(&mut self, id: NodeId) -> std::io::Result<()> {
+        assert!(id != self.source, "cannot restart the source");
+        assert!(
+            self.runtimes[id.index()].is_none(),
+            "restart of a running node"
+        );
+        let (tx, rx, sink): (_, _, Box<dyn FrameSink>) = NodeRuntime::<P>::channel();
+        let shim_sink = sink.clone();
+        let mut transport = self.mesh.reattach(id, sink)?;
+        if let Some(ctl) = &self.shim {
+            transport = Box::new(ctl.wrap(id, transport, shim_sink));
+        }
+        let bctx = BuildCtx {
+            index: id.0,
+            population: self.original_nodes,
+            contact: Some(self.source),
+            prev: None,
+            is_source: false,
+        };
+        let proto = P::build(&self.proto_cfg, id, &bctx);
+        self.runtimes[id.index()] = Some(NodeRuntime::spawn(
+            id, proto, self.seed, self.clock, transport, tx, rx,
+        ));
+        Ok(())
+    }
+
+    /// Starts one fresh node in the next reserved interconnect slot
+    /// (identifier `>= nodes`, so it is excluded from delivery eligibility
+    /// exactly like a sim-side mid-run joiner) and returns its identifier.
+    /// Panics once the reserve is exhausted.
+    pub fn join_node(&mut self) -> NodeId {
+        assert!(
+            self.next_join < self.capacity,
+            "interconnect reserve exhausted"
+        );
+        let id = NodeId(self.next_join);
+        self.next_join += 1;
+        let (tx, rx, sink): (_, _, Box<dyn FrameSink>) = NodeRuntime::<P>::channel();
+        let shim_sink = sink.clone();
+        let mut transport = self.mesh.attach(id, sink);
+        if let Some(ctl) = &self.shim {
+            transport = Box::new(ctl.wrap(id, transport, shim_sink));
+        }
+        let bctx = BuildCtx {
+            index: id.0,
+            population: self.original_nodes,
+            contact: Some(self.source),
+            prev: None,
+            is_source: false,
+        };
+        let proto = P::build(&self.proto_cfg, id, &bctx);
+        debug_assert_eq!(self.runtimes.len(), id.index());
+        self.runtimes.push(Some(NodeRuntime::spawn(
+            id, proto, self.seed, self.clock, transport, tx, rx,
+        )));
+        id
     }
 
     /// Snapshots every live node's report, in node order. Runs on the
@@ -262,6 +418,7 @@ where
             publish_times: self.publish_times,
             nodes,
             wall_elapsed,
+            ever_killed: self.ever_killed.into_iter().collect(),
         }
     }
 }

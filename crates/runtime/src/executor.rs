@@ -54,6 +54,14 @@ impl WallClock {
     pub fn now(&self) -> SimTime {
         SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
     }
+
+    /// The wall-clock [`Instant`] corresponding to cluster time `t` — the
+    /// inverse of [`WallClock::now`]. Lets schedules expressed in the
+    /// simulator's time type (partition heal instants, chaos events) be
+    /// replayed against real deadlines.
+    pub fn instant_at(&self, t: SimTime) -> Instant {
+        self.epoch + Duration::from_micros(t.as_micros())
+    }
 }
 
 impl Default for WallClock {

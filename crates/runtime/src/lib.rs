@@ -52,18 +52,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod executor;
 pub mod loopback;
 pub mod report;
+pub mod shim;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use chaos::{run_chaos, SoakConfig, SoakOutcome};
 pub use cluster::{Cluster, ClusterConfig, TransportKind};
 pub use executor::{NodeRuntime, RuntimeStats, WallClock};
 pub use loopback::{LoopbackMesh, LoopbackTransport};
 pub use report::{LiveNode, LiveResult};
+pub use shim::{FaultShim, ShimControl, ShimStats};
 pub use tcp::{TcpMesh, TcpTransport};
 pub use transport::{FrameSink, NetEvent, Transport};
 pub use wire::{WireCodec, WireError, WIRE_VERSION};

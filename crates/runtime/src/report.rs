@@ -46,6 +46,12 @@ pub struct LiveResult {
     pub nodes: Vec<LiveNode>,
     /// Wall time from launch to collection.
     pub wall_elapsed: Duration,
+    /// Nodes killed at least once during the run (sorted). A restarted
+    /// node is alive at collection but lost its state mid-stream, so the
+    /// survivor metrics exclude it — the live mirror of the sim engine
+    /// excluding crashed nodes and counting their replacements as
+    /// ineligible joiners.
+    pub ever_killed: Vec<u32>,
 }
 
 impl LiveResult {
@@ -68,6 +74,32 @@ impl LiveResult {
             .iter()
             .filter(|n| n.id != self.source && n.id.0 < self.original_nodes)
             .map(|n| n.report.delivered)
+    }
+
+    /// Delivered counts of the *survivors*: eligible nodes that were never
+    /// killed. A restarted node's empty-state rebirth would otherwise drag
+    /// the averages for messages published before it existed.
+    fn survivor_delivered_counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                n.id != self.source
+                    && n.id.0 < self.original_nodes
+                    && self.ever_killed.binary_search(&n.id.0).is_err()
+            })
+            .map(|n| n.report.delivered)
+    }
+
+    /// [`LiveResult::delivery_rate`] over the survivors only — the metric
+    /// the sim-vs-live divergence gate compares, since the sim's
+    /// eligibility filter excludes crashed nodes the same way.
+    pub fn survivor_delivery_rate(&self) -> f64 {
+        delivery_rate_of(self.survivor_delivered_counts(), self.messages_published)
+    }
+
+    /// [`LiveResult::completeness`] over the survivors only.
+    pub fn survivor_completeness(&self) -> f64 {
+        completeness_of(self.survivor_delivered_counts(), self.messages_published)
     }
 
     /// Injection-to-delivery latency of every (node, message) pair, in

@@ -17,18 +17,23 @@
 //! initiated by `a`, identified by a 5-byte handshake (`version`, `u32`
 //! node id). **Link-down detection** maps TCP failure onto the simulator's
 //! connection-monitoring contract: a failed `connect`, a write error on the
-//! outbound connection, or EOF/reset on an inbound connection from a
-//! monitored peer all surface as [`NetEvent::LinkDown`] — emitted at most
-//! once per `open_connection` registration (the monitored set entry is
-//! consumed when the event fires).
+//! outbound connection that survives the bounded backoff-reconnect cycle,
+//! or EOF/reset on an inbound connection from a monitored peer all surface
+//! as [`NetEvent::LinkDown`] — emitted at most once per `open_connection`
+//! registration (the monitored set entry is consumed when the event
+//! fires). A *transient* outbound failure — the peer restarting, kernel
+//! backlog pressure — is absorbed by a handful of re-dials with
+//! exponential backoff and deterministic jitter before any of that
+//! happens.
 
 use crate::transport::{FrameSink, NetEvent, Transport};
 use crate::wire::{LEN_PREFIX_BYTES, MAX_FRAME_BYTES, WIRE_VERSION};
+use brisa_simnet::seed::mix64;
 use brisa_simnet::NodeId;
 use std::collections::{BTreeSet, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -40,6 +45,15 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// only cover transient kernel backlog pressure.
 const CONNECT_RETRIES: u32 = 20;
 const CONNECT_RETRY_DELAY: Duration = Duration::from_millis(25);
+/// Bounded reconnect schedule for an *established* outbound connection
+/// that fails mid-stream: exponential backoff from
+/// [`RECONNECT_BASE`], doubling per attempt and capped at
+/// [`RECONNECT_CAP`], with deterministic per-link jitter so a cluster-wide
+/// outage does not resolve into a synchronized reconnect stampede. Only
+/// after every attempt fails does the failure surface as a link-down.
+const RECONNECT_ATTEMPTS: u32 = 5;
+const RECONNECT_BASE: Duration = Duration::from_millis(50);
+const RECONNECT_CAP: Duration = Duration::from_millis(800);
 
 /// State shared by one node's transport threads.
 struct Shared {
@@ -49,6 +63,10 @@ struct Shared {
     /// notification.
     open: Mutex<BTreeSet<u32>>,
     stopping: AtomicBool,
+    /// Join handles of the detached helper threads (inbound readers,
+    /// peer-close watchers), reaped by `shutdown` so repeated kill/restart
+    /// cycles leak neither threads nor the sockets they hold.
+    aux: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -57,6 +75,11 @@ impl Shared {
         if self.open.lock().unwrap().remove(&peer.0) {
             sink.deliver(NetEvent::LinkDown { peer });
         }
+    }
+
+    /// Registers a helper thread for reaping at shutdown.
+    fn adopt(&self, handle: JoinHandle<()>) {
+        self.aux.lock().unwrap().push(handle);
     }
 }
 
@@ -93,10 +116,43 @@ impl TcpMesh {
         let listener = self.listeners.lock().unwrap()[node.index()]
             .take()
             .expect("node already attached");
+        self.transport_for(node, listener, sink)
+    }
+
+    /// Rebinds `node`'s advertised address and returns a fresh transport —
+    /// the restart path. The previous incarnation's listener must already
+    /// be closed (its transport shut down); the bind is retried briefly to
+    /// ride out the kernel releasing the port.
+    pub fn reattach(
+        &self,
+        node: NodeId,
+        sink: Box<dyn FrameSink>,
+    ) -> std::io::Result<TcpTransport> {
+        let addr = self.addrs[node.index()];
+        let mut last_err = None;
+        for _ in 0..50 {
+            match TcpListener::bind(addr) {
+                Ok(listener) => return Ok(self.transport_for(node, listener, sink)),
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        Err(last_err.expect("bind attempted at least once"))
+    }
+
+    fn transport_for(
+        &self,
+        node: NodeId,
+        listener: TcpListener,
+        sink: Box<dyn FrameSink>,
+    ) -> TcpTransport {
         let shared = Arc::new(Shared {
             me: node,
             open: Mutex::new(BTreeSet::new()),
             stopping: AtomicBool::new(false),
+            aux: Mutex::new(Vec::new()),
         });
         let accept_handle = spawn_acceptor(listener, sink.clone(), Arc::clone(&shared));
         TcpTransport {
@@ -176,7 +232,14 @@ impl Transport for TcpTransport {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        // Reader threads observe `stopping` within READ_POLL and exit.
+        // Reap every reader and watcher thread: each observes `stopping`
+        // within READ_POLL and exits, closing its socket — so a restart can
+        // rebind this node's port deterministically. (The writers and the
+        // acceptor are already joined, so no new helpers can appear.)
+        let aux = std::mem::take(&mut *self.shared.aux.lock().unwrap());
+        for h in aux {
+            let _ = h.join();
+        }
     }
 }
 
@@ -226,6 +289,61 @@ fn connect(shared: &Shared, addr: SocketAddr) -> Option<TcpStream> {
     None
 }
 
+/// Writes the 5-byte hello identifying this node on a fresh connection.
+fn handshake(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
+    let mut hello = [0u8; 5];
+    hello[0] = WIRE_VERSION;
+    hello[1..5].copy_from_slice(&shared.me.0.to_le_bytes());
+    stream.write_all(&hello)
+}
+
+/// Spawns a peer-close watcher for connection generation `gen` and
+/// registers it for reaping.
+fn spawn_watcher(
+    shared: &Arc<Shared>,
+    sink: &dyn FrameSink,
+    to: NodeId,
+    stream: &TcpStream,
+    conn_gen: &Arc<AtomicU64>,
+    gen: u64,
+) {
+    if let Ok(watch) = stream.try_clone() {
+        let shared_t = Arc::clone(shared);
+        let mut sink = sink.box_clone();
+        let conn_gen = Arc::clone(conn_gen);
+        let handle = std::thread::spawn(move || {
+            watch_peer_close(shared_t, &mut sink, to, watch, conn_gen, gen)
+        });
+        shared.adopt(handle);
+    }
+}
+
+/// Re-dials a failed outbound connection with exponential backoff and
+/// deterministic per-link jitter (derived from the node pair and attempt
+/// number, so a mass outage de-synchronizes without an RNG). Returns the
+/// handshaken stream, or `None` once the attempt budget is spent.
+fn reconnect(shared: &Shared, addr: SocketAddr, to: NodeId) -> Option<TcpStream> {
+    for attempt in 0..RECONNECT_ATTEMPTS {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return None;
+        }
+        let backoff = RECONNECT_BASE
+            .saturating_mul(1 << attempt.min(16))
+            .min(RECONNECT_CAP);
+        let jitter_seed =
+            mix64(((shared.me.0 as u64) << 32 | to.0 as u64).wrapping_add(attempt as u64));
+        let jitter = Duration::from_micros(jitter_seed % (backoff.as_micros() as u64 / 2).max(1));
+        std::thread::sleep(backoff + jitter);
+        if let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+            let _ = stream.set_nodelay(true);
+            if handshake(shared, &mut stream).is_ok() {
+                return Some(stream);
+            }
+        }
+    }
+    None
+}
+
 /// Per-peer writer: dial, handshake, then drain the outbound queue.
 ///
 /// A companion **peer-close watcher** thread blocks reading the same
@@ -233,6 +351,12 @@ fn connect(shared: &Shared, addr: SocketAddr) -> Option<TcpStream> {
 /// per-direction), so the read only ever completes when the peer closes or
 /// dies — which is exactly the failure-detection signal `open_connection`
 /// asks for, and it fires even when this side is idle.
+///
+/// A write failure on an established connection is first answered with a
+/// bounded backoff-reconnect cycle ([`RECONNECT_ATTEMPTS`]); only when
+/// that budget is exhausted does the link surface as down. Each live
+/// connection carries a generation number so a watcher of a replaced
+/// connection cannot fire a stale link-down.
 fn writer_main(
     shared: Arc<Shared>,
     sink: &mut Box<dyn FrameSink>,
@@ -244,24 +368,37 @@ fn writer_main(
         shared.link_down(sink, to);
         return;
     };
-    let mut hello = [0u8; 5];
-    hello[0] = WIRE_VERSION;
-    hello[1..5].copy_from_slice(&shared.me.0.to_le_bytes());
-    if stream.write_all(&hello).is_err() {
+    if handshake(&shared, &mut stream).is_err() {
         shared.link_down(sink, to);
         return;
     }
-    if let Ok(watch) = stream.try_clone() {
-        let shared = Arc::clone(&shared);
-        let mut sink = sink.clone();
-        std::thread::spawn(move || watch_peer_close(shared, &mut sink, to, watch));
-    }
+    let conn_gen = Arc::new(AtomicU64::new(0));
+    spawn_watcher(&shared, sink.as_ref(), to, &stream, &conn_gen, 0);
     while let Ok(cmd) = rx.recv() {
         match cmd {
             WriterCmd::Frame(frame) => {
-                if stream.write_all(&frame).is_err() {
-                    shared.link_down(sink, to);
-                    return;
+                if stream.write_all(&frame).is_ok() {
+                    continue;
+                }
+                // Transient failure: retire this connection's watcher and
+                // try to re-establish before declaring the link down. The
+                // receiver discards the broken connection's partial frame
+                // with the connection, so resending the whole frame on the
+                // fresh stream cannot duplicate bytes.
+                let gen = conn_gen.fetch_add(1, Ordering::SeqCst) + 1;
+                match reconnect(&shared, addr, to) {
+                    Some(fresh) => {
+                        stream = fresh;
+                        spawn_watcher(&shared, sink.as_ref(), to, &stream, &conn_gen, gen);
+                        if stream.write_all(&frame).is_err() {
+                            shared.link_down(sink, to);
+                            return;
+                        }
+                    }
+                    None => {
+                        shared.link_down(sink, to);
+                        return;
+                    }
                 }
             }
             WriterCmd::Close => break,
@@ -271,33 +408,30 @@ fn writer_main(
 }
 
 /// Blocks on the outbound connection until the peer closes it (EOF/reset)
-/// or this transport stops; surfaces the former as a link-down.
+/// or this transport stops; surfaces the former as a link-down — unless
+/// the writer has already moved on to a newer connection generation (the
+/// reconnect path), in which case this watcher's signal is stale.
 fn watch_peer_close(
     shared: Arc<Shared>,
     sink: &mut Box<dyn FrameSink>,
     peer: NodeId,
     mut stream: TcpStream,
+    conn_gen: Arc<AtomicU64>,
+    gen: u64,
 ) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut buf = [0u8; 1];
-    match read_exact_polled(&shared, &mut stream, &mut buf) {
-        ReadEnd::Closed => {
-            if !shared.stopping.load(Ordering::SeqCst) {
-                shared.link_down(sink, peer);
-            }
+    loop {
+        match read_exact_polled(&shared, &mut stream, &mut buf) {
+            ReadEnd::Closed => break,
+            // The peer is never supposed to write on this direction; if it
+            // does, treat the connection as healthy and keep watching until
+            // it closes.
+            ReadEnd::Done => continue,
         }
-        // The peer is never supposed to write on this direction; if it
-        // does, treat the connection as healthy and keep watching until it
-        // closes.
-        ReadEnd::Done => {
-            while matches!(
-                read_exact_polled(&shared, &mut stream, &mut buf),
-                ReadEnd::Done
-            ) {}
-            if !shared.stopping.load(Ordering::SeqCst) {
-                shared.link_down(sink, peer);
-            }
-        }
+    }
+    if !shared.stopping.load(Ordering::SeqCst) && conn_gen.load(Ordering::SeqCst) == gen {
+        shared.link_down(sink, peer);
     }
 }
 
@@ -315,8 +449,9 @@ fn spawn_acceptor(
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(READ_POLL));
                 let mut sink = sink.clone();
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || reader_main(shared, &mut sink, stream));
+                let shared_t = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || reader_main(shared_t, &mut sink, stream));
+                shared.adopt(handle);
             }
             Err(_) => {
                 if shared.stopping.load(Ordering::SeqCst) {

@@ -378,6 +378,7 @@ mod brisa_kind {
     pub const REACTIVATION_ORDER: u8 = 3;
     pub const DEPTH_UPDATE: u8 = 4;
     pub const RETRANSMIT: u8 = 5;
+    pub const EDGE: u8 = 6;
 }
 
 mod guard_kind {
@@ -415,6 +416,7 @@ impl WireCodec for BrisaMsg {
             BrisaMsg::ReactivationOrder => brisa_kind::REACTIVATION_ORDER,
             BrisaMsg::DepthUpdate { .. } => brisa_kind::DEPTH_UPDATE,
             BrisaMsg::Retransmit { .. } => brisa_kind::RETRANSMIT,
+            BrisaMsg::Edge { .. } => brisa_kind::EDGE,
         };
         let mut w = Writer::begin(out, proto::BRISA, kind);
         w.u64(0); // stream identifier: a single stream for now
@@ -452,6 +454,7 @@ impl WireCodec for BrisaMsg {
                 w.u64(*from_seq);
                 w.u64(*to_seq);
             }
+            BrisaMsg::Edge { highest } => w.u64(*highest),
         }
         w.finish();
     }
@@ -490,6 +493,7 @@ impl WireCodec for BrisaMsg {
                 from_seq: r.u64()?,
                 to_seq: r.u64()?,
             },
+            brisa_kind::EDGE => BrisaMsg::Edge { highest: r.u64()? },
             other => {
                 return Err(WireError::BadKind {
                     proto: protocol,
@@ -655,6 +659,7 @@ mod tests {
                 from_seq: 10,
                 to_seq: 20,
             }),
+            StackMsg::Brisa(BrisaMsg::Edge { highest: 599 }),
         ];
         // Edge cases: empty node lists.
         v.push(StackMsg::Hpv(HpvMsg::Shuffle {

@@ -62,6 +62,7 @@ fn brisa() -> Union<StackMsg> {
         (any::<u64>(), any::<u64>()).prop_map(|(from_seq, to_seq)| StackMsg::Brisa(
             BrisaMsg::Retransmit { from_seq, to_seq }
         )),
+        any::<u64>().prop_map(|highest| StackMsg::Brisa(BrisaMsg::Edge { highest })),
     ]
 }
 

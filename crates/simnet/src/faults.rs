@@ -49,6 +49,40 @@ use crate::time::{SimDuration, SimTime};
 /// master seed.
 const FAULT_STREAM: u64 = 0xFA17_5EED;
 
+/// The counter-based per-link fault PRF: a pure function of
+/// `(master seed, directed link, draw counter)`.
+///
+/// This is the single draw function behind every fault decision, shared by
+/// the simulator's `FaultLayer` and the live runtime's transport fault
+/// shim — for the same master seed, the `n`-th draw on directed link
+/// `from → to` is the same number in both execution modes, which is what
+/// makes a `FaultSpec` schedule *mean* the same thing in sim and live.
+/// Callers own the per-link counters; the type itself is stateless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPrf {
+    seed: u64,
+}
+
+impl FaultPrf {
+    /// Derives the fault PRF from the master seed (the same split-seed
+    /// discipline as every other consumer: faults get their own stream, so
+    /// enabling them never perturbs node, master or reference RNGs).
+    pub fn new(master_seed: u64) -> Self {
+        FaultPrf {
+            seed: split_mix64(master_seed, FAULT_STREAM),
+        }
+    }
+
+    /// The `counter`-th uniform draw in `[0, 1)` of the directed link
+    /// `from → to`. Counters start at 1 (the `FaultLayer` increments
+    /// before drawing); each `(link, counter)` pair is drawn independently.
+    pub fn unit_draw(&self, from: NodeId, to: NodeId, counter: u64) -> f64 {
+        let link_seed = split_mix64(self.seed, ((from.0 as u64) << 32) | to.0 as u64);
+        let bits = mix64(link_seed ^ counter.wrapping_mul(GOLDEN_GAMMA));
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// Per-link stochastic fault profile (loss and latency degradation).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkFaults {
@@ -179,7 +213,7 @@ pub(crate) struct FaultLayer {
     /// counter of the per-link PRF stream. Pruned alongside the rest of the
     /// per-link state when a node crashes.
     counters: PerLink<u64>,
-    seed: u64,
+    prf: FaultPrf,
     /// Cached `link.is_inert() && partitions.is_empty()`; lets the send
     /// path skip the layer with a single branch.
     inert: bool,
@@ -192,7 +226,7 @@ impl FaultLayer {
             link: config.link,
             partitions: config.partitions,
             counters: PerLink::default(),
-            seed: split_mix64(master_seed, FAULT_STREAM),
+            prf: FaultPrf::new(master_seed),
             inert,
         }
     }
@@ -245,9 +279,7 @@ impl FaultLayer {
     fn unit_draw(&mut self, from: NodeId, to: NodeId) -> f64 {
         let n = self.counters.entry(from, to);
         *n += 1;
-        let link_seed = split_mix64(self.seed, ((from.0 as u64) << 32) | to.0 as u64);
-        let bits = mix64(link_seed ^ n.wrapping_mul(GOLDEN_GAMMA));
-        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        self.prf.unit_draw(from, to, *n)
     }
 
     /// Routes one message sent at `now` with sampled `latency`. Callers

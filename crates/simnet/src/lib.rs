@@ -64,7 +64,7 @@ mod time;
 
 pub use bandwidth::{BandwidthMeter, Direction, MeterMode, NodeBandwidth};
 pub use event::TimerTag;
-pub use faults::{FaultConfig, LinkFaults, PartitionMode, PartitionSpec};
+pub use faults::{FaultConfig, FaultPrf, LinkFaults, PartitionMode, PartitionSpec};
 pub use latency::LatencyModel;
 pub use network::{event_record_size, Footprint, NetStats, Network, NetworkConfig};
 pub use node::NodeId;

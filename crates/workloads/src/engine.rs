@@ -677,6 +677,13 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
                     joins_injected += 1;
                 }
             }
+            Step::Scale(ScaleEventKind::Kill { node }) => {
+                let victim = NodeId(node);
+                if victim != source && net.is_alive(victim) {
+                    net.crash(victim);
+                    failures_injected += 1;
+                }
+            }
             Step::Scale(ScaleEventKind::MassCrash { fraction }) => {
                 alive_buf.clear();
                 alive_buf.extend(net.alive_iter().filter(|&id| id != source));

@@ -17,6 +17,8 @@
 //!   results to a sequential loop;
 //! * [`spec`] — scenario descriptions: stream shape, testbed, churn phase
 //!   (the Splay churn script of Listing 1), HyParView/BRISA parameters;
+//! * [`chaos`] — named chaos scripts (faults + timed kills/restarts/flash
+//!   joins) shared by the simulator and the live soak harness;
 //! * [`scenarios`] — one canonical parameter set per figure/table, at the
 //!   paper's full scale or a reduced quick scale;
 //! * [`brisa_run`] / [`baseline_runs`] — thin adapters translating the
@@ -29,6 +31,7 @@
 
 pub mod baseline_runs;
 pub mod brisa_run;
+pub mod chaos;
 pub mod engine;
 pub mod invariants;
 pub mod matrix;
@@ -43,6 +46,7 @@ pub use baseline_runs::{
 };
 pub use brisa_run::{run_brisa, BrisaRunResult};
 pub use brisa_simnet::{PartitionMode, SchedulerKind, TraceOp};
+pub use chaos::{ChaosEvent, ChaosEventKind, ChaosSchedule};
 pub use engine::{
     completeness_of, delivery_rate_of, run_experiment, run_experiment_checked, BuildCtx,
     DisseminationProtocol, EngineResult, NodeOutcome, NodeReport, RepairTelemetry, RunSpec,

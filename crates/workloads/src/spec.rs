@@ -189,6 +189,14 @@ pub enum ScaleEventKind {
         /// Fraction of live non-source nodes to crash, clamped to `[0, 1]`.
         fraction: f64,
     },
+    /// One *named* node fails (fail-stop). Unlike [`ChurnEvent::Fail`]'s
+    /// random victim, the identifier is part of the schedule, so the same
+    /// chaos script kills the same node in the simulator and in a live
+    /// cluster. Killing the source or an already-dead node is a no-op.
+    Kill {
+        /// Identifier of the victim (the `NodeId` index).
+        node: u32,
+    },
 }
 
 /// Adversarial conditions injected into a run: per-link loss, latency
