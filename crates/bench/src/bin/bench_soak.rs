@@ -88,6 +88,17 @@ fn scenarios(nodes: u32, stream: &StreamSpec) -> Vec<ChaosSchedule> {
     let mut partition_heal = ChaosSchedule::named("partition_heal");
     partition_heal.faults.partition = Some(partition);
 
+    // Same cut, but cross-cut traffic is *held* and released at the heal
+    // (grey failure / congestion window). Exercises the aligned Delay
+    // release semantics — arrival at `max(send + latency, heal)` in both
+    // worlds — through the divergence gate.
+    let mut delay_partition = ChaosSchedule::named("delay_partition_heal");
+    delay_partition.faults.partition = Some(PartitionPhase::delay(
+        0.25,
+        at(stream, 0.30),
+        at(stream, 0.25),
+    ));
+
     let mut combined = ChaosSchedule::named("chaos_combined");
     combined.faults = FaultSpec::loss(0.01);
     combined.faults.partition = Some(partition);
@@ -110,7 +121,13 @@ fn scenarios(nodes: u32, stream: &StreamSpec) -> Vec<ChaosSchedule> {
         },
     ];
 
-    vec![steady, kill_restart, partition_heal, combined]
+    vec![
+        steady,
+        kill_restart,
+        partition_heal,
+        delay_partition,
+        combined,
+    ]
 }
 
 /// Sim latency samples, mirroring `LiveResult::latency_samples_ms`:

@@ -161,6 +161,20 @@ impl Protocol for BrisaNode {
                 ctx.set_timer(period, TimerTag::of_kind(TIMER_SHUFFLE));
             }
             TIMER_KEEPALIVE => {
+                // A node with *both* views empty is fully isolated: its
+                // join was lost (a dial that died in a bootstrap storm, a
+                // contact that crashed before replying) and no overlay
+                // traffic can ever reach it again. Re-join through the
+                // original contact. The both-views guard keeps this out of
+                // ordinary operation: a join in flight holds the contact in
+                // the active view optimistically, and any node that was
+                // ever connected retains passive entries to recover with.
+                if self.hpv.active_view().is_empty() && self.hpv.passive_view().is_empty() {
+                    if let Some(contact) = self.contact {
+                        let outs = self.hpv.join(ctx.now(), contact);
+                        self.apply_hpv_outs(ctx, outs);
+                    }
+                }
                 let outs = self.hpv.keepalive_tick(ctx.now());
                 self.apply_hpv_outs(ctx, outs);
                 let period = self.hpv.config().keepalive_period;

@@ -9,13 +9,19 @@
 //! `delivery_rate()`/`completeness()` are computed with the sim engine's
 //! formulas — a simulated and a live run of one scenario are directly
 //! comparable.
+//!
+//! All nodes share one [`ReactorPool`]: `runtime.workers` threads carry
+//! the whole cluster regardless of its size, so a 1000-node TCP overlay
+//! costs the same thread count as a 16-node one.
 
-use crate::executor::{NodeRuntime, RuntimeMsg, WallClock};
+use crate::config::RuntimeConfig;
+use crate::executor::WallClock;
 use crate::loopback::LoopbackMesh;
+use crate::reactor::ReactorPool;
 use crate::report::{LiveNode, LiveResult};
 use crate::shim::ShimControl;
 use crate::tcp::TcpMesh;
-use crate::transport::{FrameSink, Transport};
+use crate::transport::Transport;
 use crate::wire::WireCodec;
 use brisa_simnet::{NodeId, SimTime};
 use brisa_workloads::{BuildCtx, DisseminationProtocol, NodeReport};
@@ -26,7 +32,7 @@ use std::time::{Duration, Instant};
 /// Which interconnect a cluster runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportKind {
-    /// In-process MPSC mesh: no syscalls, measures stack + executor.
+    /// In-process mesh: no syscalls, measures stack + reactor.
     Loopback,
     /// Real TCP sockets on `127.0.0.1`.
     Tcp,
@@ -54,6 +60,9 @@ pub struct ClusterConfig {
     /// jitter and partitions can be injected live through
     /// [`Cluster::shim`].
     pub fault_shim: bool,
+    /// Reactor sizing and live timing knobs (worker count, detection
+    /// delay, dial budgets).
+    pub runtime: RuntimeConfig,
 }
 
 impl Default for ClusterConfig {
@@ -65,6 +74,7 @@ impl Default for ClusterConfig {
             join_stagger: Duration::from_millis(2),
             reserve: 0,
             fault_shim: false,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -76,30 +86,6 @@ enum Mesh {
     Tcp(TcpMesh),
 }
 
-impl Mesh {
-    /// First-time attachment of `node` (its listener/slot is unused).
-    fn attach(&self, node: NodeId, sink: Box<dyn FrameSink>) -> Box<dyn Transport> {
-        match self {
-            Mesh::Loopback(m) => Box::new(m.attach(node, sink)),
-            Mesh::Tcp(m) => Box::new(m.attach(node, sink)),
-        }
-    }
-
-    /// Re-attachment of a previously killed `node` (same identifier, same
-    /// advertised address, fresh transport state).
-    fn reattach(
-        &self,
-        node: NodeId,
-        sink: Box<dyn FrameSink>,
-    ) -> std::io::Result<Box<dyn Transport>> {
-        match self {
-            // The loopback mesh's attach re-registers the slot natively.
-            Mesh::Loopback(m) => Ok(Box::new(m.attach(node, sink))),
-            Mesh::Tcp(m) => Ok(Box::new(m.reattach(node, sink)?)),
-        }
-    }
-}
-
 /// A running live cluster of `P` nodes.
 pub struct Cluster<P: DisseminationProtocol>
 where
@@ -107,8 +93,9 @@ where
     P::Message: WireCodec,
 {
     clock: WallClock,
-    /// Slot per node; `None` after a kill.
-    runtimes: Vec<Option<NodeRuntime<P>>>,
+    pool: ReactorPool<P>,
+    /// Whether the slot's node is currently started (false after a kill).
+    alive: Vec<bool>,
     source: NodeId,
     original_nodes: u32,
     publish_times: Vec<SimTime>,
@@ -130,72 +117,31 @@ where
     P: DisseminationProtocol + Send + 'static,
     P::Message: WireCodec,
 {
-    /// Boots a cluster: binds the interconnect, builds every node through
-    /// [`DisseminationProtocol::build`] and starts one executor thread per
-    /// node. Returns once every node is running.
+    /// Boots a cluster: binds the interconnect, spawns the reactor pool,
+    /// builds every node through [`DisseminationProtocol::build`] and
+    /// starts it on its shard. Returns once every node is started.
     pub fn launch(cfg: &ClusterConfig, proto_cfg: &P::Config) -> std::io::Result<Self> {
         let n = cfg.nodes.max(1);
         let capacity = n + cfg.reserve;
         let clock = WallClock::new();
-        let shim = cfg.fault_shim.then(|| ShimControl::new(cfg.seed, clock));
+        let shim = cfg
+            .fault_shim
+            .then(|| ShimControl::with_runtime(cfg.seed, clock, cfg.runtime));
 
-        // Stage 1: create every node's channel and transport before any
-        // executor starts, so the earliest join already finds its contact
-        // attached (the TCP listeners are likewise all pre-bound —
-        // reserved slots included).
+        // The interconnect is fully pre-bound — reserved slots included —
+        // before any node starts, so the earliest join already finds its
+        // contact reachable.
         let mesh = match cfg.transport {
             TransportKind::Loopback => Mesh::Loopback(LoopbackMesh::new(capacity as usize)),
             TransportKind::Tcp => Mesh::Tcp(TcpMesh::bind(capacity as usize)?),
         };
-        #[allow(clippy::type_complexity)]
-        let mut plumbing: Vec<(
-            mpsc::Sender<RuntimeMsg<P>>,
-            mpsc::Receiver<RuntimeMsg<P>>,
-            Box<dyn Transport>,
-        )> = Vec::with_capacity(n as usize);
-        for i in 0..n {
-            let (tx, rx, sink): (_, _, Box<dyn FrameSink>) = NodeRuntime::<P>::channel();
-            let shim_sink = sink.clone();
-            let mut transport = mesh.attach(NodeId(i), sink);
-            if let Some(ctl) = &shim {
-                transport = Box::new(ctl.wrap(NodeId(i), transport, shim_sink));
-            }
-            plumbing.push((tx, rx, transport));
-        }
+        let pool = ReactorPool::new(clock, &cfg.runtime);
 
-        // Stage 2: build and start the nodes, source first.
-        let source = NodeId(0);
-        let mut runtimes = Vec::with_capacity(n as usize);
-        let mut prev = None;
-        for (i, (tx, rx, transport)) in plumbing.into_iter().enumerate() {
-            let i = i as u32;
-            let bctx = BuildCtx {
-                index: i,
-                population: n,
-                contact: (i > 0).then_some(source),
-                prev,
-                is_source: i == 0,
-            };
-            let proto = P::build(proto_cfg, NodeId(i), &bctx);
-            runtimes.push(Some(NodeRuntime::spawn(
-                NodeId(i),
-                proto,
-                cfg.seed,
-                clock,
-                transport,
-                tx,
-                rx,
-            )));
-            prev = Some(NodeId(i));
-            if !cfg.join_stagger.is_zero() && i + 1 < n {
-                std::thread::sleep(cfg.join_stagger);
-            }
-        }
-
-        Ok(Cluster {
+        let mut cluster = Cluster {
             clock,
-            runtimes,
-            source,
+            pool,
+            alive: vec![false; n as usize],
+            source: NodeId(0),
             original_nodes: n,
             publish_times: Vec::new(),
             mesh,
@@ -205,6 +151,55 @@ where
             next_join: n,
             ever_killed: BTreeSet::new(),
             shim,
+        };
+
+        // Start the nodes, source first; each later node gets the source
+        // as its contact.
+        let mut prev = None;
+        for i in 0..n {
+            let id = NodeId(i);
+            let bctx = BuildCtx {
+                index: i,
+                population: n,
+                contact: (i > 0).then_some(cluster.source),
+                prev,
+                is_source: i == 0,
+            };
+            let proto = P::build(proto_cfg, id, &bctx);
+            let transport = cluster.transport_for(id, true)?;
+            cluster.pool.start_node(id, proto, cfg.seed, transport);
+            cluster.alive[id.index()] = true;
+            prev = Some(id);
+            if !cfg.join_stagger.is_zero() && i + 1 < n {
+                std::thread::sleep(cfg.join_stagger);
+            }
+        }
+
+        Ok(cluster)
+    }
+
+    /// Builds `id`'s transport: wires the interconnect slot to `id`'s
+    /// shard and wraps the handle in the fault shim when one is active.
+    /// `fresh` selects first-time attachment (pre-bound listener) vs the
+    /// restart path (rebind of the advertised address).
+    fn transport_for(&self, id: NodeId, fresh: bool) -> std::io::Result<Box<dyn Transport>> {
+        let transport: Box<dyn Transport> = match &self.mesh {
+            // The loopback mesh's attach re-registers the slot natively,
+            // so first-time and restart are the same operation.
+            Mesh::Loopback(m) => Box::new(m.attach(id, self.pool.sink_for(id))),
+            Mesh::Tcp(m) => {
+                let listener = if fresh {
+                    m.take_listener(id)
+                } else {
+                    m.rebind_listener(id)?
+                };
+                self.pool.add_listener(id, listener, m.addrs());
+                self.pool.tcp_transport(id)
+            }
+        };
+        Ok(match &self.shim {
+            Some(ctl) => Box::new(ctl.wrap(id, transport, self.pool.sink_for(id))),
+            None => transport,
         })
     }
 
@@ -229,20 +224,23 @@ where
         self.publish_times.len() as u64
     }
 
-    /// Number of nodes still running.
+    /// Number of nodes currently started.
     pub fn alive(&self) -> usize {
-        self.runtimes.iter().flatten().count()
+        self.alive.iter().filter(|a| **a).count()
     }
 
     /// Publishes the next stream message at the source and records the
     /// injection time. Panics if the source was killed — a phantom publish
     /// would silently skew every delivery metric downstream.
     pub fn publish(&mut self, payload_bytes: usize) {
-        let rt = self.runtimes[self.source.index()]
-            .as_ref()
-            .expect("publish through a killed source");
+        assert!(
+            self.alive[self.source.index()],
+            "publish through a killed source"
+        );
         self.publish_times.push(self.clock.now());
-        rt.invoke(move |p, ctx| p.publish_message(ctx, payload_bytes));
+        self.pool.invoke(self.source, move |p, ctx| {
+            p.publish_message(ctx, payload_bytes)
+        });
     }
 
     /// Lets the cluster run for `d` of wall time.
@@ -256,11 +254,9 @@ where
         self.shim.as_ref()
     }
 
-    /// True if `id`'s executor is currently running.
+    /// True if `id` is currently started.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.runtimes
-            .get(id.index())
-            .is_some_and(|slot| slot.is_some())
+        self.alive.get(id.index()).copied().unwrap_or(false)
     }
 
     /// Nodes killed at least once over the run so far (restarted or not).
@@ -273,11 +269,17 @@ where
     /// is excluded from the survivor metrics of the final result, like a
     /// crashed simulator node.
     pub fn kill(&mut self, id: NodeId) {
-        if let Some(rt) = self.runtimes[id.index()].take() {
-            self.ever_killed.insert(id.0);
-            rt.stop();
-            let _ = rt.join();
+        if !self.is_alive(id) {
+            return;
         }
+        self.alive[id.index()] = false;
+        self.ever_killed.insert(id.0);
+        // Wait for the shard to confirm; a `None` reply means the node
+        // already crashed (panicked) — same outcome, already torn down.
+        let _ = self
+            .pool
+            .stop_node(id)
+            .recv_timeout(Duration::from_secs(10));
     }
 
     /// Restarts a previously killed node under the same identifier with
@@ -287,16 +289,8 @@ where
     /// the protocol's own repair machinery (buffer anchoring).
     pub fn restart(&mut self, id: NodeId) -> std::io::Result<()> {
         assert!(id != self.source, "cannot restart the source");
-        assert!(
-            self.runtimes[id.index()].is_none(),
-            "restart of a running node"
-        );
-        let (tx, rx, sink): (_, _, Box<dyn FrameSink>) = NodeRuntime::<P>::channel();
-        let shim_sink = sink.clone();
-        let mut transport = self.mesh.reattach(id, sink)?;
-        if let Some(ctl) = &self.shim {
-            transport = Box::new(ctl.wrap(id, transport, shim_sink));
-        }
+        assert!(!self.is_alive(id), "restart of a running node");
+        let transport = self.transport_for(id, false)?;
         let bctx = BuildCtx {
             index: id.0,
             population: self.original_nodes,
@@ -305,9 +299,8 @@ where
             is_source: false,
         };
         let proto = P::build(&self.proto_cfg, id, &bctx);
-        self.runtimes[id.index()] = Some(NodeRuntime::spawn(
-            id, proto, self.seed, self.clock, transport, tx, rx,
-        ));
+        self.pool.start_node(id, proto, self.seed, transport);
+        self.alive[id.index()] = true;
         Ok(())
     }
 
@@ -322,12 +315,9 @@ where
         );
         let id = NodeId(self.next_join);
         self.next_join += 1;
-        let (tx, rx, sink): (_, _, Box<dyn FrameSink>) = NodeRuntime::<P>::channel();
-        let shim_sink = sink.clone();
-        let mut transport = self.mesh.attach(id, sink);
-        if let Some(ctl) = &self.shim {
-            transport = Box::new(ctl.wrap(id, transport, shim_sink));
-        }
+        let transport = self
+            .transport_for(id, true)
+            .expect("fresh slots use the pre-bound listener");
         let bctx = BuildCtx {
             index: id.0,
             population: self.original_nodes,
@@ -336,23 +326,26 @@ where
             is_source: false,
         };
         let proto = P::build(&self.proto_cfg, id, &bctx);
-        debug_assert_eq!(self.runtimes.len(), id.index());
-        self.runtimes.push(Some(NodeRuntime::spawn(
-            id, proto, self.seed, self.clock, transport, tx, rx,
-        )));
+        debug_assert_eq!(self.alive.len(), id.index());
+        self.pool.start_node(id, proto, self.seed, transport);
+        self.alive.push(true);
         id
     }
 
-    /// Snapshots every live node's report, in node order. Runs on the
-    /// nodes' own threads (consistent with their protocol state), so this
-    /// can be called mid-stream.
+    /// Snapshots every started node's report, in node order. Runs on the
+    /// nodes' own shards (consistent with their protocol state), so this
+    /// can be called mid-stream. A node that panicked since the last call
+    /// is silently absent (its invoke is dropped by its shard).
     pub fn snapshot_reports(&self) -> Vec<(NodeId, NodeReport)> {
         let (tx, rx) = mpsc::channel::<(NodeId, NodeReport)>();
         let mut expected = 0;
-        for rt in self.runtimes.iter().flatten() {
+        for (idx, started) in self.alive.iter().enumerate() {
+            if !started {
+                continue;
+            }
             let tx = tx.clone();
-            let id = rt.id();
-            rt.invoke(move |p, _ctx| {
+            let id = NodeId(idx as u32);
+            self.pool.invoke(id, move |p, _ctx| {
                 let _ = tx.send((id, p.report()));
             });
             expected += 1;
@@ -369,7 +362,7 @@ where
     /// Polls until every live non-source node has delivered `expected`
     /// messages, or `deadline` of wall time elapsed. Returns whether the
     /// target was reached. A node whose report snapshot timed out counts as
-    /// not done — a wedged executor must fail the wait, not vanish from it.
+    /// not done — a wedged shard must fail the wait, not vanish from it.
     pub fn wait_for_delivery(&self, expected: u64, deadline: Duration) -> bool {
         let end = Instant::now() + deadline;
         loop {
@@ -389,22 +382,35 @@ where
         }
     }
 
-    /// Stops every node, joins the executor threads and assembles the
-    /// final [`LiveResult`].
-    pub fn stop_and_collect(self) -> LiveResult {
-        for rt in self.runtimes.iter().flatten() {
-            rt.stop();
+    /// Stops every node, shuts the reactor pool down and assembles the
+    /// final [`LiveResult`]. A node that panicked mid-run yields no
+    /// [`LiveNode`] and is accounted like a killed one.
+    pub fn stop_and_collect(mut self) -> LiveResult {
+        // Ask every shard to stop its nodes; collect the replies after all
+        // stops are queued so shards drain in parallel.
+        let mut stops = Vec::new();
+        for (idx, started) in self.alive.iter().enumerate() {
+            if *started {
+                let id = NodeId(idx as u32);
+                stops.push((id, self.pool.stop_node(id)));
+            }
         }
         let mut nodes = Vec::new();
-        for rt in self.runtimes.into_iter().flatten() {
-            let id = rt.id();
-            let (proto, stats) = rt.join();
-            nodes.push(LiveNode {
-                id,
-                report: proto.report(),
-                stats,
-            });
+        for (id, reply) in stops {
+            match reply.recv_timeout(Duration::from_secs(10)) {
+                Ok(Some((proto, stats))) => nodes.push(LiveNode {
+                    id,
+                    report: proto.report(),
+                    stats,
+                }),
+                // Poisoned (panicked) or unresponsive: excluded from the
+                // survivor metrics like any other dead node.
+                Ok(None) | Err(_) => {
+                    self.ever_killed.insert(id.0);
+                }
+            }
         }
+        self.pool.shutdown();
         nodes.sort_by_key(|n| n.id);
         // Elapsed time is measured on the cluster clock (the epoch every
         // node stamps its telemetry against), so no report timestamp can

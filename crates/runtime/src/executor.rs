@@ -1,38 +1,30 @@
-//! The per-node executor: one thread driving a sans-IO [`Protocol`] in
-//! wall-clock time.
+//! Live execution of a sans-IO [`Protocol`] in wall-clock time.
 //!
-//! The executor owns the protocol state, its deterministic RNG and a
-//! real-time timer queue, and loops on a single MPSC channel carrying
-//! inbound transport events and control messages. Every callback runs with
-//! a [`Context`] built through [`Context::external`]; the commands the
-//! protocol emits are drained afterwards and translated:
+//! This module keeps the pieces every live component shares — the
+//! cluster-wide [`WallClock`], the per-node [`RuntimeStats`] counters and
+//! the [`InvokeFn`] callback type — plus [`NodeRuntime`], a convenience
+//! wrapper that runs **one** node on a private single-worker
+//! [`ReactorPool`]. Clusters do not use
+//! `NodeRuntime`; they share one pool across all their nodes (see
+//! [`Cluster`](crate::Cluster)). The wrapper exists for tests and small
+//! tools that want a node without a cluster.
 //!
-//! * `Send` → encode through [`WireCodec`] and hand to the [`Transport`];
-//! * `SetTimer` → push `(Instant::now() + delay, seq, tag)` onto the timer
-//!   heap — the same [`TimerTag`] discipline as the simulator, with
-//!   insertion order breaking ties so same-instant timers fire in the
-//!   order they were set;
-//! * `OpenConnection` / `CloseConnection` → transport failure-detection
-//!   registration.
-//!
-//! Time: the node reports [`Context::now`] as microseconds of wall clock
-//! since the cluster's shared epoch, so `SimTime`-stamped telemetry
-//! (first-delivery records, repair delays) is directly comparable between
-//! a simulated run and a live one.
+//! The execution model itself (callback dispatch, the merged timer heap,
+//! command translation to the [`Transport`]) lives in
+//! [`reactor`](crate::reactor); the semantics match the simulator's:
+//! `SetTimer` deadlines fire in `(deadline, insertion-seq)` order, RNGs
+//! derive from `split_mix64(seed, node)`, and [`Context::now`] reports
+//! microseconds of wall clock since the shared epoch so `SimTime`-stamped
+//! telemetry is directly comparable between a simulated run and a live
+//! one.
 
-use crate::transport::{FrameSink, NetEvent, Transport};
+use crate::config::RuntimeConfig;
+use crate::reactor::ReactorPool;
+use crate::transport::{FrameSink, Transport};
 use crate::wire::WireCodec;
-use brisa_simnet::{Command, Context, NodeId, Protocol, SimTime, TimerTag};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use brisa_simnet::{Context, NodeId, Protocol, SimTime};
 use std::sync::mpsc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// How long the executor parks when no timer is pending.
-const IDLE_PARK: Duration = Duration::from_millis(100);
 
 /// A monotonic wall clock shared by every node of a cluster; `now()` is the
 /// live counterpart of the simulator's global clock.
@@ -70,7 +62,7 @@ impl Default for WallClock {
     }
 }
 
-/// Byte/frame counters one executor accumulates over its lifetime.
+/// Byte/frame counters one node accumulates over its lifetime.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RuntimeStats {
     /// Frames decoded and dispatched to `on_message`.
@@ -88,65 +80,15 @@ pub struct RuntimeStats {
     pub timers_fired: u64,
 }
 
-/// A boxed protocol callback queued through [`NodeRuntime::invoke`].
+/// A boxed protocol callback queued through [`NodeRuntime::invoke`] or
+/// [`ReactorPool::invoke`](crate::reactor::ReactorPool::invoke).
 pub type InvokeFn<P> = Box<dyn FnOnce(&mut P, &mut Context<'_, <P as Protocol>::Message>) + Send>;
 
-/// Control/data messages consumed by an executor thread.
-pub enum RuntimeMsg<P: Protocol> {
-    /// An inbound transport event.
-    Net(NetEvent),
-    /// Run a closure against the protocol (publish, snapshot a report...).
-    /// Commands it issues through the context are executed normally.
-    Invoke(InvokeFn<P>),
-    /// Stop the node: tear down the transport and return the protocol
-    /// state to [`NodeRuntime::join`].
-    Stop,
-}
-
-/// The transport-facing adapter over an executor's channel. Hides the
-/// protocol type parameter behind [`FrameSink`].
-pub struct NetSender<P: Protocol> {
-    tx: mpsc::Sender<RuntimeMsg<P>>,
-}
-
-impl<P: Protocol + 'static> FrameSink for NetSender<P> {
-    fn deliver(&mut self, event: NetEvent) -> bool {
-        self.tx.send(RuntimeMsg::Net(event)).is_ok()
-    }
-
-    fn box_clone(&self) -> Box<dyn FrameSink> {
-        Box::new(NetSender {
-            tx: self.tx.clone(),
-        })
-    }
-}
-
-/// A pending wall-clock timer. Ordered by `(deadline, insertion seq)` so
-/// ties fire in insertion order, exactly like the simulator's event queue.
-#[derive(PartialEq, Eq)]
-struct TimerEntry {
-    at: Instant,
-    seq: u64,
-    tag: TimerTag,
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// A running node: the executor thread plus its control channel.
+/// One live node on its own single-worker reactor.
 pub struct NodeRuntime<P: Protocol> {
     id: NodeId,
-    tx: mpsc::Sender<RuntimeMsg<P>>,
-    handle: JoinHandle<(P, RuntimeStats)>,
+    pool: ReactorPool<P>,
+    reply: Option<mpsc::Receiver<Option<(P, RuntimeStats)>>>,
 }
 
 impl<P> NodeRuntime<P>
@@ -154,39 +96,32 @@ where
     P: Protocol + Send + 'static,
     P::Message: WireCodec,
 {
-    /// Spawns the executor thread for `proto`.
+    /// Starts `proto` as node `id` on a fresh single-worker reactor.
     ///
-    /// `rx` must be the receiving end of the channel whose senders were
-    /// handed to the transport (via [`NodeRuntime::channel`]); `seed`
-    /// derives the node's deterministic RNG exactly like the simulator
-    /// derives per-node streams.
-    pub fn spawn(
+    /// `attach` receives the node's inbound [`FrameSink`] and must return
+    /// the [`Transport`] carrying its traffic (e.g. wire the sink into a
+    /// mesh and hand back that mesh's transport). `seed` derives the
+    /// node's deterministic RNG exactly like the simulator derives
+    /// per-node streams.
+    pub fn launch(
         id: NodeId,
         proto: P,
         seed: u64,
         clock: WallClock,
-        transport: Box<dyn Transport>,
-        tx: mpsc::Sender<RuntimeMsg<P>>,
-        rx: mpsc::Receiver<RuntimeMsg<P>>,
+        attach: impl FnOnce(&ReactorPool<P>, Box<dyn FrameSink>) -> Box<dyn Transport>,
     ) -> Self {
-        let handle = std::thread::Builder::new()
-            .name(format!("brisa-node-{}", id.0))
-            .spawn(move || executor_main(id, proto, seed, clock, transport, rx))
-            .expect("spawn node thread");
-        NodeRuntime { id, tx, handle }
-    }
-
-    /// Creates the executor channel: the receiver goes to
-    /// [`NodeRuntime::spawn`], the [`FrameSink`] to the transport.
-    #[allow(clippy::type_complexity)]
-    pub fn channel() -> (
-        mpsc::Sender<RuntimeMsg<P>>,
-        mpsc::Receiver<RuntimeMsg<P>>,
-        Box<dyn FrameSink>,
-    ) {
-        let (tx, rx) = mpsc::channel();
-        let sink = Box::new(NetSender { tx: tx.clone() });
-        (tx, rx, sink)
+        let cfg = RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        };
+        let pool = ReactorPool::new(clock, &cfg);
+        let transport = attach(&pool, pool.sink_for(id));
+        pool.start_node(id, proto, seed, transport);
+        NodeRuntime {
+            id,
+            pool,
+            reply: None,
+        }
     }
 
     /// The node this runtime executes.
@@ -194,109 +129,35 @@ where
         self.id
     }
 
-    /// Queues a closure to run against the protocol on its own thread.
+    /// The underlying pool (for wiring TCP listeners in tests).
+    pub fn pool(&self) -> &ReactorPool<P> {
+        &self.pool
+    }
+
+    /// Queues a closure to run against the protocol on its shard.
     pub fn invoke(&self, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>) + Send + 'static) {
-        let _ = self.tx.send(RuntimeMsg::Invoke(Box::new(f)));
+        self.pool.invoke(self.id, f);
     }
 
     /// Asks the node to stop (asynchronously; use [`NodeRuntime::join`]).
-    pub fn stop(&self) {
-        let _ = self.tx.send(RuntimeMsg::Stop);
-    }
-
-    /// Waits for the executor to exit and returns the final protocol state
-    /// and transfer counters.
-    pub fn join(self) -> (P, RuntimeStats) {
-        self.handle.join().expect("node thread panicked")
-    }
-}
-
-fn executor_main<P>(
-    id: NodeId,
-    mut proto: P,
-    seed: u64,
-    clock: WallClock,
-    mut transport: Box<dyn Transport>,
-    rx: mpsc::Receiver<RuntimeMsg<P>>,
-) -> (P, RuntimeStats)
-where
-    P: Protocol,
-    P::Message: WireCodec,
-{
-    let mut rng = SmallRng::seed_from_u64(brisa_simnet::seed::split_mix64(seed, id.0 as u64));
-    let mut stats = RuntimeStats::default();
-    let mut timers: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
-    let mut timer_seq = 0u64;
-    let mut commands: Vec<Command<P::Message>> = Vec::new();
-
-    // One protocol callback + command drain.
-    macro_rules! dispatch {
-        ($f:expr) => {{
-            let mut ctx = Context::external(clock.now(), id, &mut rng, &mut commands);
-            #[allow(clippy::redundant_closure_call)]
-            ($f)(&mut proto, &mut ctx);
-            for cmd in commands.drain(..) {
-                match cmd {
-                    Command::Send { to, msg } => {
-                        let frame = msg.encode();
-                        stats.frames_out += 1;
-                        stats.bytes_out += frame.len() as u64;
-                        transport.send(to, frame);
-                    }
-                    Command::SetTimer { delay, tag } => {
-                        timers.push(Reverse(TimerEntry {
-                            at: Instant::now() + Duration::from_micros(delay.as_micros()),
-                            seq: timer_seq,
-                            tag,
-                        }));
-                        timer_seq += 1;
-                    }
-                    Command::OpenConnection { peer } => transport.open_connection(peer),
-                    Command::CloseConnection { peer } => transport.close_connection(peer),
-                }
-            }
-        }};
-    }
-
-    dispatch!(|p: &mut P, ctx: &mut Context<'_, P::Message>| p.on_start(ctx));
-
-    loop {
-        // Fire every due timer before blocking again.
-        loop {
-            let due = matches!(timers.peek(), Some(Reverse(e)) if e.at <= Instant::now());
-            if !due {
-                break;
-            }
-            let Reverse(entry) = timers.pop().expect("peeked entry");
-            stats.timers_fired += 1;
-            let tag = entry.tag;
-            dispatch!(|p: &mut P, ctx: &mut Context<'_, P::Message>| p.on_timer(ctx, tag));
-        }
-        let timeout = timers
-            .peek()
-            .map(|Reverse(e)| e.at.saturating_duration_since(Instant::now()))
-            .unwrap_or(IDLE_PARK);
-        match rx.recv_timeout(timeout) {
-            Ok(RuntimeMsg::Net(NetEvent::Frame { from, frame })) => {
-                match P::Message::decode(&frame) {
-                    Ok(msg) => {
-                        stats.frames_in += 1;
-                        stats.bytes_in += frame.len() as u64;
-                        dispatch!(|p: &mut P, ctx: &mut Context<'_, P::Message>| {
-                            p.on_message(ctx, from, msg)
-                        });
-                    }
-                    Err(_) => stats.decode_errors += 1,
-                }
-            }
-            Ok(RuntimeMsg::Net(NetEvent::LinkDown { peer })) => {
-                dispatch!(|p: &mut P, ctx: &mut Context<'_, P::Message>| p.on_link_down(ctx, peer));
-            }
-            Ok(RuntimeMsg::Invoke(f)) => dispatch!(f),
-            Ok(RuntimeMsg::Stop) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
+    pub fn stop(&mut self) {
+        if self.reply.is_none() {
+            self.reply = Some(self.pool.stop_node(self.id));
         }
     }
-    transport.shutdown();
-    (proto, stats)
+
+    /// Stops the node if still running, shuts the reactor down and returns
+    /// the final protocol state and transfer counters.
+    ///
+    /// Panics if the node panicked (poisoning mirrors the old
+    /// thread-per-node join semantics for a crashed node).
+    pub fn join(mut self) -> (P, RuntimeStats) {
+        self.stop();
+        let reply = self.reply.take().expect("stop() was just called");
+        let state = reply
+            .recv_timeout(Duration::from_secs(10))
+            .expect("reactor worker unresponsive");
+        self.pool.shutdown();
+        state.expect("node panicked")
+    }
 }

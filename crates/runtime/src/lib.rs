@@ -14,14 +14,16 @@
 //!   the encoded frame length (so sim bandwidth accounting equals live
 //!   bytes);
 //! * [`transport`] — the [`Transport`] trait with two backends: the
-//!   in-process [`LoopbackMesh`] (MPSC queues) and the real [`TcpMesh`]
-//!   (framed sockets on `127.0.0.1`, per-peer outbound writer queues,
-//!   TCP failures surfaced as `on_link_down`);
-//! * [`executor`]/[`cluster`] — one thread per node driving
-//!   `on_start`/`on_message`/`on_timer` from a real-time timer queue, and
-//!   the [`Cluster`] harness that boots N nodes, publishes a broadcast
+//!   in-process [`LoopbackMesh`] (in-memory queues) and the real
+//!   [`TcpMesh`] (framed sockets on `127.0.0.1`, TCP failures surfaced as
+//!   `on_link_down`);
+//! * [`reactor`]/[`cluster`] — the sharded reactor: `workers` threads
+//!   each multiplexing many nodes' protocol callbacks, real-time timers
+//!   and non-blocking sockets on one poll loop, and the [`Cluster`]
+//!   harness that boots N nodes on a shared pool, publishes a broadcast
 //!   workload and collects the sim engine's `NodeReport`s into a
-//!   [`LiveResult`].
+//!   [`LiveResult`]. Timing/sizing knobs live in [`RuntimeConfig`],
+//!   pinned to the simulator's defaults.
 //!
 //! ## Quick start
 //!
@@ -54,8 +56,10 @@
 
 pub mod chaos;
 pub mod cluster;
+pub mod config;
 pub mod executor;
 pub mod loopback;
+pub mod reactor;
 pub mod report;
 pub mod shim;
 pub mod tcp;
@@ -64,10 +68,12 @@ pub mod wire;
 
 pub use chaos::{run_chaos, SoakConfig, SoakOutcome};
 pub use cluster::{Cluster, ClusterConfig, TransportKind};
+pub use config::RuntimeConfig;
 pub use executor::{NodeRuntime, RuntimeStats, WallClock};
 pub use loopback::{LoopbackMesh, LoopbackTransport};
+pub use reactor::ReactorPool;
 pub use report::{LiveNode, LiveResult};
 pub use shim::{FaultShim, ShimControl, ShimStats};
-pub use tcp::{TcpMesh, TcpTransport};
+pub use tcp::TcpMesh;
 pub use transport::{FrameSink, NetEvent, Transport};
 pub use wire::{WireCodec, WireError, WIRE_VERSION};

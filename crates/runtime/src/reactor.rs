@@ -1,0 +1,1520 @@
+//! The sharded reactor: N nodes multiplexed per worker thread.
+//!
+//! PR 4's executor spent one thread per node (plus an acceptor, a reader
+//! per inbound connection, a writer and a watcher per outbound peer on
+//! TCP), which capped live clusters at a few hundred nodes. This module
+//! replaces all of it with a small pool of **reactor workers**: every node
+//! is pinned to the shard `id % workers`, and each worker runs one loop
+//! that merges
+//!
+//! * the worker's **inbox** (a mutex-protected queue of inbound frames,
+//!   control messages and transport commands, woken through a pipe),
+//! * the **timer heap** — the same `(deadline, insertion-seq)` discipline
+//!   as the per-node executor had, now one heap per shard holding every
+//!   resident node's timers *and* the transport's re-dial deadlines,
+//! * and **socket readiness** over a hand-rolled `poll(2)` FFI (the
+//!   vendored-deps constraint rules out mio): non-blocking listeners,
+//!   inbound frame reassembly and outbound write flushing all run on the
+//!   worker that owns the node.
+//!
+//! The sans-IO seam is untouched: protocols still see
+//! `on_start`/`on_message`/`on_timer`/`on_link_down` through
+//! [`Context::external`], commands drain into the node's [`Transport`],
+//! and the wire codec is byte-identical. [`FrameSink`]-based transports
+//! (loopback, the fault shim) work unchanged — a sink now enqueues into
+//! the owning worker's inbox instead of a per-node channel.
+//!
+//! **Crash isolation:** every protocol callback runs under
+//! `catch_unwind`. A panicking node is poisoned — removed from its shard,
+//! its transport torn down so peers observe a link-down — while its shard
+//! siblings keep running; the panic never takes down the worker.
+//!
+//! **TCP under the reactor** (see [`crate::tcp`] for the mesh): sockets
+//! are owned by the worker loop, never shared. Outbound connects are the
+//! one operation std cannot do non-blockingly, so each worker keeps one
+//! **dialer thread** that performs blocking `connect_timeout` + handshake
+//! serially and posts the result back to the inbox; retry pacing
+//! (initial-dial retries, the 50 → 800 ms reconnect backoff from
+//! [`RuntimeConfig`]) lives on the worker's timer heap, so a slow dial
+//! never stalls frame traffic. Backpressure is per-link: frames queue in
+//! the link's outbound buffer until the socket drains (`POLLOUT`);
+//! protocol-level flow control is the stack's own (BRISA's per-round
+//! fan-out), exactly as in the simulator.
+
+use crate::config::RuntimeConfig;
+use crate::executor::{InvokeFn, RuntimeStats, WallClock};
+use crate::transport::{FrameSink, NetEvent, Transport};
+use crate::wire::{WireCodec, LEN_PREFIX_BYTES, MAX_FRAME_BYTES, WIRE_VERSION};
+use brisa_simnet::seed::{mix64, split_mix64};
+use brisa_simnet::{Command, Context, NodeId, Protocol, TimerTag};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest a worker parks when it has nothing scheduled.
+const IDLE_PARK: Duration = Duration::from_millis(100);
+
+/// Cadence of the idle-link reap sweep (see [`ShardIo::reap_idle`]).
+const REAP_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Goodbye marker: a zero-length frame prefix, outside the codec's valid
+/// frame range, written immediately before a *deliberate* close of an
+/// idle outbound connection. The receiver flags the connection so the
+/// EOF that follows is not surfaced as peer death.
+const GOODBYE: [u8; LEN_PREFIX_BYTES] = [0; LEN_PREFIX_BYTES];
+
+/// Readiness primitives: `poll(2)` over a hand-defined `pollfd`, plus a
+/// pipe-based waker. Linux/unix is the supported platform; the fallback
+/// degrades to a 1 ms tick that reports every descriptor ready (handlers
+/// are non-blocking and tolerate spurious readiness).
+#[cfg(unix)]
+mod sys {
+    use std::io::{Read, Write};
+    use std::os::raw::{c_int, c_ulong};
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    /// `struct pollfd`, kernel ABI layout.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    impl PollFd {
+        pub fn new(fd: RawFd, events: i16) -> Self {
+            PollFd {
+                fd,
+                events,
+                revents: 0,
+            }
+        }
+        pub fn readable(&self) -> bool {
+            self.revents & (POLLIN | POLLERR | POLLHUP) != 0
+        }
+        pub fn writable(&self) -> bool {
+            self.revents & (POLLOUT | POLLERR | POLLHUP) != 0
+        }
+    }
+
+    extern "C" {
+        // `nfds_t` is `c_ulong` on Linux, the platform this runtime
+        // targets; `timeout` is in milliseconds.
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Waits until a descriptor is ready or `timeout` passes, filling
+    /// `revents` in place. Returns the number of ready descriptors.
+    pub fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> usize {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as c_int;
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, ms) };
+        n.max(0) as usize
+    }
+
+    /// The sending half of a worker's wake pipe. One byte is in flight at
+    /// most (`pending` collapses a burst of wakes into one write).
+    pub struct Waker {
+        tx: UnixStream,
+        pending: Arc<AtomicBool>,
+    }
+
+    /// The worker-side half: its descriptor joins the poll set.
+    pub struct WakeRx {
+        rx: UnixStream,
+        pending: Arc<AtomicBool>,
+    }
+
+    pub fn wake_pair() -> std::io::Result<(Waker, WakeRx)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        let pending = Arc::new(AtomicBool::new(false));
+        Ok((
+            Waker {
+                tx,
+                pending: Arc::clone(&pending),
+            },
+            WakeRx { rx, pending },
+        ))
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            if !self.pending.swap(true, Ordering::SeqCst) {
+                let _ = (&self.tx).write(&[1u8]);
+            }
+        }
+    }
+
+    impl WakeRx {
+        pub fn fd(&self) -> RawFd {
+            self.rx.as_raw_fd()
+        }
+
+        /// Clears the pending flag, then the pipe — in that order, so a
+        /// wake racing the drain is never lost (it either lands in the
+        /// queue we are about to swap or leaves a fresh byte for the next
+        /// poll).
+        pub fn drain(&self) {
+            self.pending.store(false, Ordering::SeqCst);
+            let mut buf = [0u8; 64];
+            while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    impl PollFd {
+        pub fn new(fd: i32, events: i16) -> Self {
+            PollFd {
+                fd,
+                events,
+                revents: 0,
+            }
+        }
+        pub fn readable(&self) -> bool {
+            self.revents & POLLIN != 0
+        }
+        pub fn writable(&self) -> bool {
+            self.revents & POLLOUT != 0
+        }
+    }
+
+    /// Degraded portability mode: park briefly, then report everything
+    /// ready — the non-blocking handlers absorb the spurious readiness.
+    pub fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> usize {
+        std::thread::sleep(timeout.min(Duration::from_millis(1)));
+        for f in fds.iter_mut() {
+            f.revents = f.events;
+        }
+        fds.len()
+    }
+
+    pub struct Waker {
+        pending: Arc<AtomicBool>,
+    }
+    pub struct WakeRx {
+        pending: Arc<AtomicBool>,
+    }
+
+    pub fn wake_pair() -> std::io::Result<(Waker, WakeRx)> {
+        let pending = Arc::new(AtomicBool::new(false));
+        Ok((
+            Waker {
+                pending: Arc::clone(&pending),
+            },
+            WakeRx { pending },
+        ))
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            self.pending.store(true, Ordering::SeqCst);
+        }
+    }
+    impl WakeRx {
+        pub fn fd(&self) -> i32 {
+            -1
+        }
+        pub fn drain(&self) {
+            self.pending.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Transport-side commands executed on the owning worker's loop. Pushed by
+/// [`ReactorTcpTransport`] handles (from any thread — the shim's delay
+/// pump included) and by the dialer thread.
+pub(crate) enum IoCmd {
+    /// Register `node`'s pre-bound listener with its shard.
+    AddListener {
+        /// The owning node.
+        node: NodeId,
+        /// Its listener (made non-blocking by the worker).
+        listener: TcpListener,
+        /// The mesh's advertised addresses, for dialing peers.
+        addrs: Arc<Vec<SocketAddr>>,
+    },
+    /// Queue a frame on the `from → to` outbound link.
+    Send {
+        from: NodeId,
+        to: NodeId,
+        frame: Vec<u8>,
+    },
+    /// Register failure-detection interest in `peer` and ensure a dial.
+    Open { from: NodeId, peer: NodeId },
+    /// Withdraw failure-detection interest.
+    Close { from: NodeId, peer: NodeId },
+    /// Tear down every socket `node` owns (kill/shutdown path); peers
+    /// observe EOF and surface link-downs on their own shards.
+    CloseNode { node: NodeId },
+    /// A dial finished on the dialer thread; `stream` is handshaken and
+    /// non-blocking on success.
+    Dialed {
+        owner: NodeId,
+        peer: NodeId,
+        gen: u64,
+        stream: Option<TcpStream>,
+    },
+}
+
+/// One dial request consumed by the worker's dialer thread.
+struct DialReq {
+    owner: NodeId,
+    peer: NodeId,
+    addr: SocketAddr,
+    gen: u64,
+}
+
+/// Messages consumed by a reactor worker.
+enum WorkerMsg<P: Protocol> {
+    /// Start executing `proto` as `id` on this shard (fires `on_start`).
+    Start {
+        id: NodeId,
+        proto: P,
+        seed: u64,
+        transport: Box<dyn Transport>,
+    },
+    /// An inbound transport event for `id`.
+    Net { id: NodeId, event: NetEvent },
+    /// Run a closure against `id`'s protocol on its shard.
+    Invoke { id: NodeId, f: InvokeFn<P> },
+    /// Stop `id`: tear down its transport and reply with its final state,
+    /// or `None` if the node is unknown or was poisoned by a panic.
+    Stop {
+        id: NodeId,
+        reply: mpsc::Sender<Option<(P, RuntimeStats)>>,
+    },
+    /// A transport-side command.
+    Io(IoCmd),
+    /// Stop every remaining node and exit the worker loop.
+    Shutdown,
+}
+
+/// A worker's inbox: the queue plus its waker. Shared by every producer
+/// targeting the shard (sinks, transport handles, the dialer, the pool).
+struct Inbox<P: Protocol> {
+    queue: Mutex<VecDeque<WorkerMsg<P>>>,
+    waker: sys::Waker,
+}
+
+impl<P: Protocol> Inbox<P> {
+    fn push(&self, msg: WorkerMsg<P>) {
+        self.queue.lock().unwrap().push_back(msg);
+        self.waker.wake();
+    }
+}
+
+/// Object-safe face of an [`Inbox`] for the non-generic TCP machinery.
+pub(crate) trait IoPush: Send + Sync {
+    fn push_io(&self, cmd: IoCmd);
+}
+
+impl<P: Protocol + Send + 'static> IoPush for Inbox<P> {
+    fn push_io(&self, cmd: IoCmd) {
+        self.push(WorkerMsg::Io(cmd));
+    }
+}
+
+/// The [`FrameSink`] a transport delivers into: enqueues onto the owning
+/// shard's inbox. Per-source FIFO holds because each producer pushes in
+/// send order and the queue preserves it.
+struct ReactorSink<P: Protocol> {
+    id: NodeId,
+    inbox: Arc<Inbox<P>>,
+}
+
+impl<P: Protocol + Send + 'static> FrameSink for ReactorSink<P> {
+    fn deliver(&mut self, event: NetEvent) -> bool {
+        self.inbox.push(WorkerMsg::Net { id: self.id, event });
+        true
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameSink> {
+        Box::new(ReactorSink {
+            id: self.id,
+            inbox: Arc::clone(&self.inbox),
+        })
+    }
+}
+
+/// One node's [`Transport`] handle onto its shard's socket engine. All
+/// methods enqueue `IoCmd`s; the worker loop owns the actual sockets.
+pub struct ReactorTcpTransport {
+    me: NodeId,
+    io: Arc<dyn IoPush>,
+}
+
+impl Transport for ReactorTcpTransport {
+    fn send(&mut self, to: NodeId, frame: Vec<u8>) {
+        self.io.push_io(IoCmd::Send {
+            from: self.me,
+            to,
+            frame,
+        });
+    }
+
+    fn open_connection(&mut self, peer: NodeId) {
+        self.io.push_io(IoCmd::Open {
+            from: self.me,
+            peer,
+        });
+    }
+
+    fn close_connection(&mut self, peer: NodeId) {
+        self.io.push_io(IoCmd::Close {
+            from: self.me,
+            peer,
+        });
+    }
+
+    fn shutdown(&mut self) {
+        self.io.push_io(IoCmd::CloseNode { node: self.me });
+    }
+}
+
+/// What a timer deadline triggers when it fires.
+enum TimerKind {
+    /// A protocol timer of a resident node.
+    Proto { node: u32, tag: TimerTag },
+    /// A scheduled re-dial of the `owner → peer` outbound link.
+    Redial { owner: u32, peer: u32 },
+}
+
+/// A pending deadline, `(at, seq)`-ordered so same-instant timers fire in
+/// insertion order — the simulator's tie-break, preserved per shard.
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One resident node: protocol state, RNG, stats and its transport.
+struct NodeSlot<P: Protocol> {
+    id: NodeId,
+    proto: P,
+    rng: SmallRng,
+    stats: RuntimeStats,
+    transport: Box<dyn Transport>,
+}
+
+/// The protocol-facing half of a shard: nodes, their merged timer heap,
+/// and the dispatch/poison machinery.
+struct ProtoCore<P: Protocol> {
+    clock: WallClock,
+    nodes: HashMap<u32, NodeSlot<P>>,
+    /// Nodes removed by a panic; a later `Stop` replies `None` for them.
+    poisoned: BTreeSet<u32>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    commands: Vec<Command<P::Message>>,
+}
+
+impl<P> ProtoCore<P>
+where
+    P: Protocol,
+    P::Message: WireCodec,
+{
+    fn new(clock: WallClock) -> Self {
+        ProtoCore {
+            clock,
+            nodes: HashMap::new(),
+            poisoned: BTreeSet::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            commands: Vec::new(),
+        }
+    }
+
+    fn push_timer(&mut self, at: Instant, kind: TimerKind) {
+        self.timers.push(Reverse(TimerEntry {
+            at,
+            seq: self.timer_seq,
+            kind,
+        }));
+        self.timer_seq += 1;
+    }
+
+    /// Runs one protocol callback for `id` under `catch_unwind` and drains
+    /// the commands it emitted. A panic poisons the node: it is removed
+    /// from the shard and its transport torn down (peers see a link-down),
+    /// while shard siblings continue untouched.
+    fn dispatch(&mut self, id: u32, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
+        let Some(slot) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let mut commands = std::mem::take(&mut self.commands);
+        let now = self.clock.now();
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = Context::external(now, slot.id, &mut slot.rng, &mut commands);
+            f(&mut slot.proto, &mut ctx);
+        }))
+        .is_err();
+        if panicked {
+            commands.clear();
+            self.commands = commands;
+            self.poison(id);
+            return;
+        }
+        let mut deferred_timers: Vec<(Instant, TimerTag)> = Vec::new();
+        for cmd in commands.drain(..) {
+            match cmd {
+                Command::Send { to, msg } => {
+                    let frame = msg.encode();
+                    slot.stats.frames_out += 1;
+                    slot.stats.bytes_out += frame.len() as u64;
+                    slot.transport.send(to, frame);
+                }
+                Command::SetTimer { delay, tag } => {
+                    deferred_timers.push((
+                        Instant::now() + Duration::from_micros(delay.as_micros()),
+                        tag,
+                    ));
+                }
+                Command::OpenConnection { peer } => slot.transport.open_connection(peer),
+                Command::CloseConnection { peer } => slot.transport.close_connection(peer),
+            }
+        }
+        self.commands = commands;
+        for (at, tag) in deferred_timers {
+            self.push_timer(at, TimerKind::Proto { node: id, tag });
+        }
+    }
+
+    /// Removes a panicked node. Its protocol state is dropped (a crashed
+    /// node has no report), its transport shut down so peers detect the
+    /// failure exactly as they would a kill.
+    fn poison(&mut self, id: u32) {
+        if let Some(mut slot) = self.nodes.remove(&id) {
+            self.poisoned.insert(id);
+            // The transport teardown itself is best-effort on this path.
+            let _ = catch_unwind(AssertUnwindSafe(|| slot.transport.shutdown()));
+        }
+    }
+
+    fn on_net(&mut self, id: u32, event: NetEvent) {
+        match event {
+            NetEvent::Frame { from, frame } => {
+                let Some(slot) = self.nodes.get_mut(&id) else {
+                    return;
+                };
+                match P::Message::decode(&frame) {
+                    Ok(msg) => {
+                        slot.stats.frames_in += 1;
+                        slot.stats.bytes_in += frame.len() as u64;
+                        self.dispatch(id, move |p, ctx| p.on_message(ctx, from, msg));
+                    }
+                    Err(_) => slot.stats.decode_errors += 1,
+                }
+            }
+            NetEvent::LinkDown { peer } => {
+                self.dispatch(id, move |p, ctx| p.on_link_down(ctx, peer));
+            }
+        }
+    }
+
+    fn start_node(&mut self, id: NodeId, proto: P, seed: u64, transport: Box<dyn Transport>) {
+        let rng = SmallRng::seed_from_u64(split_mix64(seed, id.0 as u64));
+        self.nodes.insert(
+            id.0,
+            NodeSlot {
+                id,
+                proto,
+                rng,
+                stats: RuntimeStats::default(),
+                transport,
+            },
+        );
+        // A restart under the same identifier clears the old poison.
+        self.poisoned.remove(&id.0);
+        self.dispatch(id.0, |p, ctx| p.on_start(ctx));
+    }
+
+    fn stop_node(&mut self, id: u32) -> Option<(P, RuntimeStats)> {
+        let mut slot = self.nodes.remove(&id)?;
+        slot.transport.shutdown();
+        Some((slot.proto, slot.stats))
+    }
+
+    /// Fires every due protocol timer; returns due re-dial links for the
+    /// I/O engine (which lives outside this struct).
+    fn fire_due_timers(&mut self, redials: &mut Vec<(u32, u32)>) {
+        loop {
+            let now = Instant::now();
+            let due = matches!(self.timers.peek(), Some(Reverse(e)) if e.at <= now);
+            if !due {
+                return;
+            }
+            let Reverse(entry) = self.timers.pop().expect("peeked entry");
+            match entry.kind {
+                TimerKind::Proto { node, tag } => {
+                    if let Some(slot) = self.nodes.get_mut(&node) {
+                        slot.stats.timers_fired += 1;
+                        self.dispatch(node, move |p, ctx| p.on_timer(ctx, tag));
+                    }
+                }
+                TimerKind::Redial { owner, peer } => redials.push((owner, peer)),
+            }
+        }
+    }
+
+    /// Time until the next deadline, capped at [`IDLE_PARK`].
+    fn next_timeout(&self) -> Duration {
+        self.timers
+            .peek()
+            .map(|Reverse(e)| e.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(IDLE_PARK)
+            .min(IDLE_PARK)
+    }
+}
+
+/// State of one `owner → peer` outbound link.
+enum OutState {
+    /// A dial is in flight on the dialer thread.
+    Dialing,
+    /// A re-dial is scheduled on the timer heap.
+    Backoff,
+    /// Connected; frames flush through the non-blocking stream.
+    Up(TcpStream),
+}
+
+/// One outbound link: its connection state machine and write queue. The
+/// queue is the backpressure point — a slow or re-dialing peer accumulates
+/// frames here (never blocking the shard), and they flush in order once
+/// the socket drains.
+struct OutLink {
+    state: OutState,
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of `queue.front()` already written on the current connection.
+    offset: usize,
+    /// Dials failed since the link was last up.
+    attempts: u32,
+    /// Whether the link ever connected (selects the initial-dial vs the
+    /// reconnect retry schedule).
+    established: bool,
+    /// Current dial generation; a stale `Dialed` result is discarded.
+    gen: u64,
+    /// Last moment the link carried (or was asked to carry) traffic; the
+    /// reap sweep closes unmonitored links idle past
+    /// `RuntimeConfig::idle_link_timeout`.
+    last_used: Instant,
+}
+
+/// One inbound connection: handshake, then length-prefixed frames.
+struct InConn {
+    owner: u32,
+    stream: TcpStream,
+    from: Option<NodeId>,
+    buf: Vec<u8>,
+    /// A goodbye marker arrived: the peer is closing this connection
+    /// deliberately (idle reap), so the EOF that follows is not peer death.
+    deliberate: bool,
+}
+
+/// The socket engine of one shard. Empty (and cost-free) on loopback-only
+/// clusters.
+struct ShardIo {
+    addrs: Option<Arc<Vec<SocketAddr>>>,
+    /// Per-owner listeners, non-blocking.
+    listeners: Vec<(u32, TcpListener)>,
+    /// Inbound connections, keyed by a stable token.
+    inconns: HashMap<u64, InConn>,
+    next_token: u64,
+    outlinks: HashMap<(u32, u32), OutLink>,
+    /// `monitored[owner]` = peers under failure-detection interest; an
+    /// entry is consumed when its link-down fires (at most one
+    /// notification per `open_connection`, the transport contract).
+    monitored: HashMap<u32, BTreeSet<u32>>,
+    dial_tx: mpsc::Sender<DialReq>,
+    dial_gen: u64,
+}
+
+impl ShardIo {
+    fn new(dial_tx: mpsc::Sender<DialReq>) -> Self {
+        ShardIo {
+            addrs: None,
+            listeners: Vec::new(),
+            inconns: HashMap::new(),
+            next_token: 0,
+            outlinks: HashMap::new(),
+            monitored: HashMap::new(),
+            dial_tx,
+            dial_gen: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.listeners.is_empty() && self.inconns.is_empty() && self.outlinks.is_empty()
+    }
+
+    /// Consumes the monitored entry and surfaces the link-down to the
+    /// owner's protocol.
+    fn link_down<P>(&mut self, core: &mut ProtoCore<P>, owner: u32, peer: NodeId)
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        let fired = self
+            .monitored
+            .get_mut(&owner)
+            .is_some_and(|set| set.remove(&peer.0));
+        if fired {
+            core.on_net(owner, NetEvent::LinkDown { peer });
+        }
+    }
+
+    fn request_dial(&mut self, owner: u32, peer: u32) -> u64 {
+        self.dial_gen += 1;
+        let gen = self.dial_gen;
+        let addr = self
+            .addrs
+            .as_ref()
+            .expect("TCP transport used before any listener was added")[peer as usize];
+        let _ = self.dial_tx.send(DialReq {
+            owner: NodeId(owner),
+            peer: NodeId(peer),
+            addr,
+            gen,
+        });
+        gen
+    }
+
+    /// Ensures an outbound link exists, dialing if fresh.
+    fn ensure_link(&mut self, owner: u32, peer: u32) {
+        if self.outlinks.contains_key(&(owner, peer)) {
+            return;
+        }
+        let gen = self.request_dial(owner, peer);
+        self.outlinks.insert(
+            (owner, peer),
+            OutLink {
+                state: OutState::Dialing,
+                queue: VecDeque::new(),
+                offset: 0,
+                attempts: 0,
+                established: false,
+                gen,
+                last_used: Instant::now(),
+            },
+        );
+    }
+
+    /// The link failed past its retry budget: drop it (with its queue) and
+    /// surface the failure. A later send re-creates it with a fresh budget,
+    /// like the old transport's fresh-writer re-dial.
+    fn fail_link<P>(&mut self, core: &mut ProtoCore<P>, owner: u32, peer: u32)
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        self.outlinks.remove(&(owner, peer));
+        self.link_down(core, owner, NodeId(peer));
+    }
+
+    /// Flushes the link's queue onto its non-blocking stream. On a write
+    /// error the connection is retired and a re-dial scheduled; the
+    /// in-progress frame is kept for a full resend (the receiver discards
+    /// the broken connection's partial frame with the connection).
+    fn flush_link<P>(&mut self, core: &mut ProtoCore<P>, cfg: &RuntimeConfig, owner: u32, peer: u32)
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        let Some(link) = self.outlinks.get_mut(&(owner, peer)) else {
+            return;
+        };
+        let OutState::Up(stream) = &mut link.state else {
+            return;
+        };
+        loop {
+            let Some(front) = link.queue.front() else {
+                return;
+            };
+            while link.offset < front.len() {
+                match stream.write(&front[link.offset..]) {
+                    Ok(0) => {
+                        self.retire_connection(core, cfg, owner, peer);
+                        return;
+                    }
+                    Ok(n) => link.offset += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.retire_connection(core, cfg, owner, peer);
+                        return;
+                    }
+                }
+            }
+            link.queue.pop_front();
+            link.offset = 0;
+        }
+    }
+
+    /// A mid-stream write failure: drop the connection and enter the
+    /// bounded backoff re-dial cycle before surfacing anything.
+    fn retire_connection<P>(
+        &mut self,
+        core: &mut ProtoCore<P>,
+        cfg: &RuntimeConfig,
+        owner: u32,
+        peer: u32,
+    ) where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        let Some(link) = self.outlinks.get_mut(&(owner, peer)) else {
+            return;
+        };
+        link.state = OutState::Backoff;
+        link.offset = 0;
+        link.attempts = 0;
+        let delay = redial_delay(cfg, link, owner, peer);
+        core.push_timer(Instant::now() + delay, TimerKind::Redial { owner, peer });
+    }
+
+    /// A scheduled re-dial deadline fired.
+    fn redial(&mut self, owner: u32, peer: u32) {
+        let in_backoff = matches!(
+            self.outlinks.get(&(owner, peer)),
+            Some(link) if matches!(link.state, OutState::Backoff)
+        );
+        if in_backoff {
+            let gen = self.request_dial(owner, peer);
+            let link = self
+                .outlinks
+                .get_mut(&(owner, peer))
+                .expect("checked above");
+            link.state = OutState::Dialing;
+            link.gen = gen;
+        }
+    }
+
+    /// A dial result arrived from the dialer thread.
+    fn dialed<P>(
+        &mut self,
+        core: &mut ProtoCore<P>,
+        cfg: &RuntimeConfig,
+        owner: u32,
+        peer: u32,
+        gen: u64,
+        stream: Option<TcpStream>,
+    ) where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        let Some(link) = self.outlinks.get_mut(&(owner, peer)) else {
+            return; // Link was closed while the dial was in flight.
+        };
+        if link.gen != gen || !matches!(link.state, OutState::Dialing) {
+            return; // Stale dial of a replaced connection.
+        }
+        match stream {
+            Some(stream) => {
+                link.state = OutState::Up(stream);
+                link.established = true;
+                link.attempts = 0;
+                link.offset = 0;
+                link.last_used = Instant::now();
+                self.flush_link(core, cfg, owner, peer);
+            }
+            None => {
+                link.attempts += 1;
+                let budget = if link.established {
+                    cfg.reconnect_attempts
+                } else {
+                    cfg.connect_retries
+                };
+                if link.attempts >= budget {
+                    self.fail_link(core, owner, peer);
+                } else {
+                    link.state = OutState::Backoff;
+                    let delay = redial_delay(cfg, link, owner, peer);
+                    core.push_timer(Instant::now() + delay, TimerKind::Redial { owner, peer });
+                }
+            }
+        }
+    }
+
+    /// Executes one transport command on this shard.
+    fn handle_cmd<P>(&mut self, core: &mut ProtoCore<P>, cfg: &RuntimeConfig, cmd: IoCmd)
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        match cmd {
+            IoCmd::AddListener {
+                node,
+                listener,
+                addrs,
+            } => {
+                let _ = listener.set_nonblocking(true);
+                self.addrs.get_or_insert(addrs);
+                self.listeners.push((node.0, listener));
+            }
+            IoCmd::Send { from, to, frame } => {
+                self.ensure_link(from.0, to.0);
+                let link = self.outlinks.get_mut(&(from.0, to.0)).expect("ensured");
+                link.queue.push_back(frame);
+                link.last_used = Instant::now();
+                self.flush_link(core, cfg, from.0, to.0);
+            }
+            IoCmd::Open { from, peer } => {
+                self.monitored.entry(from.0).or_default().insert(peer.0);
+                // Eagerly dial so a dead peer is detected without waiting
+                // for traffic.
+                self.ensure_link(from.0, peer.0);
+            }
+            IoCmd::Close { from, peer } => {
+                if let Some(set) = self.monitored.get_mut(&from.0) {
+                    set.remove(&peer.0);
+                }
+            }
+            IoCmd::CloseNode { node } => {
+                self.listeners.retain(|(owner, _)| *owner != node.0);
+                self.inconns.retain(|_, c| c.owner != node.0);
+                self.outlinks.retain(|(owner, _), _| *owner != node.0);
+                self.monitored.remove(&node.0);
+            }
+            IoCmd::Dialed {
+                owner,
+                peer,
+                gen,
+                stream,
+            } => self.dialed(core, cfg, owner.0, peer.0, gen, stream),
+        }
+    }
+
+    /// Accepts every pending inbound connection on `listener_idx`.
+    fn accept_ready(&mut self, listener_idx: usize) {
+        loop {
+            let (owner, listener) = &self.listeners[listener_idx];
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.inconns.insert(
+                        token,
+                        InConn {
+                            owner: *owner,
+                            stream,
+                            from: None,
+                            buf: Vec::new(),
+                            deliberate: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drains a readable inbound connection: handshake, then frame
+    /// reassembly, dispatching complete frames straight into the owner's
+    /// protocol (same thread — the owner lives on this shard).
+    fn read_inconn<P>(
+        &mut self,
+        core: &mut ProtoCore<P>,
+        scratch: &mut [u8],
+        token: u64,
+    ) -> Result<(), ()>
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        let Some(mut conn) = self.inconns.get_mut(&token) else {
+            return Ok(());
+        };
+        let mut closed = false;
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    closed = true;
+                    break;
+                }
+                Ok(n) => conn.buf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        // Handshake: 5 bytes naming the peer (version, u32 LE id).
+        if conn.from.is_none() && conn.buf.len() >= 5 {
+            if conn.buf[0] != WIRE_VERSION {
+                return self.drop_inconn(core, token);
+            }
+            let from = u32::from_le_bytes([conn.buf[1], conn.buf[2], conn.buf[3], conn.buf[4]]);
+            conn.from = Some(NodeId(from));
+            conn.buf.drain(..5);
+        }
+        // Frame reassembly: u32 LE length prefix, then the body.
+        while conn.from.is_some() && conn.buf.len() >= LEN_PREFIX_BYTES {
+            let len =
+                u32::from_le_bytes([conn.buf[0], conn.buf[1], conn.buf[2], conn.buf[3]]) as usize;
+            if len == 0 {
+                // Goodbye marker: the peer is reaping this idle connection
+                // (see `reap_idle`); the EOF that follows is deliberate.
+                conn.deliberate = true;
+                conn.buf.drain(..LEN_PREFIX_BYTES);
+                continue;
+            }
+            if !(3..=MAX_FRAME_BYTES).contains(&len) {
+                // Corrupt stream: treat like a broken connection.
+                return self.drop_inconn(core, token);
+            }
+            let total = LEN_PREFIX_BYTES + len;
+            if conn.buf.len() < total {
+                break;
+            }
+            let frame: Vec<u8> = conn.buf[..total].to_vec();
+            conn.buf.drain(..total);
+            let owner = conn.owner;
+            let from = conn.from.expect("handshaken");
+            core.on_net(owner, NetEvent::Frame { from, frame });
+            // The dispatch may have poisoned/changed the map; re-borrow.
+            let Some(c) = self.inconns.get_mut(&token) else {
+                return Ok(());
+            };
+            conn = c;
+        }
+        if closed {
+            return self.drop_inconn(core, token);
+        }
+        Ok(())
+    }
+
+    /// Removes an inbound connection, surfacing the peer-death signal if
+    /// the identified peer is monitored by the owner.
+    fn drop_inconn<P>(&mut self, core: &mut ProtoCore<P>, token: u64) -> Result<(), ()>
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        if let Some(conn) = self.inconns.remove(&token) {
+            if let Some(from) = conn.from {
+                if !conn.deliberate {
+                    self.link_down(core, conn.owner, from);
+                }
+            }
+        }
+        Err(())
+    }
+
+    /// A readable outbound connection: the peer never writes on this
+    /// direction, so readiness means EOF/reset — the peer-close watcher of
+    /// the old transport, without the thread.
+    fn check_out_eof<P>(&mut self, core: &mut ProtoCore<P>, owner: u32, peer: u32)
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
+        let Some(link) = self.outlinks.get_mut(&(owner, peer)) else {
+            return;
+        };
+        let OutState::Up(stream) = &mut link.state else {
+            return;
+        };
+        let mut probe = [0u8; 32];
+        loop {
+            match stream.read(&mut probe) {
+                Ok(0) => {
+                    // Peer closed its end: drop the link; the next send (or
+                    // a protocol-level re-open) dials fresh.
+                    self.outlinks.remove(&(owner, peer));
+                    self.link_down(core, owner, NodeId(peer));
+                    return;
+                }
+                // Unexpected chatter on a write-only direction: ignore it
+                // and keep the connection.
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.outlinks.remove(&(owner, peer));
+                    self.link_down(core, owner, NodeId(peer));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Closes unmonitored outbound links idle past `cfg.idle_link_timeout`.
+    ///
+    /// This is fd hygiene, and at in-process cluster scale it is load-
+    /// bearing: every send to a fresh peer opens a connection (four fds per
+    /// symmetric pair, both endpoints living in this process), and overlay
+    /// maintenance traffic — shuffles, random walks — targets a different
+    /// peer almost every time. Without reaping, a 1000-node cluster walks
+    /// straight into the process fd ceiling during bootstrap and the nodes
+    /// past the cliff starve forever. Links under `open_connection`
+    /// monitoring are never reaped (their EOF watch *is* the failure
+    /// detector); everything else closes after the idle window, announced
+    /// with a [`GOODBYE`] marker so the receiver does not mistake the
+    /// deliberate close for peer death. A later send simply re-dials.
+    fn reap_idle(&mut self, cfg: &RuntimeConfig, now: Instant) {
+        if self.outlinks.is_empty() {
+            return;
+        }
+        let mut reap: Vec<(u32, u32)> = Vec::new();
+        for (&(owner, peer), link) in &self.outlinks {
+            let monitored = self
+                .monitored
+                .get(&owner)
+                .is_some_and(|set| set.contains(&peer));
+            if matches!(link.state, OutState::Up(_))
+                && !monitored
+                && link.queue.is_empty()
+                && link.offset == 0
+                && now.duration_since(link.last_used) >= cfg.idle_link_timeout
+            {
+                reap.push((owner, peer));
+            }
+        }
+        for (owner, peer) in reap {
+            let Some(link) = self.outlinks.get_mut(&(owner, peer)) else {
+                continue;
+            };
+            let OutState::Up(stream) = &mut link.state else {
+                continue;
+            };
+            match stream.write(&GOODBYE) {
+                // Socket buffer full on an idle link (peer not reading its
+                // flushed tail): retry at the next sweep rather than close
+                // unannounced.
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Marker written (or the connection is already dead, in
+                // which case the close changes nothing): drop the link.
+                _ => {
+                    self.outlinks.remove(&(owner, peer));
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic per-link re-dial delay: the schedule from
+/// [`RuntimeConfig`] plus jitter derived from the node pair and attempt
+/// number, so a mass outage de-synchronizes without an RNG.
+fn redial_delay(cfg: &RuntimeConfig, link: &OutLink, owner: u32, peer: u32) -> Duration {
+    if !link.established {
+        return cfg.connect_retry_delay;
+    }
+    let backoff = cfg.reconnect_backoff(link.attempts);
+    let jitter_seed =
+        mix64(((owner as u64) << 32 | peer as u64).wrapping_add(link.attempts as u64));
+    let jitter = Duration::from_micros(jitter_seed % (backoff.as_micros() as u64 / 2).max(1));
+    backoff + jitter
+}
+
+/// Poll-set token: what a ready descriptor maps back to.
+enum Token {
+    Wake,
+    Listener(usize),
+    In(u64),
+    Out(u32, u32),
+}
+
+#[cfg(unix)]
+fn raw_fd(stream: &TcpStream) -> i32 {
+    use std::os::unix::io::AsRawFd;
+    stream.as_raw_fd()
+}
+#[cfg(unix)]
+fn raw_listener_fd(listener: &TcpListener) -> i32 {
+    use std::os::unix::io::AsRawFd;
+    listener.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd(_stream: &TcpStream) -> i32 {
+    -1
+}
+#[cfg(not(unix))]
+fn raw_listener_fd(_listener: &TcpListener) -> i32 {
+    -1
+}
+
+/// The worker loop: drain inbox → fire timers → poll readiness → handle.
+fn worker_main<P>(
+    inbox: Arc<Inbox<P>>,
+    wake: sys::WakeRx,
+    clock: WallClock,
+    cfg: RuntimeConfig,
+    dial_tx: mpsc::Sender<DialReq>,
+) where
+    P: Protocol + Send + 'static,
+    P::Message: WireCodec,
+{
+    let mut core: ProtoCore<P> = ProtoCore::new(clock);
+    let mut io = ShardIo::new(dial_tx);
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut batch: VecDeque<WorkerMsg<P>> = VecDeque::new();
+    let mut redials: Vec<(u32, u32)> = Vec::new();
+    let mut fds: Vec<sys::PollFd> = Vec::new();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut last_reap = Instant::now();
+    let mut running = true;
+
+    while running {
+        // 1. Drain the inbox. Clearing the wake flag *before* swapping the
+        // queue guarantees a producer racing this drain either lands in
+        // `batch` or leaves a fresh wake for the next poll.
+        wake.drain();
+        std::mem::swap(&mut batch, &mut *inbox.queue.lock().unwrap());
+        for msg in batch.drain(..) {
+            match msg {
+                WorkerMsg::Start {
+                    id,
+                    proto,
+                    seed,
+                    transport,
+                } => core.start_node(id, proto, seed, transport),
+                WorkerMsg::Net { id, event } => core.on_net(id.0, event),
+                WorkerMsg::Invoke { id, f } => core.dispatch(id.0, f),
+                WorkerMsg::Stop { id, reply } => {
+                    let _ = reply.send(core.stop_node(id.0));
+                }
+                WorkerMsg::Io(cmd) => io.handle_cmd(&mut core, &cfg, cmd),
+                WorkerMsg::Shutdown => {
+                    running = false;
+                }
+            }
+        }
+        if !running {
+            break;
+        }
+
+        // 2. Fire due timers (protocol + re-dial deadlines, one heap), and
+        // sweep idle unmonitored links about once a second — `next_timeout`
+        // is capped at `IDLE_PARK`, so the sweep runs even when parked.
+        redials.clear();
+        core.fire_due_timers(&mut redials);
+        for &(owner, peer) in &redials {
+            io.redial(owner, peer);
+        }
+        let now = Instant::now();
+        if now.duration_since(last_reap) >= REAP_INTERVAL {
+            last_reap = now;
+            io.reap_idle(&cfg, now);
+        }
+
+        // 3. Build the poll set and wait for readiness or the next timer.
+        fds.clear();
+        tokens.clear();
+        fds.push(sys::PollFd::new(wake.fd(), sys::POLLIN));
+        tokens.push(Token::Wake);
+        if !io.is_empty() {
+            for (idx, (_, listener)) in io.listeners.iter().enumerate() {
+                fds.push(sys::PollFd::new(raw_listener_fd(listener), sys::POLLIN));
+                tokens.push(Token::Listener(idx));
+            }
+            for (&token, conn) in &io.inconns {
+                fds.push(sys::PollFd::new(raw_fd(&conn.stream), sys::POLLIN));
+                tokens.push(Token::In(token));
+            }
+            for (&(owner, peer), link) in &io.outlinks {
+                if let OutState::Up(stream) = &link.state {
+                    let mut events = sys::POLLIN; // EOF watch
+                    if !link.queue.is_empty() {
+                        events |= sys::POLLOUT;
+                    }
+                    fds.push(sys::PollFd::new(raw_fd(stream), events));
+                    tokens.push(Token::Out(owner, peer));
+                }
+            }
+        }
+        let ready = sys::poll_fds(&mut fds, core.next_timeout());
+        if ready == 0 {
+            continue;
+        }
+
+        // 4. Handle readiness. Tokens are stable across removals (maps are
+        // keyed, listeners only shrink through CloseNode which is
+        // inbox-ordered after this pass).
+        for (fd, token) in fds.iter().zip(&tokens) {
+            if fd.revents == 0 {
+                continue;
+            }
+            match *token {
+                Token::Wake => {} // Drained at the top of the loop.
+                Token::Listener(idx) => {
+                    if fd.readable() && idx < io.listeners.len() {
+                        io.accept_ready(idx);
+                    }
+                }
+                Token::In(token) => {
+                    if fd.readable() {
+                        let _ = io.read_inconn(&mut core, &mut scratch, token);
+                    }
+                }
+                Token::Out(owner, peer) => {
+                    if fd.readable() {
+                        io.check_out_eof(&mut core, owner, peer);
+                    }
+                    if fd.writable() {
+                        io.flush_link(&mut core, &cfg, owner, peer);
+                    }
+                }
+            }
+        }
+    }
+
+    // Shutdown: stop every remaining node (transports tear down; loopback
+    // peers are notified), then drop the I/O state, closing every socket
+    // and listener this shard owns.
+    let ids: Vec<u32> = core.nodes.keys().copied().collect();
+    for id in ids {
+        let _ = core.stop_node(id);
+    }
+    drop(io);
+}
+
+/// The dialer thread: the one blocking socket operation (connect +
+/// handshake write), serialized per shard, results posted to the inbox.
+fn dialer_main(rx: mpsc::Receiver<DialReq>, io: Arc<dyn IoPush>, cfg: RuntimeConfig) {
+    while let Ok(req) = rx.recv() {
+        let stream = TcpStream::connect_timeout(&req.addr, cfg.connect_timeout)
+            .ok()
+            .and_then(|mut s| {
+                s.set_nodelay(true).ok();
+                let mut hello = [0u8; 5];
+                hello[0] = WIRE_VERSION;
+                hello[1..5].copy_from_slice(&req.owner.0.to_le_bytes());
+                s.write_all(&hello).ok()?;
+                s.set_nonblocking(true).ok()?;
+                Some(s)
+            });
+        io.push_io(IoCmd::Dialed {
+            owner: req.owner,
+            peer: req.peer,
+            gen: req.gen,
+            stream,
+        });
+    }
+}
+
+/// One shard's handles, owned by the pool.
+struct WorkerHandle<P: Protocol> {
+    inbox: Arc<Inbox<P>>,
+    dial_tx: Option<mpsc::Sender<DialReq>>,
+    thread: Option<JoinHandle<()>>,
+    dialer: Option<JoinHandle<()>>,
+}
+
+/// The reactor: a fixed pool of worker threads, each multiplexing the
+/// nodes of its shard. Create one per cluster (or one single-worker pool
+/// per standalone [`NodeRuntime`](crate::NodeRuntime)).
+pub struct ReactorPool<P: Protocol> {
+    workers: Vec<WorkerHandle<P>>,
+    clock: WallClock,
+}
+
+impl<P> ReactorPool<P>
+where
+    P: Protocol + Send + 'static,
+    P::Message: WireCodec,
+{
+    /// Spawns `cfg.workers` reactor workers (each with its dialer).
+    pub fn new(clock: WallClock, cfg: &RuntimeConfig) -> Self {
+        let count = cfg.workers.max(1);
+        let mut workers = Vec::with_capacity(count);
+        for i in 0..count {
+            let (waker, wake_rx) = sys::wake_pair().expect("create wake pipe");
+            let inbox = Arc::new(Inbox {
+                queue: Mutex::new(VecDeque::new()),
+                waker,
+            });
+            let (dial_tx, dial_rx) = mpsc::channel();
+            let dial_io: Arc<dyn IoPush> = Arc::clone(&inbox) as Arc<Inbox<P>>;
+            let dial_cfg = *cfg;
+            let dialer = std::thread::Builder::new()
+                .name(format!("brisa-dial-{i}"))
+                .spawn(move || dialer_main(dial_rx, dial_io, dial_cfg))
+                .expect("spawn dialer thread");
+            let worker_inbox = Arc::clone(&inbox);
+            let worker_cfg = *cfg;
+            let worker_dial = dial_tx.clone();
+            let thread = std::thread::Builder::new()
+                .name(format!("brisa-shard-{i}"))
+                .spawn(move || worker_main(worker_inbox, wake_rx, clock, worker_cfg, worker_dial))
+                .expect("spawn reactor worker");
+            workers.push(WorkerHandle {
+                inbox,
+                dial_tx: Some(dial_tx),
+                thread: Some(thread),
+                dialer: Some(dialer),
+            });
+        }
+        ReactorPool { workers, clock }
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The pool's shared clock.
+    pub fn clock(&self) -> &WallClock {
+        &self.clock
+    }
+
+    fn shard_of(&self, id: NodeId) -> &WorkerHandle<P> {
+        &self.workers[id.index() % self.workers.len()]
+    }
+
+    /// The inbound sink of `id`: hand it to the transport that will carry
+    /// the node's traffic.
+    pub fn sink_for(&self, id: NodeId) -> Box<dyn FrameSink> {
+        Box::new(ReactorSink {
+            id,
+            inbox: Arc::clone(&self.shard_of(id).inbox),
+        })
+    }
+
+    /// A [`Transport`] handle driving `id`'s shard-owned TCP sockets.
+    /// Pair with [`ReactorPool::add_listener`].
+    pub fn tcp_transport(&self, id: NodeId) -> Box<dyn Transport> {
+        Box::new(ReactorTcpTransport {
+            me: id,
+            io: Arc::clone(&self.shard_of(id).inbox) as Arc<dyn IoPush>,
+        })
+    }
+
+    /// Registers `id`'s pre-bound listener (and the mesh's address table)
+    /// with its shard.
+    pub fn add_listener(&self, id: NodeId, listener: TcpListener, addrs: Arc<Vec<SocketAddr>>) {
+        self.shard_of(id)
+            .inbox
+            .push(WorkerMsg::Io(IoCmd::AddListener {
+                node: id,
+                listener,
+                addrs,
+            }));
+    }
+
+    /// Starts `proto` as node `id` on its shard; `on_start` runs on the
+    /// worker. `seed` derives the node's RNG exactly like the simulator
+    /// derives per-node streams.
+    pub fn start_node(&self, id: NodeId, proto: P, seed: u64, transport: Box<dyn Transport>) {
+        self.shard_of(id).inbox.push(WorkerMsg::Start {
+            id,
+            proto,
+            seed,
+            transport,
+        });
+    }
+
+    /// Queues a closure to run against `id`'s protocol on its shard.
+    pub fn invoke(
+        &self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Message>) + Send + 'static,
+    ) {
+        self.shard_of(id)
+            .inbox
+            .push(WorkerMsg::Invoke { id, f: Box::new(f) });
+    }
+
+    /// Asks `id`'s shard to stop the node. The returned receiver yields
+    /// the final protocol state and stats — or `None` if the node is
+    /// unknown (never started, already stopped, or poisoned by a panic).
+    pub fn stop_node(&self, id: NodeId) -> mpsc::Receiver<Option<(P, RuntimeStats)>> {
+        let (reply, rx) = mpsc::channel();
+        self.shard_of(id).inbox.push(WorkerMsg::Stop { id, reply });
+        rx
+    }
+
+    /// Stops every worker: remaining nodes are torn down, sockets closed,
+    /// and all worker + dialer threads joined. No socket, port or thread
+    /// survives this call.
+    pub fn shutdown(&mut self) {
+        for w in &self.workers {
+            if w.thread.is_some() {
+                w.inbox.push(WorkerMsg::Shutdown);
+            }
+        }
+        for w in &mut self.workers {
+            drop(w.dial_tx.take()); // Dialer exits when all senders drop…
+            if let Some(t) = w.thread.take() {
+                let _ = t.join(); // …the worker's clone included.
+            }
+            if let Some(d) = w.dialer.take() {
+                let _ = d.join();
+            }
+        }
+    }
+}
+
+impl<P: Protocol> Drop for ReactorPool<P> {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            if w.thread.is_some() {
+                w.inbox.push(WorkerMsg::Shutdown);
+            }
+        }
+        for w in &mut self.workers {
+            drop(w.dial_tx.take());
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+            if let Some(d) = w.dialer.take() {
+                let _ = d.join();
+            }
+        }
+    }
+}

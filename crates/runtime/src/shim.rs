@@ -23,24 +23,28 @@
 //!    modelled link latency, and a live link's latency is whatever the
 //!    real network does — so the shim treats any factor as `1.0`.
 //!
-//! Two deliberate differences from the simulator, both inherent to live
-//! execution:
+//! `Delay`-cut release semantics are **aligned** between the two worlds:
+//! a frame sent during the window arrives at `max(send + link latency,
+//! heal)`. The sim charges its modelled latency from the send instant
+//! with the heal as a floor; the shim releases the frame at the heal
+//! instant and the real transport adds its (loopback-scale) transit. A
+//! frame sent close enough to the heal that its flight straddles it is
+//! unaffected in both worlds.
 //!
-//! * A delayed frame is released *at* the heal instant and then takes
-//!   whatever time the real transport takes, whereas the sim delivers at
-//!   `heal + latency` with the modelled latency. Same shape, real tail.
-//! * Partitions do **not** tear down connections (same as the sim), but
-//!   connection *attempts* across an active cut fail after a detection
-//!   delay of [`DETECTION_DELAY`] — the live counterpart of the sim's
-//!   `failure_detection_delay` (200 ms by default in both worlds). The
-//!   failure is synthesized locally; the attempt never reaches the inner
-//!   transport, exactly as a SYN lost inside the partition.
+//! Partitions do **not** tear down connections (same as the sim), but
+//! connection *attempts* across an active cut fail after the configured
+//! detection delay ([`RuntimeConfig::detection_delay`]) — the live
+//! counterpart of the sim's `failure_detection_delay`, pinned equal by
+//! default in `config`'s unit tests. The failure is synthesized locally;
+//! the attempt never reaches the inner transport, exactly as a SYN lost
+//! inside the partition.
 //!
 //! Per-destination FIFO is preserved across delayed and undelayed
 //! frames: once a frame to `d` is scheduled for a future release, every
 //! later frame to `d` releases no earlier (the sim's per-link FIFO
 //! clocks give the same guarantee).
 
+use crate::config::RuntimeConfig;
 use crate::executor::WallClock;
 use crate::transport::{FrameSink, NetEvent, Transport};
 use brisa_simnet::{FaultPrf, LinkFaults, NodeId, PartitionMode, PartitionSpec};
@@ -50,11 +54,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// How long a connection attempt across an active partition cut takes to
-/// fail — the live counterpart of the simulator's
-/// `NetworkConfig::failure_detection_delay` default.
-pub const DETECTION_DELAY: Duration = Duration::from_millis(200);
 
 /// Counters of everything the shim did to traffic, cluster-wide.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,14 +95,22 @@ pub struct ShimControl {
     state: Arc<Mutex<ShimState>>,
     prf: FaultPrf,
     clock: WallClock,
+    cfg: RuntimeConfig,
     stats: Arc<StatsCells>,
 }
 
 impl ShimControl {
     /// A control plane drawing from `master_seed`'s fault stream, with an
-    /// inert profile. `clock` must be the cluster's clock — partition
-    /// windows are expressed in its time base.
+    /// inert profile and default timings. `clock` must be the cluster's
+    /// clock — partition windows are expressed in its time base.
     pub fn new(master_seed: u64, clock: WallClock) -> Self {
+        Self::with_runtime(master_seed, clock, RuntimeConfig::default())
+    }
+
+    /// Like [`ShimControl::new`], with explicit runtime timings (the
+    /// cluster passes its own [`RuntimeConfig`] so the shim's synthetic
+    /// detection delay matches the transport's real one).
+    pub fn with_runtime(master_seed: u64, clock: WallClock, cfg: RuntimeConfig) -> Self {
         ShimControl {
             state: Arc::new(Mutex::new(ShimState {
                 link: LinkFaults::default(),
@@ -111,6 +118,7 @@ impl ShimControl {
             })),
             prf: FaultPrf::new(master_seed),
             clock,
+            cfg,
             stats: Arc::new(StatsCells::default()),
         }
     }
@@ -387,7 +395,7 @@ impl Transport for FaultShim {
             // treatment of connecting to an unreachable peer.
             self.ctl.stats.linkdowns.fetch_add(1, Ordering::Relaxed);
             self.pump.push(
-                Instant::now() + DETECTION_DELAY,
+                Instant::now() + self.ctl.cfg.detection_delay,
                 PumpAction::LinkDown { peer },
             );
         } else {
@@ -613,8 +621,8 @@ mod tests {
             other => panic!("expected synthesized link-down, got {other:?}"),
         }
         assert!(
-            asked.elapsed() >= DETECTION_DELAY,
-            "failure surfaces only after the detection delay"
+            asked.elapsed() >= RuntimeConfig::default().detection_delay,
+            "failure surfaces only after the configured detection delay"
         );
         assert!(
             orx.try_recv().is_err(),

@@ -1,87 +1,62 @@
-//! Real-socket transport: the protocol stack over TCP on `127.0.0.1`.
+//! The TCP interconnect: pre-bound loopback listeners, one per node.
 //!
-//! Topology and thread model, per node:
+//! This module owns only the **mesh** — the address table and the bound
+//! listeners. The sockets themselves are driven by the sharded reactor
+//! (see [`crate::reactor`]): a node's listener is handed to its shard with
+//! [`ReactorPool::add_listener`](crate::reactor::ReactorPool::add_listener),
+//! and every accept, read, write and re-dial happens non-blockingly on the
+//! worker loop that owns the node.
 //!
-//! * one pre-bound listener (all listeners are bound before any node
-//!   starts, so connects never race the accept side);
-//! * one **accept thread** that spawns a reader thread per inbound
-//!   connection;
-//! * one **writer thread per outbound peer**, fed by an unbounded per-peer
-//!   queue — the executor never blocks on a slow socket, and per-peer
-//!   ordering (the FIFO the protocols assume) falls out of the single
-//!   writer;
-//! * reader threads split the byte stream into frames using the codec's
-//!   length prefix and deliver them to the executor's sink.
+//! Wire conventions (unchanged since the thread-per-connection transport
+//! this replaced, so the two interoperate on the wire):
 //!
-//! Connections are per-direction: `a → b` traffic flows on a connection
-//! initiated by `a`, identified by a 5-byte handshake (`version`, `u32`
-//! node id). **Link-down detection** maps TCP failure onto the simulator's
-//! connection-monitoring contract: a failed `connect`, a write error on the
-//! outbound connection that survives the bounded backoff-reconnect cycle,
-//! or EOF/reset on an inbound connection from a monitored peer all surface
-//! as [`NetEvent::LinkDown`] — emitted at most once per `open_connection`
-//! registration (the monitored set entry is consumed when the event
-//! fires). A *transient* outbound failure — the peer restarting, kernel
-//! backlog pressure — is absorbed by a handful of re-dials with
-//! exponential backoff and deterministic jitter before any of that
-//! happens.
+//! * all listeners are bound before any node starts, so connects never
+//!   race the accept side;
+//! * connections are **per-direction**: `a → b` traffic flows on a
+//!   connection initiated by `a`, identified by a 5-byte handshake
+//!   (`version`, `u32` node id) — and because the remote never writes back
+//!   on it, readability of an outbound connection means EOF/reset, which
+//!   is exactly the peer-death signal `open_connection` monitoring wants;
+//! * frames are length-prefixed by the codec ([`crate::wire`]); a broken
+//!   connection's partial frame is discarded with the connection, so a
+//!   full resend on the re-dialed stream cannot duplicate bytes.
+//!
+//! Link-down detection maps TCP failure onto the simulator's
+//! connection-monitoring contract: a dial that exhausts its retry budget,
+//! a mid-stream write failure that survives the bounded backoff-reconnect
+//! cycle (both budgets in [`RuntimeConfig`](crate::RuntimeConfig)), or
+//! EOF/reset from a monitored peer all surface as
+//! [`NetEvent::LinkDown`](crate::NetEvent::LinkDown) — at most once per
+//! `open_connection` registration.
 
-use crate::transport::{FrameSink, NetEvent, Transport};
-use crate::wire::{LEN_PREFIX_BYTES, MAX_FRAME_BYTES, WIRE_VERSION};
-use brisa_simnet::seed::mix64;
 use brisa_simnet::NodeId;
-use std::collections::{BTreeSet, HashMap};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// Poll interval for blocking reads (bounds shutdown latency of reader
-/// threads).
-const READ_POLL: Duration = Duration::from_millis(100);
-/// Outbound connect retry schedule: listeners are pre-bound, so retries
-/// only cover transient kernel backlog pressure.
-const CONNECT_RETRIES: u32 = 20;
-const CONNECT_RETRY_DELAY: Duration = Duration::from_millis(25);
-/// Bounded reconnect schedule for an *established* outbound connection
-/// that fails mid-stream: exponential backoff from
-/// [`RECONNECT_BASE`], doubling per attempt and capped at
-/// [`RECONNECT_CAP`], with deterministic per-link jitter so a cluster-wide
-/// outage does not resolve into a synchronized reconnect stampede. Only
-/// after every attempt fails does the failure surface as a link-down.
-const RECONNECT_ATTEMPTS: u32 = 5;
-const RECONNECT_BASE: Duration = Duration::from_millis(50);
-const RECONNECT_CAP: Duration = Duration::from_millis(800);
+/// Accept backlog for every mesh listener. `std` hardwires 128, which a
+/// large cluster overruns at launch: hundreds of staggered joins dial the
+/// contact node while its shard is still starting siblings, the accept
+/// queue fills, and overflowing connects stall in SYN retransmit — each
+/// one then convoys its worker's dialer thread for up to the connect
+/// timeout. Re-`listen`ing on the bound socket simply widens the queue.
+const LISTEN_BACKLOG: i32 = 4096;
 
-/// State shared by one node's transport threads.
-struct Shared {
-    me: NodeId,
-    /// Peers under failure-detection monitoring. An entry is consumed when
-    /// its link-down fires, so each `open_connection` yields at most one
-    /// notification.
-    open: Mutex<BTreeSet<u32>>,
-    stopping: AtomicBool,
-    /// Join handles of the detached helper threads (inbound readers,
-    /// peer-close watchers), reaped by `shutdown` so repeated kill/restart
-    /// cycles leak neither threads nor the sockets they hold.
-    aux: Mutex<Vec<JoinHandle<()>>>,
-}
-
-impl Shared {
-    /// Emits a link-down for `peer` if (and only if) it is monitored.
-    fn link_down(&self, sink: &mut Box<dyn FrameSink>, peer: NodeId) {
-        if self.open.lock().unwrap().remove(&peer.0) {
-            sink.deliver(NetEvent::LinkDown { peer });
-        }
+#[cfg(unix)]
+fn widen_backlog(listener: &TcpListener) {
+    use std::os::unix::io::AsRawFd;
+    unsafe extern "C" {
+        fn listen(fd: i32, backlog: i32) -> i32;
     }
-
-    /// Registers a helper thread for reaping at shutdown.
-    fn adopt(&self, handle: JoinHandle<()>) {
-        self.aux.lock().unwrap().push(handle);
+    // Best effort: the kernel clamps to net.core.somaxconn, and a failure
+    // leaves the std default in place.
+    unsafe {
+        listen(listener.as_raw_fd(), LISTEN_BACKLOG);
     }
 }
+
+#[cfg(not(unix))]
+fn widen_backlog(_listener: &TcpListener) {}
 
 /// The bound interconnect: one listener per node, all on `127.0.0.1`.
 pub struct TcpMesh {
@@ -96,6 +71,7 @@ impl TcpMesh {
         let mut listeners = Vec::with_capacity(n);
         for _ in 0..n {
             let listener = TcpListener::bind("127.0.0.1:0")?;
+            widen_backlog(&listener);
             addrs.push(listener.local_addr()?);
             listeners.push(Some(listener));
         }
@@ -110,29 +86,33 @@ impl TcpMesh {
         self.addrs[node.index()]
     }
 
-    /// Takes `node`'s listener, registers its inbound sink and returns the
-    /// transport handle. Call once per node, before starting its executor.
-    pub fn attach(&self, node: NodeId, sink: Box<dyn FrameSink>) -> TcpTransport {
-        let listener = self.listeners.lock().unwrap()[node.index()]
-            .take()
-            .expect("node already attached");
-        self.transport_for(node, listener, sink)
+    /// The full address table, indexed by node — what the reactor's dialer
+    /// resolves peers against.
+    pub fn addrs(&self) -> Arc<Vec<SocketAddr>> {
+        Arc::clone(&self.addrs)
     }
 
-    /// Rebinds `node`'s advertised address and returns a fresh transport —
-    /// the restart path. The previous incarnation's listener must already
-    /// be closed (its transport shut down); the bind is retried briefly to
-    /// ride out the kernel releasing the port.
-    pub fn reattach(
-        &self,
-        node: NodeId,
-        sink: Box<dyn FrameSink>,
-    ) -> std::io::Result<TcpTransport> {
+    /// Takes `node`'s pre-bound listener (once; panics on a second take).
+    /// Hand it to the node's shard together with [`TcpMesh::addrs`].
+    pub fn take_listener(&self, node: NodeId) -> TcpListener {
+        self.listeners.lock().unwrap()[node.index()]
+            .take()
+            .expect("listener already taken")
+    }
+
+    /// Rebinds `node`'s advertised address — the restart path. The
+    /// previous incarnation's listener must already be closed (its node
+    /// stopped); the bind is retried briefly to ride out the kernel
+    /// releasing the port.
+    pub fn rebind_listener(&self, node: NodeId) -> std::io::Result<TcpListener> {
         let addr = self.addrs[node.index()];
         let mut last_err = None;
         for _ in 0..50 {
             match TcpListener::bind(addr) {
-                Ok(listener) => return Ok(self.transport_for(node, listener, sink)),
+                Ok(listener) => {
+                    widen_backlog(&listener);
+                    return Ok(listener);
+                }
                 Err(e) => {
                     last_err = Some(e);
                     std::thread::sleep(Duration::from_millis(20));
@@ -140,397 +120,5 @@ impl TcpMesh {
             }
         }
         Err(last_err.expect("bind attempted at least once"))
-    }
-
-    fn transport_for(
-        &self,
-        node: NodeId,
-        listener: TcpListener,
-        sink: Box<dyn FrameSink>,
-    ) -> TcpTransport {
-        let shared = Arc::new(Shared {
-            me: node,
-            open: Mutex::new(BTreeSet::new()),
-            stopping: AtomicBool::new(false),
-            aux: Mutex::new(Vec::new()),
-        });
-        let accept_handle = spawn_acceptor(listener, sink.clone(), Arc::clone(&shared));
-        TcpTransport {
-            shared,
-            addrs: Arc::clone(&self.addrs),
-            sink,
-            writers: HashMap::new(),
-            accept: Some(accept_handle),
-            my_addr: self.addrs[node.index()],
-        }
-    }
-}
-
-/// Commands consumed by a per-peer writer thread.
-enum WriterCmd {
-    Frame(Vec<u8>),
-    Close,
-}
-
-struct WriterHandle {
-    tx: mpsc::Sender<WriterCmd>,
-    handle: JoinHandle<()>,
-}
-
-/// One node's handle onto a [`TcpMesh`].
-pub struct TcpTransport {
-    shared: Arc<Shared>,
-    addrs: Arc<Vec<SocketAddr>>,
-    sink: Box<dyn FrameSink>,
-    writers: HashMap<u32, WriterHandle>,
-    accept: Option<JoinHandle<()>>,
-    my_addr: SocketAddr,
-}
-
-impl Transport for TcpTransport {
-    fn send(&mut self, to: NodeId, frame: Vec<u8>) {
-        if let Some(w) = self.writers.get(&to.0) {
-            match w.tx.send(WriterCmd::Frame(frame)) {
-                Ok(()) => return,
-                Err(mpsc::SendError(WriterCmd::Frame(f))) => {
-                    // The writer died (connection failure). Re-dial with a
-                    // fresh writer so post-repair traffic can reconnect.
-                    if let Some(w) = self.writers.remove(&to.0) {
-                        let _ = w.handle.join();
-                    }
-                    self.spawn_writer(to).tx.send(WriterCmd::Frame(f)).ok();
-                    return;
-                }
-                Err(_) => return,
-            }
-        }
-        self.spawn_writer(to).tx.send(WriterCmd::Frame(frame)).ok();
-    }
-
-    fn open_connection(&mut self, peer: NodeId) {
-        self.shared.open.lock().unwrap().insert(peer.0);
-        // Eagerly dial so a dead peer is detected without waiting for
-        // traffic (the simulator's open-to-dead-peer timeout).
-        if !self.writers.contains_key(&peer.0) {
-            self.spawn_writer(peer);
-        }
-    }
-
-    fn close_connection(&mut self, peer: NodeId) {
-        self.shared.open.lock().unwrap().remove(&peer.0);
-    }
-
-    fn shutdown(&mut self) {
-        self.shared.stopping.store(true, Ordering::SeqCst);
-        for (_, w) in self.writers.drain() {
-            let _ = w.tx.send(WriterCmd::Close);
-            drop(w.tx);
-            let _ = w.handle.join();
-        }
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.my_addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        // Reap every reader and watcher thread: each observes `stopping`
-        // within READ_POLL and exits, closing its socket — so a restart can
-        // rebind this node's port deterministically. (The writers and the
-        // acceptor are already joined, so no new helpers can appear.)
-        let aux = std::mem::take(&mut *self.shared.aux.lock().unwrap());
-        for h in aux {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for TcpTransport {
-    fn drop(&mut self) {
-        if !self.shared.stopping.load(Ordering::SeqCst) {
-            self.shutdown();
-        }
-    }
-}
-
-impl TcpTransport {
-    /// Returns the writer for `to`, dialing a fresh connection only if none
-    /// exists — the thread is spawned inside the vacant-entry arm so an
-    /// existing writer can never race a throwaway connection into being.
-    fn spawn_writer(&mut self, to: NodeId) -> &WriterHandle {
-        match self.writers.entry(to.0) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                let (tx, rx) = mpsc::channel();
-                let shared = Arc::clone(&self.shared);
-                let mut sink = self.sink.clone();
-                let addr = self.addrs[to.index()];
-                let handle =
-                    std::thread::spawn(move || writer_main(shared, &mut sink, to, addr, rx));
-                v.insert(WriterHandle { tx, handle })
-            }
-        }
-    }
-}
-
-/// Connects to `addr` with bounded retries.
-fn connect(shared: &Shared, addr: SocketAddr) -> Option<TcpStream> {
-    for attempt in 0..CONNECT_RETRIES {
-        if shared.stopping.load(Ordering::SeqCst) {
-            return None;
-        }
-        match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
-            Ok(stream) => {
-                let _ = stream.set_nodelay(true);
-                return Some(stream);
-            }
-            Err(_) if attempt + 1 < CONNECT_RETRIES => std::thread::sleep(CONNECT_RETRY_DELAY),
-            Err(_) => return None,
-        }
-    }
-    None
-}
-
-/// Writes the 5-byte hello identifying this node on a fresh connection.
-fn handshake(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
-    let mut hello = [0u8; 5];
-    hello[0] = WIRE_VERSION;
-    hello[1..5].copy_from_slice(&shared.me.0.to_le_bytes());
-    stream.write_all(&hello)
-}
-
-/// Spawns a peer-close watcher for connection generation `gen` and
-/// registers it for reaping.
-fn spawn_watcher(
-    shared: &Arc<Shared>,
-    sink: &dyn FrameSink,
-    to: NodeId,
-    stream: &TcpStream,
-    conn_gen: &Arc<AtomicU64>,
-    gen: u64,
-) {
-    if let Ok(watch) = stream.try_clone() {
-        let shared_t = Arc::clone(shared);
-        let mut sink = sink.box_clone();
-        let conn_gen = Arc::clone(conn_gen);
-        let handle = std::thread::spawn(move || {
-            watch_peer_close(shared_t, &mut sink, to, watch, conn_gen, gen)
-        });
-        shared.adopt(handle);
-    }
-}
-
-/// Re-dials a failed outbound connection with exponential backoff and
-/// deterministic per-link jitter (derived from the node pair and attempt
-/// number, so a mass outage de-synchronizes without an RNG). Returns the
-/// handshaken stream, or `None` once the attempt budget is spent.
-fn reconnect(shared: &Shared, addr: SocketAddr, to: NodeId) -> Option<TcpStream> {
-    for attempt in 0..RECONNECT_ATTEMPTS {
-        if shared.stopping.load(Ordering::SeqCst) {
-            return None;
-        }
-        let backoff = RECONNECT_BASE
-            .saturating_mul(1 << attempt.min(16))
-            .min(RECONNECT_CAP);
-        let jitter_seed =
-            mix64(((shared.me.0 as u64) << 32 | to.0 as u64).wrapping_add(attempt as u64));
-        let jitter = Duration::from_micros(jitter_seed % (backoff.as_micros() as u64 / 2).max(1));
-        std::thread::sleep(backoff + jitter);
-        if let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
-            let _ = stream.set_nodelay(true);
-            if handshake(shared, &mut stream).is_ok() {
-                return Some(stream);
-            }
-        }
-    }
-    None
-}
-
-/// Per-peer writer: dial, handshake, then drain the outbound queue.
-///
-/// A companion **peer-close watcher** thread blocks reading the same
-/// connection. The remote never writes on it (connections are
-/// per-direction), so the read only ever completes when the peer closes or
-/// dies — which is exactly the failure-detection signal `open_connection`
-/// asks for, and it fires even when this side is idle.
-///
-/// A write failure on an established connection is first answered with a
-/// bounded backoff-reconnect cycle ([`RECONNECT_ATTEMPTS`]); only when
-/// that budget is exhausted does the link surface as down. Each live
-/// connection carries a generation number so a watcher of a replaced
-/// connection cannot fire a stale link-down.
-fn writer_main(
-    shared: Arc<Shared>,
-    sink: &mut Box<dyn FrameSink>,
-    to: NodeId,
-    addr: SocketAddr,
-    rx: mpsc::Receiver<WriterCmd>,
-) {
-    let Some(mut stream) = connect(&shared, addr) else {
-        shared.link_down(sink, to);
-        return;
-    };
-    if handshake(&shared, &mut stream).is_err() {
-        shared.link_down(sink, to);
-        return;
-    }
-    let conn_gen = Arc::new(AtomicU64::new(0));
-    spawn_watcher(&shared, sink.as_ref(), to, &stream, &conn_gen, 0);
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            WriterCmd::Frame(frame) => {
-                if stream.write_all(&frame).is_ok() {
-                    continue;
-                }
-                // Transient failure: retire this connection's watcher and
-                // try to re-establish before declaring the link down. The
-                // receiver discards the broken connection's partial frame
-                // with the connection, so resending the whole frame on the
-                // fresh stream cannot duplicate bytes.
-                let gen = conn_gen.fetch_add(1, Ordering::SeqCst) + 1;
-                match reconnect(&shared, addr, to) {
-                    Some(fresh) => {
-                        stream = fresh;
-                        spawn_watcher(&shared, sink.as_ref(), to, &stream, &conn_gen, gen);
-                        if stream.write_all(&frame).is_err() {
-                            shared.link_down(sink, to);
-                            return;
-                        }
-                    }
-                    None => {
-                        shared.link_down(sink, to);
-                        return;
-                    }
-                }
-            }
-            WriterCmd::Close => break,
-        }
-    }
-    let _ = stream.flush();
-}
-
-/// Blocks on the outbound connection until the peer closes it (EOF/reset)
-/// or this transport stops; surfaces the former as a link-down — unless
-/// the writer has already moved on to a newer connection generation (the
-/// reconnect path), in which case this watcher's signal is stale.
-fn watch_peer_close(
-    shared: Arc<Shared>,
-    sink: &mut Box<dyn FrameSink>,
-    peer: NodeId,
-    mut stream: TcpStream,
-    conn_gen: Arc<AtomicU64>,
-    gen: u64,
-) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let mut buf = [0u8; 1];
-    loop {
-        match read_exact_polled(&shared, &mut stream, &mut buf) {
-            ReadEnd::Closed => break,
-            // The peer is never supposed to write on this direction; if it
-            // does, treat the connection as healthy and keep watching until
-            // it closes.
-            ReadEnd::Done => continue,
-        }
-    }
-    if !shared.stopping.load(Ordering::SeqCst) && conn_gen.load(Ordering::SeqCst) == gen {
-        shared.link_down(sink, peer);
-    }
-}
-
-fn spawn_acceptor(
-    listener: TcpListener,
-    sink: Box<dyn FrameSink>,
-    shared: Arc<Shared>,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.stopping.load(Ordering::SeqCst) {
-                    break;
-                }
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(READ_POLL));
-                let mut sink = sink.clone();
-                let shared_t = Arc::clone(&shared);
-                let handle = std::thread::spawn(move || reader_main(shared_t, &mut sink, stream));
-                shared.adopt(handle);
-            }
-            Err(_) => {
-                if shared.stopping.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-        }
-    })
-}
-
-/// Outcome of a polled blocking read.
-enum ReadEnd {
-    /// The buffer was filled.
-    Done,
-    /// EOF, connection reset, or the transport is stopping.
-    Closed,
-}
-
-/// `read_exact` that polls the stopping flag on every timeout tick.
-fn read_exact_polled(shared: &Shared, stream: &mut TcpStream, buf: &mut [u8]) -> ReadEnd {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if shared.stopping.load(Ordering::SeqCst) {
-            return ReadEnd::Closed;
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return ReadEnd::Closed,
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return ReadEnd::Closed,
-        }
-    }
-    ReadEnd::Done
-}
-
-/// Inbound connection reader: handshake, then frame loop.
-fn reader_main(shared: Arc<Shared>, sink: &mut Box<dyn FrameSink>, mut stream: TcpStream) {
-    let mut hello = [0u8; 5];
-    if !matches!(
-        read_exact_polled(&shared, &mut stream, &mut hello),
-        ReadEnd::Done
-    ) || hello[0] != WIRE_VERSION
-    {
-        return;
-    }
-    let from = NodeId(u32::from_le_bytes([hello[1], hello[2], hello[3], hello[4]]));
-    loop {
-        let mut prefix = [0u8; LEN_PREFIX_BYTES];
-        if !matches!(
-            read_exact_polled(&shared, &mut stream, &mut prefix),
-            ReadEnd::Done
-        ) {
-            break;
-        }
-        let len = u32::from_le_bytes(prefix) as usize;
-        if !(3..=MAX_FRAME_BYTES).contains(&len) {
-            // Corrupt stream: treat like a broken connection.
-            break;
-        }
-        let mut frame = vec![0u8; LEN_PREFIX_BYTES + len];
-        frame[..LEN_PREFIX_BYTES].copy_from_slice(&prefix);
-        if !matches!(
-            read_exact_polled(&shared, &mut stream, &mut frame[LEN_PREFIX_BYTES..]),
-            ReadEnd::Done
-        ) {
-            break;
-        }
-        if !sink.deliver(NetEvent::Frame { from, frame }) {
-            break;
-        }
-    }
-    if !shared.stopping.load(Ordering::SeqCst) {
-        // The peer's outbound connection died while we are still running:
-        // surface it if the peer is monitored.
-        shared.link_down(sink, from);
     }
 }

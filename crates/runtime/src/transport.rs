@@ -34,7 +34,7 @@ pub enum NetEvent {
 /// Where a transport delivers inbound events.
 ///
 /// Implemented by the executor's channel adapter
-/// ([`NetSender`](crate::executor::NetSender)); the indirection keeps
+/// (the reactor's inbox-backed sink); the indirection keeps
 /// transports independent of the protocol type parameter.
 pub trait FrameSink: Send {
     /// Delivers one event. Returns `false` if the receiving executor is

@@ -300,7 +300,13 @@ impl FaultLayer {
             if p.cuts(now, from, to) {
                 return match p.mode {
                     PartitionMode::Drop => Routed::CutByPartition,
-                    PartitionMode::Delay => Routed::Deliver(p.end + latency),
+                    // Latency is charged from the *send* instant, with the
+                    // heal as a floor: a frame in flight when the cut lands
+                    // finishes its journey, everything else is released at
+                    // the heal. The live shim implements the identical rule
+                    // (release at the heal, real transit follows), so the
+                    // two worlds share one reference point.
+                    PartitionMode::Delay => Routed::Deliver((now + latency).max(p.end)),
                 };
             }
         }
@@ -501,9 +507,17 @@ mod tests {
         );
         let mut l = layer(LinkFaults::default(), vec![spec]);
         let lat = SimDuration::from_millis(7);
+        // Held traffic is released at the heal instant: latency was already
+        // spent in flight (it is charged from the send, not from the heal).
         assert_eq!(
             l.route(NodeId(0), NodeId(1), SimTime::from_secs(15), lat),
-            Routed::Deliver(heal + lat)
+            Routed::Deliver(heal)
+        );
+        // A send whose flight straddles the heal is unaffected by the cut.
+        let near = SimTime::from_micros(heal.as_micros() - 5_000);
+        assert_eq!(
+            l.route(NodeId(0), NodeId(1), near, lat),
+            Routed::Deliver(near + lat)
         );
     }
 

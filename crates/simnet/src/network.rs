@@ -1101,9 +1101,8 @@ mod tests {
         let received = &net.node(b).unwrap().received;
         assert_eq!(received.len(), 1);
         assert_eq!(
-            received[0].2,
-            heal + SimDuration::from_millis(1),
-            "held back until the heal instant plus the original latency"
+            received[0].2, heal,
+            "held back until the heal instant (latency charged from the send)"
         );
         assert_eq!(net.stats().messages_cut_by_partition, 0);
     }

@@ -259,6 +259,19 @@ impl PartitionPhase {
         }
     }
 
+    /// Like [`PartitionPhase::drop`], but cross-cut traffic is *held* for
+    /// the window and released at the heal — a congestion/grey-failure
+    /// window rather than a clean cut. Arrival is `max(send + latency,
+    /// heal)` in both the sim and the live shim.
+    pub fn delay(fraction: f64, start_after: SimDuration, duration: SimDuration) -> Self {
+        PartitionPhase {
+            fraction,
+            start_after,
+            duration,
+            mode: PartitionMode::Delay,
+        }
+    }
+
     /// The island: the lowest-identifier non-source nodes making up
     /// `fraction` of the initial `population`. Deterministic, so benches
     /// and invariant checkers can name the cut-away nodes without access to

@@ -10,7 +10,6 @@ use brisa::{BrisaConfig, BrisaNode};
 use brisa_membership::{HpvMsg, HyParViewConfig};
 use brisa_runtime::executor::{NodeRuntime, WallClock};
 use brisa_runtime::tcp::TcpMesh;
-use brisa_runtime::transport::Transport;
 use brisa_runtime::{Cluster, ClusterConfig, TransportKind};
 use brisa_simnet::{Context, NodeId, Protocol, SimDuration, TimerTag};
 use brisa_workloads::{
@@ -280,21 +279,20 @@ fn tcp_link_down_reaches_the_protocol() {
 
     let mut runtimes = Vec::new();
     for (i, log) in [(0u32, &log0), (1u32, &log1)] {
-        let (tx, rx, sink) = NodeRuntime::<Probe>::channel();
-        let transport: Box<dyn Transport> = Box::new(mesh.attach(NodeId(i), sink));
         let probe = Probe {
             // Node 0 monitors node 1.
             peer: (i == 0).then_some(NodeId(1)),
             log: Arc::clone(log),
         };
-        runtimes.push(NodeRuntime::spawn(
+        runtimes.push(NodeRuntime::launch(
             NodeId(i),
             probe,
             1,
             clock,
-            transport,
-            tx,
-            rx,
+            |pool, _sink| {
+                pool.add_listener(NodeId(i), mesh.take_listener(NodeId(i)), mesh.addrs());
+                pool.tcp_transport(NodeId(i))
+            },
         ));
     }
 
@@ -311,7 +309,6 @@ fn tcp_link_down_reaches_the_protocol() {
 
     // Stop node 1; node 0 must observe the link going down.
     let rt1 = runtimes.pop().unwrap();
-    rt1.stop();
     let _ = rt1.join();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while log0.lock().unwrap().link_downs.is_empty() {
@@ -324,6 +321,5 @@ fn tcp_link_down_reaches_the_protocol() {
     assert_eq!(log0.lock().unwrap().link_downs[0], NodeId(1));
 
     let rt0 = runtimes.pop().unwrap();
-    rt0.stop();
     let _ = rt0.join();
 }
