@@ -36,6 +36,7 @@ use brisa_metrics::percentile::percentile_of_sorted;
 use brisa_metrics::report::render_table;
 use brisa_runtime::{run_chaos, SoakConfig, SoakOutcome, TransportKind};
 use brisa_simnet::SimDuration;
+use brisa_telemetry::Telemetry;
 use brisa_workloads::chaos::{ChaosEvent, ChaosEventKind, ChaosSchedule};
 use brisa_workloads::StreamSpec;
 use brisa_workloads::{run_experiment_checked, FaultSpec, InvariantSuite, PartitionPhase};
@@ -154,6 +155,7 @@ fn run_scenario(
     transport: TransportKind,
     seed: u64,
     sched: &ChaosSchedule,
+    telemetry: &Telemetry,
 ) -> ScenarioResult {
     let stream = StreamSpec {
         messages: shape.messages,
@@ -194,6 +196,8 @@ fn run_scenario(
         bootstrap: Duration::from_secs(2),
         drain: shape.drain,
         sweep_interval: shape.sweep_interval,
+        telemetry: telemetry.clone(),
+        progress: Some(sched.name.clone()),
     };
     let live = run_chaos::<BrisaNode>(&cfg, &stack, sched).expect("launch soak cluster");
     ScenarioResult {
@@ -293,11 +297,53 @@ fn main() {
         scheds.len()
     );
 
+    // Telemetry: one enabled handle shared by every scenario's cluster. A
+    // ticker thread appends a registry snapshot line to the JSONL artifact
+    // once per second; on panic (any failed assertion) the flight
+    // recorder's retained events are dumped next to the artifact, and the
+    // divergence/invariant failure paths below dump explicitly too.
+    let telemetry = Telemetry::enabled();
+    let tel_path =
+        std::env::var("BRISA_TELEMETRY_OUT").unwrap_or_else(|_| "TELEMETRY_SOAK.jsonl".to_string());
+    let dump_path = std::env::var("BRISA_TELEMETRY_DUMP")
+        .unwrap_or_else(|_| "TELEMETRY_DUMP.jsonl".to_string());
+    telemetry.install_panic_dump(std::path::Path::new(&dump_path));
+    let ticker_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let ticker = {
+        let tel = telemetry.clone();
+        let stop = std::sync::Arc::clone(&ticker_stop);
+        let path = tel_path.clone();
+        std::thread::spawn(move || {
+            use std::io::Write as _;
+            let epoch = std::time::Instant::now();
+            let mut file = std::fs::File::create(&path).expect("create telemetry snapshot file");
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_secs(1));
+                writeln!(
+                    file,
+                    "{}",
+                    tel.snapshot_jsonl(epoch.elapsed().as_micros() as u64)
+                )
+                .expect("append telemetry snapshot");
+            }
+            // Final tick so even a sub-second run leaves an artifact.
+            writeln!(
+                file,
+                "{}",
+                tel.snapshot_jsonl(epoch.elapsed().as_micros() as u64)
+            )
+            .expect("append telemetry snapshot");
+        })
+    };
+
     let results: Vec<ScenarioResult> = scheds
         .iter()
         .enumerate()
-        .map(|(i, sched)| run_scenario(&shape, transport, 0xB215A + i as u64, sched))
+        .map(|(i, sched)| run_scenario(&shape, transport, 0xB215A + i as u64, sched, &telemetry))
         .collect();
+
+    ticker_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    ticker.join().expect("telemetry ticker");
 
     let headers = [
         "scenario",
@@ -420,22 +466,38 @@ fn main() {
         std::env::var("BRISA_BENCH_OUT").unwrap_or_else(|_| "BENCH_SOAK.json".to_string());
     std::fs::write(&out_path, &json).expect("write soak result file");
     println!("\nwrote {out_path}");
+    println!("wrote {tel_path}");
+
+    // Dump-on-divergence: on a failed gate or invariant the flight
+    // recorder's retained events (ring-bounded — the "last N seconds" of
+    // each shard) land next to the artifact for post-mortem.
+    let dump = |why: &str| {
+        let mut out = telemetry.snapshot_jsonl(u64::MAX);
+        out.push('\n');
+        out.push_str(&telemetry.dump_events_jsonl(0));
+        std::fs::write(&dump_path, out).expect("write telemetry dump");
+        eprintln!("telemetry: dumped flight recorder to {dump_path} ({why})");
+    };
 
     // --- Acceptance: clean sweeps, survivors fully served, live inside
     // the divergence band around the sim prediction.
     for r in &results {
-        assert!(
-            r.live.violations.is_empty(),
-            "[{}] online invariant violations:\n  {}",
-            r.name,
-            r.live.violations.join("\n  ")
-        );
+        if !r.live.violations.is_empty() {
+            dump("online invariant violations");
+            panic!(
+                "[{}] online invariant violations:\n  {}",
+                r.name,
+                r.live.violations.join("\n  ")
+            );
+        }
         let survivors = r.live.result.survivor_delivery_rate();
-        assert!(
-            survivors >= 0.99,
-            "[{}] survivor delivery {survivors:.4} below the 99% bar",
-            r.name
-        );
+        if survivors < 0.99 {
+            dump("survivor delivery below the bar");
+            panic!(
+                "[{}] survivor delivery {survivors:.4} below the 99% bar",
+                r.name
+            );
+        }
         r.live
             .result
             .check_delivery_invariants()
@@ -448,6 +510,13 @@ fn main() {
         &mut gate,
     );
     print!("{}", gate.render());
-    assert!(gate.passed(), "soak diverged from the sim prediction");
+    let forced = std::env::var("BRISA_SOAK_FORCE_DIVERGENCE").is_ok_and(|v| v == "1");
+    if forced || !gate.passed() {
+        dump("divergence gate failed");
+        if forced {
+            panic!("divergence gate failure forced by BRISA_SOAK_FORCE_DIVERGENCE=1");
+        }
+        panic!("soak diverged from the sim prediction");
+    }
     println!("bench_soak: all scenarios clean and inside the divergence band");
 }

@@ -15,6 +15,7 @@ use crate::message::{BrisaAction, BrisaMsg, DataMsg};
 use crate::parent::{CandidateSet, NeighborTelemetry};
 use crate::stats::BrisaStats;
 use brisa_simnet::{NodeId, SimDuration, SimTime};
+use brisa_telemetry::{Counter, EventKind as TelEventKind, Histo, Telemetry};
 use std::sync::Arc;
 
 /// How long a node waits for a soft repair to produce a parent before
@@ -49,6 +50,29 @@ pub const PARENT_STALE_AFTER: SimDuration = SimDuration::from_secs(2);
 /// forever. Gating on quiescence keeps the advertisement free in steady
 /// state (one stream interval at 5 msg/s is 200 ms, well under this).
 pub const EDGE_QUIET_AFTER: SimDuration = SimDuration::from_secs(1);
+
+/// Pre-resolved observability handles for the tree-health counters the
+/// hot paths bump. All no-ops (the [`Default`]) until
+/// [`BrisaCore::set_telemetry`] attaches an enabled registry; strictly
+/// out-of-band either way — recording never feeds back into protocol
+/// decisions (enforced by the fingerprint tests in
+/// `tests/integration_telemetry.rs`).
+#[derive(Debug, Default)]
+struct CoreTel {
+    tel: Telemetry,
+    delivered: Counter,
+    adopts: Counter,
+    deactivations: Counter,
+    orphans: Counter,
+    orphan_heals: Counter,
+    soft_repairs: Counter,
+    hard_repairs: Counter,
+    gap_requests: Counter,
+    retransmits_served: Counter,
+    edges_advertised: Counter,
+    orphan_us: Histo,
+    parent_count: Histo,
+}
 
 /// Classification of an ongoing parent-recovery procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +119,8 @@ pub struct BrisaCore {
     /// publish). Gates the stream-edge advertisement: quiet for
     /// [`EDGE_QUIET_AFTER`] means the tail may be hiding a hole.
     last_data_at: Option<SimTime>,
+    /// Observability handles (no-ops unless a registry is attached).
+    tel: CoreTel,
 }
 
 impl BrisaCore {
@@ -126,7 +152,43 @@ impl BrisaCore {
             gap_attempts: 0,
             last_parent_delivery: None,
             last_data_at: None,
+            tel: CoreTel::default(),
         }
+    }
+
+    /// Attaches an observability registry, resolving the counter handles
+    /// the hot paths bump. Telemetry is strictly out-of-band: it records
+    /// what the protocol did and never influences what it does.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = CoreTel {
+            delivered: tel.counter("brisa.delivered"),
+            adopts: tel.counter("brisa.adopts"),
+            deactivations: tel.counter("brisa.deactivations_sent"),
+            orphans: tel.counter("brisa.orphans"),
+            orphan_heals: tel.counter("brisa.orphan_heals"),
+            soft_repairs: tel.counter("brisa.soft_repairs"),
+            hard_repairs: tel.counter("brisa.hard_repairs"),
+            gap_requests: tel.counter("brisa.gap_requests"),
+            retransmits_served: tel.counter("brisa.retransmissions_served"),
+            edges_advertised: tel.counter("brisa.edges_advertised"),
+            orphan_us: tel.histogram("brisa.orphan_us"),
+            parent_count: tel.histogram("brisa.parent_count"),
+            tel: tel.clone(),
+        };
+    }
+
+    /// Records a flight-recorder event for this node (no-op when no
+    /// registry is attached).
+    fn tel_event(&self, now: SimTime, kind: TelEventKind, a: u64, b: u64) {
+        self.tel.tel.event(now.as_micros(), self.me.0, kind, a, b);
+    }
+
+    /// Marks this node orphaned in the observability layer (counter plus
+    /// flight-recorder event). Called wherever the protocol bookkeeping
+    /// pushes onto `stats.orphaned`.
+    fn tel_orphaned(&self, now: SimTime, lost_parent: NodeId) {
+        self.tel.orphans.inc();
+        self.tel_event(now, TelEventKind::Orphan, lost_parent.0 as u64, 0);
     }
 
     /// This node's identifier.
@@ -225,6 +287,7 @@ impl BrisaCore {
             self.stats.parents_lost.push(now);
             if self.links.parent_count() == 0 {
                 self.stats.orphaned.push(now);
+                self.tel_orphaned(now, peer);
                 self.start_repair(now, &mut actions);
             }
         }
@@ -241,6 +304,7 @@ impl BrisaCore {
         assert!(self.is_source, "only the source publishes stream messages");
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.tel.delivered.inc();
         self.stats.record_delivery(seq, now);
         self.note_delivered(seq);
         self.highest_seq_seen = Some(self.highest_seq_seen.map_or(seq, |h| h.max(seq)));
@@ -293,6 +357,7 @@ impl BrisaCore {
                     self.stats.parents_lost.push(now);
                     if self.links.parent_count() == 0 {
                         self.stats.orphaned.push(now);
+                        self.tel_orphaned(now, from);
                         self.start_repair(now, &mut actions);
                     }
                 }
@@ -416,6 +481,7 @@ impl BrisaCore {
         self.last_data_at = Some(now);
         let first = self.stats.record_delivery(data.seq, now);
         if first {
+            self.tel.delivered.inc();
             actions.push(BrisaAction::Deliver { seq: data.seq });
             if self.pending_repair.is_some() {
                 self.stats.messages_recovered += 1;
@@ -459,6 +525,7 @@ impl BrisaCore {
                 self.deactivate(now, from, &mut actions);
                 if self.links.parent_count() == 0 {
                     self.stats.orphaned.push(now);
+                    self.tel_orphaned(now, from);
                     self.start_repair(now, &mut actions);
                 }
             }
@@ -614,6 +681,7 @@ impl BrisaCore {
         let load = self.links.degree().min(u16::MAX as usize) as u16;
         for m in missing {
             self.stats.retransmissions_served += 1;
+            self.tel.retransmits_served.inc();
             actions.push(BrisaAction::Send {
                 to: from,
                 msg: BrisaMsg::data(DataMsg {
@@ -624,6 +692,14 @@ impl BrisaCore {
                     sender_load: load,
                 }),
             });
+        }
+        if !actions.is_empty() {
+            self.tel_event(
+                now,
+                TelEventKind::RetransmitServed,
+                from.0 as u64,
+                actions.len() as u64,
+            );
         }
         actions
     }
@@ -723,6 +799,19 @@ impl BrisaCore {
         self.last_gap_request = Some(now);
         self.gap_attempts += 1;
         self.stats.gap_retransmit_requests += 1;
+        self.tel.gap_requests.inc();
+        self.tel_event(
+            now,
+            TelEventKind::GapDetected,
+            self.next_expected,
+            highest - self.next_expected + 1,
+        );
+        self.tel_event(
+            now,
+            TelEventKind::RetransmitSent,
+            target.0 as u64,
+            self.next_expected,
+        );
         actions.push(BrisaAction::Send {
             to: target,
             msg: BrisaMsg::Retransmit {
@@ -759,15 +848,30 @@ impl BrisaCore {
     fn adopt(&mut self, now: SimTime, from: NodeId, actions: &mut Vec<BrisaAction>) {
         self.links.adopt_parent(from);
         self.last_parent_delivery = Some(now);
+        self.tel.adopts.inc();
+        self.tel
+            .parent_count
+            .record(self.links.parent_count() as u64);
+        self.tel_event(
+            now,
+            TelEventKind::Adopt,
+            from.0 as u64,
+            self.links.parent_count() as u64,
+        );
         if let Some((started, kind)) = self.pending_repair.take() {
             let delay = now.saturating_since(started).as_micros();
+            self.tel.orphan_heals.inc();
+            self.tel.orphan_us.record(delay);
+            self.tel_event(now, TelEventKind::OrphanHealed, from.0 as u64, delay);
             match kind {
                 RepairKind::Soft => {
                     self.stats.soft_repairs += 1;
+                    self.tel.soft_repairs.inc();
                     self.stats.soft_repair_delays_us.push(delay);
                 }
                 RepairKind::Hard => {
                     self.stats.hard_repairs += 1;
+                    self.tel.hard_repairs.inc();
                     self.stats.hard_repair_delays_us.push(delay);
                 }
             }
@@ -808,6 +912,8 @@ impl BrisaCore {
         let was_parent = self.links.is_parent(peer);
         self.links.deactivate_inbound(peer);
         self.stats.deactivations_sent += 1;
+        self.tel.deactivations.inc();
+        self.tel_event(now, TelEventKind::Deactivate, peer.0 as u64, 0);
         if self.stats.first_deactivation.is_none() {
             self.stats.first_deactivation = Some(now);
         }
@@ -993,11 +1099,17 @@ impl BrisaCore {
                 .last_data_at
                 .is_none_or(|t| now.saturating_since(t) >= EDGE_QUIET_AFTER);
             if quiet {
+                let mut advertised = 0u64;
                 for child in self.links.children() {
+                    advertised += 1;
                     actions.push(BrisaAction::Send {
                         to: child,
                         msg: BrisaMsg::Edge { highest },
                     });
+                }
+                if advertised > 0 {
+                    self.tel.edges_advertised.add(advertised);
+                    self.tel_event(now, TelEventKind::EdgeAdvertised, highest, advertised);
                 }
             }
         }

@@ -121,6 +121,10 @@ impl Protocol for BrisaNode {
     type Message = StackMsg;
 
     fn on_start(&mut self, ctx: &mut Context<'_, StackMsg>) {
+        // Resolve observability handles once, from whatever registry the
+        // driver attached (a disabled default otherwise).
+        self.core.set_telemetry(ctx.telemetry());
+        self.hpv.set_telemetry(ctx.telemetry());
         self.core.note_started(ctx.now());
         if let Some(contact) = self.contact {
             let outs = self.hpv.join(ctx.now(), contact);
@@ -155,6 +159,7 @@ impl Protocol for BrisaNode {
     fn on_timer(&mut self, ctx: &mut Context<'_, StackMsg>, tag: TimerTag) {
         match tag.kind {
             TIMER_SHUFFLE => {
+                self.hpv.note_shuffle(ctx.now());
                 let outs = self.hpv.shuffle_tick(ctx.rng());
                 self.apply_hpv_outs(ctx, outs);
                 let period = self.hpv.config().shuffle_period;

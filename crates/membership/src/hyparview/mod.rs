@@ -59,6 +59,19 @@ pub struct HyParView {
     next_nonce: u64,
     last_shuffle_sample: Vec<NodeId>,
     stats: HpvStats,
+    /// Observability handles (no-ops unless a registry is attached).
+    tel: HpvTel,
+}
+
+/// Pre-resolved observability handles for the membership layer. All
+/// no-ops (the [`Default`]) until [`HyParView::set_telemetry`] attaches
+/// an enabled registry; strictly out-of-band either way.
+#[derive(Debug, Default)]
+struct HpvTel {
+    tel: brisa_telemetry::Telemetry,
+    shuffles: brisa_telemetry::Counter,
+    active_view: brisa_telemetry::Histo,
+    passive_view: brisa_telemetry::Histo,
 }
 
 impl HyParView {
@@ -78,7 +91,38 @@ impl HyParView {
             next_nonce: 0,
             last_shuffle_sample: Vec::new(),
             stats: HpvStats::default(),
+            tel: HpvTel::default(),
         }
+    }
+
+    /// Attaches an observability registry, resolving the handles the
+    /// shuffle path records into. Strictly out-of-band: telemetry never
+    /// influences view management.
+    pub fn set_telemetry(&mut self, tel: &brisa_telemetry::Telemetry) {
+        self.tel = HpvTel {
+            shuffles: tel.counter("hpv.shuffles"),
+            active_view: tel.histogram("hpv.active_view_size"),
+            passive_view: tel.histogram("hpv.passive_view_size"),
+            tel: tel.clone(),
+        };
+    }
+
+    /// Records one shuffle-cadence observation (counter, view-size
+    /// histograms and a flight-recorder event). The embedding stack calls
+    /// this from its shuffle timer, where the current time is known.
+    pub fn note_shuffle(&mut self, now: SimTime) {
+        let active = self.active.len() as u64;
+        let passive = self.passive.len() as u64;
+        self.tel.shuffles.inc();
+        self.tel.active_view.record(active);
+        self.tel.passive_view.record(passive);
+        self.tel.tel.event(
+            now.as_micros(),
+            self.me.0,
+            brisa_telemetry::EventKind::ShuffleTick,
+            active,
+            passive,
+        );
     }
 
     /// This node's identifier.

@@ -22,6 +22,7 @@ use crate::report::LiveResult;
 use crate::shim::ShimStats;
 use crate::wire::WireCodec;
 use brisa_simnet::{NodeId, SimTime};
+use brisa_telemetry::{EventKind as TelEventKind, Telemetry};
 use brisa_workloads::chaos::{ChaosEventKind, ChaosSchedule};
 use brisa_workloads::invariants::check_delivery_report;
 use brisa_workloads::{DisseminationProtocol, StreamSpec, FIRST_PUBLISH_DELAY};
@@ -47,6 +48,14 @@ pub struct SoakConfig {
     pub drain: Duration,
     /// Interval between online invariant sweeps.
     pub sweep_interval: Duration,
+    /// Telemetry handle threaded into the cluster (reactor, protocol
+    /// cores) and used by the runner itself for sweep/fault/partition
+    /// flight-recorder events. Disabled by default.
+    pub telemetry: Telemetry,
+    /// When set, every sweep prints a one-line progress summary to
+    /// stderr tagged with this label (scenario name), e.g.
+    /// `[soak churn] t=12.4s published=300 delivered=290/300 alive=64`.
+    pub progress: Option<String>,
 }
 
 impl Default for SoakConfig {
@@ -59,6 +68,8 @@ impl Default for SoakConfig {
             bootstrap: Duration::from_secs(2),
             drain: Duration::from_secs(10),
             sweep_interval: Duration::from_secs(2),
+            telemetry: Telemetry::disabled(),
+            progress: None,
         }
     }
 }
@@ -88,6 +99,9 @@ enum SoakStep {
     Chaos(ChaosEventKind),
     Publish,
     Sweep,
+    /// Telemetry-only marker at the partition's heal instant (the shim
+    /// heals itself from the installed window; this just records it).
+    PartitionHealed,
 }
 
 /// Replays `schedule` against a fresh `cfg`-shaped live cluster and
@@ -120,6 +134,7 @@ where
         seed: cfg.seed,
         reserve,
         fault_shim: true,
+        telemetry: cfg.telemetry.clone(),
         ..Default::default()
     };
     let mut cluster: Cluster<P> = Cluster::launch(&cluster_cfg, proto_cfg)?;
@@ -132,8 +147,18 @@ where
 
     // The partition window is absolute, so it can be installed up front;
     // the stochastic profile flips on at stream start, via the plan.
+    let mut heal_at: Option<SimTime> = None;
     if let Some(phase) = schedule.faults.partition.filter(|p| !p.duration.is_zero()) {
-        shim.add_partition(phase.to_partition(stream_start, cfg.nodes));
+        let partition = phase.to_partition(stream_start, cfg.nodes);
+        cfg.telemetry.event(
+            cluster.now().as_micros(),
+            u32::MAX,
+            TelEventKind::PartitionApply,
+            partition.start.as_micros(),
+            partition.end.as_micros(),
+        );
+        heal_at = Some(partition.end);
+        shim.add_partition(partition);
     }
 
     // Merge publishes, chaos events and sweeps into one plan. Pushing
@@ -159,6 +184,9 @@ where
         plan.push((sweep_at, SoakStep::Sweep));
         sweep_at += sweep_every;
     }
+    if let Some(at) = heal_at.filter(|at| *at < stream_end) {
+        plan.push((at, SoakStep::PartitionHealed));
+    }
     plan.sort_by_key(|(t, _)| *t);
 
     let mut sweeps = 0usize;
@@ -177,7 +205,25 @@ where
             std::thread::sleep(deadline - now);
         }
         match step {
-            SoakStep::EnableLinkFaults => shim.set_link_faults(schedule.faults.link_faults()),
+            SoakStep::EnableLinkFaults => {
+                cfg.telemetry.event(
+                    cluster.now().as_micros(),
+                    u32::MAX,
+                    TelEventKind::FaultsEnabled,
+                    0,
+                    0,
+                );
+                shim.set_link_faults(schedule.faults.link_faults())
+            }
+            SoakStep::PartitionHealed => {
+                cfg.telemetry.event(
+                    cluster.now().as_micros(),
+                    u32::MAX,
+                    TelEventKind::PartitionHeal,
+                    0,
+                    0,
+                );
+            }
             SoakStep::Publish => cluster.publish(cfg.stream.payload_bytes),
             SoakStep::Chaos(ChaosEventKind::Kill { node }) => {
                 let victim = NodeId(node);
@@ -200,7 +246,7 @@ where
             }
             SoakStep::Sweep => {
                 sweeps += 1;
-                sweep(&cluster, &mut floor, &mut violations);
+                sweep(cfg, &cluster, sweeps, &mut floor, &mut violations);
             }
         }
     }
@@ -212,7 +258,7 @@ where
     loop {
         std::thread::sleep(cfg.sweep_interval.min(Duration::from_millis(500)));
         sweeps += 1;
-        let reports = sweep(&cluster, &mut floor, &mut violations);
+        let reports = sweep(cfg, &cluster, sweeps, &mut floor, &mut violations);
         let killed = cluster.ever_killed();
         let done = reports.iter().all(|(id, r)| {
             id.0 == 0
@@ -239,9 +285,13 @@ where
 
 /// One online invariant sweep: snapshot every live report and hold it to
 /// the engine's delivery checks plus cross-sweep monotonicity. Returns
-/// the snapshots so callers can reuse them.
+/// the snapshots so callers can reuse them. Records an `InvariantSweep`
+/// flight-recorder event, refreshes the cluster-level gauges and, when
+/// [`SoakConfig::progress`] is set, prints a one-line summary.
 fn sweep<P>(
+    cfg: &SoakConfig,
     cluster: &Cluster<P>,
+    sweeps: usize,
     floor: &mut HashMap<u32, u64>,
     violations: &mut Vec<String>,
 ) -> Vec<(NodeId, brisa_workloads::NodeReport)>
@@ -266,6 +316,32 @@ where
             ));
         }
         *prev = report.delivered;
+    }
+    cluster.publish_telemetry();
+    cfg.telemetry.event(
+        now.as_micros(),
+        u32::MAX,
+        TelEventKind::InvariantSweep,
+        reports.len() as u64,
+        violations.len() as u64,
+    );
+    if let Some(label) = &cfg.progress {
+        // Delivered floor across eligible original survivors — the number
+        // the final completeness gate will be judged on.
+        let killed = cluster.ever_killed();
+        let delivered_min = reports
+            .iter()
+            .filter(|(id, _)| id.0 != 0 && id.0 < cfg.nodes && !killed.contains(&id.0))
+            .map(|(_, r)| r.delivered)
+            .min()
+            .unwrap_or(0);
+        eprintln!(
+            "[soak {label}] t={:.1}s sweep={sweeps} published={published} delivered={delivered_min}/{} alive={} violations={}",
+            now.as_micros() as f64 / 1e6,
+            cfg.stream.messages,
+            cluster.alive(),
+            violations.len(),
+        );
     }
     reports
 }

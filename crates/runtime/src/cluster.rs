@@ -24,6 +24,7 @@ use crate::tcp::TcpMesh;
 use crate::transport::Transport;
 use crate::wire::WireCodec;
 use brisa_simnet::{NodeId, SimTime};
+use brisa_telemetry::{EventKind as TelEventKind, Telemetry};
 use brisa_workloads::{BuildCtx, DisseminationProtocol, NodeReport};
 use std::collections::BTreeSet;
 use std::sync::mpsc;
@@ -63,6 +64,11 @@ pub struct ClusterConfig {
     /// Reactor sizing and live timing knobs (worker count, detection
     /// delay, dial budgets).
     pub runtime: RuntimeConfig,
+    /// Telemetry handle threaded into the reactor pool and every node's
+    /// protocol [`Context`](brisa_simnet::Context). Disabled by default;
+    /// an enabled handle is strictly out-of-band — it never alters
+    /// protocol behaviour.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +81,7 @@ impl Default for ClusterConfig {
             reserve: 0,
             fault_shim: false,
             runtime: RuntimeConfig::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -110,6 +117,7 @@ where
     /// excluded from the survivor metrics of the final result.
     ever_killed: BTreeSet<u32>,
     shim: Option<ShimControl>,
+    telemetry: Telemetry,
 }
 
 impl<P> Cluster<P>
@@ -135,7 +143,7 @@ where
             TransportKind::Loopback => Mesh::Loopback(LoopbackMesh::new(capacity as usize)),
             TransportKind::Tcp => Mesh::Tcp(TcpMesh::bind(capacity as usize)?),
         };
-        let pool = ReactorPool::new(clock, &cfg.runtime);
+        let pool = ReactorPool::with_telemetry(clock, &cfg.runtime, cfg.telemetry.clone());
 
         let mut cluster = Cluster {
             clock,
@@ -151,6 +159,7 @@ where
             next_join: n,
             ever_killed: BTreeSet::new(),
             shim,
+            telemetry: cfg.telemetry.clone(),
         };
 
         // Start the nodes, source first; each later node gets the source
@@ -254,6 +263,41 @@ where
         self.shim.as_ref()
     }
 
+    /// The telemetry handle this cluster was launched with.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Publishes cluster-level gauges into the telemetry registry:
+    /// fault-shim counters (when a shim is active) plus the live node
+    /// count. No-op on a disabled handle. Call from a periodic ticker or
+    /// before snapshotting.
+    pub fn publish_telemetry(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .gauge("cluster.alive_nodes")
+            .set(self.alive() as u64);
+        self.telemetry
+            .gauge("cluster.published")
+            .set(self.published());
+        if let Some(ctl) = &self.shim {
+            let s = ctl.stats();
+            self.telemetry
+                .gauge("shim.frames_passed")
+                .set(s.frames_passed);
+            self.telemetry.gauge("shim.frames_lost").set(s.frames_lost);
+            self.telemetry.gauge("shim.frames_cut").set(s.frames_cut);
+            self.telemetry
+                .gauge("shim.frames_delayed")
+                .set(s.frames_delayed);
+            self.telemetry
+                .gauge("shim.linkdowns_synthesized")
+                .set(s.linkdowns_synthesized);
+        }
+    }
+
     /// True if `id` is currently started.
     pub fn is_alive(&self, id: NodeId) -> bool {
         self.alive.get(id.index()).copied().unwrap_or(false)
@@ -274,6 +318,13 @@ where
         }
         self.alive[id.index()] = false;
         self.ever_killed.insert(id.0);
+        self.telemetry.event(
+            self.clock.now().as_micros(),
+            id.0,
+            TelEventKind::Crash,
+            0,
+            0,
+        );
         // Wait for the shard to confirm; a `None` reply means the node
         // already crashed (panicked) — same outcome, already torn down.
         let _ = self
@@ -301,6 +352,13 @@ where
         let proto = P::build(&self.proto_cfg, id, &bctx);
         self.pool.start_node(id, proto, self.seed, transport);
         self.alive[id.index()] = true;
+        self.telemetry.event(
+            self.clock.now().as_micros(),
+            id.0,
+            TelEventKind::Restart,
+            0,
+            0,
+        );
         Ok(())
     }
 

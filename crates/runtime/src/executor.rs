@@ -78,6 +78,11 @@ pub struct RuntimeStats {
     pub decode_errors: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
+    /// Idle unmonitored outbound links closed by the reap sweep.
+    pub links_reaped: u64,
+    /// Scheduled backoff re-dials that actually fired for this node's
+    /// outbound links.
+    pub redials: u64,
 }
 
 /// A boxed protocol callback queued through [`NodeRuntime::invoke`] or

@@ -47,6 +47,7 @@ use crate::transport::{FrameSink, NetEvent, Transport};
 use crate::wire::{WireCodec, LEN_PREFIX_BYTES, MAX_FRAME_BYTES, WIRE_VERSION};
 use brisa_simnet::seed::{mix64, split_mix64};
 use brisa_simnet::{Command, Context, NodeId, Protocol, TimerTag};
+use brisa_telemetry::{Counter, EventKind as TelEventKind, Histo, Telemetry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -447,6 +448,32 @@ struct NodeSlot<P: Protocol> {
     transport: Box<dyn Transport>,
 }
 
+/// Pre-resolved observability handles of one reactor shard. All no-ops
+/// when the pool was built without telemetry.
+struct ReactorTel {
+    tel: Telemetry,
+    links_reaped: Counter,
+    redials: Counter,
+    node_panics: Counter,
+    backpressure_stalls: Counter,
+    poll_iter_us: Histo,
+    inbox_batch: Histo,
+}
+
+impl ReactorTel {
+    fn new(tel: &Telemetry) -> Self {
+        ReactorTel {
+            links_reaped: tel.counter("reactor.links_reaped"),
+            redials: tel.counter("reactor.redials"),
+            node_panics: tel.counter("reactor.node_panics"),
+            backpressure_stalls: tel.counter("reactor.backpressure_stalls"),
+            poll_iter_us: tel.histogram("reactor.poll_iter_us"),
+            inbox_batch: tel.histogram("reactor.inbox_batch"),
+            tel: tel.clone(),
+        }
+    }
+}
+
 /// The protocol-facing half of a shard: nodes, their merged timer heap,
 /// and the dispatch/poison machinery.
 struct ProtoCore<P: Protocol> {
@@ -457,6 +484,11 @@ struct ProtoCore<P: Protocol> {
     timers: BinaryHeap<Reverse<TimerEntry>>,
     timer_seq: u64,
     commands: Vec<Command<P::Message>>,
+    /// This shard's index in the pool (flight-recorder shard pinning).
+    shard: usize,
+    /// Observability handles; the handle itself is also exposed to every
+    /// protocol callback through the dispatch context.
+    rtel: ReactorTel,
 }
 
 impl<P> ProtoCore<P>
@@ -464,7 +496,7 @@ where
     P: Protocol,
     P::Message: WireCodec,
 {
-    fn new(clock: WallClock) -> Self {
+    fn new(clock: WallClock, shard: usize, telemetry: &Telemetry) -> Self {
         ProtoCore {
             clock,
             nodes: HashMap::new(),
@@ -472,6 +504,24 @@ where
             timers: BinaryHeap::new(),
             timer_seq: 0,
             commands: Vec::new(),
+            shard,
+            rtel: ReactorTel::new(telemetry),
+        }
+    }
+
+    /// Records a flight-recorder event about `node`, stamped with the
+    /// shard clock and pinned to this shard's ring. No-op when the pool
+    /// runs without telemetry.
+    fn tel_event(&self, node: u32, kind: TelEventKind, a: u64, b: u64) {
+        if self.rtel.tel.is_enabled() {
+            self.rtel.tel.event_on_shard(
+                self.shard,
+                self.clock.now().as_micros(),
+                node,
+                kind,
+                a,
+                b,
+            );
         }
     }
 
@@ -494,8 +544,15 @@ where
         };
         let mut commands = std::mem::take(&mut self.commands);
         let now = self.clock.now();
+        let telemetry = &self.rtel.tel;
         let panicked = catch_unwind(AssertUnwindSafe(|| {
-            let mut ctx = Context::external(now, slot.id, &mut slot.rng, &mut commands);
+            let mut ctx = Context::external_with_telemetry(
+                now,
+                slot.id,
+                &mut slot.rng,
+                &mut commands,
+                telemetry,
+            );
             f(&mut slot.proto, &mut ctx);
         }))
         .is_err();
@@ -535,6 +592,8 @@ where
     /// failure exactly as they would a kill.
     fn poison(&mut self, id: u32) {
         if let Some(mut slot) = self.nodes.remove(&id) {
+            self.rtel.node_panics.inc();
+            self.tel_event(id, TelEventKind::NodePanic, 0, 0);
             self.poisoned.insert(id);
             // The transport teardown itself is best-effort on this path.
             let _ = catch_unwind(AssertUnwindSafe(|| slot.transport.shutdown()));
@@ -729,10 +788,15 @@ impl ShardIo {
     }
 
     /// Ensures an outbound link exists, dialing if fresh.
-    fn ensure_link(&mut self, owner: u32, peer: u32) {
+    fn ensure_link<P>(&mut self, core: &mut ProtoCore<P>, owner: u32, peer: u32)
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
         if self.outlinks.contains_key(&(owner, peer)) {
             return;
         }
+        core.tel_event(owner, TelEventKind::Dial, peer as u64, 0);
         let gen = self.request_dial(owner, peer);
         self.outlinks.insert(
             (owner, peer),
@@ -757,6 +821,7 @@ impl ShardIo {
         P::Message: WireCodec,
     {
         self.outlinks.remove(&(owner, peer));
+        core.tel_event(owner, TelEventKind::LinkDown, peer as u64, 0);
         self.link_down(core, owner, NodeId(peer));
     }
 
@@ -821,8 +886,10 @@ impl ShardIo {
         core.push_timer(Instant::now() + delay, TimerKind::Redial { owner, peer });
     }
 
-    /// A scheduled re-dial deadline fired.
-    fn redial(&mut self, owner: u32, peer: u32) {
+    /// A scheduled re-dial deadline fired. Returns whether a dial was
+    /// actually issued (the link may have been closed or replaced while
+    /// the deadline was pending).
+    fn redial(&mut self, owner: u32, peer: u32) -> bool {
         let in_backoff = matches!(
             self.outlinks.get(&(owner, peer)),
             Some(link) if matches!(link.state, OutState::Backoff)
@@ -836,6 +903,7 @@ impl ShardIo {
             link.state = OutState::Dialing;
             link.gen = gen;
         }
+        in_backoff
     }
 
     /// A dial result arrived from the dialer thread.
@@ -864,10 +932,17 @@ impl ShardIo {
                 link.attempts = 0;
                 link.offset = 0;
                 link.last_used = Instant::now();
+                core.tel_event(owner, TelEventKind::LinkUp, peer as u64, 0);
                 self.flush_link(core, cfg, owner, peer);
             }
             None => {
                 link.attempts += 1;
+                core.tel_event(
+                    owner,
+                    TelEventKind::DialFailed,
+                    peer as u64,
+                    link.attempts as u64,
+                );
                 let budget = if link.established {
                     cfg.reconnect_attempts
                 } else {
@@ -901,8 +976,19 @@ impl ShardIo {
                 self.listeners.push((node.0, listener));
             }
             IoCmd::Send { from, to, frame } => {
-                self.ensure_link(from.0, to.0);
+                self.ensure_link(core, from.0, to.0);
                 let link = self.outlinks.get_mut(&(from.0, to.0)).expect("ensured");
+                // A frame landing behind an already-backlogged queue is a
+                // backpressure stall: the link is slower than its producer.
+                if !link.queue.is_empty() {
+                    core.rtel.backpressure_stalls.inc();
+                    core.tel_event(
+                        from.0,
+                        TelEventKind::BackpressureStall,
+                        to.0 as u64,
+                        link.queue.len() as u64 + 1,
+                    );
+                }
                 link.queue.push_back(frame);
                 link.last_used = Instant::now();
                 self.flush_link(core, cfg, from.0, to.0);
@@ -911,7 +997,7 @@ impl ShardIo {
                 self.monitored.entry(from.0).or_default().insert(peer.0);
                 // Eagerly dial so a dead peer is detected without waiting
                 // for traffic.
-                self.ensure_link(from.0, peer.0);
+                self.ensure_link(core, from.0, peer.0);
             }
             IoCmd::Close { from, peer } => {
                 if let Some(set) = self.monitored.get_mut(&from.0) {
@@ -1106,7 +1192,11 @@ impl ShardIo {
     /// detector); everything else closes after the idle window, announced
     /// with a [`GOODBYE`] marker so the receiver does not mistake the
     /// deliberate close for peer death. A later send simply re-dials.
-    fn reap_idle(&mut self, cfg: &RuntimeConfig, now: Instant) {
+    fn reap_idle<P>(&mut self, core: &mut ProtoCore<P>, cfg: &RuntimeConfig, now: Instant)
+    where
+        P: Protocol,
+        P::Message: WireCodec,
+    {
         if self.outlinks.is_empty() {
             return;
         }
@@ -1142,9 +1232,28 @@ impl ShardIo {
                 // which case the close changes nothing): drop the link.
                 _ => {
                     self.outlinks.remove(&(owner, peer));
+                    if let Some(slot) = core.nodes.get_mut(&owner) {
+                        slot.stats.links_reaped += 1;
+                    }
+                    core.rtel.links_reaped.inc();
+                    core.tel_event(owner, TelEventKind::LinkReap, peer as u64, 0);
                 }
             }
         }
+    }
+
+    /// Census of the outbound write queues: `(queued frames, links with a
+    /// non-empty queue)`. Observability only.
+    fn write_queue_census(&self) -> (u64, u64) {
+        let mut frames = 0u64;
+        let mut links = 0u64;
+        for link in self.outlinks.values() {
+            if !link.queue.is_empty() {
+                links += 1;
+                frames += link.queue.len() as u64;
+            }
+        }
+        (frames, links)
     }
 }
 
@@ -1191,16 +1300,18 @@ fn raw_listener_fd(_listener: &TcpListener) -> i32 {
 
 /// The worker loop: drain inbox → fire timers → poll readiness → handle.
 fn worker_main<P>(
+    idx: usize,
     inbox: Arc<Inbox<P>>,
     wake: sys::WakeRx,
     clock: WallClock,
     cfg: RuntimeConfig,
+    telemetry: Telemetry,
     dial_tx: mpsc::Sender<DialReq>,
 ) where
     P: Protocol + Send + 'static,
     P::Message: WireCodec,
 {
-    let mut core: ProtoCore<P> = ProtoCore::new(clock);
+    let mut core: ProtoCore<P> = ProtoCore::new(clock, idx, &telemetry);
     let mut io = ShardIo::new(dial_tx);
     let mut scratch = vec![0u8; 64 * 1024];
     let mut batch: VecDeque<WorkerMsg<P>> = VecDeque::new();
@@ -1209,13 +1320,24 @@ fn worker_main<P>(
     let mut tokens: Vec<Token> = Vec::new();
     let mut last_reap = Instant::now();
     let mut running = true;
+    // Per-worker gauges, resolved once; all dead weight when disabled.
+    let tel_enabled = telemetry.is_enabled();
+    let g_fds = telemetry.gauge(&format!("reactor.w{idx}.fds"));
+    let g_nodes = telemetry.gauge(&format!("reactor.w{idx}.nodes"));
+    let g_inbox_depth = telemetry.gauge(&format!("reactor.w{idx}.inbox_depth"));
 
     while running {
+        // Loop-health instrumentation: how long the work section of this
+        // iteration takes (everything but the poll wait) and how many
+        // inbox messages it drained.
+        let iter_start = tel_enabled.then(Instant::now);
+
         // 1. Drain the inbox. Clearing the wake flag *before* swapping the
         // queue guarantees a producer racing this drain either lands in
         // `batch` or leaves a fresh wake for the next poll.
         wake.drain();
         std::mem::swap(&mut batch, &mut *inbox.queue.lock().unwrap());
+        let drained = batch.len() as u64;
         for msg in batch.drain(..) {
             match msg {
                 WorkerMsg::Start {
@@ -1245,12 +1367,25 @@ fn worker_main<P>(
         redials.clear();
         core.fire_due_timers(&mut redials);
         for &(owner, peer) in &redials {
-            io.redial(owner, peer);
+            if io.redial(owner, peer) {
+                if let Some(slot) = core.nodes.get_mut(&owner) {
+                    slot.stats.redials += 1;
+                }
+                core.rtel.redials.inc();
+                core.tel_event(owner, TelEventKind::Redial, peer as u64, 0);
+            }
         }
         let now = Instant::now();
         if now.duration_since(last_reap) >= REAP_INTERVAL {
             last_reap = now;
-            io.reap_idle(&cfg, now);
+            io.reap_idle(&mut core, &cfg, now);
+            // Write-queue census at the same cadence: cheap, and depth
+            // spikes outlive a single iteration anyway.
+            if tel_enabled {
+                let (frames, links) = io.write_queue_census();
+                core.tel_event(idx as u32, TelEventKind::WriteQueueDepth, frames, links);
+                g_nodes.set(core.nodes.len() as u64);
+            }
         }
 
         // 3. Build the poll set and wait for readiness or the next timer.
@@ -1276,6 +1411,16 @@ fn worker_main<P>(
                     fds.push(sys::PollFd::new(raw_fd(stream), events));
                     tokens.push(Token::Out(owner, peer));
                 }
+            }
+        }
+        if tel_enabled {
+            g_fds.set(fds.len() as u64);
+            g_inbox_depth.set(inbox.queue.lock().unwrap().len() as u64);
+            if let Some(start) = iter_start {
+                let iter_us = start.elapsed().as_micros() as u64;
+                core.rtel.poll_iter_us.record(iter_us);
+                core.rtel.inbox_batch.record(drained);
+                core.tel_event(idx as u32, TelEventKind::PollLoop, iter_us, drained);
             }
         }
         let ready = sys::poll_fds(&mut fds, core.next_timeout());
@@ -1369,8 +1514,16 @@ where
     P: Protocol + Send + 'static,
     P::Message: WireCodec,
 {
-    /// Spawns `cfg.workers` reactor workers (each with its dialer).
+    /// Spawns `cfg.workers` reactor workers (each with its dialer), with
+    /// telemetry disabled.
     pub fn new(clock: WallClock, cfg: &RuntimeConfig) -> Self {
+        Self::with_telemetry(clock, cfg, Telemetry::disabled())
+    }
+
+    /// [`ReactorPool::new`] with an observability registry attached: every
+    /// worker records loop health, link churn and backpressure into it,
+    /// and exposes it to protocol callbacks via `Context::telemetry`.
+    pub fn with_telemetry(clock: WallClock, cfg: &RuntimeConfig, telemetry: Telemetry) -> Self {
         let count = cfg.workers.max(1);
         let mut workers = Vec::with_capacity(count);
         for i in 0..count {
@@ -1389,9 +1542,20 @@ where
             let worker_inbox = Arc::clone(&inbox);
             let worker_cfg = *cfg;
             let worker_dial = dial_tx.clone();
+            let worker_tel = telemetry.clone();
             let thread = std::thread::Builder::new()
                 .name(format!("brisa-shard-{i}"))
-                .spawn(move || worker_main(worker_inbox, wake_rx, clock, worker_cfg, worker_dial))
+                .spawn(move || {
+                    worker_main(
+                        i,
+                        worker_inbox,
+                        wake_rx,
+                        clock,
+                        worker_cfg,
+                        worker_tel,
+                        worker_dial,
+                    )
+                })
                 .expect("spawn reactor worker");
             workers.push(WorkerHandle {
                 inbox,

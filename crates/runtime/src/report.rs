@@ -158,6 +158,16 @@ impl LiveResult {
         })
     }
 
+    /// Idle outbound links the reap sweep closed, cluster-wide.
+    pub fn links_reaped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stats.links_reaped).sum()
+    }
+
+    /// Backoff re-dials that fired for the cluster's outbound links.
+    pub fn redials(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stats.redials).sum()
+    }
+
     /// Delivered (node × message) events per second of wall time — the
     /// headline throughput of the live bench.
     pub fn deliveries_per_sec(&self) -> f64 {

@@ -22,6 +22,7 @@ use crate::protocol::{Command, Context, Protocol, WireSize};
 use crate::sched::{SchedulerKind, TraceOp};
 use crate::seed::split_mix64;
 use crate::time::{SimDuration, SimTime};
+use brisa_telemetry::{EventKind as TelEventKind, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,6 +57,12 @@ pub struct NetworkConfig {
     /// seconds` per node and nothing in the streaming result path reads
     /// it). Totals are identical in both modes.
     pub meter: MeterMode,
+    /// Observability handle exposed to protocol callbacks and fed with
+    /// simulator-level health (scheduler occupancy, events processed,
+    /// partition windows). Disabled by default; strictly out-of-band — a
+    /// run with any telemetry setting is bit-identical to a run with none
+    /// (enforced by the fingerprint tests).
+    pub telemetry: Telemetry,
 }
 
 impl Default for NetworkConfig {
@@ -68,6 +75,7 @@ impl Default for NetworkConfig {
             trace_events: false,
             faults: FaultConfig::default(),
             meter: MeterMode::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -168,6 +176,13 @@ impl<P: Protocol> Network<P> {
     /// it must not lie entirely in the past.
     pub fn add_partition(&mut self, spec: PartitionSpec) {
         assert!(spec.end > self.now, "partition healed in the past");
+        self.config.telemetry.event(
+            self.now.as_micros(),
+            u32::MAX,
+            TelEventKind::PartitionApply,
+            spec.start.as_micros(),
+            spec.end.as_micros(),
+        );
         self.faults.add_partition(spec);
     }
 
@@ -287,6 +302,7 @@ impl<P: Protocol> Network<P> {
         if self.now < deadline {
             self.now = deadline;
         }
+        self.publish_telemetry();
         self.now
     }
 
@@ -308,7 +324,25 @@ impl<P: Protocol> Network<P> {
             self.stats.events_processed += 1;
             self.process(ev.item);
         }
+        self.publish_telemetry();
         self.now
+    }
+
+    /// Publishes simulator health to an attached telemetry registry, once
+    /// per `run_*` call. Out-of-band by construction: it only *reads*
+    /// simulator state, so enabled and disabled runs stay bit-identical.
+    fn publish_telemetry(&self) {
+        let tel = &self.config.telemetry;
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.gauge("sim.sched_occupancy")
+            .set(self.queue.len() as u64);
+        tel.gauge("sim.events_processed")
+            .set(self.stats.events_processed);
+        tel.gauge("sim.messages_delivered")
+            .set(self.stats.messages_delivered);
+        tel.gauge("sim.now_us").set(self.now.as_micros());
     }
 
     /// Number of pending events (mostly useful in tests).
@@ -429,6 +463,7 @@ impl<P: Protocol> Network<P> {
                 id,
                 rng: &mut slot.rng,
                 commands: &mut commands,
+                telemetry: &self.config.telemetry,
             };
             f(&mut slot.proto, &mut ctx);
         }

@@ -10,6 +10,7 @@
 use crate::event::TimerTag;
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime};
+use brisa_telemetry::Telemetry;
 use rand::rngs::SmallRng;
 
 /// Types that know their size on the wire.
@@ -114,6 +115,7 @@ pub struct Context<'a, M> {
     pub(crate) id: NodeId,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) commands: &'a mut Vec<Command<M>>,
+    pub(crate) telemetry: &'a Telemetry,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -131,11 +133,26 @@ impl<'a, M> Context<'a, M> {
         rng: &'a mut SmallRng,
         commands: &'a mut Vec<Command<M>>,
     ) -> Self {
+        Self::external_with_telemetry(now, id, rng, commands, &brisa_telemetry::DISABLED)
+    }
+
+    /// [`Context::external`] with an explicit telemetry handle, so external
+    /// drivers that carry an enabled registry (the live reactor) expose it to
+    /// protocol callbacks. Telemetry is strictly out-of-band: the handle
+    /// never influences protocol behaviour, only what gets recorded.
+    pub fn external_with_telemetry(
+        now: SimTime,
+        id: NodeId,
+        rng: &'a mut SmallRng,
+        commands: &'a mut Vec<Command<M>>,
+        telemetry: &'a Telemetry,
+    ) -> Self {
         Context {
             now,
             id,
             rng,
             commands,
+            telemetry,
         }
     }
 
@@ -152,6 +169,13 @@ impl<'a, M> Context<'a, M> {
     /// The node's deterministic random number generator.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// The run's telemetry handle (disabled unless the driver attached
+    /// one). Protocols may clone it and resolve metric handles; they must
+    /// never branch on it in a way that alters protocol behaviour.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
     }
 
     /// Sends `msg` to `to`. Delivery is reliable and FIFO per destination
@@ -195,6 +219,7 @@ mod tests {
             id: NodeId(3),
             rng: &mut rng,
             commands: &mut commands,
+            telemetry: &brisa_telemetry::DISABLED,
         };
         assert_eq!(ctx.now(), SimTime::from_secs(5));
         assert_eq!(ctx.id(), NodeId(3));

@@ -1,0 +1,199 @@
+//! Structured flight-recorder events.
+//!
+//! Every event is a fixed-size record: a timestamp in microseconds (the
+//! simulator's clock or the live cluster's wall clock since its epoch —
+//! the two are directly comparable by construction), the node it concerns,
+//! a [`EventKind`] discriminant and two kind-specific operands. Keeping
+//! the record flat and `Copy` makes recording a memcpy under a short
+//! mutex hold and lets the ring buffers hold tens of thousands of events
+//! in a few hundred kilobytes.
+
+/// What happened. The taxonomy covers every layer the recorder is wired
+/// through: transport links and dials, fault windows, BRISA tree
+/// transitions and loss recovery, membership maintenance, invariant
+/// sweeps, and the reactor's own loop health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An outbound link came up (`a` = peer).
+    LinkUp,
+    /// A link went down / surfaced as a failure (`a` = peer).
+    LinkDown,
+    /// The idle sweep reaped an unmonitored link (`a` = peer).
+    LinkReap,
+    /// A dial was requested (`a` = peer).
+    Dial,
+    /// A dial attempt failed (`a` = peer, `b` = attempts so far).
+    DialFailed,
+    /// A scheduled re-dial fired after backoff (`a` = peer).
+    Redial,
+    /// A partition window was installed (`a` = start µs, `b` = end µs).
+    PartitionApply,
+    /// A partition window healed (`a` = heal instant µs).
+    PartitionHeal,
+    /// The stochastic link-fault profile switched on.
+    FaultsEnabled,
+    /// A delivery gap was detected (`a` = first missing seq, `b` = count).
+    GapDetected,
+    /// A Retransmit request was sent (`a` = target, `b` = seq).
+    RetransmitSent,
+    /// A buffered message was re-served to a requester (`a` = requester,
+    /// `b` = seq).
+    RetransmitServed,
+    /// An Edge advertisement was sent (`a` = peer).
+    EdgeAdvertised,
+    /// A feeder was adopted as a tree parent (`a` = parent, `b` = parent
+    /// count after).
+    Adopt,
+    /// A redundant feeder was deactivated (`a` = peer).
+    Deactivate,
+    /// The node lost its last active parent (`a` = lost parent).
+    Orphan,
+    /// An orphaned node regained a parent (`a` = parent, `b` = orphan
+    /// duration µs).
+    OrphanHealed,
+    /// An online invariant sweep completed (`a` = reports checked,
+    /// `b` = violations found so far).
+    InvariantSweep,
+    /// One reactor worker loop iteration (`a` = iteration latency µs,
+    /// `b` = inbox batch size). `node` holds the worker index.
+    PollLoop,
+    /// Write-queue census of one worker (`a` = queued frames, `b` = links
+    /// with a non-empty queue). `node` holds the worker index.
+    WriteQueueDepth,
+    /// A frame was queued behind an already-backlogged link (`a` = peer,
+    /// `b` = queue depth after).
+    BackpressureStall,
+    /// A membership shuffle ran (`a` = active view size, `b` = passive
+    /// view size).
+    ShuffleTick,
+    /// A node was killed / crashed.
+    Crash,
+    /// A node was restarted.
+    Restart,
+    /// A protocol callback panicked and the node was poisoned.
+    NodePanic,
+}
+
+impl EventKind {
+    /// Stable snake_case name used in the JSON-lines dump.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::LinkUp => "link_up",
+            EventKind::LinkDown => "link_down",
+            EventKind::LinkReap => "link_reap",
+            EventKind::Dial => "dial",
+            EventKind::DialFailed => "dial_failed",
+            EventKind::Redial => "redial",
+            EventKind::PartitionApply => "partition_apply",
+            EventKind::PartitionHeal => "partition_heal",
+            EventKind::FaultsEnabled => "faults_enabled",
+            EventKind::GapDetected => "gap_detected",
+            EventKind::RetransmitSent => "retransmit_sent",
+            EventKind::RetransmitServed => "retransmit_served",
+            EventKind::EdgeAdvertised => "edge_advertised",
+            EventKind::Adopt => "adopt",
+            EventKind::Deactivate => "deactivate",
+            EventKind::Orphan => "orphan",
+            EventKind::OrphanHealed => "orphan_healed",
+            EventKind::InvariantSweep => "invariant_sweep",
+            EventKind::PollLoop => "poll_loop",
+            EventKind::WriteQueueDepth => "write_queue_depth",
+            EventKind::BackpressureStall => "backpressure_stall",
+            EventKind::ShuffleTick => "shuffle_tick",
+            EventKind::Crash => "crash",
+            EventKind::Restart => "restart",
+            EventKind::NodePanic => "node_panic",
+        }
+    }
+}
+
+/// One flight-recorder record. `a` and `b` are kind-specific operands
+/// (see the [`EventKind`] variant docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the run's epoch.
+    pub at_us: u64,
+    /// The node (or, for reactor loop events, the worker) concerned.
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+}
+
+impl Event {
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t\":\"event\",\"at_us\":{},\"node\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+            self.at_us,
+            self.node,
+            self.kind.name(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape() {
+        let ev = Event {
+            at_us: 1500,
+            node: 7,
+            kind: EventKind::Adopt,
+            a: 3,
+            b: 1,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"t\":\"event\",\"at_us\":1500,\"node\":7,\"kind\":\"adopt\",\"a\":3,\"b\":1}"
+        );
+    }
+
+    #[test]
+    fn names_are_snake_case_and_unique() {
+        let kinds = [
+            EventKind::LinkUp,
+            EventKind::LinkDown,
+            EventKind::LinkReap,
+            EventKind::Dial,
+            EventKind::DialFailed,
+            EventKind::Redial,
+            EventKind::PartitionApply,
+            EventKind::PartitionHeal,
+            EventKind::FaultsEnabled,
+            EventKind::GapDetected,
+            EventKind::RetransmitSent,
+            EventKind::RetransmitServed,
+            EventKind::EdgeAdvertised,
+            EventKind::Adopt,
+            EventKind::Deactivate,
+            EventKind::Orphan,
+            EventKind::OrphanHealed,
+            EventKind::InvariantSweep,
+            EventKind::PollLoop,
+            EventKind::WriteQueueDepth,
+            EventKind::BackpressureStall,
+            EventKind::ShuffleTick,
+            EventKind::Crash,
+            EventKind::Restart,
+            EventKind::NodePanic,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate event name");
+        for name in names {
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The flight recorder: bounded per-shard rings of [`Event`]s.
+//!
+//! Recording is designed for many concurrent writers (one reactor worker
+//! per shard, plus whatever harness thread feels like annotating the
+//! run): each shard is an independent `Mutex<Ring>`, writers hash to a
+//! shard by node identifier (or address one explicitly, as the reactor
+//! workers do), and a record is a push under a short uncontended lock.
+//! When a ring is full the oldest event is overwritten — the recorder
+//! answers "what happened in the last N seconds", not "what happened
+//! since boot".
+//!
+//! Snapshots ([`FlightRecorder::events_since`]) lock one shard at a
+//! time, so they can run while writers keep recording; the merged view
+//! is sorted by timestamp (ties broken by shard then per-shard sequence,
+//! which preserves each shard's recording order).
+
+use crate::event::Event;
+use std::sync::Mutex;
+
+/// One shard's bounded ring. Sequence numbers count every record ever
+/// made to the shard, so wraparound is observable (`recorded` keeps
+/// growing while `len` saturates at the capacity).
+struct Ring {
+    buf: Vec<(u64, Event)>,
+    cap: usize,
+    /// Index of the oldest entry once the ring has wrapped.
+    head: usize,
+    /// Total events ever recorded to this shard.
+    recorded: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(cap.min(1024)),
+            cap,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        let seq = self.recorded;
+        self.recorded += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push((seq, ev));
+        } else {
+            self.buf[self.head] = (seq, ev);
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+}
+
+/// A fixed set of bounded event rings. See the module docs.
+pub struct FlightRecorder {
+    shards: Vec<Mutex<Ring>>,
+}
+
+impl FlightRecorder {
+    /// Creates `shards` rings of `capacity` events each.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Ring::new(capacity)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records `ev`, sharded by its node identifier.
+    pub fn record(&self, ev: Event) {
+        self.record_shard(ev.node as usize % self.shards.len(), ev);
+    }
+
+    /// Records `ev` onto an explicit shard (reactor workers pin their
+    /// loop events to their own shard regardless of node placement).
+    pub fn record_shard(&self, shard: usize, ev: Event) {
+        let shard = shard % self.shards.len();
+        self.shards[shard].lock().unwrap().push(ev);
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap().recorded).sum()
+    }
+
+    /// Events currently retained across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().buf.len())
+            .sum()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every retained event with `at_us >= since_us`, sorted by
+    /// `(at_us, shard, shard seq)`. Locks one shard at a time; safe to
+    /// call while writers are active (the snapshot is then simply a
+    /// point-in-time-per-shard view).
+    pub fn events_since(&self, since_us: u64) -> Vec<Event> {
+        let mut out: Vec<(u64, usize, u64, Event)> = Vec::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let ring = shard.lock().unwrap();
+            for &(seq, ev) in &ring.buf {
+                if ev.at_us >= since_us {
+                    out.push((ev.at_us, idx, seq, ev));
+                }
+            }
+        }
+        out.sort_by_key(|&(at, shard, seq, _)| (at, shard, seq));
+        out.into_iter().map(|(_, _, _, ev)| ev).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(at_us: u64, node: u32) -> Event {
+        Event {
+            at_us,
+            node,
+            kind: EventKind::LinkUp,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_the_newest_events() {
+        let rec = FlightRecorder::new(1, 4);
+        for i in 0..10u64 {
+            rec.record(ev(i, 0));
+        }
+        assert_eq!(rec.total_recorded(), 10);
+        assert_eq!(rec.len(), 4, "retention saturates at the capacity");
+        let kept: Vec<u64> = rec.events_since(0).iter().map(|e| e.at_us).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest overwritten first");
+        // Exactly one more record evicts exactly the oldest survivor.
+        rec.record(ev(10, 0));
+        let kept: Vec<u64> = rec.events_since(0).iter().map(|e| e.at_us).collect();
+        assert_eq!(kept, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn events_since_filters_and_merges_shards() {
+        let rec = FlightRecorder::new(4, 16);
+        // Nodes 0..4 land on distinct shards; interleave timestamps.
+        for t in 0..8u64 {
+            for node in 0..4u32 {
+                rec.record(ev(t * 10 + node as u64, node));
+            }
+        }
+        let all = rec.events_since(0);
+        assert_eq!(all.len(), 32);
+        let times: Vec<u64> = all.iter().map(|e| e.at_us).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "merged view is time-ordered");
+        let late = rec.events_since(50);
+        assert!(late.iter().all(|e| e.at_us >= 50));
+        assert_eq!(late.len(), 12);
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_write() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let rec = Arc::new(FlightRecorder::new(8, 256));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4u32)
+            .map(|w| {
+                let rec = Arc::clone(&rec);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut t = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        rec.record(ev(t, w));
+                        t += 1;
+                    }
+                    t
+                })
+            })
+            .collect();
+        // Reader: repeated snapshots while the writers hammer the rings.
+        let mut last_total = 0;
+        for _ in 0..50 {
+            let events = rec.events_since(0);
+            assert!(events.len() <= 8 * 256);
+            for pair in events.windows(2) {
+                assert!(pair[0].at_us <= pair[1].at_us, "snapshot stays sorted");
+            }
+            let total = rec.total_recorded();
+            assert!(total >= last_total, "recorded count is monotone");
+            last_total = total;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let written: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(rec.total_recorded(), written);
+    }
+}

@@ -503,6 +503,25 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
     spec: &RunSpec,
     invariants: &mut InvariantSuite<P>,
 ) -> EngineResult {
+    run_experiment_with_telemetry(
+        cfg,
+        spec,
+        invariants,
+        &brisa_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`run_experiment_checked`] with a telemetry handle threaded into the
+/// simulator and every node's [`Context`]. Telemetry is strictly
+/// out-of-band: the run's [`EngineResult::fingerprint`] is identical
+/// whether the handle is enabled, disabled, or this function is bypassed
+/// entirely (pinned by the `integration_telemetry` fingerprint tests).
+pub fn run_experiment_with_telemetry<P: DisseminationProtocol>(
+    cfg: &P::Config,
+    spec: &RunSpec,
+    invariants: &mut InvariantSuite<P>,
+    telemetry: &brisa_telemetry::Telemetry,
+) -> EngineResult {
     let mut net: Network<P> = Network::new(
         NetworkConfig {
             seed: spec.seed,
@@ -514,6 +533,7 @@ pub fn run_experiment_checked<P: DisseminationProtocol>(
                 ResultMode::Classic => MeterMode::PerSecond,
                 ResultMode::Streaming => MeterMode::TotalsOnly,
             },
+            telemetry: telemetry.clone(),
             ..Default::default()
         },
         spec.testbed.latency_model(spec.seed),

@@ -48,9 +48,9 @@ pub use brisa_run::{run_brisa, BrisaRunResult};
 pub use brisa_simnet::{PartitionMode, SchedulerKind, TraceOp};
 pub use chaos::{ChaosEvent, ChaosEventKind, ChaosSchedule};
 pub use engine::{
-    completeness_of, delivery_rate_of, run_experiment, run_experiment_checked, BuildCtx,
-    DisseminationProtocol, EngineResult, NodeOutcome, NodeReport, RepairTelemetry, RunSpec,
-    ScaleNodeReport, StreamingSummary,
+    completeness_of, delivery_rate_of, run_experiment, run_experiment_checked,
+    run_experiment_with_telemetry, BuildCtx, DisseminationProtocol, EngineResult, NodeOutcome,
+    NodeReport, RepairTelemetry, RunSpec, ScaleNodeReport, StreamingSummary,
 };
 pub use invariants::{
     check_delivery_report, DeliveryInvariant, Invariant, InvariantCtx, InvariantSuite,

@@ -9,9 +9,10 @@ use brisa_runtime::executor::WallClock;
 use brisa_runtime::reactor::ReactorPool;
 use brisa_runtime::tcp::TcpMesh;
 use brisa_runtime::{Cluster, ClusterConfig, LoopbackMesh, RuntimeConfig, TransportKind};
+use brisa_runtime::{LiveNode, LiveResult};
 use brisa_runtime::{WireCodec, WIRE_VERSION};
 use brisa_simnet::{Context, NodeId, Protocol, TimerTag};
-use brisa_workloads::BrisaStackConfig;
+use brisa_workloads::{BrisaStackConfig, NodeReport};
 use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -309,7 +310,91 @@ fn idle_links_reap_with_goodbye_and_redial() {
         "an unannounced close of a monitored peer must surface"
     );
 
+    // Close node 1's port outright and send again: the fresh dial is
+    // refused, the link enters backoff, and the scheduled re-dial fires —
+    // the `redials` counter's deterministic trigger.
+    drop(conn2);
+    drop(peer_listener);
+    std::thread::sleep(Duration::from_millis(100)); // outbound EOF noticed
+    pool.invoke(NodeId(0), |_p, ctx| ctx.send(NodeId(1), keepalive(9)));
+    std::thread::sleep(Duration::from_millis(800)); // a few backoff steps fire
+
+    // Both fd-hygiene counters ride the node's RuntimeStats and surface
+    // through `LiveResult` for cluster runs.
+    let (_proto, stats) = pool
+        .stop_node(NodeId(0))
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shard reply")
+        .expect("node alive");
+    assert!(
+        stats.links_reaped >= 1,
+        "the idle reap above must be counted (links_reaped = {})",
+        stats.links_reaped
+    );
+    assert!(
+        stats.redials >= 1,
+        "the refused dial's backoff re-dial must be counted (redials = {})",
+        stats.redials
+    );
+    let result = LiveResult {
+        protocol: "watch",
+        source: NodeId(0),
+        original_nodes: 2,
+        messages_published: 0,
+        publish_times: Vec::new(),
+        nodes: vec![LiveNode {
+            id: NodeId(0),
+            report: NodeReport::default(),
+            stats,
+        }],
+        wall_elapsed: Duration::from_secs(1),
+        ever_killed: Vec::new(),
+    };
+    assert_eq!(result.links_reaped(), stats.links_reaped);
+    assert_eq!(result.redials(), stats.redials);
+
     pool.shutdown();
+}
+
+/// The reap counter surfaces organically on a collected cluster result:
+/// shuffle traffic creates unmonitored links that go idle past the
+/// cut-off and are closed by the reap sweep, visible cluster-wide as
+/// `LiveResult::links_reaped`.
+#[test]
+fn live_result_reports_reaps_and_redials() {
+    const NODES: u32 = 12;
+    let cfg = ClusterConfig {
+        nodes: NODES,
+        transport: TransportKind::Tcp,
+        seed: 0xB215A,
+        runtime: RuntimeConfig {
+            // Short idle cut-off so shuffle links reap within the test.
+            idle_link_timeout: Duration::from_millis(300),
+            ..RuntimeConfig::default()
+        },
+        ..Default::default()
+    };
+    let stack = BrisaStackConfig {
+        hpv: HyParViewConfig {
+            // Fast shuffles: each one dials a mostly-fresh passive peer,
+            // creating the unmonitored links the reap sweep exists for.
+            shuffle_period: brisa_simnet::SimDuration::from_secs(1),
+            ..HyParViewConfig::default()
+        },
+        brisa: BrisaConfig::default(),
+    };
+    let mut cluster: Cluster<BrisaNode> = Cluster::launch(&cfg, &stack).expect("launch");
+    cluster.run_for(Duration::from_secs(2));
+    cluster.publish(128);
+    // Let shuffle links go idle past the cut-off and the ~1 s reap sweep
+    // pass over them a few times.
+    cluster.run_for(Duration::from_secs(4));
+    let result = cluster.stop_and_collect();
+    assert!(
+        result.links_reaped() >= 1,
+        "no idle link was reaped (links_reaped = {})",
+        result.links_reaped()
+    );
 }
 
 /// 256 live loopback nodes on one reactor pool — every node delivers the

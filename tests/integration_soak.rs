@@ -297,6 +297,7 @@ fn run_chaos_replays_a_schedule_cleanly() {
         bootstrap: Duration::from_secs(1),
         drain: Duration::from_secs(15),
         sweep_interval: Duration::from_millis(500),
+        ..SoakConfig::default()
     };
     let outcome =
         run_chaos::<BrisaNode>(&cfg, &stack_config(4), &schedule).expect("soak run launches");

@@ -1,0 +1,120 @@
+//! The out-of-band contract of the telemetry subsystem, pinned by
+//! fingerprints.
+//!
+//! Telemetry (PR 9) threads a handle through the simulator, the
+//! membership layer and the BRISA core. Its hard constraint is the same
+//! discipline PR 3 established for the inert fault layer: **observing a
+//! run must not change it**. This suite pins three equalities on the
+//! engine's full behavioural fingerprint, under both schedulers:
+//!
+//! 1. a run through `run_experiment_with_telemetry` with a *disabled*
+//!    handle is bit-identical to the plain `run_experiment` path that
+//!    never mentions telemetry at all;
+//! 2. a run with an *enabled* handle — counters registered, flight
+//!    recorder capturing every protocol event — is bit-identical to both;
+//! 3. the enabled run actually recorded something, so the equalities are
+//!    not vacuous.
+
+use brisa::BrisaNode;
+use brisa_simnet::SimDuration;
+use brisa_telemetry::{Telemetry, TelemetryConfig};
+use brisa_workloads::{
+    run_experiment, run_experiment_with_telemetry, BrisaScenario, BrisaStackConfig, ChurnSpec,
+    FaultSpec, InvariantSuite, RunSpec, SchedulerKind, StreamSpec,
+};
+
+/// A small but eventful scenario: churn plus loss, so the run exercises
+/// orphan repair, gap recovery and partition-free fault traffic — the
+/// instrumented paths whose telemetry must stay out-of-band.
+fn eventful_spec(scheduler: SchedulerKind) -> (BrisaStackConfig, RunSpec) {
+    let sc = BrisaScenario {
+        nodes: 24,
+        stream: StreamSpec::short(8, 256),
+        churn: Some(ChurnSpec {
+            interval: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(30),
+            ..ChurnSpec::default()
+        }),
+        faults: FaultSpec::loss(0.02),
+        bootstrap: SimDuration::from_secs(20),
+        drain: SimDuration::from_secs(15),
+        ..BrisaScenario::small_test(24)
+    };
+    let cfg = BrisaStackConfig {
+        hpv: sc.hyparview_config(),
+        brisa: sc.brisa_config(),
+    };
+    let mut spec = RunSpec::from(&sc);
+    spec.scheduler = scheduler;
+    (cfg, spec)
+}
+
+/// Fingerprint of a run with the given handle (None = the plain
+/// pre-telemetry entry point).
+fn fingerprint(scheduler: SchedulerKind, telemetry: Option<&Telemetry>) -> String {
+    let (cfg, spec) = eventful_spec(scheduler);
+    match telemetry {
+        None => run_experiment::<BrisaNode>(&cfg, &spec).fingerprint(),
+        Some(tel) => {
+            let mut suite = InvariantSuite::<BrisaNode>::new();
+            run_experiment_with_telemetry::<BrisaNode>(&cfg, &spec, &mut suite, tel).fingerprint()
+        }
+    }
+}
+
+fn check_scheduler(scheduler: SchedulerKind) {
+    let plain = fingerprint(scheduler, None);
+    let disabled = fingerprint(scheduler, Some(&Telemetry::disabled()));
+    let enabled_handle = Telemetry::with_config(TelemetryConfig::default());
+    let enabled = fingerprint(scheduler, Some(&enabled_handle));
+
+    assert_eq!(
+        plain, disabled,
+        "{scheduler:?}: a disabled telemetry handle changed the run"
+    );
+    assert_eq!(
+        plain, enabled,
+        "{scheduler:?}: an enabled telemetry handle changed the run"
+    );
+    assert!(
+        plain.contains(":d"),
+        "{scheduler:?}: fingerprint is vacuous"
+    );
+
+    // Not vacuous on the telemetry side either: the enabled run left a
+    // trail — registered counters in the snapshot and captured events in
+    // the flight recorder (churn guarantees adopt/orphan traffic).
+    let snapshot = enabled_handle.snapshot_jsonl(u64::MAX);
+    assert!(
+        snapshot.contains("brisa.delivered"),
+        "{scheduler:?}: enabled run registered no protocol counters: {snapshot}"
+    );
+    assert!(
+        snapshot.contains("hpv.shuffles"),
+        "{scheduler:?}: enabled run registered no membership counters"
+    );
+    let recorder = enabled_handle.recorder().expect("enabled handle");
+    assert!(
+        recorder.total_recorded() > 0,
+        "{scheduler:?}: enabled run recorded no flight-recorder events"
+    );
+}
+
+#[test]
+fn telemetry_is_out_of_band_on_the_timing_wheel() {
+    check_scheduler(SchedulerKind::TimingWheel);
+}
+
+#[test]
+fn telemetry_is_out_of_band_on_the_binary_heap() {
+    check_scheduler(SchedulerKind::BinaryHeap);
+}
+
+/// Two enabled runs of the same spec also agree with each other — the
+/// handle holds no per-run state that could leak into behaviour.
+#[test]
+fn enabled_runs_are_mutually_deterministic() {
+    let a = fingerprint(SchedulerKind::TimingWheel, Some(&Telemetry::enabled()));
+    let b = fingerprint(SchedulerKind::TimingWheel, Some(&Telemetry::enabled()));
+    assert_eq!(a, b);
+}
