@@ -21,7 +21,7 @@
 
 use brisa::BrisaNode;
 use brisa_bench::{
-    banner, run_experiment, run_matrix_sequential, BrisaStackConfig, EngineResult, RunSpec, Scale,
+    banner, run_matrix_sequential, BrisaStackConfig, EngineResult, IntoRunSpec, Runner, Scale,
 };
 use brisa_simnet::sched::{HeapScheduler, TimingWheel, TraceOp};
 use brisa_workloads::{scenarios, SchedulerKind};
@@ -62,10 +62,10 @@ fn run_grid(
             hpv: sc.hyparview_config(),
             brisa: sc.brisa_config(),
         };
-        let mut spec = RunSpec::from(sc);
+        let mut spec = sc.run_spec();
         spec.scheduler = scheduler;
         spec.trace_events = trace_events;
-        run_experiment::<BrisaNode>(&cfg, &spec)
+        Runner::<BrisaNode>::new(&cfg, &spec).run()
     });
     let wall_secs = start.elapsed().as_secs_f64();
     let events = results.iter().map(EngineResult::sim_events).sum();

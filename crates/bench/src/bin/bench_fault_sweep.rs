@@ -22,7 +22,7 @@
 use brisa::BrisaNode;
 use brisa_bench::{banner, run_matrix, BrisaScenario, BrisaStackConfig, EngineResult, Scale};
 use brisa_simnet::{SimDuration, SimTime};
-use brisa_workloads::{run_experiment_checked, scenarios, InvariantSuite, RunSpec, SchedulerKind};
+use brisa_workloads::{scenarios, IntoRunSpec, InvariantSuite, Runner, SchedulerKind};
 use std::fmt::Write as _;
 
 /// Runs one cell under both schedulers with the online invariant suite,
@@ -34,10 +34,12 @@ fn run_checked_cell(sc: &BrisaScenario) -> EngineResult {
     };
     let mut results = Vec::new();
     for scheduler in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
-        let mut spec = RunSpec::from(sc);
+        let mut spec = sc.run_spec();
         spec.scheduler = scheduler;
         let mut suite = InvariantSuite::standard(Some(sc.brisa_config().mode.target_parents()));
-        let r = run_experiment_checked::<BrisaNode>(&cfg, &spec, &mut suite);
+        let r = Runner::<BrisaNode>::new(&cfg, &spec)
+            .invariants(&mut suite)
+            .run();
         suite.assert_clean();
         results.push(r);
     }

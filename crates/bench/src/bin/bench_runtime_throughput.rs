@@ -35,7 +35,7 @@ use brisa_metrics::report::render_table;
 use brisa_metrics::PercentileSummary;
 use brisa_runtime::{Cluster, ClusterConfig, LiveResult, TransportKind};
 use brisa_simnet::SimDuration;
-use brisa_workloads::{run_experiment, BrisaScenario, RunSpec, StreamSpec};
+use brisa_workloads::{BrisaScenario, IntoRunSpec, Runner, StreamSpec};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -188,7 +188,7 @@ fn run_tcp_1k(seed: u64) -> Cell {
         drain: SimDuration::from_secs(10),
         ..Default::default()
     };
-    let sim = run_experiment::<BrisaNode>(&stack_config(MESSAGES), &RunSpec::from(&scenario));
+    let sim = Runner::<BrisaNode>::new(&stack_config(MESSAGES), &scenario.run_spec()).run();
     let sim_sets: BTreeMap<u32, Vec<u64>> = sim
         .nodes
         .iter()

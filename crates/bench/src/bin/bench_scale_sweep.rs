@@ -1,4 +1,5 @@
-//! Scale sweep: 100k-node overlays under large-scale incidents.
+//! Scale sweep: 100k-node overlays under large-scale incidents, plus the
+//! sharded simulator's million-node headline row.
 //!
 //! Runs the `workloads::scenarios::scale_suite` grid — plain dissemination,
 //! flash-crowd join, catastrophic correlated failure (50 % simultaneous
@@ -16,6 +17,17 @@
 //!   100 % delivery.
 //! * `BRISA_SCALE_ROWS=<n>,<n>,…` overrides either set (calibration hook).
 //!
+//! On top of the sequential grid the sweep drives the epoch-sharded
+//! simulator (`RunSpec::shards` > 1, `BRISA_SHARDS` override):
+//!
+//! * a `no_fault_sharded` row at the largest suite size whose result
+//!   fingerprint is asserted **bit-identical** to the sequential
+//!   `no_fault` row of the same size — the determinism contract, re-pinned
+//!   at bench scale on every run;
+//! * the `scenarios::scale_million` row (1 000 000 nodes, sharded-only),
+//!   run on the nightly/full set or whenever `BRISA_MILLION=1`. Its
+//!   acceptance bar: 100 % delivery inside the wall-clock budget.
+//!
 //! Every row reports wall-clock, simulator events/sec, delivery and
 //! completeness, the accounting-based bytes-per-node footprint (the peak
 //! RSS proxy — see `Network::footprint`), and bucketed latency quantiles.
@@ -23,24 +35,26 @@
 //! run of every cell); it is pinned at quick scale by
 //! `tests/integration_scale.rs`.
 //!
-//! Results go to `BENCH_PR5.json` (override with `BRISA_BENCH_OUT`); the
+//! Results go to `BENCH_PR10.json` (override with `BRISA_BENCH_OUT`); the
 //! schema is documented in DESIGN.md and consumed by the `bench_gate` CI
 //! regression gate.
 
 use brisa::BrisaNode;
-use brisa_bench::{BrisaStackConfig, EngineResult, RunSpec};
-use brisa_workloads::{run_experiment, scenarios};
+use brisa_bench::{BrisaStackConfig, EngineResult};
+use brisa_workloads::{scenarios, IntoRunSpec, Runner};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Wall-clock budget in real seconds for the acceptance row (ISSUE-5's
-/// "≤ 10 min, single machine" bar; the `scale-nightly` job runs with a
-/// CI-level timeout on top of this).
+/// Wall-clock budget in real seconds for the acceptance rows (ISSUE-5's
+/// "≤ 10 min, single machine" bar, reused by ISSUE-10 for the million-node
+/// sharded row; the `scale-nightly` job runs with a CI-level timeout on
+/// top of this).
 const BUDGET_SECS: f64 = 600.0;
 
 struct Row {
     scenario: &'static str,
     nodes: u32,
+    shards: usize,
     messages: u64,
     wall_secs: f64,
     sim_events: u64,
@@ -55,22 +69,32 @@ struct Row {
     joins: usize,
 }
 
-fn run_row(scenario: &'static str, sc: &brisa_workloads::BrisaScenario) -> Row {
+/// Runs one cell (sequential when `shards` is 1, epoch-sharded otherwise)
+/// and returns the measured row next to the run's result fingerprint, so
+/// the caller can assert sharded ≡ sequential.
+fn run_row(
+    scenario: &'static str,
+    sc: &brisa_workloads::BrisaScenario,
+    shards: usize,
+) -> (Row, String) {
     let cfg = BrisaStackConfig {
         hpv: sc.hyparview_config(),
         brisa: sc.brisa_config(),
     };
-    let spec = RunSpec::from(sc);
+    let mut spec = sc.run_spec();
+    spec.shards = shards;
     let start = Instant::now();
-    let r: EngineResult = run_experiment::<BrisaNode>(&cfg, &spec);
+    let r: EngineResult = Runner::<BrisaNode>::new(&cfg, &spec).run();
     let wall_secs = start.elapsed().as_secs_f64();
+    let fingerprint = r.fingerprint();
     let s = r
         .streaming
         .as_ref()
         .expect("scale scenarios use the streaming result path");
-    Row {
+    let row = Row {
         scenario,
         nodes: sc.nodes,
+        shards,
         messages: r.messages_published,
         wall_secs,
         sim_events: r.sim_events(),
@@ -83,7 +107,26 @@ fn run_row(scenario: &'static str, sc: &brisa_workloads::BrisaScenario) -> Row {
         uploaded_mb: s.uploaded_bytes as f64 / (1024.0 * 1024.0),
         failures: r.failures_injected,
         joins: r.joins_injected,
-    }
+    };
+    (row, fingerprint)
+}
+
+fn print_row(row: &Row) {
+    println!(
+        "  {:<16} {:>8} {:>3} {:>6} {:>9.2} {:>12} {:>10.0} {:>8.3}% {:>8.3}% {:>8.0} {:>8.2} {:>8.2}",
+        row.scenario,
+        row.nodes,
+        row.shards,
+        row.messages,
+        row.wall_secs,
+        row.sim_events,
+        row.sim_events as f64 / row.wall_secs.max(1e-9),
+        row.delivery * 100.0,
+        row.completeness * 100.0,
+        row.bytes_per_node,
+        row.latency_p50_ms,
+        row.latency_p99_ms,
+    );
 }
 
 fn main() {
@@ -96,16 +139,24 @@ fn main() {
         Err(_) if smoke => vec![2_000, 10_000],
         Err(_) => vec![10_000, 100_000],
     };
-    println!("=== bench_scale_sweep — 100k-node overlays, scale-mode streaming results");
+    let shards: usize = std::env::var("BRISA_SHARDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4);
+    let million = !smoke || std::env::var("BRISA_MILLION").is_ok_and(|v| v == "1");
+    println!("=== bench_scale_sweep — scale-mode streaming results, sequential + sharded");
     println!(
-        "    rows: {sizes:?} ({}; override with BRISA_SCALE_ROWS)",
-        if smoke { "--smoke" } else { "full" }
+        "    rows: {sizes:?} ({}; override with BRISA_SCALE_ROWS), {shards} shards on sharded rows{}",
+        if smoke { "--smoke" } else { "full" },
+        if million { ", million-node row on" } else { "" },
     );
     println!();
     println!(
-        "  {:<12} {:>8} {:>6} {:>9} {:>12} {:>10} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "  {:<16} {:>8} {:>3} {:>6} {:>9} {:>12} {:>10} {:>9} {:>9} {:>8} {:>8} {:>8}",
         "scenario",
         "nodes",
+        "shd",
         "msgs",
         "wall(s)",
         "events",
@@ -118,29 +169,50 @@ fn main() {
     );
 
     let mut rows: Vec<Row> = Vec::new();
+    // Sequential no-fault fingerprints by size, for the sharded equality
+    // assertion below.
+    let mut no_fault_fp: Vec<(u32, String)> = Vec::new();
     for &nodes in &sizes {
         for (label, sc) in scenarios::scale_suite(nodes) {
-            let row = run_row(label, &sc);
-            println!(
-                "  {:<12} {:>8} {:>6} {:>9.2} {:>12} {:>10.0} {:>8.3}% {:>8.3}% {:>8.0} {:>8.2} {:>8.2}",
-                row.scenario,
-                row.nodes,
-                row.messages,
-                row.wall_secs,
-                row.sim_events,
-                row.sim_events as f64 / row.wall_secs.max(1e-9),
-                row.delivery * 100.0,
-                row.completeness * 100.0,
-                row.bytes_per_node,
-                row.latency_p50_ms,
-                row.latency_p99_ms,
-            );
+            let (row, fp) = run_row(label, &sc, 1);
+            print_row(&row);
+            if label == "no_fault" {
+                no_fault_fp.push((nodes, fp));
+            }
             rows.push(row);
         }
     }
 
+    // --- Sharded leg: the largest suite size again, through the
+    // epoch-sharded simulator, asserted bit-identical to the sequential
+    // run above.
+    if let Some(&largest) = sizes.iter().max() {
+        let sc = scenarios::scale_no_fault(largest);
+        let (row, fp) = run_row("no_fault_sharded", &sc, shards);
+        print_row(&row);
+        let sequential = no_fault_fp
+            .iter()
+            .find(|(n, _)| *n == largest)
+            .map(|(_, fp)| fp)
+            .expect("sequential no-fault row at the largest size");
+        assert_eq!(
+            &fp, sequential,
+            "sharded run diverged from sequential at {largest} nodes ({shards} shards)"
+        );
+        println!("  determinism: sharded({shards}) == sequential at {largest} nodes");
+        rows.push(row);
+    }
+
+    // --- Million-node headline row (sharded-only; see scale_million docs).
+    if million {
+        let sc = scenarios::scale_million();
+        let (row, _) = run_row("no_fault_sharded", &sc, shards);
+        print_row(&row);
+        rows.push(row);
+    }
+
     // --- Acceptance: the largest no-fault row delivers everything inside
-    // the wall-clock budget.
+    // the wall-clock budget...
     let headline = rows
         .iter()
         .filter(|r| r.scenario == "no_fault")
@@ -156,6 +228,23 @@ fn main() {
         BUDGET_SECS,
         if target_met { "met" } else { "NOT MET" }
     );
+    // ... and so does the largest sharded row (the million-node row when
+    // it ran).
+    let sharded_headline = rows
+        .iter()
+        .filter(|r| r.scenario == "no_fault_sharded")
+        .max_by_key(|r| r.nodes)
+        .expect("a sharded no-fault row exists");
+    let sharded_met = sharded_headline.delivery >= 1.0 && sharded_headline.wall_secs <= BUDGET_SECS;
+    println!(
+        "  acceptance: sharded no-fault @ {} nodes ({} shards) — delivery {:.3}% in {:.1}s (budget {}s): {}",
+        sharded_headline.nodes,
+        sharded_headline.shards,
+        sharded_headline.delivery * 100.0,
+        sharded_headline.wall_secs,
+        BUDGET_SECS,
+        if sharded_met { "met" } else { "NOT MET" }
+    );
 
     // --- JSON artifact.
     let mut rows_json = String::new();
@@ -165,9 +254,10 @@ fn main() {
         }
         write!(
             rows_json,
-            r#"    {{"scenario": "{}", "nodes": {}, "messages": {}, "wall_secs": {:.3}, "sim_events": {}, "events_per_sec": {:.0}, "delivery_rate": {:.6}, "completeness": {:.6}, "bytes_per_node": {:.0}, "latency_p50_ms": {:.3}, "latency_p99_ms": {:.3}, "latency_mean_ms": {:.3}, "uploaded_mb": {:.1}, "failures": {}, "joins": {}}}"#,
+            r#"    {{"scenario": "{}", "nodes": {}, "shards": {}, "messages": {}, "wall_secs": {:.3}, "sim_events": {}, "events_per_sec": {:.0}, "delivery_rate": {:.6}, "completeness": {:.6}, "bytes_per_node": {:.0}, "latency_p50_ms": {:.3}, "latency_p99_ms": {:.3}, "latency_mean_ms": {:.3}, "uploaded_mb": {:.1}, "failures": {}, "joins": {}}}"#,
             r.scenario,
             r.nodes,
+            r.shards,
             r.messages,
             r.wall_secs,
             r.sim_events,
@@ -186,27 +276,36 @@ fn main() {
     }
     let json = format!(
         r#"{{
-  "schema": "brisa-bench-pr5/v1",
+  "schema": "brisa-bench-pr10/v1",
   "generated_by": "bench_scale_sweep",
   "mode": "{}",
   "rows": [
 {rows_json}
   ],
-  "acceptance": {{"no_fault_nodes": {}, "delivery_rate": {:.6}, "wall_secs": {:.3}, "budget_secs": {BUDGET_SECS}, "target_met": {target_met}}}
+  "acceptance": {{"no_fault_nodes": {}, "delivery_rate": {:.6}, "wall_secs": {:.3}, "budget_secs": {BUDGET_SECS}, "target_met": {target_met}}},
+  "sharded_acceptance": {{"scenario": "no_fault_sharded", "nodes": {}, "shards": {}, "delivery_rate": {:.6}, "wall_secs": {:.3}, "budget_secs": {BUDGET_SECS}, "target_met": {sharded_met}}}
 }}
 "#,
         if smoke { "smoke" } else { "full" },
         headline.nodes,
         headline.delivery,
         headline.wall_secs,
+        sharded_headline.nodes,
+        sharded_headline.shards,
+        sharded_headline.delivery,
+        sharded_headline.wall_secs,
     );
     let out_path =
-        std::env::var("BRISA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+        std::env::var("BRISA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
     std::fs::write(&out_path, json).expect("write bench result file");
     println!();
     println!("wrote {out_path}");
     assert!(
         target_met,
         "acceptance bar not met: 100% delivery within budget at the largest no-fault row"
+    );
+    assert!(
+        sharded_met,
+        "acceptance bar not met: 100% delivery within budget at the largest sharded row"
     );
 }

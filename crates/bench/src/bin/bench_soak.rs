@@ -9,7 +9,7 @@
 //!    codec, wall clock) behind the transport fault shim, with periodic
 //!    online invariant sweeps; and
 //! 2. **simulated**, via the engine: the same population, stream, seed and
-//!    (lowered) schedule through `run_experiment_checked`.
+//!    (lowered) schedule through the engine's `Runner` with invariants on.
 //!
 //! Because the shim draws from the same counter-based split-seed PRF as
 //! the simulator's fault layer, the stochastic profile means the same
@@ -31,7 +31,7 @@
 
 use brisa::BrisaNode;
 use brisa_bench::gate::{divergence_check, parse, DivergenceBand, GateReport};
-use brisa_bench::{banner, BrisaStackConfig, EngineResult, RunSpec, Scale};
+use brisa_bench::{banner, BrisaStackConfig, EngineResult, IntoRunSpec, Runner, Scale};
 use brisa_metrics::percentile::percentile_of_sorted;
 use brisa_metrics::report::render_table;
 use brisa_runtime::{run_chaos, SoakConfig, SoakOutcome, TransportKind};
@@ -39,7 +39,7 @@ use brisa_simnet::SimDuration;
 use brisa_telemetry::Telemetry;
 use brisa_workloads::chaos::{ChaosEvent, ChaosEventKind, ChaosSchedule};
 use brisa_workloads::StreamSpec;
-use brisa_workloads::{run_experiment_checked, FaultSpec, InvariantSuite, PartitionPhase};
+use brisa_workloads::{FaultSpec, InvariantSuite, PartitionPhase};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -181,9 +181,11 @@ fn run_scenario(
 
     // Sim prediction first (fast): same schedule through the engine, with
     // the online invariant suite — the baseline must itself be clean.
-    let spec = RunSpec::from(&scenario);
+    let spec = scenario.run_spec();
     let mut suite = InvariantSuite::standard(Some(scenario.brisa_config().mode.target_parents()));
-    let sim = run_experiment_checked::<BrisaNode>(&stack, &spec, &mut suite);
+    let sim = Runner::<BrisaNode>::new(&stack, &spec)
+        .invariants(&mut suite)
+        .run();
     suite.assert_clean();
     let sim_latency_ms = sim_latency_samples_ms(&sim);
 

@@ -13,8 +13,8 @@
 //! [`run_matrix`], with results bit-identical to a sequential run.
 //!
 //! The experiment engine is re-exported here so every binary — and any
-//! downstream experiment — shares one entry point: [`run_experiment`] for a
-//! single cell, [`run_matrix`] for a sweep, [`run_brisa`]/`run_*` for the
+//! downstream experiment — shares one entry point: [`Runner`] for a single
+//! cell, [`run_matrix`] for a sweep, [`run_brisa`]/`run_*` for the
 //! protocol-flavoured result types.
 
 #![warn(missing_docs)]
@@ -26,9 +26,9 @@ use brisa_metrics::report::render_table;
 use brisa_metrics::Cdf;
 
 pub use brisa_workloads::{
-    derive_seed, matrix_threads, run_brisa, run_experiment, run_flood, run_matrix,
-    run_matrix_sequential, run_simple_gossip, run_simple_tree, run_tag, BaselineScenario,
-    BrisaScenario, BrisaStackConfig, DisseminationProtocol, EngineResult, RunSpec, Scale,
+    derive_seed, matrix_threads, run_brisa, run_flood, run_matrix, run_matrix_sequential,
+    run_simple_gossip, run_simple_tree, run_tag, BaselineScenario, BrisaScenario, BrisaStackConfig,
+    DisseminationProtocol, EngineResult, IntoRunSpec, RunSpec, Runner, Scale,
 };
 
 /// Prints the standard experiment banner (experiment id, scale, seed).

@@ -1,5 +1,6 @@
 //! BRISA configuration.
 
+use brisa_simnet::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// Shape of the dissemination structure that emerges from the overlay.
@@ -85,6 +86,11 @@ pub struct BrisaConfig {
     pub symmetric_deactivation: bool,
     /// Delivery bookkeeping mode ([`DeliveryTracking::Full`] by default).
     pub tracking: DeliveryTracking,
+    /// Period of the repair-supervision timer (soft-repair timeout
+    /// escalation, hard-repair retries, and stream-edge advertisements).
+    /// Million-node capacity runs stretch it: at that scale even a cheap
+    /// half-second per-node tick dominates the simulator's event budget.
+    pub repair_tick_period: SimDuration,
 }
 
 impl Default for BrisaConfig {
@@ -95,6 +101,7 @@ impl Default for BrisaConfig {
             buffer_size: 64,
             symmetric_deactivation: true,
             tracking: DeliveryTracking::Full,
+            repair_tick_period: SimDuration::from_millis(500),
         }
     }
 }

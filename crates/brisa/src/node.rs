@@ -18,11 +18,9 @@ pub const TIMER_SHUFFLE: u16 = 1;
 /// Timer family used for the periodic keep-alive probes.
 pub const TIMER_KEEPALIVE: u16 = 2;
 /// Timer family used for repair supervision (soft-repair timeout escalation
-/// and hard-repair retries).
+/// and hard-repair retries). The period comes from
+/// [`BrisaConfig::repair_tick_period`].
 pub const TIMER_REPAIR: u16 = 3;
-
-/// Period of the repair-supervision timer.
-const REPAIR_TICK_PERIOD: SimDuration = SimDuration::from_millis(500);
 
 /// Wire messages of the combined HyParView + BRISA stack.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,7 +137,10 @@ impl Protocol for BrisaNode {
             SimDuration::from_micros(ctx.rng().gen_range(0..keepalive_period.as_micros().max(1)));
         ctx.set_timer(shuffle_offset, TimerTag::of_kind(TIMER_SHUFFLE));
         ctx.set_timer(keepalive_offset, TimerTag::of_kind(TIMER_KEEPALIVE));
-        ctx.set_timer(REPAIR_TICK_PERIOD, TimerTag::of_kind(TIMER_REPAIR));
+        ctx.set_timer(
+            self.core.config().repair_tick_period,
+            TimerTag::of_kind(TIMER_REPAIR),
+        );
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, StackMsg>, from: NodeId, msg: StackMsg) {
@@ -188,7 +189,10 @@ impl Protocol for BrisaNode {
             TIMER_REPAIR => {
                 let actions = self.core.repair_tick(ctx.now());
                 self.apply_brisa_actions(ctx, actions);
-                ctx.set_timer(REPAIR_TICK_PERIOD, TimerTag::of_kind(TIMER_REPAIR));
+                ctx.set_timer(
+                    self.core.config().repair_tick_period,
+                    TimerTag::of_kind(TIMER_REPAIR),
+                );
             }
             _ => {}
         }

@@ -39,6 +39,9 @@ pub struct HpvStats {
     pub shuffles_started: u64,
     /// Neighbor requests rejected by this node.
     pub neighbor_rejections: u64,
+    /// Keep-alive probes rejected (with a `Disconnect`) because the prober
+    /// was not in the active view — each one is a half-open link healed.
+    pub half_open_rejections: u64,
 }
 
 /// The HyParView membership state machine for one node.
@@ -224,10 +227,29 @@ impl HyParView {
                 self.integrate_passive(&nodes, &sent, rng);
             }
             HpvMsg::KeepAlive { nonce } => {
-                out.push(HpvOut::Send {
-                    to: from,
-                    msg: HpvMsg::KeepAliveAck { nonce },
-                });
+                if self.active.contains(from) {
+                    out.push(HpvOut::Send {
+                        to: from,
+                        msg: HpvMsg::KeepAliveAck { nonce },
+                    });
+                } else {
+                    // A probe from a node that is not a neighbor reveals a
+                    // half-open link: the prober holds us in its active view
+                    // but we dropped it (an eviction whose Disconnect it
+                    // re-added us over, a crossed handshake). Acking would
+                    // keep the prober convinced the link is live even though
+                    // we will never eager-push to it — with an unlucky view
+                    // a node can end up *fully* half-open and permanently
+                    // deaf to the stream (observed at million-node scale:
+                    // ~1 node in 10⁵ bootstraps into exactly that state).
+                    // Reply Disconnect so the prober drops the dead edge and
+                    // promotes a replacement from its passive view.
+                    self.stats.half_open_rejections += 1;
+                    out.push(HpvOut::Send {
+                        to: from,
+                        msg: HpvMsg::Disconnect,
+                    });
+                }
             }
             HpvMsg::KeepAliveAck { nonce } => {
                 if let Some((peer, sent_at)) = self.pending_probes.remove(&nonce) {
@@ -803,6 +825,61 @@ mod tests {
         }
         let rtt = h.nodes[&NodeId(0)].rtt_to(NodeId(1)).expect("rtt measured");
         assert_eq!(rtt, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn keepalive_from_non_neighbor_heals_the_half_open_link() {
+        // A holds B in its active view, but B does not know A — the
+        // half-open state that leaves A deaf to eager push. A's probe must
+        // come back as a Disconnect, after which A drops the dead edge.
+        let mut h = Harness::new(2, HyParViewConfig::default());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = NodeId(0);
+        let b = NodeId(1);
+        // A adds B unilaterally (as an optimistic join/handshake would).
+        let _ = h.nodes.get_mut(&a).unwrap().join(SimTime::ZERO, b);
+        assert!(h.nodes[&a].active_view().contains(&b));
+        assert!(!h.nodes[&b].active_view().contains(&a));
+        // A probes; B (which never integrated A) must reject, not ack.
+        let probes = h
+            .nodes
+            .get_mut(&a)
+            .unwrap()
+            .keepalive_tick(SimTime::from_secs(1));
+        let mut disconnects = 0;
+        for o in probes {
+            if let HpvOut::Send { to, msg } = o {
+                assert_eq!(to, b);
+                let replies =
+                    h.nodes
+                        .get_mut(&b)
+                        .unwrap()
+                        .handle(SimTime::from_secs(1), a, msg, &mut rng);
+                for r in replies {
+                    if let HpvOut::Send { to, msg } = r {
+                        assert_eq!(to, a);
+                        assert_eq!(
+                            msg,
+                            HpvMsg::Disconnect,
+                            "non-neighbor probe must be rejected"
+                        );
+                        disconnects += 1;
+                        h.nodes.get_mut(&a).unwrap().handle(
+                            SimTime::from_secs(1),
+                            b,
+                            msg,
+                            &mut rng,
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(disconnects, 1);
+        assert_eq!(h.nodes[&b].stats().half_open_rejections, 1);
+        assert!(
+            !h.nodes[&a].active_view().contains(&b),
+            "the prober must drop the half-open edge"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The cluster harness: boots N live nodes over a chosen transport, drives
 //! a broadcast workload and collects per-node reports.
 //!
-//! This is the live counterpart of `workloads::engine::run_experiment`: it
+//! This is the live counterpart of `workloads::engine::Runner`: it
 //! builds nodes through the same [`DisseminationProtocol`] trait (same
 //! [`BuildCtx`] shape: node 0 is the source and contact point), publishes
 //! through `publish_message`, and collects the same

@@ -91,7 +91,7 @@ fn rate_kbps(buckets: &[u64], from_sec: usize, to_sec: usize) -> f64 {
 }
 
 /// Bandwidth meter covering all nodes of a simulation.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct BandwidthMeter {
     nodes: Vec<NodeBandwidth>,
     mode: MeterMode,
@@ -143,6 +143,33 @@ impl BandwidthMeter {
                         * std::mem::size_of::<u64>()
                 })
                 .sum::<usize>()
+    }
+
+    /// Folds `other` into `self`, summing per-node counters element-wise.
+    /// Used by the sharded driver to merge per-shard meters at collect
+    /// time; each node is recorded on exactly one shard (uploads on the
+    /// sender's, downloads on the destination's — both its owner), so the
+    /// merge is a disjoint union in practice.
+    pub(crate) fn absorb(&mut self, other: &BandwidthMeter) {
+        if self.nodes.len() < other.nodes.len() {
+            self.nodes
+                .resize_with(other.nodes.len(), NodeBandwidth::default);
+        }
+        for (mine, theirs) in self.nodes.iter_mut().zip(other.nodes.iter()) {
+            mine.upload_total += theirs.upload_total;
+            mine.download_total += theirs.download_total;
+            for (per_sec, other_sec) in [
+                (&mut mine.upload_per_sec, &theirs.upload_per_sec),
+                (&mut mine.download_per_sec, &theirs.download_per_sec),
+            ] {
+                if per_sec.len() < other_sec.len() {
+                    per_sec.resize(other_sec.len(), 0);
+                }
+                for (bucket, add) in per_sec.iter_mut().zip(other_sec.iter()) {
+                    *bucket += add;
+                }
+            }
+        }
     }
 
     /// Counters for a node, if it has ever been registered.

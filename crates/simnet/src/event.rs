@@ -1,9 +1,12 @@
 //! The discrete-event queue.
 //!
-//! Events are totally ordered by `(time, sequence)`. The sequence number is
-//! assigned monotonically at insertion so that events scheduled for the same
-//! instant are processed in insertion order, which keeps runs fully
-//! deterministic for a given seed.
+//! Events are totally ordered by `(time, prio, sequence)`. The priority is
+//! the event's *lane key* — derived by the network from the causing node
+//! and that node's cause counter — so same-instant ordering is a function
+//! of causality, not of the order pushes happen to arrive in; the sequence
+//! number (assigned monotonically at insertion) only resolves pushes the
+//! priority leaves equal. This is what lets a sharded run reproduce the
+//! sequential event order bit-for-bit.
 //!
 //! The queue is a thin dispatcher over the two scheduler implementations in
 //! [`crate::sched`]: the timing wheel (default hot path) and the binary heap
@@ -91,14 +94,15 @@ impl<M> EventQueue<M> {
         }
     }
 
-    /// Schedules `kind` at absolute time `time`.
-    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+    /// Schedules `kind` at absolute time `time` with lane-key priority
+    /// `prio` (same-instant events pop in ascending `(prio, seq)` order).
+    pub fn push(&mut self, time: SimTime, prio: u64, kind: EventKind<M>) {
         if let Some(trace) = &mut self.trace {
             trace.push(TraceOp::Push(time));
         }
         match &mut self.queue {
-            QueueImpl::Wheel(w) => w.push(time, kind),
-            QueueImpl::Heap(h) => h.push(time, kind),
+            QueueImpl::Wheel(w) => w.push_prio(time, prio, kind),
+            QueueImpl::Heap(h) => h.push_prio(time, prio, kind),
         }
     }
 
@@ -163,9 +167,9 @@ mod tests {
     fn pops_in_time_order() {
         for kind in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
             let mut q = queue(kind);
-            q.push(SimTime::from_millis(30), timer(3));
-            q.push(SimTime::from_millis(10), timer(1));
-            q.push(SimTime::from_millis(20), timer(2));
+            q.push(SimTime::from_millis(30), 0, timer(3));
+            q.push(SimTime::from_millis(10), 0, timer(1));
+            q.push(SimTime::from_millis(20), 0, timer(2));
             let order: Vec<u64> = std::iter::from_fn(|| q.pop())
                 .map(|e| e.time.as_micros())
                 .collect();
@@ -179,7 +183,7 @@ mod tests {
             let mut q = queue(kind);
             let t = SimTime::from_millis(5);
             for i in 0..10u32 {
-                q.push(t, timer(i));
+                q.push(t, 0, timer(i));
             }
             let nodes: Vec<u32> = std::iter::from_fn(|| q.pop())
                 .map(|e| match e.item {
@@ -196,8 +200,8 @@ mod tests {
         let mut q = queue(SchedulerKind::default());
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(1), timer(0));
-        q.push(SimTime::from_secs(2), timer(1));
+        q.push(SimTime::from_secs(1), 0, timer(0));
+        q.push(SimTime::from_secs(2), 0, timer(1));
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
     }
@@ -205,8 +209,8 @@ mod tests {
     #[test]
     fn trace_records_operations() {
         let mut q: EventQueue<()> = EventQueue::new(SchedulerKind::default(), true);
-        q.push(SimTime::from_millis(1), timer(0));
-        q.push(SimTime::from_millis(2), timer(1));
+        q.push(SimTime::from_millis(1), 0, timer(0));
+        q.push(SimTime::from_millis(2), 0, timer(1));
         q.pop();
         let trace = q.take_trace();
         assert_eq!(
@@ -219,7 +223,7 @@ mod tests {
         );
         // Untraced queues return an empty trace.
         let mut untraced = queue(SchedulerKind::default());
-        untraced.push(SimTime::from_millis(1), timer(0));
+        untraced.push(SimTime::from_millis(1), 0, timer(0));
         assert!(untraced.take_trace().is_empty());
     }
 

@@ -31,6 +31,15 @@ pub trait LatencyModel: Send {
     fn typical(&self, src: NodeId, dst: NodeId, rng: &mut SmallRng) -> SimDuration {
         self.sample(src, dst, rng)
     }
+
+    /// A hard lower bound on [`Self::sample`] over every pair: no sampled
+    /// latency is ever smaller. The sharded driver sizes its epoch window
+    /// from this bound (conservative parallel DES lookahead), so a model
+    /// that cannot promise one must return [`SimDuration::ZERO`] — which
+    /// restricts it to the sequential driver.
+    fn min_latency(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
 }
 
 /// Constant latency between every pair of nodes.
@@ -52,6 +61,10 @@ impl LatencyModel for FixedLatency {
     }
 
     fn typical(&self, _src: NodeId, _dst: NodeId, _rng: &mut SmallRng) -> SimDuration {
+        self.latency
+    }
+
+    fn min_latency(&self) -> SimDuration {
         self.latency
     }
 }
@@ -90,6 +103,10 @@ impl LatencyModel for ClusterLatency {
 
     fn typical(&self, _src: NodeId, _dst: NodeId, _rng: &mut SmallRng) -> SimDuration {
         SimDuration::from_micros((self.min.as_micros() + self.max.as_micros()) / 2)
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        self.min
     }
 }
 
@@ -166,6 +183,11 @@ impl LatencyModel for PlanetLabLatency {
 
     fn typical(&self, src: NodeId, dst: NodeId, _rng: &mut SmallRng) -> SimDuration {
         SimDuration::from_millis_f64(self.base_ms(src, dst)).max(self.min)
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        // `sample` floors every draw at `self.min`.
+        self.min
     }
 }
 

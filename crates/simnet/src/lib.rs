@@ -60,6 +60,7 @@ mod node;
 mod protocol;
 pub mod sched;
 pub mod seed;
+mod shard;
 mod time;
 
 pub use bandwidth::{BandwidthMeter, Direction, MeterMode, NodeBandwidth};
@@ -70,4 +71,5 @@ pub use network::{event_record_size, Footprint, NetStats, Network, NetworkConfig
 pub use node::NodeId;
 pub use protocol::{Command, Context, Protocol, WireSize};
 pub use sched::{SchedulerKind, TraceOp};
+pub use shard::ShardedNetwork;
 pub use time::{SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};

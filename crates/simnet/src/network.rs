@@ -105,6 +105,13 @@ struct NodeSlot<P> {
     rng: SmallRng,
     alive: bool,
     started: bool,
+    /// Per-node cause counter for lane-key event priorities: the n-th event
+    /// *caused* by this node gets priority `(id << 32) | n`. Together with
+    /// the event time this forms a globally unique key that depends only on
+    /// the node's own processing history — not on global push order — which
+    /// is what makes the sharded driver's event order identical to the
+    /// sequential one.
+    lane_seq: u32,
 }
 
 /// The discrete-event network simulator.
@@ -250,28 +257,67 @@ impl<P: Protocol> Network<P> {
         assert!(start >= self.now, "cannot start a node in the past");
         let id = NodeId(self.nodes.len() as u32);
         let seed: u64 = self.master_rng.gen();
+        self.add_node_with_seed(id, start, seed, build);
+        id
+    }
+
+    /// Adds a node with an explicit identifier and RNG seed. This is the
+    /// seam the sharded driver uses: it draws seeds from its own master RNG
+    /// in global `add_node` order and hands each shard the `(id, seed)`
+    /// pair, so per-node streams match the sequential run exactly.
+    pub(crate) fn add_node_with_seed(
+        &mut self,
+        id: NodeId,
+        start: SimTime,
+        seed: u64,
+        build: impl FnOnce(NodeId) -> P,
+    ) {
+        assert_eq!(
+            id.index(),
+            self.nodes.len(),
+            "node ids must be added densely"
+        );
         self.nodes.push(NodeSlot {
             proto: build(id),
             rng: SmallRng::seed_from_u64(seed),
             alive: true,
             started: false,
+            lane_seq: 0,
         });
         self.bandwidth.ensure(id);
-        self.queue.push(start, EventKind::Start { node: id });
-        id
+        let prio = self.lane_key(id);
+        self.queue.push(start, prio, EventKind::Start { node: id });
+    }
+
+    /// Draws the next lane-key priority for an event caused by `lane`: the
+    /// causing node's id in the high 32 bits, its cause counter in the low
+    /// 32. Unknown lanes (e.g. a crash scheduled for a node never added)
+    /// get counter 0 — such events are ignored at processing time anyway.
+    fn lane_key(&mut self, lane: NodeId) -> u64 {
+        let hi = (lane.0 as u64) << 32;
+        match self.nodes.get_mut(lane.index()) {
+            Some(slot) => {
+                let key = hi | slot.lane_seq as u64;
+                slot.lane_seq = slot.lane_seq.wrapping_add(1);
+                key
+            }
+            None => hi,
+        }
     }
 
     /// Crashes `id` immediately (fail-stop). Connected peers learn about it
     /// after the configured failure-detection delay.
     pub fn crash(&mut self, id: NodeId) {
         let at = self.now;
-        self.queue.push(at, EventKind::Crash { node: id });
+        let prio = self.lane_key(id);
+        self.queue.push(at, prio, EventKind::Crash { node: id });
     }
 
     /// Schedules a crash of `id` at time `at`.
     pub fn schedule_crash(&mut self, id: NodeId, at: SimTime) {
         assert!(at >= self.now, "cannot schedule a crash in the past");
-        self.queue.push(at, EventKind::Crash { node: id });
+        let prio = self.lane_key(id);
+        self.queue.push(at, prio, EventKind::Crash { node: id });
     }
 
     /// Runs an application-level closure against a node *through the
@@ -407,8 +453,13 @@ impl<P: Protocol> Network<P> {
             .extend_from_slice(self.connections.incoming_of(node));
         for i in 0..self.crash_buf.len() {
             let owner = self.crash_buf[i];
+            // The crashed node is the lane: `incoming_of` yields owners in
+            // ascending id order, so these draws are a deterministic
+            // function of the crash itself.
+            let prio = self.lane_key(node);
             self.queue.push(
                 detect_at,
+                prio,
                 EventKind::LinkDown {
                     node: owner,
                     peer: node,
@@ -526,8 +577,10 @@ impl<P: Protocol> Network<P> {
                         }
                         *clock = deliver_at;
                     }
+                    let prio = self.lane_key(origin);
                     self.queue.push(
                         deliver_at,
+                        prio,
                         EventKind::Deliver {
                             from: origin,
                             to,
@@ -537,8 +590,12 @@ impl<P: Protocol> Network<P> {
                     );
                 }
                 Command::SetTimer { delay, tag } => {
-                    self.queue
-                        .push(self.now + delay, EventKind::Timer { node: origin, tag });
+                    let prio = self.lane_key(origin);
+                    self.queue.push(
+                        self.now + delay,
+                        prio,
+                        EventKind::Timer { node: origin, tag },
+                    );
                 }
                 Command::OpenConnection { peer } => {
                     self.connections.insert(origin, peer);
@@ -549,8 +606,10 @@ impl<P: Protocol> Network<P> {
                     if !self.is_alive(peer)
                         || (!self.faults.is_inert() && self.faults.is_cut(self.now, origin, peer))
                     {
+                        let prio = self.lane_key(origin);
                         self.queue.push(
                             self.now + self.config.failure_detection_delay,
+                            prio,
                             EventKind::LinkDown { node: origin, peer },
                         );
                     }
@@ -576,8 +635,8 @@ impl<P: Protocol> Network<P> {
                 .map(|n| n.proto.approx_state_bytes() + slot_overhead)
                 .sum(),
             // Each pending entry carries the event record plus its
-            // `(time, sequence)` sort key.
-            queue_bytes: self.queue.len() * (event_record_size::<P>() + 16),
+            // `(time, prio, sequence)` sort key.
+            queue_bytes: self.queue.len() * (event_record_size::<P>() + 24),
             adjacency_bytes: self.connections.approx_bytes(),
             link_clock_bytes: self.link_clock.approx_bytes(),
             bandwidth_bytes: self.bandwidth.approx_bytes(),

@@ -1,8 +1,14 @@
 //! Event schedulers: the timing-wheel hot path and the binary-heap reference.
 //!
-//! The simulator totally orders events by `(time, seq)`, where `seq` is a
-//! monotonically assigned insertion counter — events scheduled for the same
-//! instant are processed in insertion order, which keeps runs deterministic.
+//! The simulator totally orders events by `(time, prio, seq)`: an explicit
+//! 64-bit priority supplied by the caller breaks same-instant ties first,
+//! and a monotonically assigned insertion counter resolves anything the
+//! priority leaves equal. The network layer derives the priority from the
+//! event's *cause* (the lane key: causing node × per-node cause counter),
+//! which makes the total order independent of the order pushes happen to
+//! arrive in — the property the sharded driver relies on for bit-identical
+//! sharded ≡ sequential runs. Callers that do not care (plain `push`) get
+//! priority 0 and therefore plain insertion order, as before.
 //! Two interchangeable implementations provide that order:
 //!
 //! * [`TimingWheel`] — a two-level hierarchical timing wheel / calendar
@@ -54,12 +60,16 @@ impl Default for SchedulerKind {
     }
 }
 
-/// A scheduled entry: the payload plus its total-order key `(time, seq)`.
+/// A scheduled entry: the payload plus its total-order key
+/// `(time, prio, seq)`.
 #[derive(Debug, Clone)]
 pub struct Entry<T> {
     /// Absolute scheduled time.
     pub time: SimTime,
-    /// Insertion sequence number (tie-breaker within one instant).
+    /// Caller-supplied priority (first tie-breaker within one instant;
+    /// 0 for plain pushes).
+    pub prio: u64,
+    /// Insertion sequence number (final tie-breaker).
     pub seq: u64,
     /// The scheduled payload.
     pub item: T,
@@ -154,10 +164,11 @@ pub struct TimingWheel<T> {
     /// Unsorted events beyond the level-1 horizon.
     far: Vec<Entry<T>>,
     /// Reused scratch for staging sorts. Every entry of one level-0 bucket
-    /// shares `time >> L0_BITS`, so `(low 6 time bits << 32) | index` packs
-    /// the whole comparison into one u64: sorting these 8-byte keys and
-    /// gathering entries once is much cheaper than swapping full entries.
-    sort_keys: Vec<u64>,
+    /// shares `time >> L0_BITS`, so
+    /// `(low 6 time bits << 96) | (prio << 32) | index` packs the whole
+    /// comparison into one u128: sorting these keys and gathering entries
+    /// once is much cheaper than swapping full entries.
+    sort_keys: Vec<u128>,
     next_seq: u64,
     len: usize,
 }
@@ -188,8 +199,15 @@ impl<T> TimingWheel<T> {
         }
     }
 
-    /// Schedules `item` at absolute time `time`.
+    /// Schedules `item` at absolute time `time` with priority 0 (plain
+    /// insertion order within an instant).
     pub fn push(&mut self, time: SimTime, item: T) {
+        self.push_prio(time, 0, item);
+    }
+
+    /// Schedules `item` at absolute time `time` with an explicit priority:
+    /// same-instant entries pop in ascending `(prio, seq)` order.
+    pub fn push_prio(&mut self, time: SimTime, prio: u64, item: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
@@ -197,26 +215,52 @@ impl<T> TimingWheel<T> {
         if b0 > self.cursor {
             if b0 < self.window0_end {
                 let slot = (b0 & L0_MASK) as usize;
-                self.l0[slot].push(Entry { time, seq, item });
+                self.l0[slot].push(Entry {
+                    time,
+                    prio,
+                    seq,
+                    item,
+                });
                 self.occ0[slot >> 6] |= 1 << (slot & 63);
             } else {
                 let b1 = b1_of(time);
                 if b1 < self.window1_end {
                     let slot = (b1 & L1_MASK) as usize;
-                    self.l1[slot].push(Entry { time, seq, item });
+                    self.l1[slot].push(Entry {
+                        time,
+                        prio,
+                        seq,
+                        item,
+                    });
                     self.occ1[slot >> 6] |= 1 << (slot & 63);
                 } else {
-                    self.far.push(Entry { time, seq, item });
+                    self.far.push(Entry {
+                        time,
+                        prio,
+                        seq,
+                        item,
+                    });
                 }
             }
         } else {
             // The instant is at or before the staged cursor bucket, so its
             // place is inside `ready` (stored descending, popped from the
             // back). `seq` exceeds every pending sequence number, so the
-            // slot is found by time alone: entries strictly later than
-            // `time` stay in front.
-            let pos = self.ready.partition_point(|e| e.time > time);
-            self.ready.insert(pos, Entry { time, seq, item });
+            // slot is found by `(time, prio)` alone: entries with a
+            // strictly greater `(time, prio)` stay in front, and pending
+            // entries equal on both pop first (smaller seq).
+            let pos = self
+                .ready
+                .partition_point(|e| (e.time, e.prio) > (time, prio));
+            self.ready.insert(
+                pos,
+                Entry {
+                    time,
+                    prio,
+                    seq,
+                    item,
+                },
+            );
         }
     }
 
@@ -287,19 +331,20 @@ impl<T> TimingWheel<T> {
                 self.cursor = b0;
                 let bucket = &mut self.l0[slot];
                 if bucket.len() > 1 {
-                    // Sort packed 8-byte `(in-bucket time bits, index)` keys
+                    // Sort packed `(in-bucket time bits, prio, index)` keys
                     // instead of swapping full entries, then gather each
                     // entry into `ready` with exactly one move. In-bucket
                     // index order is push order, i.e. `seq` order, so
-                    // ascending (time, index) walked backwards is exactly
-                    // the descending (time, seq) the pop path needs.
+                    // ascending (time, prio, index) walked backwards is
+                    // exactly the descending (time, prio, seq) the pop path
+                    // needs.
                     self.sort_keys.clear();
-                    self.sort_keys.extend(
-                        bucket
-                            .iter()
-                            .enumerate()
-                            .map(|(i, e)| ((e.time.as_micros() & (L0_TIME_MASK)) << 32) | i as u64),
-                    );
+                    self.sort_keys
+                        .extend(bucket.iter().enumerate().map(|(i, e)| {
+                            (((e.time.as_micros() & L0_TIME_MASK) as u128) << 96)
+                                | ((e.prio as u128) << 32)
+                                | i as u128
+                        }));
                     self.sort_keys.sort_unstable();
                     self.ready.reserve(bucket.len());
                     // SAFETY: each index in `sort_keys` is a distinct valid
@@ -425,7 +470,7 @@ struct HeapEntry<T>(Entry<T>);
 
 impl<T> PartialEq for HeapEntry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.0.time == other.0.time && self.0.seq == other.0.seq
+        self.0.time == other.0.time && self.0.prio == other.0.prio && self.0.seq == other.0.seq
     }
 }
 impl<T> Eq for HeapEntry<T> {}
@@ -441,6 +486,7 @@ impl<T> Ord for HeapEntry<T> {
             .0
             .time
             .cmp(&self.0.time)
+            .then_with(|| other.0.prio.cmp(&self.0.prio))
             .then_with(|| other.0.seq.cmp(&self.0.seq))
     }
 }
@@ -460,11 +506,22 @@ impl<T> HeapScheduler<T> {
         }
     }
 
-    /// Schedules `item` at absolute time `time`.
+    /// Schedules `item` at absolute time `time` with priority 0.
     pub fn push(&mut self, time: SimTime, item: T) {
+        self.push_prio(time, 0, item);
+    }
+
+    /// Schedules `item` at absolute time `time` with an explicit priority:
+    /// same-instant entries pop in ascending `(prio, seq)` order.
+    pub fn push_prio(&mut self, time: SimTime, prio: u64, item: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry(Entry { time, seq, item }));
+        self.heap.push(HeapEntry(Entry {
+            time,
+            prio,
+            seq,
+            item,
+        }));
     }
 
     /// Removes and returns the earliest entry, if any.
@@ -524,6 +581,38 @@ mod tests {
                 .collect::<Vec<_>>(),
             (0..10).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn same_time_priority_beats_insertion_order() {
+        // Priority is the first same-instant tie-breaker on every path a
+        // push can take: straight into the cursor bucket, into the ready
+        // list while the bucket is staged, and via the heap reference.
+        let t = SimTime::from_millis(5);
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        let mut h: HeapScheduler<u32> = HeapScheduler::new();
+        for (i, prio) in [3u64, 1, 2, 1, 0].iter().enumerate() {
+            w.push_prio(t, *prio, i as u32);
+            h.push_prio(t, *prio, i as u32);
+        }
+        // (prio, seq) ascending: (0,4) (1,1) (1,3) (2,2) (3,0).
+        let expect = vec![4, 1, 3, 2, 0];
+        let wheel_order: Vec<u32> = std::iter::from_fn(|| w.pop()).map(|e| e.item).collect();
+        let heap_order: Vec<u32> = std::iter::from_fn(|| h.pop()).map(|e| e.item).collect();
+        assert_eq!(wheel_order, expect);
+        assert_eq!(heap_order, expect);
+
+        // Ready-list insert path: stage the bucket, then push lower- and
+        // higher-priority entries at the same instant.
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.push_prio(t, 5, 0);
+        w.push_prio(t, 5, 1);
+        assert_eq!(w.pop().unwrap().item, 0); // stages the bucket
+        w.push_prio(t, 9, 2); // after the pending prio-5 entry
+        w.push_prio(t, 1, 3); // before it
+        w.push_prio(t, 5, 4); // same prio: after (higher seq)
+        let order: Vec<u32> = std::iter::from_fn(|| w.pop()).map(|e| e.item).collect();
+        assert_eq!(order, vec![3, 1, 4, 2]);
     }
 
     #[test]
@@ -621,22 +710,25 @@ mod tests {
         for i in 0..5000u64 {
             if step() % 3 == 0 {
                 let (a, b) = (
-                    wheel.pop().map(|e| (e.time, e.seq)),
-                    heap.pop().map(|e| (e.time, e.seq)),
+                    wheel.pop().map(|e| (e.time, e.prio, e.seq)),
+                    heap.pop().map(|e| (e.time, e.prio, e.seq)),
                 );
                 assert_eq!(a, b, "divergence at op {i}");
             } else {
-                let t = SimTime::from_micros(step() % 5_000_000);
-                wheel.push(t, i);
-                heap.push(t, i);
+                // Coarse times force same-instant collisions so the prio
+                // tie-breaker is actually exercised.
+                let t = SimTime::from_micros((step() % 500) * 10_000);
+                let prio = step() % 7;
+                wheel.push_prio(t, prio, i);
+                heap.push_prio(t, prio, i);
             }
             assert_eq!(wheel.len(), heap.len());
             assert_eq!(wheel.peek_time(), heap.peek_time());
         }
         loop {
             let (a, b) = (
-                wheel.pop().map(|e| (e.time, e.seq)),
-                heap.pop().map(|e| (e.time, e.seq)),
+                wheel.pop().map(|e| (e.time, e.prio, e.seq)),
+                heap.pop().map(|e| (e.time, e.prio, e.seq)),
             );
             assert_eq!(a, b);
             if a.is_none() {

@@ -1,13 +1,13 @@
 //! Experiment runners for the baseline protocols.
 //!
-//! Each runner is a two-line adapter over [`crate::engine::run_experiment`]:
-//! it builds the protocol's run-wide configuration from the
+//! Each runner is a two-line adapter over [`crate::engine::Runner`]: it
+//! builds the protocol's run-wide configuration from the
 //! [`BaselineScenario`] and translates the generic [`EngineResult`] into the
 //! comparison-friendly [`BaselineRunResult`]. The bootstrap, churn, stream
 //! and collection phases all live in the engine, shared with the BRISA
 //! runner — there is exactly one experiment loop in the workspace.
 
-use crate::engine::{run_experiment, EngineResult, RunSpec};
+use crate::engine::{EngineResult, IntoRunSpec, Runner};
 use crate::result::PhaseBandwidth;
 use crate::spec::BaselineScenario;
 use brisa_baselines::{
@@ -141,26 +141,23 @@ fn adapt(r: EngineResult) -> BaselineRunResult {
 /// Runs plain flooding over HyParView.
 pub fn run_flood(sc: &BaselineScenario) -> BaselineRunResult {
     let cfg = HyParViewConfig::with_active_size(sc.view_size);
-    adapt(run_experiment::<FloodNode>(&cfg, &RunSpec::from(sc)))
+    adapt(Runner::<FloodNode>::new(&cfg, &sc.run_spec()).run())
 }
 
 /// Runs the SimpleTree baseline (centralized random tree, push).
 pub fn run_simple_tree(sc: &BaselineScenario) -> BaselineRunResult {
-    adapt(run_experiment::<SimpleTreeNode>(&(), &RunSpec::from(sc)))
+    adapt(Runner::<SimpleTreeNode>::new(&(), &sc.run_spec()).run())
 }
 
 /// Runs the SimpleGossip baseline (Cyclon + rumor mongering + anti-entropy).
 pub fn run_simple_gossip(sc: &BaselineScenario) -> BaselineRunResult {
     let cfg = GossipConfig::default().for_system_size(sc.nodes as usize);
-    adapt(run_experiment::<SimpleGossipNode>(&cfg, &RunSpec::from(sc)))
+    adapt(Runner::<SimpleGossipNode>::new(&cfg, &sc.run_spec()).run())
 }
 
 /// Runs the TAG baseline (linked list + tree + gossip, pull dissemination).
 pub fn run_tag(sc: &BaselineScenario) -> BaselineRunResult {
-    adapt(run_experiment::<TagNode>(
-        &TagConfig::default(),
-        &RunSpec::from(sc),
-    ))
+    adapt(Runner::<TagNode>::new(&TagConfig::default(), &sc.run_spec()).run())
 }
 
 /// Helper: map of node -> delivered for quick assertions in tests.

@@ -1,12 +1,12 @@
 //! The BRISA experiment runner.
 //!
 //! A thin adapter over the generic engine: [`run_brisa`] executes a
-//! [`BrisaScenario`] through [`crate::engine::run_experiment`] (the same
-//! pipeline every baseline uses) and translates the protocol-agnostic
+//! [`BrisaScenario`] through [`crate::engine::Runner`] (the same pipeline
+//! every baseline uses) and translates the protocol-agnostic
 //! [`EngineResult`] into the BRISA-flavoured [`BrisaRunResult`] the figures
 //! and tables consume (structure snapshot, churn report).
 
-use crate::engine::{run_experiment, EngineResult, RunSpec};
+use crate::engine::{EngineResult, IntoRunSpec, Runner};
 use crate::protocols::BrisaStackConfig;
 use crate::result::{ChurnReport, NodeSummary};
 use crate::spec::BrisaScenario;
@@ -71,7 +71,7 @@ pub fn run_brisa(sc: &BrisaScenario) -> BrisaRunResult {
         hpv: sc.hyparview_config(),
         brisa: sc.brisa_config(),
     };
-    let result = run_experiment::<BrisaNode>(&cfg, &RunSpec::from(sc));
+    let result = Runner::<BrisaNode>::new(&cfg, &sc.run_spec()).run();
     adapt(sc, result)
 }
 

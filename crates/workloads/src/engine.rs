@@ -12,14 +12,27 @@
 //! 4. **collect** — drain in-flight traffic, then extract per-node metrics,
 //!    phase bandwidth and point-to-point reference latencies.
 //!
-//! [`run_experiment`] implements that pipeline once, generically over any
-//! [`DisseminationProtocol`]. The per-protocol knowledge (how to build a
-//! node, how to publish, which metrics the node exposes) lives in the trait
+//! [`Runner`] implements that pipeline once, generically over any
+//! [`DisseminationProtocol`] and over both simulation drivers — the
+//! sequential [`Network`] and the epoch-sharded
+//! [`ShardedNetwork`], which produce
+//! bit-identical results. The per-protocol knowledge (how to build a node,
+//! how to publish, which metrics the node exposes) lives in the trait
 //! implementations in [`crate::protocols`]; the protocol-specific result
 //! types of [`crate::brisa_run`] and [`crate::baseline_runs`] are thin
 //! adapters over [`EngineResult`].
+//!
+//! ```
+//! use brisa_workloads::{Runner, IntoRunSpec, BrisaScenario, BrisaStackConfig};
+//! use brisa::BrisaNode;
+//!
+//! let sc = BrisaScenario::small_test(16);
+//! let cfg = BrisaStackConfig { hpv: sc.hyparview_config(), brisa: sc.brisa_config() };
+//! let result = Runner::<BrisaNode>::new(&cfg, &sc.run_spec()).run();
+//! assert!(result.delivery_rate() > 0.99);
+//! ```
 
-use crate::invariants::{InvariantCtx, InvariantSuite};
+use crate::invariants::{InvariantCtx, InvariantSuite, NetQuery};
 use crate::result::{split_bandwidth, PhaseBandwidth};
 use crate::spec::{
     BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, ResultMode, ScaleEvent,
@@ -27,9 +40,10 @@ use crate::spec::{
 };
 use brisa_metrics::LatencyHistogram;
 use brisa_simnet::{
-    Context, Footprint, LinkFaults, MeterMode, Network, NetworkConfig, NodeId, PartitionSpec,
-    Protocol, SchedulerKind, SimDuration, SimTime, TraceOp,
+    BandwidthMeter, Context, Footprint, LinkFaults, MeterMode, NetStats, Network, NetworkConfig,
+    NodeId, PartitionSpec, Protocol, SchedulerKind, ShardedNetwork, SimDuration, SimTime, TraceOp,
 };
+use brisa_telemetry::Telemetry;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -154,8 +168,15 @@ pub trait DisseminationProtocol: Protocol {
     }
 }
 
-/// Protocol-agnostic parameters of one run. Both scenario types convert
-/// into this; the engine never looks at protocol-specific knobs.
+/// Protocol-agnostic parameters of one run. Scenario types convert into
+/// this through [`IntoRunSpec`]; the engine never looks at
+/// protocol-specific knobs.
+///
+/// Specs are assembled by the [`IntoRunSpec`] conversions, which also cache
+/// derived values ([`RunSpec::stream_start`]) once. The driver-level knobs
+/// (`scheduler`, `trace_events`, `shards`) stay freely settable afterwards;
+/// mutating `bootstrap` after conversion is not supported (the cached
+/// stream start would desync — convert a fresh scenario instead).
 #[derive(Debug, Clone)]
 pub struct RunSpec {
     /// Number of nodes bootstrapped before the stream starts.
@@ -181,58 +202,117 @@ pub struct RunSpec {
     /// against. Both produce bit-identical runs.
     pub scheduler: SchedulerKind,
     /// Record the scheduler push/pop trace of the run (bench-only; see
-    /// [`EngineResult::event_trace`]).
+    /// [`EngineResult::event_trace`]). Sequential driver only — the
+    /// sharded driver refuses it.
     pub trace_events: bool,
     /// Scheduled large-scale incidents (flash crowds, mass crashes),
     /// relative to stream start.
     pub events: Vec<ScaleEvent>,
     /// Classic per-node results, or the scale-mode streaming summary.
     pub results: ResultMode,
+    /// Worker shards the simulation is partitioned across (1 = the
+    /// sequential driver). Sharded runs are bit-identical to sequential
+    /// ones; see [`brisa_simnet::ShardedNetwork`].
+    pub shards: usize,
+    /// Cached injection time of the first stream message, derived from
+    /// `bootstrap` at conversion time.
+    stream_start: SimTime,
 }
 
 impl RunSpec {
+    /// Assembles a spec from scenario-level fields, caching derived values
+    /// once. Driver knobs (`scheduler`, `trace_events`, `shards`) start at
+    /// their defaults.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        nodes: u32,
+        seed: u64,
+        testbed: Testbed,
+        stream: StreamSpec,
+        churn: Option<ChurnSpec>,
+        faults: FaultSpec,
+        bootstrap: SimDuration,
+        drain: SimDuration,
+        events: Vec<ScaleEvent>,
+        results: ResultMode,
+    ) -> Self {
+        RunSpec {
+            nodes,
+            seed,
+            testbed,
+            stream,
+            churn,
+            faults,
+            bootstrap,
+            drain,
+            scheduler: SchedulerKind::default(),
+            trace_events: false,
+            events,
+            results,
+            shards: 1,
+            stream_start: SimTime::ZERO + bootstrap + FIRST_PUBLISH_DELAY,
+        }
+    }
+
     /// Injection time of the first stream message (the bootstrap phase runs
-    /// to exactly `bootstrap` before the stream is scheduled).
+    /// to exactly `bootstrap` before the stream is scheduled). Cached at
+    /// conversion time, so the scale-mode paths that anchor per-message
+    /// deadlines to it read a field instead of re-deriving it.
     pub fn stream_start(&self) -> SimTime {
-        SimTime::ZERO + self.bootstrap + FIRST_PUBLISH_DELAY
+        self.stream_start
     }
 }
 
-impl From<&BrisaScenario> for RunSpec {
-    fn from(sc: &BrisaScenario) -> Self {
-        RunSpec {
-            nodes: sc.nodes,
-            seed: sc.seed,
-            testbed: sc.testbed,
-            stream: sc.stream,
-            churn: sc.churn,
-            faults: sc.faults.clone(),
-            bootstrap: sc.bootstrap,
-            drain: sc.drain,
-            scheduler: SchedulerKind::default(),
-            trace_events: false,
-            events: sc.events.clone(),
-            results: sc.results,
-        }
+/// Conversion from a scenario family into the engine's protocol-agnostic
+/// [`RunSpec`].
+///
+/// One trait instead of per-family `From` impls: a new scenario family
+/// (chaos, scale) implements [`IntoRunSpec::run_spec`] once and every entry
+/// point — [`Runner`], the sweep drivers, the benches — accepts it, without
+/// another field-by-field copy of the shared parameters.
+pub trait IntoRunSpec {
+    /// Builds the protocol-agnostic run parameters for this scenario.
+    fn run_spec(&self) -> RunSpec;
+}
+
+impl IntoRunSpec for BrisaScenario {
+    fn run_spec(&self) -> RunSpec {
+        RunSpec::assemble(
+            self.nodes,
+            self.seed,
+            self.testbed,
+            self.stream,
+            self.churn,
+            self.faults.clone(),
+            self.bootstrap,
+            self.drain,
+            self.events.clone(),
+            self.results,
+        )
     }
 }
 
-impl From<&BaselineScenario> for RunSpec {
-    fn from(sc: &BaselineScenario) -> Self {
-        RunSpec {
-            nodes: sc.nodes,
-            seed: sc.seed,
-            testbed: sc.testbed,
-            stream: sc.stream,
-            churn: sc.churn,
-            faults: sc.faults.clone(),
-            bootstrap: sc.bootstrap,
-            drain: sc.drain,
-            scheduler: SchedulerKind::default(),
-            trace_events: false,
-            events: Vec::new(),
-            results: ResultMode::Classic,
-        }
+impl IntoRunSpec for BaselineScenario {
+    fn run_spec(&self) -> RunSpec {
+        RunSpec::assemble(
+            self.nodes,
+            self.seed,
+            self.testbed,
+            self.stream,
+            self.churn,
+            self.faults.clone(),
+            self.bootstrap,
+            self.drain,
+            Vec::new(),
+            ResultMode::Classic,
+        )
+    }
+}
+
+impl IntoRunSpec for RunSpec {
+    /// Identity conversion, so generic helpers accept a prepared spec.
+    fn run_spec(&self) -> RunSpec {
+        self.clone()
     }
 }
 
@@ -323,6 +403,21 @@ pub struct StreamingSummary {
     pub footprint: Footprint,
 }
 
+impl StreamingSummary {
+    /// Folds another partial summary's counters into this one. Every field
+    /// is a sum (the histogram merge is bucket-wise addition), so merging
+    /// per-shard partials in any fixed order equals one global fold.
+    fn merge_counters(&mut self, other: &StreamingSummary) {
+        self.eligible += other.eligible;
+        self.complete += other.complete;
+        self.got += other.got;
+        self.expected += other.expected;
+        self.delivered_total += other.delivered_total;
+        self.duplicates_total += other.duplicates_total;
+        self.latency.merge(&other.latency);
+    }
+}
+
 /// The protocol-agnostic outcome of one run.
 #[derive(Debug, Clone)]
 pub struct EngineResult {
@@ -400,9 +495,10 @@ impl EngineResult {
     /// behaviour-relevant in the result: simulator counters, publish
     /// schedule, and per-node delivery records, parents and bandwidth. Two
     /// runs are observationally identical iff their fingerprints match —
-    /// the canonical equality used by the scheduler-equivalence and
-    /// determinism tests (a divergence in any unfingerprinted field would
-    /// pass silently, so new behaviour-relevant fields belong here).
+    /// the canonical equality used by the scheduler-equivalence, shard-
+    /// equivalence and determinism tests (a divergence in any
+    /// unfingerprinted field would pass silently, so new behaviour-relevant
+    /// fields belong here).
     pub fn fingerprint(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -488,42 +584,224 @@ enum FaultAction {
     StartPartition(PartitionSpec),
 }
 
-/// Runs one experiment to completion: the single bootstrap → churn → stream
-/// → collect pipeline behind every figure and table.
-pub fn run_experiment<P: DisseminationProtocol>(cfg: &P::Config, spec: &RunSpec) -> EngineResult {
-    run_experiment_checked(cfg, spec, &mut InvariantSuite::<P>::new())
+/// The simulation driver behind one run: the sequential [`Network`] or the
+/// epoch-sharded [`ShardedNetwork`]. The pipeline is written once against
+/// this enum; both drivers produce bit-identical results (pinned by the
+/// shard-equivalence tests), so the choice is pure mechanics — who advances
+/// the clock — never behaviour.
+// One instance exists per run, on the driving stack frame — the variant
+// size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
+enum Sim<P: DisseminationProtocol> {
+    Single(Network<P>),
+    Sharded(ShardedNetwork<P>),
 }
 
-/// [`run_experiment`] with an online [`InvariantSuite`] evaluated during the
-/// drive phase: after every schedule step and once after the drain. An empty
-/// suite costs nothing; violations are recorded in the suite for the caller
-/// to inspect (or [`InvariantSuite::assert_clean`]).
-pub fn run_experiment_checked<P: DisseminationProtocol>(
-    cfg: &P::Config,
-    spec: &RunSpec,
-    invariants: &mut InvariantSuite<P>,
-) -> EngineResult {
-    run_experiment_with_telemetry(
-        cfg,
-        spec,
-        invariants,
-        &brisa_telemetry::Telemetry::disabled(),
-    )
+/// Applies one expression to whichever driver is inside.
+macro_rules! on_sim {
+    ($self:expr, $net:ident => $e:expr) => {
+        match $self {
+            Sim::Single($net) => $e,
+            Sim::Sharded($net) => $e,
+        }
+    };
 }
 
-/// [`run_experiment_checked`] with a telemetry handle threaded into the
-/// simulator and every node's [`Context`]. Telemetry is strictly
-/// out-of-band: the run's [`EngineResult::fingerprint`] is identical
-/// whether the handle is enabled, disabled, or this function is bypassed
-/// entirely (pinned by the `integration_telemetry` fingerprint tests).
-pub fn run_experiment_with_telemetry<P: DisseminationProtocol>(
-    cfg: &P::Config,
-    spec: &RunSpec,
-    invariants: &mut InvariantSuite<P>,
-    telemetry: &brisa_telemetry::Telemetry,
-) -> EngineResult {
-    let mut net: Network<P> = Network::new(
-        NetworkConfig {
+impl<P: DisseminationProtocol + Send> Sim<P>
+where
+    P::Message: Send,
+{
+    fn now(&self) -> SimTime {
+        on_sim!(self, n => n.now())
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        on_sim!(self, n => { n.run_until(deadline); })
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        on_sim!(self, n => { n.run_for(d); })
+    }
+
+    fn add_node(&mut self, build: impl FnOnce(NodeId) -> P) -> NodeId {
+        on_sim!(self, n => n.add_node(build))
+    }
+
+    fn add_node_at(&mut self, at: SimTime, build: impl FnOnce(NodeId) -> P) -> NodeId {
+        on_sim!(self, n => n.add_node_at(at, build))
+    }
+
+    fn invoke(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
+        on_sim!(self, n => n.invoke(id, f))
+    }
+
+    fn crash(&mut self, id: NodeId) {
+        on_sim!(self, n => n.crash(id))
+    }
+
+    fn is_alive(&self, id: NodeId) -> bool {
+        on_sim!(self, n => n.is_alive(id))
+    }
+
+    fn alive_iter(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match self {
+            Sim::Single(n) => Box::new(n.alive_iter()),
+            Sim::Sharded(n) => Box::new(n.alive_iter()),
+        }
+    }
+
+    fn alive_ids(&self) -> Vec<NodeId> {
+        on_sim!(self, n => n.alive_ids())
+    }
+
+    fn node(&self, id: NodeId) -> Option<&P> {
+        on_sim!(self, n => n.node(id))
+    }
+
+    fn set_link_faults(&mut self, link: LinkFaults) {
+        on_sim!(self, n => n.set_link_faults(link))
+    }
+
+    fn add_partition(&mut self, spec: PartitionSpec) {
+        on_sim!(self, n => n.add_partition(spec))
+    }
+
+    /// Merged simulator counters (owned: the sharded driver sums across
+    /// shards on demand).
+    fn stats(&self) -> NetStats {
+        match self {
+            Sim::Single(n) => n.stats().clone(),
+            Sim::Sharded(n) => n.stats(),
+        }
+    }
+
+    /// Merged bandwidth meter (owned, for the same reason as `stats`).
+    fn bandwidth(&self) -> BandwidthMeter {
+        match self {
+            Sim::Single(n) => n.bandwidth().clone(),
+            Sim::Sharded(n) => n.bandwidth(),
+        }
+    }
+
+    fn footprint(&self) -> Footprint {
+        on_sim!(self, n => n.footprint())
+    }
+
+    fn take_event_trace(&mut self) -> Vec<TraceOp> {
+        match self {
+            // The sharded driver refuses trace_events at construction.
+            Sim::Single(n) => n.take_event_trace(),
+            Sim::Sharded(_) => Vec::new(),
+        }
+    }
+
+    fn typical_latency(&mut self, src: NodeId, dst: NodeId) -> SimDuration {
+        on_sim!(self, n => n.typical_latency(src, dst))
+    }
+
+    /// The driver as the read-only view invariants check against.
+    fn query(&self) -> &dyn NetQuery {
+        match self {
+            Sim::Single(n) => n,
+            Sim::Sharded(n) => n,
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match self {
+            Sim::Single(_) => 1,
+            Sim::Sharded(n) => n.shards(),
+        }
+    }
+}
+
+/// Builder-style entry point for one experiment run: the single bootstrap →
+/// schedule → drive → collect pipeline behind every figure and table.
+///
+/// ```
+/// use brisa_workloads::{Runner, IntoRunSpec, InvariantSuite, BrisaScenario, BrisaStackConfig};
+/// use brisa::BrisaNode;
+///
+/// let sc = BrisaScenario::small_test(16);
+/// let cfg = BrisaStackConfig { hpv: sc.hyparview_config(), brisa: sc.brisa_config() };
+/// let mut suite = InvariantSuite::standard(Some(1));
+/// let result = Runner::<BrisaNode>::new(&cfg, &sc.run_spec())
+///     .invariants(&mut suite)
+///     .shards(2)
+///     .run();
+/// suite.assert_clean();
+/// assert!(result.completeness() > 0.99);
+/// ```
+pub struct Runner<'a, P: DisseminationProtocol> {
+    cfg: &'a P::Config,
+    spec: &'a RunSpec,
+    invariants: Option<&'a mut InvariantSuite>,
+    telemetry: Telemetry,
+    shards: usize,
+}
+
+impl<'a, P: DisseminationProtocol> Runner<'a, P> {
+    /// Starts a run description from a protocol configuration and a spec.
+    /// The shard count is taken from [`RunSpec::shards`] unless overridden
+    /// by [`Runner::shards`].
+    pub fn new(cfg: &'a P::Config, spec: &'a RunSpec) -> Self {
+        Runner {
+            cfg,
+            spec,
+            invariants: None,
+            telemetry: Telemetry::disabled(),
+            shards: spec.shards.max(1),
+        }
+    }
+
+    /// Evaluates `suite` online during the drive phase: after every
+    /// schedule step and once after the drain. An empty suite costs
+    /// nothing; violations are recorded in the suite for the caller to
+    /// inspect (or [`InvariantSuite::assert_clean`]), never panicked.
+    pub fn invariants(mut self, suite: &'a mut InvariantSuite) -> Self {
+        self.invariants = Some(suite);
+        self
+    }
+
+    /// Threads a telemetry handle into the simulator and every node's
+    /// [`Context`]. Telemetry is strictly out-of-band: the run's
+    /// [`EngineResult::fingerprint`] is identical whether the handle is
+    /// enabled, disabled, or absent (pinned by the `integration_telemetry`
+    /// fingerprint tests).
+    pub fn telemetry(mut self, handle: &Telemetry) -> Self {
+        self.telemetry = handle.clone();
+        self
+    }
+
+    /// Partitions the simulation across `n` worker shards, overriding
+    /// [`RunSpec::shards`]. `1` selects the sequential driver; any other
+    /// count produces the bit-identical result (asserted by the
+    /// shard-equivalence property tests).
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Runs the experiment to completion.
+    pub fn run(self) -> EngineResult
+    where
+        P: Send,
+        P::Message: Send,
+    {
+        let Runner {
+            cfg,
+            spec,
+            mut invariants,
+            telemetry,
+            shards,
+        } = self;
+        debug_assert_eq!(
+            spec.stream_start(),
+            SimTime::ZERO + spec.bootstrap + FIRST_PUBLISH_DELAY,
+            "cached stream_start desynced — bootstrap mutated after conversion"
+        );
+        let net_config = NetworkConfig {
             seed: spec.seed,
             scheduler: spec.scheduler,
             trace_events: spec.trace_events,
@@ -533,158 +811,147 @@ pub fn run_experiment_with_telemetry<P: DisseminationProtocol>(
                 ResultMode::Classic => MeterMode::PerSecond,
                 ResultMode::Streaming => MeterMode::TotalsOnly,
             },
-            telemetry: telemetry.clone(),
+            telemetry,
             ..Default::default()
-        },
-        spec.testbed.latency_model(spec.seed),
-    );
-    let mut harness_rng = SmallRng::seed_from_u64(spec.seed ^ 0x5EED);
-
-    // --- Phase 1: bootstrap. Node 0 is the source and contact point; the
-    // rest join spread over the first half of the bootstrap window.
-    let first_ctx = BuildCtx {
-        index: 0,
-        population: spec.nodes,
-        contact: None,
-        prev: None,
-        is_source: true,
-    };
-    let source = net.add_node(|id| P::build(cfg, id, &first_ctx));
-    let join_window = spec.bootstrap / 2;
-    let mut prev = source;
-    for i in 1..spec.nodes {
-        let at = SimTime::ZERO + join_window * i as u64 / spec.nodes.max(1) as u64;
-        let bctx = BuildCtx {
-            index: i,
-            population: spec.nodes,
-            contact: Some(source),
-            prev: Some(prev),
-            is_source: false,
         };
-        prev = net.add_node_at(at, |id| P::build(cfg, id, &bctx));
-    }
-    net.run_until(SimTime::ZERO + spec.bootstrap);
-    let stabilization_end_sec = net.now().second_bucket() + 1;
+        let mut sim: Sim<P> = if shards > 1 {
+            Sim::Sharded(ShardedNetwork::new(
+                net_config,
+                spec.testbed.latency_model_shared(spec.seed),
+                shards,
+            ))
+        } else {
+            Sim::Single(Network::new(
+                net_config,
+                spec.testbed.latency_model(spec.seed),
+            ))
+        };
+        let mut harness_rng = SmallRng::seed_from_u64(spec.seed ^ 0x5EED);
 
-    // --- Phase 2: merge stream injections and churn events into one
-    // time-ordered schedule. With churn, the stream keeps flowing for the
-    // whole churn window so repairs complete through regular traffic.
-    // `run_until` always advances the clock to its deadline, so this equals
-    // the spec-derived value scale-mode delivery tracking is anchored to.
-    let stream_start = spec.stream_start();
-    debug_assert_eq!(stream_start, net.now() + FIRST_PUBLISH_DELAY);
-    let interval = spec.stream.interval();
-    let churn_events: Vec<(SimTime, ChurnEvent)> = spec
-        .churn
-        .map(|c| c.schedule(stream_start, spec.nodes as usize))
-        .unwrap_or_default();
-    let stream_duration = match spec.churn {
-        Some(c) if c.duration > spec.stream.duration() => c.duration,
-        _ => spec.stream.duration(),
-    };
-    let total_messages = (stream_duration.as_micros() / interval.as_micros().max(1)).max(1);
-
-    // Fault transitions are pushed first: the sort below is stable, so at
-    // equal times faults switch on before the publish they should affect.
-    let mut schedule: Vec<(SimTime, Step)> = Vec::new();
-    if !spec.faults.is_inert() {
-        let link = spec.faults.link_faults();
-        if !link.is_inert() {
-            schedule.push((stream_start, Step::Fault(FaultAction::EnableLink(link))));
+        // --- Phase 1: bootstrap. Node 0 is the source and contact point;
+        // the rest join spread over the first half of the bootstrap window.
+        let first_ctx = BuildCtx {
+            index: 0,
+            population: spec.nodes,
+            contact: None,
+            prev: None,
+            is_source: true,
+        };
+        let source = sim.add_node(|id| P::build(cfg, id, &first_ctx));
+        let join_window = spec.bootstrap / 2;
+        let mut prev = source;
+        for i in 1..spec.nodes {
+            let at = SimTime::ZERO + join_window * i as u64 / spec.nodes.max(1) as u64;
+            let bctx = BuildCtx {
+                index: i,
+                population: spec.nodes,
+                contact: Some(source),
+                prev: Some(prev),
+                is_source: false,
+            };
+            prev = sim.add_node_at(at, |id| P::build(cfg, id, &bctx));
         }
-        // A zero-width window can never be active; installing it exactly at
-        // its own heal instant would only trip the simulator's
-        // healed-in-the-past assertion.
-        if let Some(phase) = spec.faults.partition.filter(|p| !p.duration.is_zero()) {
-            let partition = phase.to_partition(stream_start, spec.nodes);
-            schedule.push((
-                partition.start,
-                Step::Fault(FaultAction::StartPartition(partition)),
-            ));
-        }
-    }
-    // Scale events ride the same stable-sort contract: at equal times they
-    // run after fault transitions and before the publish they coincide
-    // with (a mass crash at second s hits the overlay before that second's
-    // injection).
-    schedule.extend(
-        spec.events
-            .iter()
-            .map(|ev| (stream_start + ev.after, Step::Scale(ev.kind))),
-    );
-    schedule.extend((0..total_messages).map(|seq| (stream_start + interval * seq, Step::Publish)));
-    schedule.extend(churn_events.into_iter().map(|(t, e)| (t, Step::Churn(e))));
-    schedule.sort_by_key(|(t, _)| *t);
+        sim.run_until(SimTime::ZERO + spec.bootstrap);
+        let stabilization_end_sec = sim.now().second_bucket() + 1;
 
-    // --- Phase 3: drive the schedule.
-    let mut publish_times: Vec<SimTime> = Vec::with_capacity(total_messages as usize);
-    let mut failures_injected = 0usize;
-    let mut joins_injected = 0usize;
-    let mut next_join_index = spec.nodes;
-    // Victim-selection buffer, reused across churn events (the shuffle over
-    // the full candidate list — rather than a single index draw — is kept so
-    // the harness RNG stream, and therefore every seeded result, is stable).
-    let mut alive_buf: Vec<NodeId> = Vec::new();
-    // Mid-run joiners (churn and flash crowds) join through a *random live
-    // contact*, not the source: a member's HyParView `Join` displaces one
-    // of the contact's active-view entries, so funnelling a join burst
-    // through one node evicts its entire view — the burst's ForwardJoin
-    // walks then circulate among the just-joined nodes and the contact ends
-    // up severed from the established overlay (with the source as contact,
-    // that wedges the whole stream). Spreading contacts is also what a real
-    // deployment's join service does.
-    let random_contact = |net: &Network<P>, buf: &mut Vec<NodeId>, rng: &mut SmallRng| {
-        buf.clear();
-        buf.extend(net.alive_iter());
-        buf.choose(rng).copied().unwrap_or(source)
-    };
-    for (at, step) in schedule {
-        net.run_until(at);
-        match step {
-            Step::Fault(FaultAction::EnableLink(link)) => net.set_link_faults(link),
-            Step::Fault(FaultAction::StartPartition(partition)) => net.add_partition(partition),
-            Step::Publish => {
-                publish_times.push(net.now());
-                net.invoke(source, |node, ctx| {
-                    node.publish_message(ctx, spec.stream.payload_bytes);
-                });
+        // --- Phase 2: merge stream injections and churn events into one
+        // time-ordered schedule. With churn, the stream keeps flowing for
+        // the whole churn window so repairs complete through regular
+        // traffic. `run_until` always advances the clock to its deadline,
+        // so the cached spec value equals `now + FIRST_PUBLISH_DELAY` here.
+        let stream_start = spec.stream_start();
+        debug_assert_eq!(stream_start, sim.now() + FIRST_PUBLISH_DELAY);
+        let interval = spec.stream.interval();
+        let churn_events: Vec<(SimTime, ChurnEvent)> = spec
+            .churn
+            .map(|c| c.schedule(stream_start, spec.nodes as usize))
+            .unwrap_or_default();
+        let stream_duration = match spec.churn {
+            Some(c) if c.duration > spec.stream.duration() => c.duration,
+            _ => spec.stream.duration(),
+        };
+        let total_messages = (stream_duration.as_micros() / interval.as_micros().max(1)).max(1);
+
+        // Fault transitions are pushed first: the sort below is stable, so
+        // at equal times faults switch on before the publish they should
+        // affect.
+        let mut schedule: Vec<(SimTime, Step)> = Vec::new();
+        if !spec.faults.is_inert() {
+            let link = spec.faults.link_faults();
+            if !link.is_inert() {
+                schedule.push((stream_start, Step::Fault(FaultAction::EnableLink(link))));
             }
-            Step::Churn(ChurnEvent::Fail) => {
-                alive_buf.clear();
-                alive_buf.extend(net.alive_iter().filter(|&id| id != source));
-                alive_buf.shuffle(&mut harness_rng);
-                if let Some(victim) = alive_buf.first().copied() {
-                    net.crash(victim);
-                    failures_injected += 1;
+            // A zero-width window can never be active; installing it exactly
+            // at its own heal instant would only trip the simulator's
+            // healed-in-the-past assertion.
+            if let Some(phase) = spec.faults.partition.filter(|p| !p.duration.is_zero()) {
+                let partition = phase.to_partition(stream_start, spec.nodes);
+                schedule.push((
+                    partition.start,
+                    Step::Fault(FaultAction::StartPartition(partition)),
+                ));
+            }
+        }
+        // Scale events ride the same stable-sort contract: at equal times
+        // they run after fault transitions and before the publish they
+        // coincide with (a mass crash at second s hits the overlay before
+        // that second's injection).
+        schedule.extend(
+            spec.events
+                .iter()
+                .map(|ev| (stream_start + ev.after, Step::Scale(ev.kind))),
+        );
+        schedule
+            .extend((0..total_messages).map(|seq| (stream_start + interval * seq, Step::Publish)));
+        schedule.extend(churn_events.into_iter().map(|(t, e)| (t, Step::Churn(e))));
+        schedule.sort_by_key(|(t, _)| *t);
+
+        // --- Phase 3: drive the schedule.
+        let mut publish_times: Vec<SimTime> = Vec::with_capacity(total_messages as usize);
+        let mut failures_injected = 0usize;
+        let mut joins_injected = 0usize;
+        let mut next_join_index = spec.nodes;
+        // Victim-selection buffer, reused across churn events (the shuffle
+        // over the full candidate list — rather than a single index draw —
+        // is kept so the harness RNG stream, and therefore every seeded
+        // result, is stable).
+        let mut alive_buf: Vec<NodeId> = Vec::new();
+        // Mid-run joiners (churn and flash crowds) join through a *random
+        // live contact*, not the source: a member's HyParView `Join`
+        // displaces one of the contact's active-view entries, so funnelling
+        // a join burst through one node evicts its entire view — the
+        // burst's ForwardJoin walks then circulate among the just-joined
+        // nodes and the contact ends up severed from the established
+        // overlay (with the source as contact, that wedges the whole
+        // stream). Spreading contacts is also what a real deployment's join
+        // service does.
+        let random_contact = |sim: &Sim<P>, buf: &mut Vec<NodeId>, rng: &mut SmallRng| {
+            buf.clear();
+            buf.extend(sim.alive_iter());
+            buf.choose(rng).copied().unwrap_or(source)
+        };
+        for (at, step) in schedule {
+            sim.run_until(at);
+            match step {
+                Step::Fault(FaultAction::EnableLink(link)) => sim.set_link_faults(link),
+                Step::Fault(FaultAction::StartPartition(partition)) => sim.add_partition(partition),
+                Step::Publish => {
+                    publish_times.push(sim.now());
+                    sim.invoke(source, |node, ctx| {
+                        node.publish_message(ctx, spec.stream.payload_bytes);
+                    });
                 }
-            }
-            Step::Churn(ChurnEvent::Join) => {
-                let contact = random_contact(&net, &mut alive_buf, &mut harness_rng);
-                let bctx = BuildCtx {
-                    index: next_join_index,
-                    population: spec.nodes,
-                    contact: Some(contact),
-                    prev: Some(prev),
-                    is_source: false,
-                };
-                prev = net.add_node(|id| P::build(cfg, id, &bctx));
-                next_join_index += 1;
-                joins_injected += 1;
-            }
-            Step::Scale(ScaleEventKind::FlashCrowd { joiners }) => {
-                // One snapshot of the live population for the whole burst:
-                // re-listing ~100k alive nodes per joiner would make a 10k
-                // flash crowd O(alive × joiners) on the bench's measured
-                // wall-clock path. The crowd arrives at one instant, so
-                // drawing every contact from the pre-crowd population is
-                // also the honest model.
-                alive_buf.clear();
-                alive_buf.extend(net.alive_iter());
-                for _ in 0..joiners {
-                    let contact = alive_buf
-                        .choose(&mut harness_rng)
-                        .copied()
-                        .unwrap_or(source);
+                Step::Churn(ChurnEvent::Fail) => {
+                    alive_buf.clear();
+                    alive_buf.extend(sim.alive_iter().filter(|&id| id != source));
+                    alive_buf.shuffle(&mut harness_rng);
+                    if let Some(victim) = alive_buf.first().copied() {
+                        sim.crash(victim);
+                        failures_injected += 1;
+                    }
+                }
+                Step::Churn(ChurnEvent::Join) => {
+                    let contact = random_contact(&sim, &mut alive_buf, &mut harness_rng);
                     let bctx = BuildCtx {
                         index: next_join_index,
                         population: spec.nodes,
@@ -692,140 +959,242 @@ pub fn run_experiment_with_telemetry<P: DisseminationProtocol>(
                         prev: Some(prev),
                         is_source: false,
                     };
-                    prev = net.add_node(|id| P::build(cfg, id, &bctx));
+                    prev = sim.add_node(|id| P::build(cfg, id, &bctx));
                     next_join_index += 1;
                     joins_injected += 1;
                 }
-            }
-            Step::Scale(ScaleEventKind::Kill { node }) => {
-                let victim = NodeId(node);
-                if victim != source && net.is_alive(victim) {
-                    net.crash(victim);
-                    failures_injected += 1;
+                Step::Scale(ScaleEventKind::FlashCrowd { joiners }) => {
+                    // One snapshot of the live population for the whole
+                    // burst: re-listing ~100k alive nodes per joiner would
+                    // make a 10k flash crowd O(alive × joiners) on the
+                    // bench's measured wall-clock path. The crowd arrives
+                    // at one instant, so drawing every contact from the
+                    // pre-crowd population is also the honest model.
+                    alive_buf.clear();
+                    alive_buf.extend(sim.alive_iter());
+                    for _ in 0..joiners {
+                        let contact = alive_buf
+                            .choose(&mut harness_rng)
+                            .copied()
+                            .unwrap_or(source);
+                        let bctx = BuildCtx {
+                            index: next_join_index,
+                            population: spec.nodes,
+                            contact: Some(contact),
+                            prev: Some(prev),
+                            is_source: false,
+                        };
+                        prev = sim.add_node(|id| P::build(cfg, id, &bctx));
+                        next_join_index += 1;
+                        joins_injected += 1;
+                    }
+                }
+                Step::Scale(ScaleEventKind::Kill { node }) => {
+                    let victim = NodeId(node);
+                    if victim != source && sim.is_alive(victim) {
+                        sim.crash(victim);
+                        failures_injected += 1;
+                    }
+                }
+                Step::Scale(ScaleEventKind::MassCrash { fraction }) => {
+                    alive_buf.clear();
+                    alive_buf.extend(sim.alive_iter().filter(|&id| id != source));
+                    alive_buf.shuffle(&mut harness_rng);
+                    let victims =
+                        ((alive_buf.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+                    for &victim in alive_buf.iter().take(victims) {
+                        sim.crash(victim);
+                        failures_injected += 1;
+                    }
                 }
             }
-            Step::Scale(ScaleEventKind::MassCrash { fraction }) => {
-                alive_buf.clear();
-                alive_buf.extend(net.alive_iter().filter(|&id| id != source));
-                alive_buf.shuffle(&mut harness_rng);
-                let victims =
-                    ((alive_buf.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
-                for &victim in alive_buf.iter().take(victims) {
-                    net.crash(victim);
-                    failures_injected += 1;
-                }
+            if let Some(suite) = invariants.as_deref_mut() {
+                check_invariants(suite, &sim, publish_times.len() as u64, source);
             }
         }
-        if !invariants.is_empty() {
-            let ctx = InvariantCtx {
-                now: net.now(),
-                published: publish_times.len() as u64,
-                source,
-            };
-            invariants.run_checks(&net, &ctx);
+        sim.run_for(spec.drain);
+        if let Some(suite) = invariants {
+            check_invariants(suite, &sim, publish_times.len() as u64, source);
         }
-    }
-    net.run_for(spec.drain);
-    if !invariants.is_empty() {
-        let ctx = InvariantCtx {
-            now: net.now(),
-            published: publish_times.len() as u64,
-            source,
+        let end_sec = sim.now().second_bucket() + 1;
+        let churn_window = (stream_start, sim.now());
+
+        // --- Phase 4: collect. Classic mode materialises one
+        // `NodeOutcome` per node (first-delivery vectors, phase bandwidth,
+        // point-to-point references); streaming mode folds every node into
+        // one summary and never allocates per-node result state.
+        let (outcomes, streaming) = match spec.results {
+            ResultMode::Classic => {
+                let meter = sim.bandwidth();
+                let bw = split_bandwidth(&meter, stabilization_end_sec, end_sec);
+                let alive = sim.alive_ids();
+                let mut outcomes = Vec::with_capacity(alive.len());
+                for &id in &alive {
+                    let report = sim.node(id).expect("alive node exists").report();
+                    let is_source = id == source;
+                    let mut delays = Vec::new();
+                    for (seq, t) in &report.first_delivery {
+                        if let Some(&pub_t) = publish_times.get(*seq as usize) {
+                            delays.push(t.saturating_since(pub_t).as_millis_f64());
+                        }
+                    }
+                    let routing_delay_ms = if delays.is_empty() || is_source {
+                        None
+                    } else {
+                        Some(delays.iter().sum::<f64>() / delays.len() as f64)
+                    };
+                    let span = report.first_delivery.iter().map(|(_, t)| *t);
+                    let dissemination_latency_secs = match (span.clone().min(), span.max()) {
+                        (Some(a), Some(b)) => Some(b.saturating_since(a).as_secs_f64()),
+                        _ => None,
+                    };
+                    outcomes.push(NodeOutcome {
+                        id,
+                        is_source,
+                        report,
+                        routing_delay_ms,
+                        dissemination_latency_secs,
+                        point_to_point_ms: 0.0, // filled below (needs &mut sim)
+                        bandwidth: bw.get(&id).cloned().unwrap_or_default(),
+                    });
+                }
+                // Point-to-point reference latencies need mutable access to
+                // the network.
+                let p2p: HashMap<NodeId, f64> = alive
+                    .iter()
+                    .map(|&id| (id, sim.typical_latency(source, id).as_millis_f64()))
+                    .collect();
+                for o in &mut outcomes {
+                    o.point_to_point_ms = *p2p.get(&o.id).unwrap_or(&0.0);
+                }
+                (outcomes, None)
+            }
+            ResultMode::Streaming => {
+                // Fold one partial summary per shard (by owner shard,
+                // `id % k`), then merge the partials in shard order. Every
+                // counter is a sum and the histogram merge is bucket-wise
+                // addition, so the merged result is identical to the
+                // sequential single fold — while the accumulation stays
+                // shard-local, mirroring where the nodes live.
+                let k = sim.shard_count();
+                let mut partials: Vec<StreamingSummary> =
+                    (0..k).map(|_| StreamingSummary::default()).collect();
+                for id in sim.alive_iter() {
+                    let sr = sim
+                        .node(id)
+                        .expect("alive node exists")
+                        .scale_report(&publish_times);
+                    let part = &mut partials[id.0 as usize % k];
+                    part.delivered_total += sr.delivered;
+                    part.duplicates_total += sr.duplicates;
+                    part.latency.merge(&sr.latency);
+                    if id != source && id.0 < spec.nodes {
+                        part.eligible += 1;
+                        part.got += sr.delivered.min(total_messages);
+                        part.expected += total_messages;
+                        if sr.delivered >= total_messages {
+                            part.complete += 1;
+                        }
+                    }
+                }
+                let mut summary = StreamingSummary::default();
+                for part in &partials {
+                    summary.merge_counters(part);
+                }
+                let meter = sim.bandwidth();
+                summary.uploaded_bytes = meter.total_uploaded();
+                summary.downloaded_bytes = meter.total_downloaded();
+                summary.footprint = sim.footprint();
+                (Vec::new(), Some(summary))
+            }
         };
-        invariants.run_checks(&net, &ctx);
+
+        EngineResult {
+            protocol: P::protocol_name(),
+            source,
+            original_nodes: spec.nodes,
+            messages_published: total_messages,
+            publish_times,
+            nodes: outcomes,
+            failures_injected,
+            joins_injected,
+            stabilization_end_sec,
+            end_sec,
+            churn_window,
+            net_stats: sim.stats(),
+            event_trace: sim.take_event_trace(),
+            streaming,
+        }
     }
-    let end_sec = net.now().second_bucket() + 1;
-    let churn_window = (stream_start, net.now());
+}
 
-    // --- Phase 4: collect. Classic mode materialises one `NodeOutcome`
-    // per node (first-delivery vectors, phase bandwidth, point-to-point
-    // references); streaming mode folds every node into one summary and
-    // never allocates per-node result state.
-    let (outcomes, streaming) = match spec.results {
-        ResultMode::Classic => {
-            let bw = split_bandwidth(net.bandwidth(), stabilization_end_sec, end_sec);
-            let alive = net.alive_ids();
-            let mut outcomes = Vec::with_capacity(alive.len());
-            for &id in &alive {
-                let report = net.node(id).expect("alive node exists").report();
-                let is_source = id == source;
-                let mut delays = Vec::new();
-                for (seq, t) in &report.first_delivery {
-                    if let Some(&pub_t) = publish_times.get(*seq as usize) {
-                        delays.push(t.saturating_since(pub_t).as_millis_f64());
-                    }
-                }
-                let routing_delay_ms = if delays.is_empty() || is_source {
-                    None
-                } else {
-                    Some(delays.iter().sum::<f64>() / delays.len() as f64)
-                };
-                let span = report.first_delivery.iter().map(|(_, t)| *t);
-                let dissemination_latency_secs = match (span.clone().min(), span.max()) {
-                    (Some(a), Some(b)) => Some(b.saturating_since(a).as_secs_f64()),
-                    _ => None,
-                };
-                outcomes.push(NodeOutcome {
-                    id,
-                    is_source,
-                    report,
-                    routing_delay_ms,
-                    dissemination_latency_secs,
-                    point_to_point_ms: 0.0, // filled below (needs &mut net)
-                    bandwidth: bw.get(&id).cloned().unwrap_or_default(),
-                });
-            }
-            // Point-to-point reference latencies need mutable access to the
-            // network.
-            let p2p: HashMap<NodeId, f64> = alive
-                .iter()
-                .map(|&id| (id, net.typical_latency(source, id).as_millis_f64()))
-                .collect();
-            for o in &mut outcomes {
-                o.point_to_point_ms = *p2p.get(&o.id).unwrap_or(&0.0);
-            }
-            (outcomes, None)
-        }
-        ResultMode::Streaming => {
-            let mut summary = StreamingSummary::default();
-            for id in net.alive_iter() {
-                let sr = net
-                    .node(id)
-                    .expect("alive node exists")
-                    .scale_report(&publish_times);
-                summary.delivered_total += sr.delivered;
-                summary.duplicates_total += sr.duplicates;
-                summary.latency.merge(&sr.latency);
-                if id != source && id.0 < spec.nodes {
-                    summary.eligible += 1;
-                    summary.got += sr.delivered.min(total_messages);
-                    summary.expected += total_messages;
-                    if sr.delivered >= total_messages {
-                        summary.complete += 1;
-                    }
-                }
-            }
-            summary.uploaded_bytes = net.bandwidth().total_uploaded();
-            summary.downloaded_bytes = net.bandwidth().total_downloaded();
-            summary.footprint = net.footprint();
-            (Vec::new(), Some(summary))
-        }
-    };
-
-    EngineResult {
-        protocol: P::protocol_name(),
+/// One invariant pass: build every live node's report once (extracting a
+/// report clones the node's delivery record, so each invariant rebuilding
+/// its own would multiply that cost) and hand the suite the driver's
+/// read-only view.
+fn check_invariants<P: DisseminationProtocol + Send>(
+    suite: &mut InvariantSuite,
+    sim: &Sim<P>,
+    published: u64,
+    source: NodeId,
+) where
+    P::Message: Send,
+{
+    if suite.is_empty() {
+        return;
+    }
+    let reports: Vec<(NodeId, NodeReport)> = sim
+        .alive_iter()
+        .filter_map(|id| sim.node(id).map(|n| (id, n.report())))
+        .collect();
+    let ctx = InvariantCtx {
+        now: sim.now(),
+        published,
         source,
-        original_nodes: spec.nodes,
-        messages_published: total_messages,
-        publish_times,
-        nodes: outcomes,
-        failures_injected,
-        joins_injected,
-        stabilization_end_sec,
-        end_sec,
-        churn_window,
-        net_stats: net.stats().clone(),
-        event_trace: net.take_event_trace(),
-        streaming,
-    }
+    };
+    suite.run_checks(sim.query(), &reports, &ctx);
+}
+
+/// Runs one experiment to completion. Deprecated shim over [`Runner`].
+#[deprecated(note = "use `Runner::new(cfg, spec).run()`")]
+pub fn run_experiment<P>(cfg: &P::Config, spec: &RunSpec) -> EngineResult
+where
+    P: DisseminationProtocol + Send,
+    P::Message: Send,
+{
+    Runner::<P>::new(cfg, spec).run()
+}
+
+/// Runs one experiment with an online [`InvariantSuite`]. Deprecated shim
+/// over [`Runner`].
+#[deprecated(note = "use `Runner::new(cfg, spec).invariants(suite).run()`")]
+pub fn run_experiment_checked<P>(
+    cfg: &P::Config,
+    spec: &RunSpec,
+    invariants: &mut InvariantSuite,
+) -> EngineResult
+where
+    P: DisseminationProtocol + Send,
+    P::Message: Send,
+{
+    Runner::<P>::new(cfg, spec).invariants(invariants).run()
+}
+
+/// Runs one experiment with invariants and a telemetry handle. Deprecated
+/// shim over [`Runner`].
+#[deprecated(note = "use `Runner::new(cfg, spec).invariants(suite).telemetry(handle).run()`")]
+pub fn run_experiment_with_telemetry<P>(
+    cfg: &P::Config,
+    spec: &RunSpec,
+    invariants: &mut InvariantSuite,
+    telemetry: &Telemetry,
+) -> EngineResult
+where
+    P: DisseminationProtocol + Send,
+    P::Message: Send,
+{
+    Runner::<P>::new(cfg, spec)
+        .invariants(invariants)
+        .telemetry(telemetry)
+        .run()
 }

@@ -10,14 +10,20 @@
 //! carries its timestamp, where an end-of-run check would only see the
 //! healed aftermath.
 //!
-//! Checks are collected in an [`InvariantSuite`] handed to
-//! [`crate::engine::run_experiment_checked`]; an empty suite is skipped
-//! entirely (the default [`crate::engine::run_experiment`] path pays
-//! nothing). Violations are recorded, not panicked, so a harness can assert
+//! Checks are collected in an [`InvariantSuite`] attached to a run through
+//! [`crate::engine::Runner::invariants`]; an empty suite is skipped
+//! entirely (a plain `Runner::new(..).run()` pays nothing). Violations are
+//! recorded, not panicked, so a harness can assert
 //! [`InvariantSuite::assert_clean`] or inspect them selectively.
 //!
+//! Invariants see the simulation through the driver-agnostic [`NetQuery`]
+//! view (liveness and FIFO link clocks), which both the sequential
+//! [`Network`] and the sharded [`brisa_simnet::ShardedNetwork`] implement —
+//! the suite itself is not generic over the protocol, so one suite type
+//! serves every stack in the harness.
+//!
 //! Three invariants ship with the harness, all protocol-generic (they look
-//! only at [`NodeReport`]s and simulator state):
+//! only at [`NodeReport`]s and the [`NetQuery`] view):
 //!
 //! * [`DeliveryInvariant`] — no duplicate first-deliveries, delivery counts
 //!   monotone over time and never ahead of what the source has published;
@@ -28,9 +34,45 @@
 //! * [`LinkClockInvariant`] — every directed FIFO link clock in the
 //!   simulator is monotone non-decreasing across checks.
 
-use crate::engine::{DisseminationProtocol, NodeReport};
-use brisa_simnet::{Network, NodeId, SimTime};
+use crate::engine::NodeReport;
+use brisa_simnet::{Network, NodeId, Protocol, ShardedNetwork, SimTime};
 use std::collections::HashMap;
+
+/// The read-only view of a simulation driver that invariants check
+/// against: node liveness and the simulator's FIFO link clocks. Both
+/// drivers implement it, so a suite never cares whether the run is
+/// sequential or sharded.
+pub trait NetQuery {
+    /// True if the node exists and has not crashed.
+    fn is_alive(&self, id: NodeId) -> bool;
+
+    /// Every directed link's FIFO clock (last scheduled arrival), sorted by
+    /// `(sender, dest)`.
+    fn link_clock_entries(&self) -> Vec<(NodeId, NodeId, SimTime)>;
+}
+
+impl<P: Protocol> NetQuery for Network<P> {
+    fn is_alive(&self, id: NodeId) -> bool {
+        Network::is_alive(self, id)
+    }
+
+    fn link_clock_entries(&self) -> Vec<(NodeId, NodeId, SimTime)> {
+        Network::link_clock_entries(self)
+    }
+}
+
+impl<P: Protocol + Send> NetQuery for ShardedNetwork<P>
+where
+    P::Message: Send,
+{
+    fn is_alive(&self, id: NodeId) -> bool {
+        ShardedNetwork::is_alive(self, id)
+    }
+
+    fn link_clock_entries(&self) -> Vec<(NodeId, NodeId, SimTime)> {
+        ShardedNetwork::link_clock_entries(self)
+    }
+}
 
 /// Context handed to every check: what the harness knows about the run at
 /// this instant.
@@ -56,7 +98,7 @@ pub struct InvariantViolation {
 }
 
 /// An online invariant over a running experiment.
-pub trait Invariant<P: DisseminationProtocol> {
+pub trait Invariant {
     /// Display name (used in violation reports).
     fn name(&self) -> &'static str;
 
@@ -64,12 +106,11 @@ pub trait Invariant<P: DisseminationProtocol> {
     /// description of the violation if it does not hold. Checks may keep
     /// state across calls (monotonicity needs the previous observation).
     /// `reports` holds every live node's [`NodeReport`], in ascending node
-    /// order — built once per check pass and shared by all invariants
-    /// (extracting a report clones the node's delivery record, so each
-    /// invariant rebuilding its own would multiply that cost).
+    /// order — built once per check pass by the engine and shared by all
+    /// invariants.
     fn check(
         &mut self,
-        net: &Network<P>,
+        net: &dyn NetQuery,
         reports: &[(NodeId, NodeReport)],
         ctx: &InvariantCtx,
     ) -> Result<(), String>;
@@ -77,13 +118,13 @@ pub trait Invariant<P: DisseminationProtocol> {
 
 /// An ordered collection of invariants plus the violations they recorded.
 #[derive(Default)]
-pub struct InvariantSuite<P: DisseminationProtocol> {
-    checks: Vec<Box<dyn Invariant<P>>>,
+pub struct InvariantSuite {
+    checks: Vec<Box<dyn Invariant>>,
     violations: Vec<InvariantViolation>,
     checks_run: u64,
 }
 
-impl<P: DisseminationProtocol> InvariantSuite<P> {
+impl InvariantSuite {
     /// An empty suite (checking is skipped entirely).
     pub fn new() -> Self {
         InvariantSuite {
@@ -109,7 +150,7 @@ impl<P: DisseminationProtocol> InvariantSuite<P> {
     }
 
     /// Adds an invariant (builder style).
-    pub fn with(mut self, invariant: impl Invariant<P> + 'static) -> Self {
+    pub fn with(mut self, invariant: impl Invariant + 'static) -> Self {
         self.checks.push(Box::new(invariant));
         self
     }
@@ -119,15 +160,18 @@ impl<P: DisseminationProtocol> InvariantSuite<P> {
         self.checks.is_empty()
     }
 
-    /// Runs every check once against the current state.
-    pub fn run_checks(&mut self, net: &Network<P>, ctx: &InvariantCtx) {
+    /// Runs every check once against the current state. `reports` is the
+    /// live nodes' [`NodeReport`]s in ascending node order (the engine
+    /// builds them once per pass).
+    pub fn run_checks(
+        &mut self,
+        net: &dyn NetQuery,
+        reports: &[(NodeId, NodeReport)],
+        ctx: &InvariantCtx,
+    ) {
         self.checks_run += 1;
-        let reports: Vec<(NodeId, NodeReport)> = net
-            .alive_iter()
-            .filter_map(|id| net.node(id).map(|n| (id, n.report())))
-            .collect();
         for check in &mut self.checks {
-            if let Err(detail) = check.check(net, &reports, ctx) {
+            if let Err(detail) = check.check(net, reports, ctx) {
                 self.violations.push(InvariantViolation {
                     invariant: check.name(),
                     at: ctx.now,
@@ -240,14 +284,14 @@ impl Default for DeliveryInvariant {
     }
 }
 
-impl<P: DisseminationProtocol> Invariant<P> for DeliveryInvariant {
+impl Invariant for DeliveryInvariant {
     fn name(&self) -> &'static str {
         "no-duplicate-delivery"
     }
 
     fn check(
         &mut self,
-        _net: &Network<P>,
+        _net: &dyn NetQuery,
         reports: &[(NodeId, NodeReport)],
         ctx: &InvariantCtx,
     ) -> Result<(), String> {
@@ -339,14 +383,14 @@ impl TreeValidityInvariant {
     }
 }
 
-impl<P: DisseminationProtocol> Invariant<P> for TreeValidityInvariant {
+impl Invariant for TreeValidityInvariant {
     fn name(&self) -> &'static str {
         "tree-validity"
     }
 
     fn check(
         &mut self,
-        net: &Network<P>,
+        net: &dyn NetQuery,
         reports: &[(NodeId, NodeReport)],
         ctx: &InvariantCtx,
     ) -> Result<(), String> {
@@ -405,14 +449,14 @@ impl Default for LinkClockInvariant {
     }
 }
 
-impl<P: DisseminationProtocol> Invariant<P> for LinkClockInvariant {
+impl Invariant for LinkClockInvariant {
     fn name(&self) -> &'static str {
         "link-clock-monotonicity"
     }
 
     fn check(
         &mut self,
-        net: &Network<P>,
+        net: &dyn NetQuery,
         _reports: &[(NodeId, NodeReport)],
         _ctx: &InvariantCtx,
     ) -> Result<(), String> {
@@ -462,7 +506,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "never evaluated")]
     fn assert_clean_rejects_vacuous_suites() {
-        let suite: InvariantSuite<brisa::BrisaNode> = InvariantSuite::standard(Some(1));
+        let suite = InvariantSuite::standard(Some(1));
         suite.assert_clean();
     }
 
@@ -496,7 +540,7 @@ mod tests {
 
     #[test]
     fn empty_suite_is_clean_and_skippable() {
-        let suite: InvariantSuite<brisa::BrisaNode> = InvariantSuite::new();
+        let suite = InvariantSuite::new();
         assert!(suite.is_empty());
         suite.assert_clean();
     }

@@ -10,8 +10,8 @@
 //!   baselines (the only per-protocol code in the experiment path);
 //! * [`invariants`] — online invariant checking: an [`InvariantSuite`]
 //!   evaluated *during* the drive phase (delivery sanity, tree validity,
-//!   FIFO link-clock monotonicity) through
-//!   [`engine::run_experiment_checked`];
+//!   FIFO link-clock monotonicity) attached through
+//!   [`engine::Runner::invariants`];
 //! * [`matrix`] — the parallel sweep driver: [`run_matrix`] fans independent
 //!   (scenario × seed × parameter) cells across threads with bit-identical
 //!   results to a sequential loop;
@@ -48,19 +48,21 @@ pub use brisa_run::{run_brisa, BrisaRunResult};
 pub use brisa_simnet::{PartitionMode, SchedulerKind, TraceOp};
 pub use chaos::{ChaosEvent, ChaosEventKind, ChaosSchedule};
 pub use engine::{
-    completeness_of, delivery_rate_of, run_experiment, run_experiment_checked,
-    run_experiment_with_telemetry, BuildCtx, DisseminationProtocol, EngineResult, NodeOutcome,
-    NodeReport, RepairTelemetry, RunSpec, ScaleNodeReport, StreamingSummary,
+    completeness_of, delivery_rate_of, BuildCtx, DisseminationProtocol, EngineResult, IntoRunSpec,
+    NodeOutcome, NodeReport, RepairTelemetry, RunSpec, Runner, ScaleNodeReport, StreamingSummary,
 };
+#[allow(deprecated)]
+pub use engine::{run_experiment, run_experiment_checked, run_experiment_with_telemetry};
 pub use invariants::{
     check_delivery_report, DeliveryInvariant, Invariant, InvariantCtx, InvariantSuite,
-    InvariantViolation, LinkClockInvariant, TreeValidityInvariant,
+    InvariantViolation, LinkClockInvariant, NetQuery, TreeValidityInvariant,
 };
 pub use matrix::{derive_seed, matrix_threads, run_matrix, run_matrix_sequential};
 pub use protocols::BrisaStackConfig;
 pub use result::{split_bandwidth, ChurnReport, NodeSummary, PhaseBandwidth};
 pub use scenarios::Scale;
 pub use spec::{
-    BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, PartitionPhase, ResultMode,
-    ScaleEvent, ScaleEventKind, StreamSpec, Testbed, FIRST_PUBLISH_DELAY,
+    BaselineScenario, BrisaScenario, ChurnEvent, ChurnSpec, FaultSpec, MaintenanceTempo,
+    PartitionPhase, ResultMode, ScaleEvent, ScaleEventKind, StreamSpec, Testbed,
+    FIRST_PUBLISH_DELAY,
 };

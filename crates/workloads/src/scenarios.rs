@@ -6,8 +6,8 @@
 //! paper's full scale or at a reduced `Quick` scale for smoke runs and CI.
 
 use crate::spec::{
-    BrisaScenario, ChurnSpec, FaultSpec, PartitionPhase, ResultMode, ScaleEvent, ScaleEventKind,
-    StreamSpec, Testbed,
+    BrisaScenario, ChurnSpec, FaultSpec, MaintenanceTempo, PartitionPhase, ResultMode, ScaleEvent,
+    ScaleEventKind, StreamSpec, Testbed,
 };
 use brisa::{ParentStrategy, StructureMode};
 use brisa_simnet::SimDuration;
@@ -382,6 +382,30 @@ pub fn scale_churn(nodes: u32) -> BrisaScenario {
     }
 }
 
+/// The million-node headline scenario of the sharded simulator: plain
+/// dissemination at 1 000 000 nodes with a shortened stream (10 messages
+/// instead of the suite's 50), a relaxed maintenance tempo
+/// ([`MaintenanceTempo::relaxed`] — at this scale the suite tempo's
+/// background chatter alone is ~10 M simulator events per simulated
+/// second, blowing the wall-clock budget), and a stretched bootstrap so
+/// the join wave fully percolates before the stream starts. This row is
+/// run sharded-only: sequential/sharded equality is pinned at the smaller
+/// suite sizes (and property-tested across shard counts), so the
+/// million-node row pins *capacity*, not equivalence.
+pub fn scale_million() -> BrisaScenario {
+    BrisaScenario {
+        stream: StreamSpec {
+            messages: 10,
+            rate_per_sec: 5.0,
+            payload_bytes: 1024,
+        },
+        bootstrap: SimDuration::from_secs(40),
+        drain: SimDuration::from_secs(20),
+        tempo: MaintenanceTempo::relaxed(),
+        ..scale_base(1_000_000)
+    }
+}
+
 /// The scenario grid of `bench_scale_sweep`, one labelled scenario per
 /// incident family at system size `nodes`.
 pub fn scale_suite(nodes: u32) -> Vec<(&'static str, BrisaScenario)> {
@@ -485,6 +509,36 @@ mod tests {
         ));
         assert!(scale_churn(1000).churn.is_some());
         assert!(scale_no_fault(1000).events.is_empty());
+    }
+
+    #[test]
+    fn million_row_relaxes_tempo_but_suite_keeps_the_default() {
+        let m = scale_million();
+        assert_eq!(m.nodes, 1_000_000);
+        assert_eq!(m.tempo, MaintenanceTempo::relaxed());
+        // The tempo flows into the per-protocol configurations...
+        assert_eq!(
+            m.hyparview_config().keepalive_period,
+            SimDuration::from_secs(10)
+        );
+        assert_eq!(
+            m.hyparview_config().shuffle_period,
+            SimDuration::from_secs(30)
+        );
+        assert_eq!(
+            m.brisa_config().repair_tick_period,
+            SimDuration::from_secs(2)
+        );
+        // ... while every suite scenario keeps the evaluation defaults, so
+        // their fingerprints are untouched by the knob's existence.
+        for (label, sc) in scale_suite(2_000) {
+            assert_eq!(sc.tempo, MaintenanceTempo::default(), "{label}");
+            assert_eq!(
+                sc.hyparview_config().keepalive_period,
+                brisa_membership::HyParViewConfig::default().keepalive_period,
+                "{label}"
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use brisa_membership::HyParViewConfig;
 use brisa_simnet::latency::{ClusterLatency, LatencyModel, PlanetLabLatency};
 use brisa_simnet::{LinkFaults, NodeId, PartitionMode, PartitionSpec, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Delay between the end of the bootstrap window and the first stream
 /// injection. Public because scale-mode delivery tracking derives the
@@ -32,6 +33,16 @@ impl Testbed {
         match self {
             Testbed::Cluster => Box::new(ClusterLatency::default()),
             Testbed::PlanetLab => Box::new(PlanetLabLatency::new(seed, 40.0, 0.7, 0.2)),
+        }
+    }
+
+    /// Builds the same latency model behind a shareable handle, as the
+    /// sharded driver needs (every worker shard samples link latencies).
+    /// Both testbed models are stateless, hence `Sync`.
+    pub fn latency_model_shared(self, seed: u64) -> Arc<dyn LatencyModel + Send + Sync> {
+        match self {
+            Testbed::Cluster => Arc::new(ClusterLatency::default()),
+            Testbed::PlanetLab => Arc::new(PlanetLabLatency::new(seed, 40.0, 0.7, 0.2)),
         }
     }
 }
@@ -321,6 +332,49 @@ impl FaultSpec {
     }
 }
 
+/// Tempo of the stack's periodic maintenance: the HyParView passive-view
+/// shuffle and keep-alive probes, and BRISA's repair-supervision tick.
+///
+/// The defaults match the values used throughout the paper's evaluation.
+/// Capacity scenarios slow them down: at a million nodes the background
+/// chatter — not the stream — dominates the simulator's event budget
+/// (every keep-alive is `O(active view)` events per node per period), so
+/// [`crate::scenarios::scale_million`] stretches all three periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceTempo {
+    /// Period of the proactive passive-view shuffle.
+    pub shuffle_period: SimDuration,
+    /// Period of the keep-alive probes (doubling as RTT measurements).
+    pub keepalive_period: SimDuration,
+    /// Period of BRISA's repair-supervision timer.
+    pub repair_tick_period: SimDuration,
+}
+
+impl Default for MaintenanceTempo {
+    fn default() -> Self {
+        let hpv = HyParViewConfig::default();
+        MaintenanceTempo {
+            shuffle_period: hpv.shuffle_period,
+            keepalive_period: hpv.keepalive_period,
+            repair_tick_period: BrisaConfig::default().repair_tick_period,
+        }
+    }
+}
+
+impl MaintenanceTempo {
+    /// The slowed-down tempo of million-node capacity runs: keep-alives at
+    /// 10 s, shuffles at 30 s, repair supervision at 2 s. Failure detection
+    /// and repair latency degrade accordingly — acceptable for the no-fault
+    /// capacity headline, wrong for the fault scenarios.
+    pub fn relaxed() -> Self {
+        MaintenanceTempo {
+            shuffle_period: SimDuration::from_secs(30),
+            keepalive_period: SimDuration::from_secs(10),
+            repair_tick_period: SimDuration::from_secs(2),
+        }
+    }
+}
+
 /// Full specification of a BRISA experiment run.
 #[derive(Debug, Clone)]
 pub struct BrisaScenario {
@@ -356,6 +410,8 @@ pub struct BrisaScenario {
     pub events: Vec<ScaleEvent>,
     /// Classic per-node results or scale-mode streaming results.
     pub results: ResultMode,
+    /// Periodic-maintenance tempo (shuffle / keep-alive / repair tick).
+    pub tempo: MaintenanceTempo,
 }
 
 impl Default for BrisaScenario {
@@ -375,6 +431,7 @@ impl Default for BrisaScenario {
             drain: SimDuration::from_secs(20),
             events: Vec::new(),
             results: ResultMode::Classic,
+            tempo: MaintenanceTempo::default(),
         }
     }
 }
@@ -437,7 +494,11 @@ impl BaselineScenario {
 impl BrisaScenario {
     /// The HyParView configuration implied by this scenario.
     pub fn hyparview_config(&self) -> HyParViewConfig {
-        HyParViewConfig::with_active_size(self.view_size).expansion_factor(self.expansion_factor)
+        let mut cfg = HyParViewConfig::with_active_size(self.view_size)
+            .expansion_factor(self.expansion_factor);
+        cfg.shuffle_period = self.tempo.shuffle_period;
+        cfg.keepalive_period = self.tempo.keepalive_period;
+        cfg
     }
 
     /// Injection time of the first stream message. Deterministic — the
@@ -464,6 +525,7 @@ impl BrisaScenario {
                     interval_us: self.stream.interval().as_micros(),
                 },
             },
+            repair_tick_period: self.tempo.repair_tick_period,
             ..BrisaConfig::default()
         }
     }

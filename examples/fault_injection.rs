@@ -13,8 +13,8 @@
 use brisa::BrisaNode;
 use brisa_simnet::SimDuration;
 use brisa_workloads::{
-    run_experiment_checked, BrisaScenario, BrisaStackConfig, FaultSpec, InvariantSuite,
-    PartitionPhase, RunSpec, StreamSpec,
+    BrisaScenario, BrisaStackConfig, FaultSpec, IntoRunSpec, InvariantSuite, PartitionPhase,
+    Runner, StreamSpec,
 };
 
 fn run(label: &str, sc: &BrisaScenario) {
@@ -23,7 +23,9 @@ fn run(label: &str, sc: &BrisaScenario) {
         brisa: sc.brisa_config(),
     };
     let mut invariants = InvariantSuite::standard(Some(1));
-    let result = run_experiment_checked::<BrisaNode>(&cfg, &RunSpec::from(sc), &mut invariants);
+    let result = Runner::<BrisaNode>::new(&cfg, &sc.run_spec())
+        .invariants(&mut invariants)
+        .run();
     invariants.assert_clean();
 
     let eligible: Vec<_> = result

@@ -3,9 +3,9 @@
 //!
 //! This is the smallest end-to-end use of the public experiment API:
 //! describe the run with a [`BrisaScenario`], execute it with [`run_brisa`]
-//! (a thin adapter over `run_experiment::<BrisaNode>`), and read per-node
-//! metrics off the result. The same engine drives every figure/table binary
-//! in `brisa-bench`.
+//! (a thin adapter over `Runner::<BrisaNode>`), and read per-node metrics
+//! off the result. The same engine drives every figure/table binary in
+//! `brisa-bench`.
 //!
 //! Run with: `cargo run -p brisa-bench --release --example quickstart`
 

@@ -13,7 +13,7 @@
 //! ```
 
 use brisa::BrisaNode;
-use brisa_workloads::{run_experiment, scenarios, BrisaStackConfig, RunSpec};
+use brisa_workloads::{scenarios, BrisaStackConfig, IntoRunSpec, Runner};
 
 fn main() {
     let nodes = 5_000;
@@ -23,7 +23,7 @@ fn main() {
         brisa: sc.brisa_config(),
     };
     let started = std::time::Instant::now();
-    let result = run_experiment::<BrisaNode>(&cfg, &RunSpec::from(&sc));
+    let result = Runner::<BrisaNode>::new(&cfg, &sc.run_spec()).run();
     let wall = started.elapsed().as_secs_f64();
     let s = result
         .streaming

@@ -7,8 +7,8 @@ use brisa::BrisaNode;
 use brisa_baselines::TagNode;
 use brisa_simnet::SimDuration;
 use brisa_workloads::{
-    derive_seed, run_brisa, run_experiment, run_matrix, run_matrix_sequential, run_tag,
-    BaselineScenario, BrisaScenario, BrisaStackConfig, ChurnSpec, RunSpec, StreamSpec,
+    derive_seed, run_brisa, run_matrix, run_matrix_sequential, run_tag, BaselineScenario,
+    BrisaScenario, BrisaStackConfig, ChurnSpec, IntoRunSpec, Runner, StreamSpec,
 };
 
 fn brisa_cell(seed: u64, nodes: u32) -> BrisaScenario {
@@ -37,7 +37,9 @@ fn run_matrix_parallel_is_bit_identical_to_sequential() {
         brisa: sc.brisa_config(),
     };
     let run = |_i: usize, sc: &BrisaScenario| {
-        run_experiment::<BrisaNode>(&cfg_of(sc), &RunSpec::from(sc)).fingerprint()
+        Runner::<BrisaNode>::new(&cfg_of(sc), &sc.run_spec())
+            .run()
+            .fingerprint()
     };
     let parallel = run_matrix(&cells, run);
     let sequential = run_matrix_sequential(&cells, run);
@@ -61,13 +63,14 @@ fn derived_seed_cells_are_reproducible() {
     let indices: Vec<u64> = (0..4).collect();
     let run = |i: usize, &base: &u64| {
         let sc = brisa_cell(derive_seed(base, i as u64), 16);
-        run_experiment::<BrisaNode>(
+        Runner::<BrisaNode>::new(
             &BrisaStackConfig {
                 hpv: sc.hyparview_config(),
                 brisa: sc.brisa_config(),
             },
-            &RunSpec::from(&sc),
+            &sc.run_spec(),
         )
+        .run()
         .fingerprint()
     };
     assert_eq!(
@@ -101,7 +104,7 @@ fn generic_runner_churn_phase_with_brisa() {
         hpv: sc.hyparview_config(),
         brisa: sc.brisa_config(),
     };
-    let r = run_experiment::<BrisaNode>(&cfg, &RunSpec::from(&sc));
+    let r = Runner::<BrisaNode>::new(&cfg, &sc.run_spec()).run();
     assert_eq!(r.protocol, "Brisa");
     assert!(r.failures_injected > 0, "the churn script failed nodes");
     assert_eq!(
@@ -182,11 +185,9 @@ fn engine_schedule_is_protocol_independent() {
         hpv: brisa_sc.hyparview_config(),
         brisa: brisa_sc.brisa_config(),
     };
-    let a = run_experiment::<BrisaNode>(&cfg, &RunSpec::from(&brisa_sc));
-    let b = run_experiment::<TagNode>(
-        &brisa_baselines::TagConfig::default(),
-        &RunSpec::from(&base_sc),
-    );
+    let a = Runner::<BrisaNode>::new(&cfg, &brisa_sc.run_spec()).run();
+    let b =
+        Runner::<TagNode>::new(&brisa_baselines::TagConfig::default(), &base_sc.run_spec()).run();
     assert_eq!(a.messages_published, b.messages_published);
     assert_eq!(
         a.publish_times, b.publish_times,

@@ -7,8 +7,8 @@
 use brisa::BrisaNode;
 use brisa_simnet::SimDuration;
 use brisa_workloads::{
-    run_experiment, run_experiment_checked, scenarios, BrisaScenario, BrisaStackConfig,
-    EngineResult, FaultSpec, InvariantSuite, RunSpec, SchedulerKind, StreamSpec,
+    scenarios, BrisaScenario, BrisaStackConfig, EngineResult, FaultSpec, IntoRunSpec,
+    InvariantSuite, Runner, SchedulerKind, StreamSpec,
 };
 
 fn stack_config(sc: &BrisaScenario) -> BrisaStackConfig {
@@ -28,19 +28,19 @@ fn zero_rate_faults_are_bit_identical_to_fault_free() {
         ..BrisaScenario::small_test(32)
     };
     let cfg = stack_config(&base);
-    let mut plain_spec = RunSpec::from(&base);
+    let mut plain_spec = base.run_spec();
     plain_spec.faults = FaultSpec::default();
     assert!(plain_spec.faults.is_inert());
-    let plain = run_experiment::<BrisaNode>(&cfg, &plain_spec);
+    let plain = Runner::<BrisaNode>::new(&cfg, &plain_spec).run();
     // Same scenario, fault layer engaged with explicit zero rates.
-    let mut zero_spec = RunSpec::from(&base);
+    let mut zero_spec = base.run_spec();
     zero_spec.faults = FaultSpec {
         loss_rate: 0.0,
         jitter: SimDuration::ZERO,
         latency_factor: 1.0,
         partition: None,
     };
-    let zero = run_experiment::<BrisaNode>(&cfg, &zero_spec);
+    let zero = Runner::<BrisaNode>::new(&cfg, &zero_spec).run();
     assert_eq!(
         plain.fingerprint(),
         zero.fingerprint(),
@@ -69,10 +69,12 @@ fn one_percent_loss_still_delivers_99_percent_on_both_schedulers() {
     let cfg = stack_config(&sc);
     let mut fingerprints = Vec::new();
     for scheduler in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
-        let mut spec = RunSpec::from(&sc);
+        let mut spec = sc.run_spec();
         spec.scheduler = scheduler;
         let mut suite = InvariantSuite::standard(Some(1));
-        let r = run_experiment_checked::<BrisaNode>(&cfg, &spec, &mut suite);
+        let r = Runner::<BrisaNode>::new(&cfg, &spec)
+            .invariants(&mut suite)
+            .run();
         suite.assert_clean();
         assert!(suite.checks_run() > 0);
         assert!(
@@ -105,7 +107,9 @@ fn partition_then_heal_reconnects_the_tree() {
     let phase = sc.faults.partition.expect("partition configured");
     let cfg = stack_config(&sc);
     let mut suite = InvariantSuite::standard(Some(1));
-    let r = run_experiment_checked::<BrisaNode>(&cfg, &RunSpec::from(&sc), &mut suite);
+    let r = Runner::<BrisaNode>::new(&cfg, &sc.run_spec())
+        .invariants(&mut suite)
+        .run();
     suite.assert_clean();
 
     assert!(
@@ -188,7 +192,9 @@ fn invariants_hold_during_churn_with_faults() {
     };
     let cfg = stack_config(&sc);
     let mut suite = InvariantSuite::standard(Some(1));
-    let r = run_experiment_checked::<BrisaNode>(&cfg, &RunSpec::from(&sc), &mut suite);
+    let r = Runner::<BrisaNode>::new(&cfg, &sc.run_spec())
+        .invariants(&mut suite)
+        .run();
     suite.assert_clean();
     assert!(suite.checks_run() > 50, "checked after every schedule step");
     assert!(r.failures_injected > 0);
@@ -204,7 +210,7 @@ fn jitter_and_degradation_slow_but_do_not_lose() {
         ..BrisaScenario::small_test(32)
     };
     let cfg = stack_config(&base);
-    let nominal = run_experiment::<BrisaNode>(&cfg, &RunSpec::from(&base));
+    let nominal = Runner::<BrisaNode>::new(&cfg, &base.run_spec()).run();
     let degraded_sc = BrisaScenario {
         faults: FaultSpec {
             jitter: SimDuration::from_millis(5),
@@ -214,7 +220,7 @@ fn jitter_and_degradation_slow_but_do_not_lose() {
         ..base
     };
     let degraded =
-        run_experiment::<BrisaNode>(&stack_config(&degraded_sc), &RunSpec::from(&degraded_sc));
+        Runner::<BrisaNode>::new(&stack_config(&degraded_sc), &degraded_sc.run_spec()).run();
     assert_eq!(degraded.net_stats.messages_lost_to_faults, 0);
     assert!(
         (degraded.delivery_rate() - 1.0).abs() < 1e-9,

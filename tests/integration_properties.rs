@@ -8,8 +8,8 @@ use brisa_metrics::{Cdf, PercentileSummary, StructureSnapshot};
 use brisa_simnet::sched::{HeapScheduler, TimingWheel};
 use brisa_simnet::{NodeId, SimTime};
 use brisa_workloads::{
-    run_brisa, run_experiment, run_matrix, run_matrix_sequential, BrisaScenario, BrisaStackConfig,
-    RunSpec, SchedulerKind, StreamSpec, Testbed,
+    run_brisa, run_matrix, run_matrix_sequential, BrisaScenario, BrisaStackConfig, IntoRunSpec,
+    Runner, SchedulerKind, StreamSpec, Testbed,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -84,9 +84,11 @@ fn engine_runs_identical_on_both_schedulers() {
     for seed in [1u64, 0xB215A, 77] {
         let (cfg, sc) = sched_check_cell(seed);
         let run = |scheduler: SchedulerKind| {
-            let mut spec = RunSpec::from(&sc);
+            let mut spec = sc.run_spec();
             spec.scheduler = scheduler;
-            run_experiment::<brisa::BrisaNode>(&cfg, &spec).fingerprint()
+            Runner::<brisa::BrisaNode>::new(&cfg, &spec)
+                .run()
+                .fingerprint()
         };
         assert_eq!(
             run(SchedulerKind::TimingWheel),
@@ -104,9 +106,11 @@ fn run_matrix_is_deterministic_on_timing_wheel() {
     let seeds: Vec<u64> = vec![3, 1414, 0xB215A, 99];
     let run = |_i: usize, &seed: &u64| {
         let (cfg, sc) = sched_check_cell(seed);
-        let mut spec = RunSpec::from(&sc);
+        let mut spec = sc.run_spec();
         spec.scheduler = SchedulerKind::TimingWheel;
-        run_experiment::<brisa::BrisaNode>(&cfg, &spec).fingerprint()
+        Runner::<brisa::BrisaNode>::new(&cfg, &spec)
+            .run()
+            .fingerprint()
     };
     let parallel = run_matrix(&seeds, run);
     let sequential = run_matrix_sequential(&seeds, run);
@@ -242,7 +246,56 @@ proptest! {
 
 proptest! {
     // Full-stack runs are expensive; keep the case count small.
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// The sharded driver is observationally invisible: for arbitrary small
+    /// scenarios, every shard count — including counts above the node
+    /// count — and both schedulers produce the exact fingerprint of the
+    /// sequential run. This is the workloads-level face of the simnet
+    /// shard-equivalence tests: it goes through the full engine pipeline
+    /// (bootstrap, schedule, churn, collect), not just the raw driver.
+    #[test]
+    fn sharded_runs_match_sequential_for_any_shard_count(
+        nodes in 12u32..32,
+        seed in 0u64..1000,
+        dag in any::<bool>(),
+        churny in any::<bool>(),
+    ) {
+        let sc = BrisaScenario {
+            nodes,
+            seed,
+            view_size: 4,
+            mode: if dag { StructureMode::Dag { parents: 2 } } else { StructureMode::Tree },
+            stream: StreamSpec::short(5, 128),
+            churn: churny.then(|| brisa_workloads::ChurnSpec {
+                rate_percent: 5.0,
+                interval: brisa_simnet::SimDuration::from_secs(8),
+                duration: brisa_simnet::SimDuration::from_secs(16),
+            }),
+            ..BrisaScenario::small_test(nodes)
+        };
+        let cfg = BrisaStackConfig {
+            hpv: sc.hyparview_config(),
+            brisa: sc.brisa_config(),
+        };
+        for scheduler in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+            let mut spec = sc.run_spec();
+            spec.scheduler = scheduler;
+            let sequential = Runner::<brisa::BrisaNode>::new(&cfg, &spec).run().fingerprint();
+            prop_assert!(sequential.contains(":d"), "fingerprint is vacuous");
+            for shards in [1usize, 2, 3, 7, 16] {
+                let sharded = Runner::<brisa::BrisaNode>::new(&cfg, &spec)
+                    .shards(shards)
+                    .run()
+                    .fingerprint();
+                prop_assert_eq!(
+                    &sequential, &sharded,
+                    "{} shards diverged from sequential (seed {}, {:?})",
+                    shards, seed, scheduler
+                );
+            }
+        }
+    }
 
     /// Whatever the (small) system size, seed, strategy and structure mode,
     /// a churn-free BRISA run delivers every message to every node and the

@@ -13,7 +13,7 @@ use brisa_runtime::tcp::TcpMesh;
 use brisa_runtime::{Cluster, ClusterConfig, TransportKind};
 use brisa_simnet::{Context, NodeId, Protocol, SimDuration, TimerTag};
 use brisa_workloads::{
-    run_experiment, BrisaScenario, BrisaStackConfig, EngineResult, RunSpec, StreamSpec,
+    BrisaScenario, BrisaStackConfig, EngineResult, IntoRunSpec, Runner, StreamSpec,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
@@ -119,8 +119,8 @@ fn sim_and_live_agree_on_the_delivery_outcome() {
         drain: SimDuration::from_secs(10),
         ..Default::default()
     };
-    let spec = RunSpec::from(&scenario);
-    let sim = run_experiment::<BrisaNode>(&stack_config(4), &spec);
+    let spec = scenario.run_spec();
+    let sim = Runner::<BrisaNode>::new(&stack_config(4), &spec).run();
     assert_eq!(sim.messages_published, MESSAGES);
 
     // Live run on the loopback mesh.

@@ -3,11 +3,11 @@
 //! bytes-per-node footprint must stay bounded.
 
 use brisa::BrisaNode;
-use brisa_bench::{BrisaScenario, BrisaStackConfig, EngineResult, RunSpec};
+use brisa_bench::{BrisaScenario, BrisaStackConfig, EngineResult};
 use brisa_metrics::LatencyHistogram;
 use brisa_simnet::SimDuration;
 use brisa_workloads::{
-    run_experiment, scenarios, ResultMode, ScaleEvent, ScaleEventKind, SchedulerKind,
+    scenarios, IntoRunSpec, ResultMode, Runner, ScaleEvent, ScaleEventKind, SchedulerKind,
 };
 
 fn run(sc: &BrisaScenario, scheduler: SchedulerKind) -> EngineResult {
@@ -15,9 +15,9 @@ fn run(sc: &BrisaScenario, scheduler: SchedulerKind) -> EngineResult {
         hpv: sc.hyparview_config(),
         brisa: sc.brisa_config(),
     };
-    let mut spec = RunSpec::from(sc);
+    let mut spec = sc.run_spec();
     spec.scheduler = scheduler;
-    run_experiment::<BrisaNode>(&cfg, &spec)
+    Runner::<BrisaNode>::new(&cfg, &spec).run()
 }
 
 /// Rebuilds the latency histogram a streaming run would produce from a

@@ -16,20 +16,22 @@ use brisa_baselines::{
 use brisa_membership::HyParViewConfig;
 use brisa_simnet::SimDuration;
 use brisa_workloads::{
-    run_experiment, scenarios, BaselineScenario, BrisaScenario, BrisaStackConfig, ChurnSpec,
-    DisseminationProtocol, RunSpec, Scale, SchedulerKind, StreamSpec,
+    scenarios, BaselineScenario, BrisaScenario, BrisaStackConfig, ChurnSpec, DisseminationProtocol,
+    IntoRunSpec, RunSpec, Runner, Scale, SchedulerKind, StreamSpec,
 };
 
 /// Runs `P` on both schedulers and asserts fingerprint equality.
-fn assert_scheduler_equivalence<P: DisseminationProtocol>(
+fn assert_scheduler_equivalence<P: DisseminationProtocol + Send>(
     family: &str,
     cfg: &P::Config,
     spec: &RunSpec,
-) {
+) where
+    P::Message: Send,
+{
     let run = |scheduler: SchedulerKind| {
         let mut spec = spec.clone();
         spec.scheduler = scheduler;
-        run_experiment::<P>(cfg, &spec).fingerprint()
+        Runner::<P>::new(cfg, &spec).run().fingerprint()
     };
     let wheel = run(SchedulerKind::TimingWheel);
     let heap = run(SchedulerKind::BinaryHeap);
@@ -66,7 +68,7 @@ fn check_brisa(family: &str, sc: BrisaScenario) {
         hpv: sc.hyparview_config(),
         brisa: sc.brisa_config(),
     };
-    assert_scheduler_equivalence::<BrisaNode>(family, &cfg, &RunSpec::from(&sc));
+    assert_scheduler_equivalence::<BrisaNode>(family, &cfg, &sc.run_spec());
 }
 
 fn small_baseline(nodes: u32, view_size: usize) -> BaselineScenario {
@@ -86,7 +88,7 @@ fn fig02_duplicates_flood() {
         ..small_baseline(24, views[0])
     };
     let cfg = HyParViewConfig::with_active_size(sc.view_size);
-    assert_scheduler_equivalence::<FloodNode>("fig02", &cfg, &RunSpec::from(&sc));
+    assert_scheduler_equivalence::<FloodNode>("fig02", &cfg, &sc.run_spec());
 }
 
 #[test]
@@ -130,7 +132,7 @@ fn fig12_table2_comparison_baselines() {
         },
         ..small_baseline(24, 4)
     };
-    let spec = RunSpec::from(&sc);
+    let spec = sc.run_spec();
     assert_scheduler_equivalence::<TagNode>("table2/tag", &TagConfig::default(), &spec);
     assert_scheduler_equivalence::<SimpleTreeNode>("table2/simple_tree", &(), &spec);
     assert_scheduler_equivalence::<SimpleGossipNode>(
@@ -147,7 +149,7 @@ fn fig13_construction_time_tag_planetlab() {
         testbed,
         ..small_baseline(24, 4)
     };
-    assert_scheduler_equivalence::<TagNode>("fig13", &TagConfig::default(), &RunSpec::from(&sc));
+    assert_scheduler_equivalence::<TagNode>("fig13", &TagConfig::default(), &sc.run_spec());
 }
 
 #[test]

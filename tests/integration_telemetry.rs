@@ -7,9 +7,9 @@
 //! run must not change it**. This suite pins three equalities on the
 //! engine's full behavioural fingerprint, under both schedulers:
 //!
-//! 1. a run through `run_experiment_with_telemetry` with a *disabled*
-//!    handle is bit-identical to the plain `run_experiment` path that
-//!    never mentions telemetry at all;
+//! 1. a run through `Runner::new(..).telemetry(..)` with a *disabled*
+//!    handle is bit-identical to the plain `Runner::new(..).run()` path
+//!    that never mentions telemetry at all;
 //! 2. a run with an *enabled* handle — counters registered, flight
 //!    recorder capturing every protocol event — is bit-identical to both;
 //! 3. the enabled run actually recorded something, so the equalities are
@@ -19,8 +19,8 @@ use brisa::BrisaNode;
 use brisa_simnet::SimDuration;
 use brisa_telemetry::{Telemetry, TelemetryConfig};
 use brisa_workloads::{
-    run_experiment, run_experiment_with_telemetry, BrisaScenario, BrisaStackConfig, ChurnSpec,
-    FaultSpec, InvariantSuite, RunSpec, SchedulerKind, StreamSpec,
+    BrisaScenario, BrisaStackConfig, ChurnSpec, FaultSpec, IntoRunSpec, RunSpec, Runner,
+    SchedulerKind, StreamSpec,
 };
 
 /// A small but eventful scenario: churn plus loss, so the run exercises
@@ -44,7 +44,7 @@ fn eventful_spec(scheduler: SchedulerKind) -> (BrisaStackConfig, RunSpec) {
         hpv: sc.hyparview_config(),
         brisa: sc.brisa_config(),
     };
-    let mut spec = RunSpec::from(&sc);
+    let mut spec = sc.run_spec();
     spec.scheduler = scheduler;
     (cfg, spec)
 }
@@ -54,11 +54,11 @@ fn eventful_spec(scheduler: SchedulerKind) -> (BrisaStackConfig, RunSpec) {
 fn fingerprint(scheduler: SchedulerKind, telemetry: Option<&Telemetry>) -> String {
     let (cfg, spec) = eventful_spec(scheduler);
     match telemetry {
-        None => run_experiment::<BrisaNode>(&cfg, &spec).fingerprint(),
-        Some(tel) => {
-            let mut suite = InvariantSuite::<BrisaNode>::new();
-            run_experiment_with_telemetry::<BrisaNode>(&cfg, &spec, &mut suite, tel).fingerprint()
-        }
+        None => Runner::<BrisaNode>::new(&cfg, &spec).run().fingerprint(),
+        Some(tel) => Runner::<BrisaNode>::new(&cfg, &spec)
+            .telemetry(tel)
+            .run()
+            .fingerprint(),
     }
 }
 
